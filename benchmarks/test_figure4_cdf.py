@@ -1,0 +1,99 @@
+"""Figure 4 — cumulative distributions of selected sensitive attributes.
+
+The paper overlays original vs. released CDFs for base salary (LACity),
+work class (Adult), and destination airport ID (Airline) across four
+generators: table-GAN low-privacy, table-GAN high-privacy, DCGAN, and
+condensation.
+
+Shape to reproduce (§5.2.1): table-GAN low-privacy tracks the original
+most closely; condensation is the worst; DCGAN and table-GAN high-privacy
+fall in between.  We quantify "closeness" as the area between CDFs.
+"""
+
+import pytest
+
+from repro.evaluation import compare_cdf
+from repro.evaluation.reporting import banner, format_cdf_series, format_table
+
+from benchmarks.conftest import run_once
+
+FIGURE4_ATTRIBUTES = {
+    "lacity": "base_salary",
+    "adult": "workclass",
+    "airline": "dest_airport",
+}
+GENERATORS = ("tablegan_low", "tablegan_high", "dcgan", "condensation")
+
+
+@pytest.fixture(scope="module")
+def figure4_areas(bundles, released_tables):
+    areas = {}
+    for dataset, attribute in FIGURE4_ATTRIBUTES.items():
+        train = bundles[dataset].train
+        for method in GENERATORS:
+            comparison = compare_cdf(
+                train, released_tables[(dataset, method)], attribute
+            )
+            areas[(dataset, method)] = comparison
+    return areas
+
+
+@pytest.mark.benchmark(group="figure4")
+def test_figure4_report(benchmark, figure4_areas, capsys):
+    """Print per-method CDF distances and one full series per dataset."""
+
+    def build_rows():
+        rows = []
+        for dataset, attribute in FIGURE4_ATTRIBUTES.items():
+            for method in GENERATORS:
+                c = figure4_areas[(dataset, method)]
+                rows.append((dataset, attribute, method,
+                             f"{c.ks_statistic:.3f}", f"{c.area_distance:.3f}"))
+        return rows
+
+    rows = run_once(benchmark, build_rows)
+    with capsys.disabled():
+        print(banner("Figure 4: CDF similarity (KS statistic / area between CDFs)"))
+        print(format_table(
+            ["dataset", "attribute", "method", "KS", "area"], rows
+        ))
+        print("\nFull series, LACity base salary, table-GAN low privacy:")
+        print(format_cdf_series(figure4_areas[("lacity", "tablegan_low")]))
+
+
+@pytest.mark.benchmark(group="figure4")
+def test_figure4_tablegan_low_tracks_original(benchmark, figure4_areas):
+    """Paper §5.2.1: low-privacy table-GAN reproduces the CDFs well."""
+    run_once(benchmark, lambda: None)
+    for dataset in FIGURE4_ATTRIBUTES:
+        assert figure4_areas[(dataset, "tablegan_low")].area_distance < 0.35
+
+
+@pytest.mark.benchmark(group="figure4")
+def test_figure4_tablegan_beats_dcgan(benchmark, figure4_areas):
+    """Paper §5.2.1: table-GAN's loss design beats plain DCGAN's.
+
+    KNOWN DEVIATION (recorded in EXPERIMENTS.md): the paper also reports
+    condensation as the worst method, but our Gaussian-latent dataset
+    simulators are a perfect match for condensation's per-group Gaussian
+    model, so its *marginal* CDFs look excellent here — the deviation is an
+    artifact of the offline dataset substitution, not of the table-GAN
+    implementation.  The DCGAN ordering, which isolates the contribution of
+    the information/classification losses, is asserted instead.
+    """
+    run_once(benchmark, lambda: None)
+    wins = sum(
+        figure4_areas[(d, "tablegan_low")].area_distance
+        <= figure4_areas[(d, "dcgan")].area_distance + 0.05
+        for d in FIGURE4_ATTRIBUTES
+    )
+    assert wins >= 2
+
+
+@pytest.mark.benchmark(group="figure4")
+def test_figure4_cdf_speed(benchmark, bundles, released_tables):
+    """Time one CDF comparison (the Figure 4 kernel)."""
+    train = bundles["lacity"].train
+    released = released_tables[("lacity", "tablegan_low")]
+    comparison = benchmark(compare_cdf, train, released, "base_salary")
+    assert comparison.grid.size == 100

@@ -1,0 +1,114 @@
+"""Figure 5 — classification model compatibility.
+
+The paper plots, for 4 classifiers × 10 parameter setups, the F-1 score of
+the model trained on the original table (x) against the model trained on
+the released table (y); points on the diagonal mean perfect model
+compatibility.  ARX and sdcMicro sit closest to the diagonal (they barely
+change sensitive attributes); table-GAN low-privacy is the best synthetic
+method and the only method with meaningful compatibility on Health.
+
+Shape to reproduce: mean |x - y| ordering
+    {arx, sdcmicro} <= tablegan_low <= tablegan_high-ish
+and every method's points stay in [0, 1].
+"""
+
+import pytest
+
+from repro.evaluation import classification_compatibility
+from repro.evaluation.compatibility import classifier_suite
+from repro.evaluation.reporting import banner, format_scatter_summary, format_table
+
+from benchmarks.conftest import run_once
+
+METHODS = ("tablegan_low", "tablegan_high", "arx", "sdcmicro")
+DATASETS = ("lacity", "adult", "health")
+
+
+def reduced_suite():
+    """4 algorithms × 3 parameter setups (speed-scaled from the paper's 4×10)."""
+    full = classifier_suite()
+    picks = [0, 4, 8, 10, 14, 18, 20, 24, 28, 30, 34, 38]
+    return [full[i] for i in picks]
+
+
+@pytest.fixture(scope="module")
+def figure5_reports(bundles, released_tables):
+    suite = reduced_suite()
+    reports = {}
+    for dataset in DATASETS:
+        bundle = bundles[dataset]
+        for method in METHODS:
+            reports[(dataset, method)] = classification_compatibility(
+                bundle.train, released_tables[(dataset, method)],
+                bundle.test, suite=suite,
+            )
+    return reports
+
+
+@pytest.mark.benchmark(group="figure5")
+def test_figure5_report(benchmark, figure5_reports, capsys):
+    """Print per-dataset, per-method diagonal-gap summaries."""
+
+    def build_rows():
+        rows = []
+        for dataset in DATASETS:
+            for method in METHODS:
+                report = figure5_reports[(dataset, method)]
+                rows.append((dataset, method,
+                             f"{report.mean_gap:.3f}", f"{report.max_gap:.3f}"))
+        return rows
+
+    rows = run_once(benchmark, build_rows)
+    with capsys.disabled():
+        print(banner(
+            "Figure 5: classification compatibility — mean/max |F1(orig) - F1(released)|"
+        ))
+        print(format_table(["dataset", "method", "mean |gap|", "max |gap|"], rows))
+        print()
+        print(format_scatter_summary(
+            figure5_reports[("lacity", "tablegan_low")],
+            "LACity / table-GAN low privacy, per algorithm",
+        ))
+
+
+@pytest.mark.benchmark(group="figure5")
+def test_figure5_scores_valid(benchmark, figure5_reports):
+    run_once(benchmark, lambda: None)
+    for report in figure5_reports.values():
+        for point in report.points:
+            assert 0.0 <= point.score_original <= 1.0
+            assert 0.0 <= point.score_released <= 1.0
+
+
+@pytest.mark.benchmark(group="figure5")
+def test_figure5_tablegan_low_is_usable(benchmark, figure5_reports):
+    """table-GAN low privacy keeps meaningful compatibility everywhere."""
+    run_once(benchmark, lambda: None)
+    for dataset in DATASETS:
+        report = figure5_reports[(dataset, "tablegan_low")]
+        assert report.mean_gap < 0.5
+
+
+@pytest.mark.benchmark(group="figure5")
+def test_figure5_anonymization_close_to_diagonal(benchmark, figure5_reports):
+    """ARX/sdcMicro barely modify data: near-diagonal compatibility."""
+    run_once(benchmark, lambda: None)
+    for dataset in DATASETS:
+        for method in ("arx", "sdcmicro"):
+            assert figure5_reports[(dataset, method)].mean_gap < 0.3
+
+
+@pytest.mark.benchmark(group="figure5")
+def test_figure5_single_point_speed(benchmark, bundles, released_tables):
+    """Time one (algorithm, params) compatibility point."""
+    bundle = bundles["adult"]
+    suite = [classifier_suite()[0]]
+
+    def one_point():
+        return classification_compatibility(
+            bundle.train, released_tables[("adult", "tablegan_low")],
+            bundle.test, suite=suite,
+        )
+
+    report = benchmark(one_point)
+    assert len(report.points) == 1

@@ -1,0 +1,94 @@
+"""Full baseline comparison on one dataset (the paper's §5 in miniature).
+
+Produces every method the paper evaluates — table-GAN (low/high privacy),
+DCGAN, condensation, ARX-style anonymization, sdcMicro-style perturbation
+— and scores all of them on the three axes of the evaluation:
+
+* statistical similarity (mean CDF area distance, Figures 4/7/8),
+* model compatibility (classification F-1 gap, Figure 5),
+* privacy (DCR over sensitive attributes, Table 5).
+
+Run:  python examples/baseline_comparison.py
+"""
+
+import numpy as np
+
+from repro import TableGAN, high_privacy, low_privacy
+from repro.baselines import (
+    ArxAnonymizer,
+    CondensationSynthesizer,
+    DCGANSynthesizer,
+    SdcMicroPerturber,
+)
+from repro.data.datasets import load_dataset
+from repro.evaluation import classification_compatibility, mean_area_distance
+from repro.evaluation.compatibility import classifier_suite
+from repro.evaluation.reporting import format_table
+from repro.privacy import dcr_sensitive_only
+
+SEED = 17
+
+
+def build_released_tables(train):
+    """Run every method once; return name -> released table."""
+    rng = np.random.default_rng(SEED)
+    gan_params = dict(epochs=12, batch_size=32, base_channels=16, seed=SEED)
+
+    gan_low = TableGAN(low_privacy(**gan_params))
+    gan_low.fit(train)
+    gan_high = TableGAN(high_privacy(**gan_params))
+    gan_high.fit(train)
+    dcgan = DCGANSynthesizer(**gan_params)
+    dcgan.fit(train)
+    condensation = CondensationSynthesizer(group_size=50, seed=SEED).fit(train)
+
+    return {
+        "table-GAN low": gan_low.sample(train.n_rows, rng=rng),
+        "table-GAN high": gan_high.sample(train.n_rows, rng=rng),
+        "DCGAN": dcgan.sample(train.n_rows, rng=rng),
+        "condensation": condensation.sample(train.n_rows, rng=rng),
+        "ARX (5-anon, 0.5-close)": ArxAnonymizer(
+            method="k_t", k=5, t=0.5, seed=SEED).anonymize(train),
+        "sdcMicro (pd=0.5, a=0.5)": SdcMicroPerturber(
+            pd=0.5, alpha=0.5, seed=SEED).perturb(train),
+    }
+
+
+def main() -> None:
+    bundle = load_dataset("lacity", rows=1000, seed=SEED)
+    train, test = bundle.train, bundle.test
+    print(f"dataset: LACity stand-in, {train.n_rows} train / {test.n_rows} test rows")
+    print("building all released tables (six methods) ...\n")
+    released = build_released_tables(train)
+
+    # A small 4-algorithm compatibility suite for speed.
+    suite = [classifier_suite()[i] for i in (2, 12, 22, 32)]
+
+    rows = []
+    for name, table in released.items():
+        similarity = mean_area_distance(train, table)
+        compat = classification_compatibility(train, table, test, suite=suite)
+        privacy = dcr_sensitive_only(train, table)
+        rows.append((
+            name,
+            f"{similarity:.3f}",
+            f"{compat.mean_gap:.3f}",
+            privacy.formatted(),
+        ))
+        print(f"scored {name}")
+
+    print()
+    print(format_table(
+        ["method", "CDF distance (fidelity, low=good)",
+         "F-1 gap (compatibility, low=good)",
+         "sensitive DCR (privacy, high=good)"],
+        rows,
+        title="The paper's three-axis comparison (LACity)",
+    ))
+    print("\nThe paper's conclusion to reproduce: only table-GAN balances all "
+          "three columns — anonymization has DCR 0 (left column of Table 5), "
+          "condensation/DCGAN lose fidelity or compatibility.")
+
+
+if __name__ == "__main__":
+    main()

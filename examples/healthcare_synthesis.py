@@ -1,0 +1,80 @@
+"""Healthcare scenario: semantic integrity via the classifier network.
+
+The paper motivates the classifier network C with medical semantics:
+a record like (cholesterol=50, diabetes=1) is implausible, and a released
+table full of such records is obviously fabricated (§4.1.3).  This example
+trains table-GAN on the NHANES-style Health dataset twice — with and
+without the classifier — and measures how well each synthetic table
+preserves the glucose/HbA1c/diabetes relationship.
+
+Run:  python examples/healthcare_synthesis.py
+"""
+
+import numpy as np
+
+from repro import TableGAN, TableGanConfig
+from repro.data.datasets import load_dataset
+from repro.ml import DecisionTreeClassifier, f1_score
+
+SEED = 11
+
+
+def diabetes_consistency(table) -> dict[str, float]:
+    """How strongly the diabetes label tracks its clinical drivers."""
+    diabetes = table.column("diabetes")
+    if diabetes.min() == diabetes.max():
+        return {"glucose_gap": 0.0, "hba1c_gap": 0.0, "rate": float(diabetes.mean())}
+    sick = diabetes == 1
+    return {
+        "glucose_gap": float(table.column("glucose")[sick].mean()
+                             - table.column("glucose")[~sick].mean()),
+        "hba1c_gap": float(table.column("hba1c")[sick].mean()
+                           - table.column("hba1c")[~sick].mean()),
+        "rate": float(diabetes.mean()),
+    }
+
+
+def downstream_f1(train_table, test_table) -> float:
+    """Model compatibility: train a tree on `train_table`, test on real data."""
+    X_train, y_train = train_table.features_and_label()
+    X_test, y_test = test_table.features_and_label()
+    model = DecisionTreeClassifier(max_depth=6, seed=SEED).fit(X_train, y_train)
+    return f1_score(y_test, model.predict(X_test))
+
+
+def main() -> None:
+    bundle = load_dataset("health", rows=1200, seed=SEED)
+    real_stats = diabetes_consistency(bundle.train)
+    print("real table   :", {k: round(v, 2) for k, v in real_stats.items()})
+    print(f"real-data F1 : {downstream_f1(bundle.train, bundle.test):.3f}\n")
+
+    # Health's diabetes label is a 13% minority; the generator needs a few
+    # hundred more steps than the balanced-label datasets before the label
+    # mode appears at all.
+    base = dict(epochs=40, batch_size=32, base_channels=16, seed=SEED)
+    variants = {
+        "with classifier (table-GAN)": TableGanConfig(**base, use_classifier=True),
+        "without classifier (ablation)": TableGanConfig(**base, use_classifier=False),
+    }
+    for name, config in variants.items():
+        gan = TableGAN(config)
+        gan.fit(bundle.train)
+        synthetic = gan.sample(bundle.train.n_rows, rng=np.random.default_rng(SEED))
+        stats = diabetes_consistency(synthetic)
+        f1 = downstream_f1(synthetic, bundle.test)
+        rounded = {k: round(v, 2) for k, v in stats.items()}
+        print(f"{name}:")
+        print(f"  semantic stats : {rounded}")
+        print(f"  downstream F1  : {f1:.3f}")
+        print(f"  training time  : {gan.train_seconds_:.1f}s\n")
+
+    print("Reading the table: a positive glucose/HbA1c gap means synthetic "
+          "diabetic records are clinically plausible (the paper's semantic-"
+          "integrity property). At this small scale the discriminator alone "
+          "often captures much of the label semantics, so the classifier's "
+          "added value fluctuates run to run; the paper observed incorrect "
+          "generations without C on its full-size real datasets (§4.1.3).")
+
+
+if __name__ == "__main__":
+    main()

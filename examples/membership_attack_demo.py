@@ -1,0 +1,55 @@
+"""Attack scenario: the §4.5 shadow-model membership attack, end to end.
+
+Plays both sides: train a target table-GAN, then attack it with shadow
+models built only from the target's released generator (black-box access),
+exactly as Figure 3 of the paper describes.  Reports per-class attack F-1
+and ROC AUC at the low- and high-privacy settings.
+
+Run:  python examples/membership_attack_demo.py
+"""
+
+from repro import TableGAN, high_privacy, low_privacy
+from repro.data.datasets import load_dataset
+from repro.evaluation.reporting import format_table
+from repro.privacy import MembershipAttack
+
+SEED = 23
+
+
+def main() -> None:
+    bundle = load_dataset("adult", rows=800, seed=SEED)
+    print(f"target training table: {bundle.train}; held-out pool: {bundle.test}\n")
+
+    rows = []
+    for name, config in (
+        ("low privacy (delta=0)", low_privacy(
+            epochs=10, batch_size=32, base_channels=16, seed=SEED)),
+        ("high privacy (delta=0.2)", high_privacy(
+            epochs=10, batch_size=32, base_channels=16, seed=SEED)),
+    ):
+        print(f"training target table-GAN [{name}] ...")
+        target = TableGAN(config)
+        target.fit(bundle.train)
+
+        print("running shadow-model attack (1 shadow GAN) ...")
+        attack = MembershipAttack(n_shadows=1, shadow_config=config, seed=SEED)
+        result = attack.run(target, bundle.train, bundle.test)
+
+        rows.append((name, f"{result.f1:.3f}", f"{result.auc:.3f}",
+                     str(result.n_eval)))
+        per_class = ", ".join(
+            f"class {int(c)}: F1={f:.2f}" for c, f in result.per_class_f1.items()
+        )
+        print(f"  -> attack F1={result.f1:.3f}  AUC={result.auc:.3f}  ({per_class})\n")
+
+    print(format_table(
+        ["target setting", "attack F-1", "attack AUCROC", "eval records"],
+        rows,
+        title="Membership attack results (paper Table 6 protocol)",
+    ))
+    print("\nAUC near 0.5 = the attacker cannot tell members from non-members; "
+          "the paper reports the high-privacy setting reducing attack success.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Payroll scenario: sweeping the privacy knob on LACity.
+
+table-GAN's hinge thresholds delta_mean / delta_sd trade fidelity for
+privacy (§4.2.2): delta = 0 trains for maximum statistical similarity;
+larger delta deliberately stops refinement early.  This example sweeps
+delta over the paper's three settings plus one extreme, reporting the
+fidelity/privacy frontier the paper's Tables 5–6 describe.
+
+Run:  python examples/payroll_privacy_sweep.py
+"""
+
+import numpy as np
+
+from repro import TableGAN, TableGanConfig
+from repro.data.datasets import load_dataset
+from repro.evaluation import mean_area_distance
+from repro.evaluation.reporting import format_table
+from repro.privacy import dcr
+
+SEED = 5
+# The paper's settings are 0 / 0.1 / 0.2 on feature statistics whose
+# discrepancy converges near those magnitudes at paper scale.  At this
+# example's small scale the discriminator-feature discrepancy plateaus
+# near L_mean ~ 3, so the hinge only starts gating above that — the wider
+# grid makes the trade-off regime visible.
+DELTAS = (0.0, 1.0, 4.0, 8.0)
+
+
+def main() -> None:
+    bundle = load_dataset("lacity", rows=1000, seed=SEED)
+    train = bundle.train
+
+    rows = []
+    for delta in DELTAS:
+        config = TableGanConfig(
+            delta_mean=delta, delta_sd=delta,
+            epochs=15, batch_size=32, base_channels=16, seed=SEED,
+        )
+        gan = TableGAN(config)
+        gan.fit(train)
+        synthetic = gan.sample(train.n_rows, rng=np.random.default_rng(SEED))
+
+        fidelity = mean_area_distance(train, synthetic)  # lower = more faithful
+        privacy = dcr(train, synthetic)                   # higher = more private
+        rows.append((
+            f"{delta:.1f}",
+            f"{fidelity:.3f}",
+            privacy.formatted(),
+            f"{gan.history_.final_l_mean:.2f}",
+            f"{gan.history_.final_l_sd:.2f}",
+        ))
+        print(f"delta={delta:.1f}: fidelity distance {fidelity:.3f}, "
+              f"DCR {privacy.formatted()}")
+
+    print()
+    print(format_table(
+        ["delta (=delta_mean=delta_sd)", "CDF area distance (fidelity)",
+         "DCR avg ± std (privacy)", "final L_mean", "final L_sd"],
+        rows,
+        title="LACity privacy sweep: the paper's fidelity/privacy frontier",
+    ))
+    print("\nReading the table: as delta grows the hinge gates the information "
+          "loss earlier, so fidelity (CDF distance) degrades and privacy (DCR) "
+          "grows or holds — the knob behind the paper's Tables 5 and 6. At "
+          "small scale adjacent settings can swap within noise; the trend "
+          "shows between the extremes.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Quickstart: synthesize a table with table-GAN in ~30 lines.
+
+Trains a low-privacy table-GAN on the (synthetic stand-in for the) UCI
+Adult census table, samples a fake table of the same size, and verifies
+the two paper headline properties: statistical similarity and nonzero
+distance to every real record.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import TableGAN, low_privacy
+from repro.data.datasets import load_dataset
+from repro.evaluation import compare_cdf
+from repro.privacy import dcr
+
+SEED = 7
+
+
+def main() -> None:
+    # 1. Load the dataset (80/20 train/test split, as in the paper).
+    bundle = load_dataset("adult", rows=1000, seed=SEED)
+    train = bundle.train
+    print(f"original table: {train}")
+
+    # 2. Train table-GAN (low privacy = maximum fidelity: delta = 0).
+    config = low_privacy(epochs=15, batch_size=32, base_channels=16, seed=SEED)
+    gan = TableGAN(config)
+    gan.fit(train, on_epoch_end=lambda i, losses: print(
+        f"  epoch {i + 1:2d}: D={losses.d_loss:.3f}  G_adv={losses.g_adv_loss:.3f}  "
+        f"G_info={losses.g_info_loss:.3f}  G_class={losses.g_class_loss:.3f}"
+    ))
+    print(f"trained in {gan.train_seconds_:.1f}s")
+
+    # 3. Sample a synthetic table with the same number of records.
+    synthetic = gan.sample(train.n_rows)
+    print(f"synthetic table: {synthetic}")
+
+    # 4. Statistical similarity: compare one attribute's CDF.
+    comparison = compare_cdf(train, synthetic, "hours_per_week")
+    print(f"hours_per_week CDF: KS={comparison.ks_statistic:.3f}  "
+          f"area={comparison.area_distance:.3f}  (0 = identical)")
+
+    # 5. Privacy: distance to the closest real record must be positive.
+    result = dcr(train, synthetic)
+    print(f"DCR (avg ± std): {result.formatted()}   min={result.min:.3f}")
+    assert result.min > 0.0, "a synthetic record leaked a real one verbatim!"
+    print("no synthetic record coincides with a real record — safe to share.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setuptools shim.
+
+The offline evaluation environment has no ``wheel`` package, so PEP-517
+editable installs fail; this shim lets ``pip install -e .`` fall back to the
+classic ``setup.py develop`` path.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,23 @@
+"""Baseline methods the paper compares table-GAN against (§5.1.3).
+
+* :class:`DCGANSynthesizer` — plain DCGAN (no auxiliary losses);
+* :class:`CondensationSynthesizer` — group-statistics synthesis [8];
+* :mod:`repro.baselines.anonymization` — ARX substitute (k-anonymity,
+  l-diversity, t-closeness, δ-disclosure, (ε,d)-DP);
+* :mod:`repro.baselines.perturbation` — sdcMicro substitute
+  (micro-aggregation + PRAM + additive noise).
+"""
+
+from repro.baselines.anonymization import ArxAnonymizer, arx_parameter_sweep
+from repro.baselines.condensation import CondensationSynthesizer
+from repro.baselines.dcgan import DCGANSynthesizer
+from repro.baselines.perturbation import SdcMicroPerturber, sdcmicro_parameter_sweep
+
+__all__ = [
+    "DCGANSynthesizer",
+    "CondensationSynthesizer",
+    "ArxAnonymizer",
+    "arx_parameter_sweep",
+    "SdcMicroPerturber",
+    "sdcmicro_parameter_sweep",
+]

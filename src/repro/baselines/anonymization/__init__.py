@@ -1,0 +1,69 @@
+"""ARX substitute: partition-based anonymization models."""
+
+from repro.baselines.anonymization.arx import (
+    PAPER_BEST_LACITY,
+    PAPER_DISCLOSURE_GRID,
+    PAPER_DP_DELTA_GRID,
+    PAPER_EPSILON_GRID,
+    PAPER_K_GRID,
+    PAPER_T_GRID,
+    ArxAnonymizer,
+    arx_parameter_sweep,
+)
+from repro.baselines.anonymization.closeness import (
+    emd_categorical,
+    emd_ordered,
+    enforce_t_closeness,
+    is_t_close,
+    partition_emd,
+)
+from repro.baselines.anonymization.disclosure import (
+    disclosure_gap,
+    enforce_delta_disclosure,
+    is_delta_disclosure_private,
+)
+from repro.baselines.anonymization.diversity import (
+    distinct_sensitive_values,
+    enforce_l_diversity,
+    is_l_diverse,
+)
+from repro.baselines.anonymization.dp import (
+    DifferentiallyPrivateRelease,
+    dp_parameters,
+)
+from repro.baselines.anonymization.mondrian import (
+    Partition,
+    generalize,
+    merge_partitions,
+    mondrian_partitions,
+    partition_of_each_row,
+)
+
+__all__ = [
+    "ArxAnonymizer",
+    "arx_parameter_sweep",
+    "PAPER_K_GRID",
+    "PAPER_T_GRID",
+    "PAPER_EPSILON_GRID",
+    "PAPER_DP_DELTA_GRID",
+    "PAPER_DISCLOSURE_GRID",
+    "PAPER_BEST_LACITY",
+    "Partition",
+    "mondrian_partitions",
+    "generalize",
+    "merge_partitions",
+    "partition_of_each_row",
+    "is_l_diverse",
+    "enforce_l_diversity",
+    "distinct_sensitive_values",
+    "is_t_close",
+    "enforce_t_closeness",
+    "partition_emd",
+    "emd_ordered",
+    "emd_categorical",
+    "is_delta_disclosure_private",
+    "enforce_delta_disclosure",
+    "disclosure_gap",
+    "DifferentiallyPrivateRelease",
+    "dp_parameters",
+]

@@ -1,0 +1,70 @@
+"""l-diversity (Machanavajjhala et al., 2007) on top of Mondrian partitions.
+
+An equivalence class is l-diverse when its sensitive attribute takes at
+least l distinct values, blocking the homogeneity attack (paper §2.1).
+``enforce_l_diversity`` greedily merges deficient partitions into their
+nearest neighbour until every class satisfies the requirement.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.anonymization.mondrian import Partition, merge_partitions
+from repro.data.table import Table
+
+
+def distinct_sensitive_values(table: Table, partition: Partition, sensitive: str) -> int:
+    """Number of distinct values the sensitive attribute takes in a class."""
+    column = table.column(sensitive)
+    return int(np.unique(column[partition.rows]).size)
+
+
+def is_l_diverse(table: Table, partitions: list[Partition], sensitive: str, l: int) -> bool:
+    """Whether every equivalence class is l-diverse for ``sensitive``."""
+    if l < 1:
+        raise ValueError(f"l must be at least 1, got {l}")
+    return all(
+        distinct_sensitive_values(table, p, sensitive) >= l for p in partitions
+    )
+
+
+def _partition_centroid(table: Table, partition: Partition) -> np.ndarray:
+    qid_idx = [table.schema.index(name) for name in table.schema.qids]
+    return table.values[np.ix_(partition.rows, qid_idx)].mean(axis=0)
+
+
+def enforce_l_diversity(table: Table, partitions: list[Partition],
+                        sensitive: str, l: int) -> list[Partition]:
+    """Merge deficient classes with their nearest neighbour until l-diverse.
+
+    Raises ``ValueError`` when the whole table cannot satisfy the
+    requirement (fewer than l distinct sensitive values overall).
+    """
+    if l < 1:
+        raise ValueError(f"l must be at least 1, got {l}")
+    total = int(np.unique(table.column(sensitive)).size)
+    if total < l:
+        raise ValueError(
+            f"table has only {total} distinct values of {sensitive!r}; "
+            f"{l}-diversity is unsatisfiable"
+        )
+    working = list(partitions)
+    while True:
+        deficient = [
+            i for i, p in enumerate(working)
+            if distinct_sensitive_values(table, p, sensitive) < l
+        ]
+        if not deficient:
+            return working
+        if len(working) == 1:
+            return working  # single class; satisfiable by the guard above
+        idx = deficient[0]
+        centroids = np.array([_partition_centroid(table, p) for p in working])
+        distances = np.linalg.norm(centroids - centroids[idx], axis=1)
+        distances[idx] = np.inf
+        partner = int(np.argmin(distances))
+        merged = merge_partitions(working[idx], working[partner])
+        working = [
+            p for i, p in enumerate(working) if i not in (idx, partner)
+        ] + [merged]

@@ -1,0 +1,74 @@
+"""(ε, d)-differentially private data release (SafePub-style).
+
+ARX implements the Bild et al. "SafePub" mechanism: release a random
+sample of the table, generalized to k-anonymity, where the sampling rate β
+and the class-size floor k are derived from (ε, δ).  Combined with random
+sampling, generalization yields (ε, δ)-DP without perturbing sensitive
+values — which is why the paper pairs it with δ-disclosure to build
+equivalence classes (§5.1.3).
+
+This module reproduces that construction: Bernoulli row sampling with
+rate β = 1 - exp(-ε), then Mondrian generalization with
+k = ceil(ln(1/δ_dp) / ε) (the SafePub class-size bound up to constants),
+then uniform re-expansion to the original row count so downstream
+evaluations compare like-for-like table sizes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.anonymization.mondrian import generalize, mondrian_partitions
+from repro.data.table import Table
+from repro.utils.rng import ensure_rng
+
+
+def dp_parameters(epsilon: float, dp_delta: float) -> tuple[float, int]:
+    """Derive (sampling rate β, class-size floor k) from (ε, δ_dp)."""
+    if epsilon <= 0:
+        raise ValueError(f"epsilon must be positive, got {epsilon}")
+    if not 0.0 < dp_delta < 1.0:
+        raise ValueError(f"dp_delta must be in (0, 1), got {dp_delta}")
+    beta = 1.0 - np.exp(-epsilon)
+    k = max(2, int(np.ceil(np.log(1.0 / dp_delta) / epsilon)))
+    return float(beta), k
+
+
+class DifferentiallyPrivateRelease:
+    """(ε, δ_dp)-DP table release via sampling + generalization.
+
+    Parameters
+    ----------
+    epsilon:
+        Privacy budget (paper grid: 0.01 … 5).
+    dp_delta:
+        DP slack δ (paper grid: 1e-6 … 0.1).  Named ``dp_delta`` to avoid
+        collision with δ-disclosure's parameter.
+    seed:
+        Seed for row sampling and re-expansion.
+    """
+
+    def __init__(self, epsilon: float = 1.0, dp_delta: float = 1e-3, seed=None):
+        self.epsilon = epsilon
+        self.dp_delta = dp_delta
+        self.seed = seed
+        self.beta_, self.k_ = dp_parameters(epsilon, dp_delta)
+
+    def anonymize(self, table: Table) -> Table:
+        """Release a DP-generalized table with the original row count."""
+        rng = ensure_rng(self.seed)
+        keep = np.flatnonzero(rng.random(table.n_rows) < self.beta_)
+        # Guarantee enough rows for at least one k-sized class.
+        if keep.size < self.k_:
+            extra = rng.choice(
+                np.setdiff1d(np.arange(table.n_rows), keep),
+                size=self.k_ - keep.size,
+                replace=False,
+            )
+            keep = np.concatenate([keep, extra])
+        sampled = table.take(keep)
+        partitions = mondrian_partitions(sampled, self.k_)
+        generalized = generalize(sampled, partitions)
+        # Re-expand to the source size by resampling released rows.
+        rows = rng.integers(0, generalized.n_rows, size=table.n_rows)
+        return generalized.take(rows)

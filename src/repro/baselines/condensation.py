@@ -1,0 +1,116 @@
+"""The condensation method (Aggarwal & Yu, EDBT 2004) — baseline [8].
+
+Condensation groups records into clusters of a fixed size k, keeps only
+per-group first- and second-order statistics (mean vector and covariance),
+and synthesizes new records from those statistics under a multivariate
+Gaussian assumption.  The paper runs it with group sizes 100 and 50 and
+finds its synthesis quality the weakest of all methods — the statistical
+assumptions ignore semantic integrity, which is exactly the failure mode
+table-GAN's classifier network addresses.
+
+Grouping here follows the original paper's spirit: records are clustered
+greedily around random seeds by nearest-neighbour distance in the
+normalized attribute space, each cluster absorbing exactly ``group_size``
+records.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.schema import ColumnKind
+from repro.data.table import Table
+from repro.ml.preprocessing import MinMaxScaler
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_fitted
+
+
+class CondensationSynthesizer:
+    """Group-statistics synthesizer.
+
+    Parameters
+    ----------
+    group_size:
+        Records per condensation group (the paper tests 100 and 50).
+    seed:
+        Seed for group seeding and sampling.
+    """
+
+    def __init__(self, group_size: int = 50, seed=None):
+        if group_size < 2:
+            raise ValueError(f"group_size must be at least 2, got {group_size}")
+        self.group_size = group_size
+        self.seed = seed
+        self.groups_: list[dict] | None = None
+        self.schema_ = None
+        self.scaler_: MinMaxScaler | None = None
+
+    def fit(self, table: Table) -> "CondensationSynthesizer":
+        """Partition ``table`` into size-k groups and record their statistics."""
+        if table.n_rows < self.group_size:
+            raise ValueError(
+                f"table has {table.n_rows} rows, fewer than group_size "
+                f"{self.group_size}"
+            )
+        rng = ensure_rng(self.seed)
+        self.schema_ = table.schema
+        self.scaler_ = MinMaxScaler().fit(table.values)
+        normalized = self.scaler_.transform(table.values)
+
+        remaining = np.arange(table.n_rows)
+        self.groups_ = []
+        while remaining.size >= self.group_size:
+            seed_pos = int(rng.integers(0, remaining.size))
+            seed_row = normalized[remaining[seed_pos]]
+            distances = np.linalg.norm(normalized[remaining] - seed_row, axis=1)
+            nearest = np.argsort(distances)[: self.group_size]
+            members = remaining[nearest]
+            self._record_group(table.values[members])
+            remaining = np.delete(remaining, nearest)
+        if remaining.size > 0:
+            # Leftover rows join as a final (smaller) group.
+            self._record_group(table.values[remaining])
+        return self
+
+    def _record_group(self, rows: np.ndarray) -> None:
+        mean = rows.mean(axis=0)
+        centered = rows - mean
+        cov = centered.T @ centered / max(rows.shape[0] - 1, 1)
+        self.groups_.append({"mean": mean, "cov": cov, "count": rows.shape[0]})
+
+    def sample(self, n: int, rng=None) -> Table:
+        """Draw ``n`` synthetic rows from the per-group Gaussian models."""
+        check_fitted(self, "groups_")
+        if n <= 0:
+            raise ValueError(f"n must be positive, got {n}")
+        rng = ensure_rng(rng if rng is not None else self.seed)
+        counts = np.array([g["count"] for g in self.groups_], dtype=np.float64)
+        probs = counts / counts.sum()
+        choices = rng.choice(len(self.groups_), size=n, p=probs)
+
+        out = np.empty((n, self.schema_.n_columns))
+        for group_idx in np.unique(choices):
+            rows = np.flatnonzero(choices == group_idx)
+            group = self.groups_[group_idx]
+            out[rows] = self._sample_group(group, rows.size, rng)
+        return self._conform(out)
+
+    def _sample_group(self, group: dict, count: int, rng) -> np.ndarray:
+        """Multivariate normal sampling via eigen-decomposition (PSD-safe)."""
+        eigvals, eigvecs = np.linalg.eigh(group["cov"])
+        eigvals = np.clip(eigvals, 0.0, None)
+        transform = eigvecs * np.sqrt(eigvals)[None, :]
+        noise = rng.standard_normal((count, eigvals.size))
+        return group["mean"][None, :] + noise @ transform.T
+
+    def _conform(self, values: np.ndarray) -> Table:
+        """Clip to the training range and restore discrete/categorical types."""
+        lo = self.scaler_.min_
+        hi = self.scaler_.min_ + self.scaler_.span_
+        values = np.clip(values, lo[None, :], hi[None, :])
+        for j, spec in enumerate(self.schema_.columns):
+            if spec.kind in (ColumnKind.DISCRETE, ColumnKind.CATEGORICAL):
+                values[:, j] = np.rint(values[:, j])
+            if spec.kind is ColumnKind.CATEGORICAL:
+                values[:, j] = np.clip(values[:, j], 0, spec.n_categories - 1)
+        return Table(values, self.schema_)

@@ -1,0 +1,32 @@
+"""DCGAN baseline: table-GAN with both auxiliary losses disabled.
+
+The paper compares against plain DCGAN (§5.1.3) — the same convolutional
+architecture trained with only the original adversarial loss, no
+information loss and no classifier.  In this codebase that is exactly a
+:class:`~repro.core.tablegan.TableGAN` run with the
+:func:`~repro.core.config.dcgan_baseline` configuration, so the baseline
+is a thin, explicitly named wrapper (it is also the ablation study for
+both auxiliary losses).
+"""
+
+from __future__ import annotations
+
+from repro.core.config import TableGanConfig, dcgan_baseline
+from repro.core.tablegan import TableGAN
+
+
+class DCGANSynthesizer(TableGAN):
+    """Plain DCGAN table synthesizer (no information/classification loss).
+
+    Accepts the same keyword overrides as :class:`TableGanConfig`; the
+    ``use_info_loss`` / ``use_classifier`` switches are forced off.
+    """
+
+    def __init__(self, config: TableGanConfig | None = None, **overrides):
+        if config is None:
+            config = dcgan_baseline(**overrides)
+        else:
+            config = config.with_overrides(
+                use_info_loss=False, use_classifier=False, **overrides
+            )
+        super().__init__(config)

@@ -1,0 +1,26 @@
+"""sdcMicro substitute: micro-aggregation and PRAM perturbation."""
+
+from repro.baselines.perturbation.microaggregation import mdav_groups, microaggregate
+from repro.baselines.perturbation.pram import (
+    pram_column,
+    pram_table,
+    pram_transition_matrix,
+)
+from repro.baselines.perturbation.sdcmicro import (
+    PAPER_ALPHA_GRID,
+    PAPER_PD_GRID,
+    SdcMicroPerturber,
+    sdcmicro_parameter_sweep,
+)
+
+__all__ = [
+    "mdav_groups",
+    "microaggregate",
+    "pram_transition_matrix",
+    "pram_column",
+    "pram_table",
+    "SdcMicroPerturber",
+    "sdcmicro_parameter_sweep",
+    "PAPER_PD_GRID",
+    "PAPER_ALPHA_GRID",
+]

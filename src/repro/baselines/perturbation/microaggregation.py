@@ -1,0 +1,69 @@
+"""MDAV micro-aggregation (Domingo-Ferrer & Mateo-Sanz, 2002).
+
+Micro-aggregation is sdcMicro's numeric perturbation: records are grouped
+into clusters of (at least) k similar records and each QID value is
+replaced by its cluster centroid.  MDAV ("maximum distance to average
+vector") is the canonical fixed-size heuristic:
+
+1. find the record r furthest from the global centroid; build a cluster
+   from r and its k-1 nearest neighbours;
+2. find the record s furthest from r; build a cluster around s likewise;
+3. repeat on the remainder until fewer than 2k records are left, which
+   form the final cluster(s).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.table import Table
+from repro.ml.preprocessing import StandardScaler
+
+
+def mdav_groups(values: np.ndarray, k: int) -> list[np.ndarray]:
+    """Partition row indices of ``values`` into MDAV clusters of size >= k."""
+    if k < 1:
+        raise ValueError(f"k must be at least 1, got {k}")
+    n = values.shape[0]
+    if n < k:
+        raise ValueError(f"{n} rows is fewer than k={k}")
+    scaler = StandardScaler().fit(values)
+    X = scaler.transform(values)
+
+    remaining = np.arange(n)
+    groups: list[np.ndarray] = []
+    while remaining.size >= 3 * k:
+        centroid = X[remaining].mean(axis=0)
+        r = remaining[np.argmax(np.linalg.norm(X[remaining] - centroid, axis=1))]
+        s = remaining[np.argmax(np.linalg.norm(X[remaining] - X[r], axis=1))]
+        for anchor in (r, s):
+            dist = np.linalg.norm(X[remaining] - X[anchor], axis=1)
+            members = remaining[np.argsort(dist)[:k]]
+            groups.append(members)
+            remaining = np.setdiff1d(remaining, members, assume_unique=True)
+    if remaining.size >= 2 * k:
+        centroid = X[remaining].mean(axis=0)
+        r = remaining[np.argmax(np.linalg.norm(X[remaining] - centroid, axis=1))]
+        dist = np.linalg.norm(X[remaining] - X[r], axis=1)
+        members = remaining[np.argsort(dist)[:k]]
+        groups.append(members)
+        remaining = np.setdiff1d(remaining, members, assume_unique=True)
+    if remaining.size > 0:
+        groups.append(remaining)
+    return groups
+
+
+def microaggregate(table: Table, columns, k: int) -> Table:
+    """Replace ``columns`` of ``table`` by MDAV cluster centroids.
+
+    Clustering distance uses only the named columns, so unrelated
+    attributes do not distort the grouping.
+    """
+    idx = [table.schema.index(name) for name in columns]
+    if not idx:
+        raise ValueError("no columns given to microaggregate")
+    values = table.values[:, idx]
+    out = table.values.copy()
+    for members in mdav_groups(values, k):
+        out[np.ix_(members, idx)] = values[members].mean(axis=0)
+    return Table(out, table.schema)

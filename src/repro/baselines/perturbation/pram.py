@@ -1,0 +1,72 @@
+"""Post-RAndomization Method (PRAM) for categorical attributes.
+
+PRAM perturbs a categorical column through a Markov transition matrix:
+each value is kept with probability ``pd`` and otherwise re-drawn from the
+empirical distribution of the other categories.  It is sdcMicro's
+mechanism for sensitive categorical attributes (paper §2.1 notes PRAM
+"mainly aims at modifying sensitive attributes").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.schema import ColumnKind
+from repro.data.table import Table
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_probability
+
+
+def pram_transition_matrix(frequencies: np.ndarray, pd: float) -> np.ndarray:
+    """Build the PRAM transition matrix for retention probability ``pd``.
+
+    Row i: stay at i with probability ``pd``; move to j != i with
+    probability proportional to j's empirical frequency.  Each row sums
+    to one.
+    """
+    check_probability(pd, "pd")
+    frequencies = np.asarray(frequencies, dtype=np.float64)
+    if frequencies.ndim != 1 or frequencies.size < 1:
+        raise ValueError("frequencies must be a non-empty vector")
+    n = frequencies.size
+    if n == 1:
+        return np.ones((1, 1))
+    matrix = np.empty((n, n))
+    for i in range(n):
+        others = frequencies.copy()
+        others[i] = 0.0
+        total = others.sum()
+        if total == 0:
+            row = np.full(n, (1.0 - pd) / (n - 1))
+        else:
+            row = (1.0 - pd) * others / total
+        row[i] = pd
+        matrix[i] = row
+    return matrix
+
+
+def pram_column(column: np.ndarray, pd: float, rng=None) -> np.ndarray:
+    """Apply PRAM to one integer-coded categorical column."""
+    rng = ensure_rng(rng)
+    codes = np.rint(np.asarray(column, dtype=np.float64)).astype(int)
+    support, counts = np.unique(codes, return_counts=True)
+    matrix = pram_transition_matrix(counts.astype(np.float64), pd)
+    index_of = {v: i for i, v in enumerate(support)}
+    out = np.empty_like(column, dtype=np.float64)
+    for pos, code in enumerate(codes):
+        row = matrix[index_of[code]]
+        out[pos] = support[rng.choice(support.size, p=row)]
+    return out
+
+
+def pram_table(table: Table, columns, pd: float, rng=None) -> Table:
+    """Apply PRAM to the named categorical/discrete columns of ``table``."""
+    rng = ensure_rng(rng)
+    out = table.values.copy()
+    for name in columns:
+        spec = table.schema.spec(name)
+        if spec.kind is ColumnKind.CONTINUOUS:
+            raise ValueError(f"PRAM applies to categorical columns; {name!r} is continuous")
+        j = table.schema.index(name)
+        out[:, j] = pram_column(out[:, j], pd, rng)
+    return Table(out, table.schema)

@@ -1,0 +1,57 @@
+"""table-GAN core: the paper's primary contribution."""
+
+from repro.core.chunking import ChunkedTableGAN
+from repro.core.config import (
+    TableGanConfig,
+    dcgan_baseline,
+    high_privacy,
+    low_privacy,
+    mid_privacy,
+)
+from repro.core.losses import (
+    FeatureStats,
+    classification_loss,
+    discriminator_loss,
+    generator_adversarial_loss,
+    information_loss,
+)
+from repro.core.networks import (
+    FEATURE_LAYER,
+    build_classifier,
+    build_classifier_1d,
+    build_discriminator,
+    build_discriminator_1d,
+    build_generator,
+    build_generator_1d,
+    feature_width,
+)
+from repro.core.sampler import RecordSampler
+from repro.core.tablegan import TableGAN
+from repro.core.trainer import EpochLosses, TableGanTrainer, TrainingHistory
+
+__all__ = [
+    "TableGAN",
+    "TableGanConfig",
+    "low_privacy",
+    "mid_privacy",
+    "high_privacy",
+    "dcgan_baseline",
+    "ChunkedTableGAN",
+    "TableGanTrainer",
+    "TrainingHistory",
+    "EpochLosses",
+    "RecordSampler",
+    "FeatureStats",
+    "discriminator_loss",
+    "generator_adversarial_loss",
+    "information_loss",
+    "classification_loss",
+    "build_generator",
+    "build_discriminator",
+    "build_classifier",
+    "build_generator_1d",
+    "build_discriminator_1d",
+    "build_classifier_1d",
+    "feature_width",
+    "FEATURE_LAYER",
+]

@@ -1,0 +1,122 @@
+"""table-GAN configuration and the paper's privacy presets.
+
+The two hinge thresholds δ_mean and δ_sd (Eq. 4) are the privacy knob:
+δ = 0 trains for maximum fidelity (low privacy), larger δ deliberately
+stops the information loss from refining synthesis once the feature-space
+discrepancy drops below the threshold (high privacy).  §5.1.5 defines the
+presets reproduced by :func:`low_privacy` / :func:`mid_privacy` /
+:func:`high_privacy`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class TableGanConfig:
+    """Hyper-parameters of table-GAN training.
+
+    Parameters
+    ----------
+    delta_mean, delta_sd:
+        Hinge thresholds of the information loss (the privacy knob).
+    epochs:
+        Training epochs (paper: 25).
+    batch_size:
+        Mini-batch size.
+    latent_dim:
+        Dimension of the uniform latent vector z (paper: 100).
+    base_channels:
+        Channel count of the first discriminator conv layer; deeper layers
+        double it, mirroring DCGAN.
+    lr, beta1:
+        Adam settings (DCGAN defaults: 2e-4, 0.5).
+    ewma_weight:
+        Weight w of the moving-average feature statistics (paper: 0.99).
+    use_info_loss, use_classifier:
+        Ablation switches; disabling both reduces table-GAN to the DCGAN
+        baseline of the paper's experiments.
+    saturating_generator_loss:
+        If True, minimize log(1 - D(G(z))) literally (Eq. 1); the default
+        False uses the standard non-saturating -log D(G(z)) form, which is
+        what DCGAN implementations (and the paper's TensorFlow code) train
+        with in practice.
+    generator_updates:
+        Generator steps per discriminator step.  DCGAN-family codebases
+        (including the original tableGAN release) run the generator twice
+        per iteration to stop the discriminator loss collapsing to zero.
+    side:
+        Optional override of the square-matrix side d (default: smallest
+        power of two fitting the attribute count).
+    layout:
+        ``"square"`` (default, the paper's d×d record matrices) or
+        ``"vector"`` — the §3.2 alternative that keeps records in their
+        original 1-D form and applies 1-D convolutions, which the paper
+        reports as sub-optimal; included for the reproducible ablation.
+    label_columns:
+        Optional tuple of column names for the §4.2.3 multi-label
+        extension: the classifier grows one sigmoid head per named column,
+        all sharing intermediate layers.  ``None`` (default) uses the
+        schema's single label column.
+    seed:
+        Seed for weight init, latent sampling, and shuffling.
+    """
+
+    delta_mean: float = 0.0
+    delta_sd: float = 0.0
+    epochs: int = 25
+    batch_size: int = 64
+    latent_dim: int = 100
+    base_channels: int = 32
+    lr: float = 2e-4
+    beta1: float = 0.5
+    ewma_weight: float = 0.99
+    use_info_loss: bool = True
+    use_classifier: bool = True
+    saturating_generator_loss: bool = False
+    generator_updates: int = 2
+    side: int | None = None
+    layout: str = "square"
+    label_columns: tuple = None
+    seed: int | None = None
+
+    def __post_init__(self):
+        if self.delta_mean < 0 or self.delta_sd < 0:
+            raise ValueError("hinge thresholds must be non-negative")
+        if self.epochs <= 0 or self.batch_size <= 0 or self.latent_dim <= 0:
+            raise ValueError("epochs, batch_size and latent_dim must be positive")
+        if self.generator_updates <= 0:
+            raise ValueError("generator_updates must be positive")
+        if self.layout not in ("square", "vector"):
+            raise ValueError(f"layout must be 'square' or 'vector', got {self.layout!r}")
+        if self.label_columns is not None:
+            object.__setattr__(self, "label_columns", tuple(self.label_columns))
+            if not self.label_columns:
+                raise ValueError("label_columns must be None or non-empty")
+        if not 0.0 <= self.ewma_weight < 1.0:
+            raise ValueError(f"ewma_weight must be in [0, 1), got {self.ewma_weight}")
+
+    def with_overrides(self, **kwargs) -> "TableGanConfig":
+        """A copy of this config with the given fields replaced."""
+        return replace(self, **kwargs)
+
+
+def low_privacy(**overrides) -> TableGanConfig:
+    """δ_mean = δ_sd = 0 — highest fidelity (paper's low-privacy setting)."""
+    return TableGanConfig(delta_mean=0.0, delta_sd=0.0, **overrides)
+
+
+def mid_privacy(**overrides) -> TableGanConfig:
+    """δ_mean = δ_sd = 0.1 — the mid-privacy setting of Table 6."""
+    return TableGanConfig(delta_mean=0.1, delta_sd=0.1, **overrides)
+
+
+def high_privacy(**overrides) -> TableGanConfig:
+    """δ_mean = δ_sd = 0.2 — the high-privacy setting (§5.1.5)."""
+    return TableGanConfig(delta_mean=0.2, delta_sd=0.2, **overrides)
+
+
+def dcgan_baseline(**overrides) -> TableGanConfig:
+    """Information loss and classifier disabled: the DCGAN baseline."""
+    return TableGanConfig(use_info_loss=False, use_classifier=False, **overrides)

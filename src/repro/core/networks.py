@@ -1,0 +1,176 @@
+"""The three table-GAN networks (paper §4.1, Figure 2).
+
+All three follow DCGAN's architecture rules: strided convolutions instead
+of pooling, batch normalization, ReLU in the generator, LeakyReLU in the
+discriminator/classifier, no fully connected hidden layers except the
+latent projection and the final logit.
+
+The spatial ladder adapts to the record-matrix side ``d``:
+``d -> d/2 -> ... -> 2`` in the discriminator (channels doubling), and the
+mirror image in the generator.  The discriminator's flattened activations
+before the final dense+sigmoid are registered as the ``"features"`` layer;
+that is the vector the information loss (Eq. 2–3) statistics are computed
+from.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import (
+    BatchNorm,
+    Conv2D,
+    ConvTranspose2D,
+    Dense,
+    Flatten,
+    LeakyReLU,
+    ReLU,
+    Reshape,
+    Sequential,
+    Tanh,
+)
+from repro.utils.rng import ensure_rng
+
+#: Name of the discriminator/classifier feature layer used by the info loss.
+FEATURE_LAYER = "features"
+
+
+def _n_stages(side: int) -> int:
+    """Number of stride-2 stages taking ``side`` down to 2 (or up from 2)."""
+    if side < 4 or side & (side - 1) != 0:
+        raise ValueError(f"side must be a power of two >= 4, got {side}")
+    stages = int(np.log2(side)) - 1
+    return stages
+
+
+def feature_width(side: int, base_channels: int) -> int:
+    """Width of the discriminator's flattened feature vector."""
+    stages = _n_stages(side)
+    top_channels = base_channels * 2 ** (stages - 1)
+    return top_channels * 2 * 2
+
+
+def build_generator(side: int, latent_dim: int, base_channels: int, rng=None) -> Sequential:
+    """DCGAN generator: latent z -> (1, side, side) record matrix in [-1, 1].
+
+    The latent vector is projected to a 2×2 feature map and repeatedly
+    doubled by transposed convolutions; the final layer outputs one channel
+    through tanh.
+    """
+    rng = ensure_rng(rng)
+    stages = _n_stages(side)
+    top_channels = base_channels * 2 ** (stages - 1)
+    layers = [
+        Dense(latent_dim, top_channels * 2 * 2, rng=rng),
+        Reshape((top_channels, 2, 2)),
+        BatchNorm(top_channels),
+        ReLU(),
+    ]
+    channels = top_channels
+    for stage in range(stages - 1):
+        next_channels = channels // 2
+        layers.append(ConvTranspose2D(channels, next_channels, rng=rng))
+        layers.append(BatchNorm(next_channels))
+        layers.append(ReLU())
+        channels = next_channels
+    layers.append(ConvTranspose2D(channels, 1, rng=rng))
+    layers.append(Tanh())
+    return Sequential(layers)
+
+
+def build_discriminator(side: int, base_channels: int, rng=None,
+                        n_outputs: int = 1) -> Sequential:
+    """DCGAN discriminator: record matrix -> real/synthetic logit.
+
+    The flattened pre-logit activations are registered under
+    :data:`FEATURE_LAYER`; the final dense layer produces a logit (the
+    sigmoid of Figure 2 is folded into the loss for numerical stability).
+    ``n_outputs > 1`` builds the multi-head variant used by the multi-label
+    classifier (§4.2.3): heads share every intermediate layer.
+    """
+    rng = ensure_rng(rng)
+    stages = _n_stages(side)
+    layers = [
+        Conv2D(1, base_channels, rng=rng),
+        LeakyReLU(0.2),
+    ]
+    channels = base_channels
+    for stage in range(stages - 1):
+        next_channels = channels * 2
+        layers.append(Conv2D(channels, next_channels, rng=rng))
+        layers.append(BatchNorm(next_channels))
+        layers.append(LeakyReLU(0.2))
+        channels = next_channels
+    layers.append((FEATURE_LAYER, Flatten()))
+    layers.append(Dense(channels * 2 * 2, n_outputs, rng=rng))
+    return Sequential(layers)
+
+
+def build_classifier(side: int, base_channels: int, rng=None,
+                     n_labels: int = 1) -> Sequential:
+    """Classifier network C — the same architecture as the discriminator (§4.1.3).
+
+    With ``n_labels > 1`` this is the §4.2.3 multi-task extension: multiple
+    sigmoid heads sharing all intermediate layers, one per label.
+    """
+    return build_discriminator(side, base_channels, rng=rng, n_outputs=n_labels)
+
+
+def build_generator_1d(length: int, latent_dim: int, base_channels: int,
+                       rng=None) -> Sequential:
+    """1-D generator for the §3.2 record-layout ablation.
+
+    Same ladder as :func:`build_generator`, but over (N, 1, L) vectors with
+    1-D transposed convolutions — the "original vector format" alternative
+    the paper found sub-optimal.
+    """
+    from repro.nn.conv1d import ConvTranspose1D
+
+    rng = ensure_rng(rng)
+    stages = _n_stages(length)
+    top_channels = base_channels * 2 ** (stages - 1)
+    layers = [
+        Dense(latent_dim, top_channels * 2, rng=rng),
+        Reshape((top_channels, 2)),
+        BatchNorm(top_channels),
+        ReLU(),
+    ]
+    channels = top_channels
+    for stage in range(stages - 1):
+        next_channels = channels // 2
+        layers.append(ConvTranspose1D(channels, next_channels, rng=rng))
+        layers.append(BatchNorm(next_channels))
+        layers.append(ReLU())
+        channels = next_channels
+    layers.append(ConvTranspose1D(channels, 1, rng=rng))
+    layers.append(Tanh())
+    return Sequential(layers)
+
+
+def build_discriminator_1d(length: int, base_channels: int, rng=None,
+                           n_outputs: int = 1) -> Sequential:
+    """1-D discriminator for the §3.2 record-layout ablation."""
+    from repro.nn.conv1d import Conv1D
+
+    rng = ensure_rng(rng)
+    stages = _n_stages(length)
+    layers = [
+        Conv1D(1, base_channels, rng=rng),
+        LeakyReLU(0.2),
+    ]
+    channels = base_channels
+    for stage in range(stages - 1):
+        next_channels = channels * 2
+        layers.append(Conv1D(channels, next_channels, rng=rng))
+        layers.append(BatchNorm(next_channels))
+        layers.append(LeakyReLU(0.2))
+        channels = next_channels
+    layers.append((FEATURE_LAYER, Flatten()))
+    layers.append(Dense(channels * 2, n_outputs, rng=rng))
+    return Sequential(layers)
+
+
+def build_classifier_1d(length: int, base_channels: int, rng=None,
+                        n_labels: int = 1) -> Sequential:
+    """1-D classifier — same architecture as the 1-D discriminator."""
+    return build_discriminator_1d(length, base_channels, rng=rng, n_outputs=n_labels)

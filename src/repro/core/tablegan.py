@@ -1,0 +1,208 @@
+"""The TableGAN facade: fit on a Table, sample a synthetic Table.
+
+This is the library's primary public API.  It wires together the encoding
+pipeline (TableCodec + Matrixizer), the three networks, the Algorithm 2
+trainer, and the record sampler::
+
+    from repro import TableGAN, low_privacy
+    from repro.data.datasets import load_dataset
+
+    bundle = load_dataset("lacity", seed=7)
+    gan = TableGAN(low_privacy(epochs=5, seed=7))
+    gan.fit(bundle.train)
+    synthetic = gan.sample(len(bundle.train))
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.config import TableGanConfig
+from repro.core.networks import (
+    build_classifier,
+    build_classifier_1d,
+    build_discriminator,
+    build_discriminator_1d,
+    build_generator,
+    build_generator_1d,
+)
+from repro.core.sampler import RecordSampler
+from repro.core.trainer import TableGanTrainer, TrainingHistory
+from repro.data.encoding import TableCodec
+from repro.data.matrixizer import (
+    Matrixizer,
+    Vectorizer,
+    length_for_features,
+    side_for_features,
+)
+from repro.data.table import Table
+from repro.nn import load_state_dict, state_dict
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_fitted
+
+
+class TableGAN:
+    """End-to-end table synthesizer (the paper's contribution).
+
+    Parameters
+    ----------
+    config:
+        Training configuration; see :mod:`repro.core.config` for the
+        low/mid/high-privacy presets.
+    """
+
+    def __init__(self, config: TableGanConfig | None = None):
+        self.config = config or TableGanConfig()
+        self.codec_: TableCodec | None = None
+        self.matrixizer_: Matrixizer | None = None
+        self.generator_ = None
+        self.discriminator_ = None
+        self.classifier_ = None
+        self.history_: TrainingHistory | None = None
+        self.train_seconds_: float | None = None
+
+    def fit(self, table: Table, rng=None, on_epoch_end=None) -> "TableGAN":
+        """Train on ``table`` and return self.
+
+        Parameters
+        ----------
+        table:
+            The original table to learn.
+        rng:
+            Seed or generator (falls back to ``config.seed``).
+        on_epoch_end:
+            Optional per-epoch callback forwarded to the trainer.
+        """
+        config = self.config
+        rng = ensure_rng(rng if rng is not None else config.seed)
+        started = time.perf_counter()
+
+        self.codec_ = TableCodec().fit(table)
+        encoded = self.codec_.encode(table)
+        if config.layout == "vector":
+            side = config.side or length_for_features(table.n_columns)
+            self.matrixizer_ = Vectorizer(table.n_columns, length=side)
+            self.generator_ = build_generator_1d(
+                side, config.latent_dim, config.base_channels, rng
+            )
+            self.discriminator_ = build_discriminator_1d(side, config.base_channels, rng)
+            build_c = build_classifier_1d
+        else:
+            side = config.side or side_for_features(table.n_columns)
+            self.matrixizer_ = Matrixizer(table.n_columns, side=side)
+            self.generator_ = build_generator(
+                side, config.latent_dim, config.base_channels, rng
+            )
+            self.discriminator_ = build_discriminator(side, config.base_channels, rng)
+            build_c = build_classifier
+        matrices = self.matrixizer_.to_matrices(encoded)
+
+        if config.label_columns is not None:
+            label_names = list(config.label_columns)
+        elif table.schema.label is not None:
+            label_names = [table.schema.label]
+        else:
+            label_names = []
+        use_classifier = config.use_classifier and bool(label_names)
+        label_cell = None
+        if use_classifier:
+            self.classifier_ = build_c(
+                side, config.base_channels, rng, n_labels=len(label_names)
+            )
+            label_cell = [
+                self.matrixizer_.feature_position(table.schema.index(name))
+                for name in label_names
+            ]
+        else:
+            self.classifier_ = None
+
+        effective = config if use_classifier else config.with_overrides(use_classifier=False)
+        trainer = TableGanTrainer(
+            self.generator_, self.discriminator_, self.classifier_,
+            effective, label_cell=label_cell,
+        )
+        self.history_ = trainer.train(matrices, rng=rng, on_epoch_end=on_epoch_end)
+        self.train_seconds_ = time.perf_counter() - started
+        return self
+
+    def sample(self, n: int, rng=None) -> Table:
+        """Draw ``n`` synthetic rows as a schema-valid Table."""
+        check_fitted(self, "generator_")
+        rng = ensure_rng(rng if rng is not None else self.config.seed)
+        sampler = RecordSampler(
+            self.generator_, self.codec_, self.matrixizer_, self.config.latent_dim
+        )
+        return sampler.sample_table(n, rng)
+
+    def sample_encoded(self, n: int, rng=None) -> np.ndarray:
+        """Draw ``n`` synthetic records in the encoded [-1, 1] space."""
+        check_fitted(self, "generator_")
+        rng = ensure_rng(rng if rng is not None else self.config.seed)
+        sampler = RecordSampler(
+            self.generator_, self.codec_, self.matrixizer_, self.config.latent_dim
+        )
+        return sampler.sample_records(n, rng)
+
+    def discriminator_scores(self, table: Table) -> np.ndarray:
+        """D's probability-of-real for each row of ``table``.
+
+        This is the black-box surface the membership attack queries on
+        shadow models (§4.5 step 4).
+        """
+        check_fitted(self, "discriminator_")
+        encoded = self.codec_.encode(table)
+        matrices = self.matrixizer_.to_matrices(encoded)
+        logits = self.discriminator_.forward(matrices, training=False).ravel()
+        return 1.0 / (1.0 + np.exp(-np.clip(logits, -500, 500)))
+
+    def save(self, path) -> None:
+        """Persist generator weights plus codec state to ``path`` (.npz)."""
+        check_fitted(self, "generator_")
+        payload = {f"gen.{k}": v for k, v in state_dict(self.generator_).items()}
+        payload["meta.side"] = np.array([self.matrixizer_.side])
+        payload["meta.n_features"] = np.array([self.matrixizer_.n_features])
+        mins = np.array([c.data_min_ for c in self.codec_.codecs_])
+        maxs = np.array([c.data_max_ for c in self.codec_.codecs_])
+        payload["meta.col_min"] = mins
+        payload["meta.col_max"] = maxs
+        np.savez_compressed(path, **payload)
+
+    def load_generator(self, path, table: Table) -> "TableGAN":
+        """Load generator weights saved by :meth:`save`.
+
+        ``table`` supplies the schema; its values re-fit the codec, then the
+        saved column ranges overwrite the fitted ones so decoding matches
+        training-time scaling exactly.
+        """
+        with np.load(path) as archive:
+            side = int(archive["meta.side"][0])
+            n_features = int(archive["meta.n_features"][0])
+            if n_features != table.n_columns:
+                raise ValueError(
+                    f"saved model has {n_features} features, table has {table.n_columns}"
+                )
+            self.codec_ = TableCodec().fit(table)
+            for codec, lo, hi in zip(
+                self.codec_.codecs_, archive["meta.col_min"], archive["meta.col_max"]
+            ):
+                codec.data_min_ = float(lo)
+                codec.data_max_ = float(hi)
+            if self.config.layout == "vector":
+                self.matrixizer_ = Vectorizer(n_features, length=side)
+                self.generator_ = build_generator_1d(
+                    side, self.config.latent_dim, self.config.base_channels,
+                    ensure_rng(self.config.seed),
+                )
+            else:
+                self.matrixizer_ = Matrixizer(n_features, side=side)
+                self.generator_ = build_generator(
+                    side, self.config.latent_dim, self.config.base_channels,
+                    ensure_rng(self.config.seed),
+                )
+            gen_state = {
+                k[len("gen."):]: v for k, v in archive.items() if k.startswith("gen.")
+            }
+            load_state_dict(self.generator_, gen_state)
+        return self

@@ -1,0 +1,304 @@
+"""Algorithm 2: the table-GAN training loop.
+
+Per mini-batch, in the paper's order:
+
+1. update the discriminator D with the original GAN loss (line 8);
+2. update the classifier C with the classification loss on real records
+   (line 9);
+3. refresh the EWMA feature statistics from post-update D features of the
+   real and synthetic batches (lines 10–13);
+4. update the generator G with L_orig + L_info + L_class (line 14).
+
+The generator gradient is assembled from three back-propagations through
+the (frozen) discriminator/classifier:
+
+* the adversarial gradient enters at D's logit;
+* the information-loss gradient is injected directly at D's feature layer
+  (the flattened pre-sigmoid activations);
+* the classification gradient flows through C — with the label cell of the
+  record zeroed on the way in (``remove``) and the direct dependence of the
+  synthesized label on the generator output added back separately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import TableGanConfig
+from repro.core.losses import (
+    FeatureStats,
+    classification_loss,
+    discriminator_loss,
+    generator_adversarial_loss,
+    information_loss,
+)
+from repro.core.networks import FEATURE_LAYER
+from repro.nn import Adam, Sequential
+from repro.utils.rng import ensure_rng
+
+
+@dataclass
+class EpochLosses:
+    """Mean per-epoch training losses, for convergence inspection."""
+
+    d_loss: float
+    g_adv_loss: float
+    g_info_loss: float
+    g_class_loss: float
+    c_loss: float
+
+
+@dataclass
+class TrainingHistory:
+    """Loss trajectory over epochs plus the final feature discrepancies."""
+
+    epochs: list[EpochLosses] = field(default_factory=list)
+    final_l_mean: float = 0.0
+    final_l_sd: float = 0.0
+
+    def append(self, losses: EpochLosses) -> None:
+        self.epochs.append(losses)
+
+
+class TableGanTrainer:
+    """Trains generator/discriminator/classifier on encoded record matrices.
+
+    Parameters
+    ----------
+    generator, discriminator, classifier:
+        The three networks (``classifier`` may be ``None`` when the
+        classification loss is disabled).
+    config:
+        Hyper-parameters; ``config.use_info_loss`` / ``use_classifier``
+        gate the two auxiliary losses.
+    label_cell:
+        Position of the label attribute inside the record tensor — a
+        (row, col) tuple for the square layout, an (offset,) tuple for the
+        vector layout, or a *list* of such tuples for the §4.2.3
+        multi-label extension.  Required when the classifier is enabled.
+    """
+
+    def __init__(self, generator: Sequential, discriminator: Sequential,
+                 classifier: Sequential | None, config: TableGanConfig,
+                 label_cell=None):
+        self.generator = generator
+        self.discriminator = discriminator
+        self.classifier = classifier
+        self.config = config
+        if label_cell is None:
+            self.label_cells: list[tuple] | None = None
+        elif isinstance(label_cell, list):
+            self.label_cells = [tuple(cell) for cell in label_cell]
+        else:
+            self.label_cells = [tuple(label_cell)]
+        if config.use_classifier and classifier is not None and self.label_cells is None:
+            raise ValueError("label_cell is required when the classifier is enabled")
+        self.opt_g = Adam(generator.parameters(), lr=config.lr, beta1=config.beta1)
+        self.opt_d = Adam(discriminator.parameters(), lr=config.lr, beta1=config.beta1)
+        self.opt_c = (
+            Adam(classifier.parameters(), lr=config.lr, beta1=config.beta1)
+            if (config.use_classifier and classifier is not None)
+            else None
+        )
+        self.stats: FeatureStats | None = None
+
+    # ------------------------------------------------------------------
+    def sample_latent(self, batch: int, rng) -> np.ndarray:
+        """z uniform in the unit hypercube [-1, 1]^latent_dim (paper §4.1.2)."""
+        return rng.uniform(-1.0, 1.0, size=(batch, self.config.latent_dim))
+
+    @property
+    def _label_indices(self) -> list[tuple]:
+        """Numpy indices of the label cells: (row, col) cells for the square
+        layout, (offset,) cells for the vector layout, one per label."""
+        return [(slice(None), 0, *cell) for cell in self.label_cells]
+
+    def _remove_label(self, matrices: np.ndarray) -> np.ndarray:
+        """The paper's remove(.): zero the label cells so C cannot read them."""
+        out = matrices.copy()
+        for index in self._label_indices:
+            out[index] = 0.0
+        return out
+
+    def _labels01(self, matrices: np.ndarray) -> np.ndarray:
+        """Read label cells, mapped from [-1, 1] onto [0, 1].
+
+        Returns shape ``(batch,)`` for the single-label case and
+        ``(batch, n_labels)`` for the multi-label extension, matching the
+        classifier head count.
+        """
+        columns = [
+            np.clip((matrices[index] + 1.0) * 0.5, 0.0, 1.0)
+            for index in self._label_indices
+        ]
+        if len(columns) == 1:
+            return columns[0]
+        return np.stack(columns, axis=1)
+
+    # ------------------------------------------------------------------
+    def _update_discriminator(self, real: np.ndarray, fake: np.ndarray) -> float:
+        """One D step on L_orig^D (Algorithm 2 line 8).
+
+        The real and fake halves are back-propagated one after the other
+        (a Sequential holds one forward cache at a time); gradients
+        accumulate across both halves and a single Adam step applies them.
+        """
+        self.discriminator.zero_grad()
+        real_logits = self.discriminator.forward(real)
+        loss, grad_real, grad_fake_template = discriminator_loss(
+            real_logits, np.zeros_like(real_logits)
+        )
+        # Only the real-half gradient from that call is valid; backprop it,
+        # then run the fake half with its own logits.
+        self.discriminator.backward(grad_real)
+        fake_logits = self.discriminator.forward(fake)
+        loss_full, _, grad_fake = discriminator_loss(real_logits, fake_logits)
+        self.discriminator.backward(grad_fake)
+        self.opt_d.step()
+        return loss_full
+
+    def _update_classifier(self, real: np.ndarray) -> float:
+        if self.opt_c is None:
+            return 0.0
+        labels = self._labels01(real)
+        logits = self.classifier.forward(self._remove_label(real))
+        logits = logits.ravel() if labels.ndim == 1 else logits
+        loss, grad_logits, _ = classification_loss(logits, labels)
+        self.classifier.zero_grad()
+        self.classifier.backward(grad_logits)
+        self.opt_c.step()
+        return loss
+
+    def _update_generator(self, fake: np.ndarray, rng) -> tuple[float, float, float]:
+        """Assemble the three-part gradient at the generator output and step G.
+
+        ``fake`` must be the batch produced by the most recent
+        ``generator.forward`` so the generator's caches are consistent.
+        """
+        config = self.config
+        # Adversarial part (through D's logit).
+        fake_logits = self.discriminator.forward(fake)
+        adv_loss, grad_logits = generator_adversarial_loss(
+            fake_logits, saturating=config.saturating_generator_loss
+        )
+        self.discriminator.zero_grad()
+        grad_at_fake = self.discriminator.backward(grad_logits)
+
+        # Information part (injected at D's feature layer).
+        info_loss_value = 0.0
+        if config.use_info_loss:
+            synthetic_features = self.discriminator.activation(FEATURE_LAYER)
+            info_loss_value, grad_features = information_loss(
+                self.stats, synthetic_features, config.delta_mean, config.delta_sd
+            )
+            if np.any(grad_features):
+                self.discriminator.zero_grad()
+                grad_at_fake = grad_at_fake + self.discriminator.backward_from(
+                    FEATURE_LAYER, grad_features
+                )
+
+        # Classification part (through C on label-removed records).
+        class_loss_value = 0.0
+        if self.opt_c is not None:
+            labels = self._labels01(fake)
+            c_logits = self.classifier.forward(self._remove_label(fake))
+            c_logits = c_logits.ravel() if labels.ndim == 1 else c_logits
+            class_loss_value, grad_c_logits, grad_labels = classification_loss(
+                c_logits, labels
+            )
+            self.classifier.zero_grad()
+            grad_via_c = self.classifier.backward(grad_c_logits)
+            # The classifier never saw the label cells; no gradient there.
+            # Direct dependence of the synthesized labels on G's output:
+            # labels01 = (cell + 1) / 2, so d(labels01)/d(cell) = 1/2.
+            if labels.ndim == 1:
+                grad_via_c[self._label_indices[0]] = grad_labels * 0.5
+            else:
+                for j, index in enumerate(self._label_indices):
+                    grad_via_c[index] = grad_labels[:, j] * 0.5
+            grad_at_fake = grad_at_fake + grad_via_c
+
+        self.generator.zero_grad()
+        self.generator.backward(grad_at_fake)
+        self.opt_g.step()
+        return adv_loss, info_loss_value, class_loss_value
+
+    # ------------------------------------------------------------------
+    def train(self, matrices: np.ndarray, rng=None,
+              on_epoch_end=None) -> TrainingHistory:
+        """Run Algorithm 2 on encoded record matrices of shape (N, 1, d, d).
+
+        Parameters
+        ----------
+        matrices:
+            Encoded training records.
+        rng:
+            Seed or generator (falls back to ``config.seed``).
+        on_epoch_end:
+            Optional callback ``(epoch_index, EpochLosses) -> None``.
+        """
+        config = self.config
+        matrices = np.asarray(matrices, dtype=np.float64)
+        if matrices.ndim not in (3, 4) or matrices.shape[1] != 1:
+            raise ValueError(
+                f"expected (N, 1, d, d) or (N, 1, L) matrices, got {matrices.shape}"
+            )
+        n = matrices.shape[0]
+        if n < 2:
+            raise ValueError("need at least 2 training records")
+        rng = ensure_rng(rng if rng is not None else config.seed)
+
+        # Probe feature width with a tiny forward pass.
+        probe = self.discriminator.forward(matrices[:1], training=False)
+        n_features = self.discriminator.activation(FEATURE_LAYER).shape[1]
+        self.stats = FeatureStats(n_features, weight=config.ewma_weight)
+
+        history = TrainingHistory()
+        batch = min(config.batch_size, n)
+        for epoch in range(config.epochs):
+            order = rng.permutation(n)
+            sums = np.zeros(5)
+            n_batches = 0
+            for start in range(0, n - batch + 1, batch):
+                real = matrices[order[start : start + batch]]
+                z = self.sample_latent(real.shape[0], rng)
+                fake = self.generator.forward(z)
+
+                d_loss = self._update_discriminator(real, fake)
+                c_loss = self._update_classifier(real)
+
+                # EWMA refresh with post-update discriminator features
+                # (Algorithm 2 lines 10-13).  The real pass runs first so
+                # the cached forward state ends on the fake batch, which
+                # the generator update then backpropagates through.
+                self.discriminator.forward(real)
+                self.stats.update_real(self.discriminator.activation(FEATURE_LAYER))
+                # Regenerate fake through G so G's caches match the batch
+                # being backpropagated in the generator update.
+                fake = self.generator.forward(z)
+                self.discriminator.forward(fake)
+                self.stats.update_synthetic(self.discriminator.activation(FEATURE_LAYER))
+
+                adv, info, cls = self._update_generator(fake, rng)
+                # Extra generator steps (DCGAN convention; see config).
+                for _ in range(config.generator_updates - 1):
+                    fake = self.generator.forward(z)
+                    adv, info, cls = self._update_generator(fake, rng)
+                sums += (d_loss, adv, info, cls, c_loss)
+                n_batches += 1
+
+            if n_batches == 0:
+                raise RuntimeError(
+                    f"batch size {batch} too large for {n} records"
+                )
+            means = sums / n_batches
+            losses = EpochLosses(*[float(v) for v in means])
+            history.append(losses)
+            if on_epoch_end is not None:
+                on_epoch_end(epoch, losses)
+
+        history.final_l_mean = self.stats.l_mean
+        history.final_l_sd = self.stats.l_sd
+        return history

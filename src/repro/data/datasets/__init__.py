@@ -1,0 +1,33 @@
+"""Synthetic stand-ins for the paper's four evaluation datasets."""
+
+from repro.data.datasets.adult import adult_schema, generate_adult, load_adult
+from repro.data.datasets.airline import airline_schema, generate_airline, load_airline
+from repro.data.datasets.base import DatasetBundle
+from repro.data.datasets.health import generate_health, health_schema, load_health
+from repro.data.datasets.lacity import generate_lacity, lacity_schema, load_lacity
+from repro.data.datasets.registry import (
+    DATASET_NAMES,
+    DEFAULT_ROWS,
+    PAPER_ROWS,
+    load_dataset,
+)
+
+__all__ = [
+    "DatasetBundle",
+    "load_dataset",
+    "DATASET_NAMES",
+    "DEFAULT_ROWS",
+    "PAPER_ROWS",
+    "generate_lacity",
+    "lacity_schema",
+    "load_lacity",
+    "generate_adult",
+    "adult_schema",
+    "load_adult",
+    "generate_health",
+    "health_schema",
+    "load_health",
+    "generate_airline",
+    "airline_schema",
+    "load_airline",
+]

@@ -1,0 +1,150 @@
+"""Synthetic Airline (BTS DB1B-style) ticket market dataset.
+
+Mirrors the Bureau of Transportation Statistics 10% ticket sample the
+paper uses: 2 QIDs (origin and destination airport) and 30 sensitive
+attributes around itinerary, fare composition, and market conditions.
+Ticket price is a structural function of distance, fare class, demand and
+booking lead time, so regression model compatibility is learnable.
+
+Classification label: ``high_price`` (ticket price above the median).
+Regression target: ``ticket_price``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.datasets.base import (
+    DatasetBundle,
+    bundle_from_table,
+    categorical_codes,
+    threshold_label,
+)
+from repro.data.schema import ColumnKind, ColumnRole, ColumnSpec, TableSchema
+from repro.data.table import Table
+from repro.utils.rng import ensure_rng
+
+#: Paper-scale row count (Table 3); the default is laptop-scale.
+PAPER_ROWS = 1_000_000
+DEFAULT_ROWS = 4000
+
+_AIRPORTS = tuple(f"apt_{i:02d}" for i in range(30))
+_CARRIERS = tuple(f"carrier_{i}" for i in range(10))
+_FARE_CLASSES = ("basic", "economy", "premium", "business", "first")
+_FF_TIERS = ("none", "silver", "gold", "platinum")
+
+
+def airline_schema() -> TableSchema:
+    """Schema of the synthetic Airline table: 2 QIDs + 30 sensitive columns."""
+    cont, disc, cat = ColumnKind.CONTINUOUS, ColumnKind.DISCRETE, ColumnKind.CATEGORICAL
+    qid, sens, label = ColumnRole.QID, ColumnRole.SENSITIVE, ColumnRole.LABEL
+    columns = [
+        ColumnSpec("origin_airport", cat, qid, _AIRPORTS),
+        ColumnSpec("dest_airport", cat, qid, _AIRPORTS),
+        ColumnSpec("quarter", disc, sens),
+        ColumnSpec("year", disc, sens),
+        ColumnSpec("ticket_price", cont, sens),
+        ColumnSpec("distance_miles", cont, sens),
+        ColumnSpec("coupons", disc, sens),
+        ColumnSpec("passengers", disc, sens),
+        ColumnSpec("carrier", cat, sens, _CARRIERS),
+        ColumnSpec("fare_class", cat, sens, _FARE_CLASSES),
+        ColumnSpec("roundtrip", disc, sens),
+        ColumnSpec("online_booking", disc, sens),
+        ColumnSpec("miles_flown", cont, sens),
+        ColumnSpec("taxes", cont, sens),
+        ColumnSpec("fuel_surcharge", cont, sens),
+        ColumnSpec("booking_lead_days", disc, sens),
+        ColumnSpec("layovers", disc, sens),
+        ColumnSpec("bag_fees", cont, sens),
+        ColumnSpec("seat_fee", cont, sens),
+        ColumnSpec("meal_fee", cont, sens),
+        ColumnSpec("wifi_fee", cont, sens),
+        ColumnSpec("upgrade_fee", cont, sens),
+        ColumnSpec("ff_tier", cat, sens, _FF_TIERS),
+        ColumnSpec("price_per_mile", cont, sens),
+        ColumnSpec("market_share", cont, sens),
+        ColumnSpec("competition_index", cont, sens),
+        ColumnSpec("demand_index", cont, sens),
+        ColumnSpec("season_factor", cont, sens),
+        ColumnSpec("advance_purchase", disc, sens),
+        ColumnSpec("refundable", disc, sens),
+        ColumnSpec("saturday_stay", disc, sens),
+        ColumnSpec("high_price", disc, label),
+    ]
+    return TableSchema(columns, regression_target="ticket_price")
+
+
+def generate_airline(rows: int = DEFAULT_ROWS, seed=None) -> Table:
+    """Generate a synthetic airline ticket table with ``rows`` records."""
+    if rows < 10:
+        raise ValueError(f"rows must be at least 10, got {rows}")
+    rng = ensure_rng(seed)
+    schema = airline_schema()
+
+    hub_weights = np.linspace(4.0, 1.0, len(_AIRPORTS))
+    origin = categorical_codes(rng, hub_weights, rows)
+    dest = categorical_codes(rng, hub_weights, rows)
+    # Avoid origin == dest itineraries.
+    same = origin == dest
+    dest[same] = np.mod(dest[same] + 1 + rng.integers(0, 28, int(same.sum())), 30)
+
+    quarter = rng.integers(1, 5, rows).astype(np.float64)
+    year = rng.integers(2015, 2018, rows).astype(np.float64)
+    distance_miles = np.clip(rng.gamma(2.2, 420.0, rows) + 100.0, 100.0, 5000.0)
+    coupons = np.clip(np.rint(rng.exponential(1.2, rows) + 1.0), 1, 8)
+    passengers = np.clip(np.rint(rng.exponential(1.1, rows) + 1.0), 1, 9)
+    carrier = categorical_codes(rng, np.linspace(3.0, 1.0, len(_CARRIERS)), rows)
+    fare_class = categorical_codes(rng, (0.25, 0.45, 0.15, 0.10, 0.05), rows)
+    roundtrip = (rng.random(rows) < 0.7).astype(np.float64)
+    online_booking = (rng.random(rows) < 0.8).astype(np.float64)
+    booking_lead_days = np.clip(np.rint(rng.exponential(25.0, rows)), 0, 330)
+    layovers = np.clip(coupons - 1 - roundtrip, 0, 5)
+    demand_index = np.clip(rng.normal(1.0, 0.2, rows) + 0.1 * np.isin(quarter, (2, 3)), 0.4, 2.0)
+    season_factor = 1.0 + 0.15 * np.sin(2 * np.pi * quarter / 4.0) + rng.normal(0.0, 0.05, rows)
+    competition_index = np.clip(rng.beta(2.0, 2.0, rows), 0.05, 0.95)
+    market_share = np.clip(rng.beta(2.0, 5.0, rows) + 0.1 * (carrier < 3), 0.01, 0.9)
+
+    class_multiplier = np.array([0.8, 1.0, 1.45, 2.4, 3.8])[fare_class.astype(int)]
+    lead_discount = 1.0 - 0.35 * np.minimum(booking_lead_days, 60.0) / 60.0
+    base_fare = (
+        (60.0 + 0.11 * distance_miles)
+        * class_multiplier
+        * demand_index
+        * season_factor
+        * lead_discount
+        * (1.0 - 0.25 * competition_index)
+    )
+    ticket_price = np.clip(base_fare * rng.lognormal(0.0, 0.18, rows), 39.0, 6000.0)
+
+    miles_flown = distance_miles * (1.0 + roundtrip) * rng.normal(1.0, 0.03, rows)
+    taxes = 0.075 * ticket_price + 5.6 * coupons
+    fuel_surcharge = np.clip(0.018 * distance_miles + rng.normal(0.0, 4.0, rows), 0.0, 200.0)
+    bag_fees = np.where(rng.random(rows) < 0.45, rng.choice([30.0, 40.0, 60.0], rows), 0.0)
+    seat_fee = np.where(rng.random(rows) < 0.3, rng.uniform(10.0, 70.0, rows), 0.0)
+    meal_fee = np.where(rng.random(rows) < 0.2, rng.uniform(8.0, 30.0, rows), 0.0)
+    wifi_fee = np.where(rng.random(rows) < 0.25, rng.uniform(5.0, 25.0, rows), 0.0)
+    upgrade_fee = np.where(rng.random(rows) < 0.1, rng.uniform(50.0, 400.0, rows), 0.0)
+    ff_tier = categorical_codes(rng, (0.7, 0.15, 0.1, 0.05), rows)
+    price_per_mile = ticket_price / np.maximum(miles_flown, 1.0)
+    advance_purchase = (booking_lead_days >= 14).astype(np.float64)
+    refundable = (fare_class >= 3).astype(np.float64) * (rng.random(rows) < 0.8)
+    saturday_stay = (rng.random(rows) < 0.5).astype(np.float64)
+    high_price = threshold_label(ticket_price)
+
+    values = np.column_stack([
+        origin, dest, quarter, year, ticket_price, distance_miles, coupons,
+        passengers, carrier, fare_class, roundtrip, online_booking, miles_flown,
+        taxes, fuel_surcharge, booking_lead_days, layovers, bag_fees, seat_fee,
+        meal_fee, wifi_fee, upgrade_fee, ff_tier, price_per_mile, market_share,
+        competition_index, demand_index, season_factor, advance_purchase,
+        refundable, saturday_stay, high_price,
+    ])
+    return Table(values, schema)
+
+
+def load_airline(rows: int = DEFAULT_ROWS, test_fraction: float = 0.2, seed=None) -> DatasetBundle:
+    """Generate and split the Airline dataset into train/test tables."""
+    rng = ensure_rng(seed)
+    table = generate_airline(rows, seed=rng)
+    return bundle_from_table("airline", table, test_fraction, rng)

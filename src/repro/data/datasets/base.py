@@ -1,0 +1,84 @@
+"""Shared helpers for the synthetic dataset generators.
+
+The paper evaluates on four real public tables (LACity payroll, UCI Adult,
+CDC NHANES health, BTS airline tickets).  Those downloads are unavailable
+offline, so each generator in this package synthesizes a table with the
+same schema shape (QID/sensitive counts of the paper's Table 3), realistic
+marginal distributions, and — critically — learnable label-feature
+correlations, which is what the classifier network and model-compatibility
+experiments actually exercise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.splits import train_test_split
+from repro.data.table import Table
+from repro.utils.rng import ensure_rng
+
+
+@dataclass(frozen=True)
+class DatasetBundle:
+    """A generated dataset: training table, held-out test table, and name.
+
+    ``test`` plays two roles from the paper: unknown records for the model
+    compatibility tests (§5.1.1) and the "out" population of the membership
+    attack (§5.3.2).
+    """
+
+    name: str
+    train: Table
+    test: Table
+
+    @property
+    def n_train(self) -> int:
+        return self.train.n_rows
+
+    @property
+    def n_test(self) -> int:
+        return self.test.n_rows
+
+
+def bundle_from_table(name: str, table: Table, test_fraction: float, seed) -> DatasetBundle:
+    """Split a full generated table into the train/test bundle."""
+    train, test = train_test_split(table, test_fraction=test_fraction, seed=seed)
+    return DatasetBundle(name=name, train=train, test=test)
+
+
+def lognormal(rng: np.random.Generator, mean_log: float, sigma_log: float,
+              size: int, lo: float | None = None, hi: float | None = None) -> np.ndarray:
+    """Lognormal draw with optional clipping (salaries, fares)."""
+    values = rng.lognormal(mean_log, sigma_log, size)
+    if lo is not None or hi is not None:
+        values = np.clip(values, lo, hi)
+    return values
+
+
+def zero_inflated(rng: np.random.Generator, p_nonzero: float, mean_log: float,
+                  sigma_log: float, size: int) -> np.ndarray:
+    """Mostly-zero heavy-tailed column (capital gain/loss style)."""
+    mask = rng.random(size) < p_nonzero
+    values = np.zeros(size)
+    values[mask] = rng.lognormal(mean_log, sigma_log, int(mask.sum()))
+    return values
+
+
+def categorical_codes(rng: np.random.Generator, weights, size: int) -> np.ndarray:
+    """Sample integer category codes with the given (unnormalized) weights."""
+    weights = np.asarray(weights, dtype=np.float64)
+    probs = weights / weights.sum()
+    return rng.choice(len(probs), size=size, p=probs).astype(np.float64)
+
+
+def binary_from_logit(rng: np.random.Generator, logit: np.ndarray) -> np.ndarray:
+    """Sample Bernoulli(sigmoid(logit)) — noisy labels with real structure."""
+    prob = 1.0 / (1.0 + np.exp(-logit))
+    return (rng.random(logit.shape[0]) < prob).astype(np.float64)
+
+
+def threshold_label(values: np.ndarray) -> np.ndarray:
+    """The paper's median-threshold label: 1 where value exceeds the median."""
+    return (values > np.median(values)).astype(np.float64)

@@ -1,0 +1,147 @@
+"""Synthetic Health (NHANES-style) dataset.
+
+Mirrors the CDC NHANES table the paper uses: 4 QIDs (age, gender, race,
+education) and 28 sensitive attributes — blood-test biomarkers,
+vitals, and questionnaire answers.  The ``diabetes`` label depends on
+glucose, HbA1c, BMI, age and family history through a logistic model, so a
+classifier can genuinely learn the semantics the paper's classifier network
+enforces (e.g. "low cholesterol + diabetes=1 is implausible").
+
+Classification label: ``diabetes``.  No regression target (binary labels
+only, as in the paper).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.datasets.base import (
+    DatasetBundle,
+    binary_from_logit,
+    bundle_from_table,
+    categorical_codes,
+)
+from repro.data.schema import ColumnKind, ColumnRole, ColumnSpec, TableSchema
+from repro.data.table import Table
+from repro.utils.rng import ensure_rng
+
+#: Paper-scale row count (Table 3); the default is laptop-scale.
+PAPER_ROWS = 9813
+DEFAULT_ROWS = 2000
+
+_GENDER = ("female", "male")
+_RACE = ("white", "black", "hispanic", "asian", "other")
+_EDUCATION = ("less_than_hs", "high_school", "some_college", "college", "graduate")
+_SMOKING = ("never", "former", "current")
+
+
+def health_schema() -> TableSchema:
+    """Schema of the synthetic Health table: 4 QIDs + 28 sensitive columns."""
+    cont, disc, cat = ColumnKind.CONTINUOUS, ColumnKind.DISCRETE, ColumnKind.CATEGORICAL
+    qid, sens, label = ColumnRole.QID, ColumnRole.SENSITIVE, ColumnRole.LABEL
+    columns = [
+        ColumnSpec("age", disc, qid),
+        ColumnSpec("gender", cat, qid, _GENDER),
+        ColumnSpec("race", cat, qid, _RACE),
+        ColumnSpec("education", cat, qid, _EDUCATION),
+        ColumnSpec("bmi", cont, sens),
+        ColumnSpec("waist_cm", cont, sens),
+        ColumnSpec("glucose", cont, sens),
+        ColumnSpec("hba1c", cont, sens),
+        ColumnSpec("insulin", cont, sens),
+        ColumnSpec("cholesterol", cont, sens),
+        ColumnSpec("hdl", cont, sens),
+        ColumnSpec("ldl", cont, sens),
+        ColumnSpec("triglycerides", cont, sens),
+        ColumnSpec("systolic_bp", cont, sens),
+        ColumnSpec("diastolic_bp", cont, sens),
+        ColumnSpec("pulse", cont, sens),
+        ColumnSpec("creatinine", cont, sens),
+        ColumnSpec("uric_acid", cont, sens),
+        ColumnSpec("albumin", cont, sens),
+        ColumnSpec("alt_enzyme", cont, sens),
+        ColumnSpec("ast_enzyme", cont, sens),
+        ColumnSpec("smoking", cat, sens, _SMOKING),
+        ColumnSpec("alcohol_per_week", cont, sens),
+        ColumnSpec("activity_minutes", cont, sens),
+        ColumnSpec("sleep_hours", cont, sens),
+        ColumnSpec("fruit_servings", cont, sens),
+        ColumnSpec("fast_food_per_week", disc, sens),
+        ColumnSpec("family_history", disc, sens),
+        ColumnSpec("med_count", disc, sens),
+        ColumnSpec("doctor_visits", disc, sens),
+        ColumnSpec("sedentary_hours", cont, sens),
+        ColumnSpec("diabetes", disc, label),
+    ]
+    return TableSchema(columns, regression_target=None)
+
+
+def generate_health(rows: int = DEFAULT_ROWS, seed=None) -> Table:
+    """Generate a synthetic NHANES-style health table with ``rows`` records."""
+    if rows < 10:
+        raise ValueError(f"rows must be at least 10, got {rows}")
+    rng = ensure_rng(seed)
+    schema = health_schema()
+
+    age = np.clip(np.rint(rng.normal(48.0, 17.0, rows)), 18, 85)
+    gender = categorical_codes(rng, (0.51, 0.49), rows)
+    race = categorical_codes(rng, (0.62, 0.12, 0.15, 0.06, 0.05), rows)
+    education = categorical_codes(rng, (0.13, 0.25, 0.30, 0.22, 0.10), rows)
+
+    # Metabolic latent drives BMI, glucose, lipids together.
+    metabolic = rng.normal(0.0, 1.0, rows) + 0.015 * (age - 48.0)
+    bmi = np.clip(27.0 + 4.5 * metabolic + rng.normal(0.0, 2.0, rows), 16.0, 60.0)
+    waist_cm = 42.0 + 2.1 * bmi + rng.normal(0.0, 5.0, rows)
+    glucose = np.clip(95.0 + 18.0 * metabolic + rng.normal(0.0, 8.0, rows), 60.0, 350.0)
+    hba1c = np.clip(5.3 + 0.018 * (glucose - 95.0) + rng.normal(0.0, 0.25, rows), 4.0, 14.0)
+    insulin = np.clip(8.0 + 5.0 * np.maximum(metabolic, 0.0) + rng.exponential(3.0, rows), 1.0, 80.0)
+    cholesterol = np.clip(185.0 + 14.0 * metabolic + rng.normal(0.0, 25.0, rows), 90.0, 360.0)
+    hdl = np.clip(55.0 - 6.0 * metabolic + rng.normal(0.0, 9.0, rows), 18.0, 110.0)
+    ldl = np.clip(cholesterol - hdl - rng.normal(30.0, 10.0, rows), 30.0, 280.0)
+    triglycerides = np.clip(120.0 + 45.0 * metabolic + rng.exponential(30.0, rows), 30.0, 800.0)
+    systolic_bp = np.clip(112.0 + 0.45 * (age - 48.0) + 6.0 * metabolic + rng.normal(0.0, 9.0, rows), 85.0, 220.0)
+    diastolic_bp = np.clip(0.62 * systolic_bp + rng.normal(2.0, 6.0, rows), 45.0, 130.0)
+    pulse = np.clip(rng.normal(72.0, 10.0, rows) + 2.0 * metabolic, 40.0, 130.0)
+    creatinine = np.clip(rng.normal(0.95, 0.2, rows) + 0.1 * (gender == 1), 0.4, 4.0)
+    uric_acid = np.clip(rng.normal(5.4, 1.2, rows) + 0.4 * metabolic, 2.0, 12.0)
+    albumin = np.clip(rng.normal(4.3, 0.3, rows) - 0.05 * metabolic, 2.5, 5.5)
+    alt_enzyme = np.clip(rng.lognormal(3.1, 0.35, rows) + 2.0 * np.maximum(metabolic, 0.0), 5.0, 250.0)
+    ast_enzyme = np.clip(0.8 * alt_enzyme + rng.normal(5.0, 6.0, rows), 5.0, 250.0)
+    smoking = categorical_codes(rng, (0.55, 0.25, 0.20), rows)
+    alcohol_per_week = np.clip(rng.exponential(3.0, rows), 0.0, 40.0)
+    activity_minutes = np.clip(rng.exponential(120.0, rows) - 20.0 * metabolic, 0.0, 900.0)
+    sleep_hours = np.clip(rng.normal(7.0, 1.1, rows), 3.0, 12.0)
+    fruit_servings = np.clip(rng.exponential(1.5, rows), 0.0, 10.0)
+    fast_food_per_week = np.clip(np.rint(rng.exponential(2.0, rows) + metabolic), 0, 15)
+    family_history = (rng.random(rows) < 0.28).astype(np.float64)
+    med_count = np.clip(np.rint(rng.exponential(1.5, rows) + 0.04 * (age - 48.0) + metabolic), 0, 15)
+    doctor_visits = np.clip(np.rint(rng.exponential(2.5, rows) + 0.8 * med_count), 0, 30)
+    sedentary_hours = np.clip(rng.normal(6.0, 2.0, rows) + 0.8 * metabolic, 0.0, 16.0)
+
+    # Diabetes ground truth: logistic in glucose/HbA1c/BMI/age/family history.
+    logit = (
+        0.09 * (glucose - 112.0)
+        + 0.8 * (hba1c - 6.2)
+        + 0.09 * (bmi - 30.0)
+        + 0.025 * (age - 50.0)
+        + 1.1 * family_history
+        - 1.2
+    )
+    diabetes = binary_from_logit(rng, logit)
+
+    values = np.column_stack([
+        age, gender, race, education, bmi, waist_cm, glucose, hba1c, insulin,
+        cholesterol, hdl, ldl, triglycerides, systolic_bp, diastolic_bp, pulse,
+        creatinine, uric_acid, albumin, alt_enzyme, ast_enzyme, smoking,
+        alcohol_per_week, activity_minutes, sleep_hours, fruit_servings,
+        fast_food_per_week, family_history, med_count, doctor_visits,
+        sedentary_hours, diabetes,
+    ])
+    return Table(values, schema)
+
+
+def load_health(rows: int = DEFAULT_ROWS, test_fraction: float = 0.2, seed=None) -> DatasetBundle:
+    """Generate and split the Health dataset into train/test tables."""
+    rng = ensure_rng(seed)
+    table = generate_health(rows, seed=rng)
+    return bundle_from_table("health", table, test_fraction, rng)

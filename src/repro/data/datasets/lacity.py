@@ -1,0 +1,122 @@
+"""Synthetic LACity payroll dataset.
+
+Mirrors the Los Angeles City Employee Payroll table the paper uses: 2 QIDs
+(department, job class) and 21 sensitive attributes dominated by pay
+components.  Pay columns are driven by latent seniority/skill factors so
+quarterly payments, overtime, and benefits are strongly correlated with
+base salary — the correlation structure Tables 7/8 of the paper display.
+
+Classification label: ``high_salary`` (base salary above the median).
+Regression target: ``base_salary``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.datasets.base import (
+    DatasetBundle,
+    bundle_from_table,
+    categorical_codes,
+    lognormal,
+    threshold_label,
+)
+from repro.data.schema import ColumnKind, ColumnRole, ColumnSpec, TableSchema
+from repro.data.table import Table
+from repro.utils.rng import ensure_rng
+
+#: Paper-scale row count (Table 3); the default is laptop-scale.
+PAPER_ROWS = 15000
+DEFAULT_ROWS = 2000
+
+_DEPARTMENTS = tuple(f"dept_{i:02d}" for i in range(12))
+_JOB_CLASSES = tuple(f"job_{i:03d}" for i in range(20))
+
+
+def lacity_schema() -> TableSchema:
+    """Schema of the synthetic LACity table: 2 QIDs + 21 sensitive columns."""
+    cont, disc, cat = ColumnKind.CONTINUOUS, ColumnKind.DISCRETE, ColumnKind.CATEGORICAL
+    qid, sens, label = ColumnRole.QID, ColumnRole.SENSITIVE, ColumnRole.LABEL
+    columns = [
+        ColumnSpec("department", cat, qid, _DEPARTMENTS),
+        ColumnSpec("job_class", cat, qid, _JOB_CLASSES),
+        ColumnSpec("year", disc, sens),
+        ColumnSpec("base_salary", cont, sens),
+        ColumnSpec("q1_payments", cont, sens),
+        ColumnSpec("q2_payments", cont, sens),
+        ColumnSpec("q3_payments", cont, sens),
+        ColumnSpec("q4_payments", cont, sens),
+        ColumnSpec("overtime_pay", cont, sens),
+        ColumnSpec("bonus_pay", cont, sens),
+        ColumnSpec("benefits_cost", cont, sens),
+        ColumnSpec("retirement_contrib", cont, sens),
+        ColumnSpec("health_cost", cont, sens),
+        ColumnSpec("dental_cost", cont, sens),
+        ColumnSpec("life_insurance", cont, sens),
+        ColumnSpec("sick_hours", cont, sens),
+        ColumnSpec("vacation_hours", cont, sens),
+        ColumnSpec("years_employed", disc, sens),
+        ColumnSpec("fte_ratio", cont, sens),
+        ColumnSpec("union_member", disc, sens),
+        ColumnSpec("salary_grade", disc, sens),
+        ColumnSpec("payroll_deductions", cont, sens),
+        ColumnSpec("high_salary", disc, label),
+    ]
+    return TableSchema(columns, regression_target="base_salary")
+
+
+def generate_lacity(rows: int = DEFAULT_ROWS, seed=None) -> Table:
+    """Generate a synthetic LACity payroll table with ``rows`` records."""
+    if rows < 10:
+        raise ValueError(f"rows must be at least 10, got {rows}")
+    rng = ensure_rng(seed)
+    schema = lacity_schema()
+
+    seniority = rng.uniform(0.0, 1.0, rows)
+    skill = rng.normal(0.0, 1.0, rows)
+
+    department = categorical_codes(rng, np.linspace(3.0, 1.0, len(_DEPARTMENTS)), rows)
+    job_class = categorical_codes(rng, np.linspace(2.0, 1.0, len(_JOB_CLASSES)), rows)
+    year = rng.integers(2013, 2018, rows).astype(np.float64)
+
+    # Salary driven by seniority, skill, and a mild department premium.
+    dept_premium = 0.02 * department
+    log_salary = 10.55 + 0.55 * seniority + 0.18 * skill + dept_premium
+    base_salary = np.exp(log_salary + rng.normal(0.0, 0.08, rows))
+    base_salary = np.clip(base_salary, 24000.0, 350000.0)
+
+    quarters = []
+    for _ in range(4):
+        quarters.append(base_salary / 4.0 * rng.normal(1.0, 0.06, rows))
+    overtime_pay = rng.exponential(2500.0, rows) * (0.5 + seniority)
+    bonus_pay = np.where(rng.random(rows) < 0.3, base_salary * rng.uniform(0.01, 0.06, rows), 0.0)
+    benefits_cost = 4000.0 + 0.08 * base_salary + rng.normal(0.0, 500.0, rows)
+    retirement_contrib = 0.11 * base_salary * rng.normal(1.0, 0.05, rows)
+    health_cost = lognormal(rng, 8.6, 0.25, rows, 2000.0, 20000.0)
+    dental_cost = health_cost * rng.uniform(0.05, 0.12, rows)
+    life_insurance = 120.0 + 0.001 * base_salary + rng.normal(0.0, 20.0, rows)
+    sick_hours = np.clip(rng.normal(64.0, 24.0, rows) + 30.0 * seniority, 0.0, 200.0)
+    vacation_hours = np.clip(rng.normal(80.0, 30.0, rows) + 60.0 * seniority, 0.0, 300.0)
+    years_employed = np.clip(np.rint(seniority * 30.0 + rng.normal(0.0, 2.0, rows)), 0, 40)
+    fte_ratio = np.where(rng.random(rows) < 0.9, 1.0, rng.uniform(0.5, 0.9, rows))
+    union_member = (rng.random(rows) < 0.65).astype(np.float64)
+    salary_grade = np.clip(np.rint((np.log(base_salary) - 10.0) * 6.0), 1, 15)
+    payroll_deductions = 0.22 * base_salary * rng.normal(1.0, 0.08, rows)
+    high_salary = threshold_label(base_salary)
+
+    values = np.column_stack([
+        department, job_class, year, base_salary,
+        quarters[0], quarters[1], quarters[2], quarters[3],
+        overtime_pay, bonus_pay, benefits_cost, retirement_contrib,
+        health_cost, dental_cost, life_insurance, sick_hours, vacation_hours,
+        years_employed, fte_ratio, union_member, salary_grade,
+        payroll_deductions, high_salary,
+    ])
+    return Table(values, schema)
+
+
+def load_lacity(rows: int = DEFAULT_ROWS, test_fraction: float = 0.2, seed=None) -> DatasetBundle:
+    """Generate and split the LACity dataset into train/test tables."""
+    rng = ensure_rng(seed)
+    table = generate_lacity(rows, seed=rng)
+    return bundle_from_table("lacity", table, test_fraction, rng)

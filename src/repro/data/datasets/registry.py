@@ -1,0 +1,65 @@
+"""Dataset registry: load any of the paper's four datasets by name."""
+
+from __future__ import annotations
+
+from repro.data.datasets.adult import DEFAULT_ROWS as ADULT_ROWS
+from repro.data.datasets.adult import PAPER_ROWS as ADULT_PAPER_ROWS
+from repro.data.datasets.adult import load_adult
+from repro.data.datasets.airline import DEFAULT_ROWS as AIRLINE_ROWS
+from repro.data.datasets.airline import PAPER_ROWS as AIRLINE_PAPER_ROWS
+from repro.data.datasets.airline import load_airline
+from repro.data.datasets.base import DatasetBundle
+from repro.data.datasets.health import DEFAULT_ROWS as HEALTH_ROWS
+from repro.data.datasets.health import PAPER_ROWS as HEALTH_PAPER_ROWS
+from repro.data.datasets.health import load_health
+from repro.data.datasets.lacity import DEFAULT_ROWS as LACITY_ROWS
+from repro.data.datasets.lacity import PAPER_ROWS as LACITY_PAPER_ROWS
+from repro.data.datasets.lacity import load_lacity
+
+_LOADERS = {
+    "lacity": load_lacity,
+    "adult": load_adult,
+    "health": load_health,
+    "airline": load_airline,
+}
+
+#: Default (laptop-scale) row counts per dataset.
+DEFAULT_ROWS = {
+    "lacity": LACITY_ROWS,
+    "adult": ADULT_ROWS,
+    "health": HEALTH_ROWS,
+    "airline": AIRLINE_ROWS,
+}
+
+#: Row counts the paper reports in Table 3.
+PAPER_ROWS = {
+    "lacity": LACITY_PAPER_ROWS,
+    "adult": ADULT_PAPER_ROWS,
+    "health": HEALTH_PAPER_ROWS,
+    "airline": AIRLINE_PAPER_ROWS,
+}
+
+#: All dataset names, in the paper's presentation order.
+DATASET_NAMES = ("lacity", "adult", "health", "airline")
+
+
+def load_dataset(name: str, rows: int | None = None, test_fraction: float = 0.2,
+                 seed=None) -> DatasetBundle:
+    """Load a dataset bundle by name.
+
+    Parameters
+    ----------
+    name:
+        One of ``"lacity"``, ``"adult"``, ``"health"``, ``"airline"``.
+    rows:
+        Total rows to generate before splitting (defaults to the
+        laptop-scale count for the dataset; pass ``PAPER_ROWS[name]`` for
+        paper scale).
+    test_fraction, seed:
+        Forwarded to the generator and splitter.
+    """
+    key = name.lower()
+    if key not in _LOADERS:
+        raise KeyError(f"unknown dataset {name!r}; choose from {DATASET_NAMES}")
+    count = DEFAULT_ROWS[key] if rows is None else rows
+    return _LOADERS[key](rows=count, test_fraction=test_fraction, seed=seed)

@@ -1,0 +1,130 @@
+"""Table <-> GAN-space encoding.
+
+table-GAN operates on records min–max normalized into [-1, 1] (matching the
+generator's tanh output).  :class:`MinMaxCodec` handles one column,
+:class:`TableCodec` the whole table; decoding clips to the training range,
+inverts the scaling, and rounds discrete/categorical columns back to valid
+values — the "some tricks" of §2.3 that let a continuous CNN generator emit
+discrete attributes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.schema import ColumnKind, TableSchema
+from repro.data.table import Table
+from repro.utils.validation import check_fitted
+
+
+class MinMaxCodec:
+    """Affine map of one column onto [lo, hi] (default [-1, 1]).
+
+    Degenerate (constant) columns map to the center of the range and decode
+    back to the constant.
+    """
+
+    def __init__(self, feature_range: tuple[float, float] = (-1.0, 1.0)):
+        lo, hi = feature_range
+        if not lo < hi:
+            raise ValueError(f"feature_range must be increasing, got {feature_range}")
+        self.lo = float(lo)
+        self.hi = float(hi)
+        self.data_min_: float | None = None
+        self.data_max_: float | None = None
+
+    def fit(self, column: np.ndarray) -> "MinMaxCodec":
+        """Learn the column's min/max."""
+        column = np.asarray(column, dtype=np.float64)
+        if column.size == 0:
+            raise ValueError("cannot fit on an empty column")
+        self.data_min_ = float(column.min())
+        self.data_max_ = float(column.max())
+        return self
+
+    @property
+    def _span(self) -> float:
+        span = self.data_max_ - self.data_min_
+        return span if span > 0 else 1.0
+
+    def encode(self, column: np.ndarray) -> np.ndarray:
+        """Map data values into the feature range."""
+        check_fitted(self, "data_min_")
+        scaled = (np.asarray(column, dtype=np.float64) - self.data_min_) / self._span
+        return scaled * (self.hi - self.lo) + self.lo
+
+    def decode(self, column: np.ndarray) -> np.ndarray:
+        """Map feature-range values back to the data range, clipping overshoot."""
+        check_fitted(self, "data_min_")
+        clipped = np.clip(np.asarray(column, dtype=np.float64), self.lo, self.hi)
+        unit = (clipped - self.lo) / (self.hi - self.lo)
+        return unit * self._span + self.data_min_
+
+
+class TableCodec:
+    """Encode a :class:`Table` into the GAN's [-1, 1] matrix space and back.
+
+    ``decode`` restores value types: discrete and categorical columns are
+    rounded to integers and categorical codes are clipped into the
+    vocabulary, so every decoded table is schema-valid by construction.
+    """
+
+    def __init__(self, feature_range: tuple[float, float] = (-1.0, 1.0)):
+        self.feature_range = feature_range
+        self.schema_: TableSchema | None = None
+        self.codecs_: list[MinMaxCodec] | None = None
+
+    def fit(self, table: Table) -> "TableCodec":
+        """Learn per-column scaling from ``table``."""
+        self.schema_ = table.schema
+        self.codecs_ = []
+        for spec in table.schema.columns:
+            codec = MinMaxCodec(self.feature_range).fit(table.column(spec.name))
+            self.codecs_.append(codec)
+        return self
+
+    def encode(self, table: Table) -> np.ndarray:
+        """Encode ``table`` to an (n_rows, n_columns) matrix in the feature range."""
+        check_fitted(self, "codecs_")
+        if table.schema != self.schema_:
+            raise ValueError("table schema does not match the fitted schema")
+        out = np.empty_like(table.values)
+        for j, codec in enumerate(self.codecs_):
+            out[:, j] = codec.encode(table.values[:, j])
+        return out
+
+    def decode(self, matrix: np.ndarray) -> Table:
+        """Decode a feature-range matrix back into a schema-valid Table."""
+        check_fitted(self, "codecs_")
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.ndim != 2 or matrix.shape[1] != self.schema_.n_columns:
+            raise ValueError(
+                f"expected (n, {self.schema_.n_columns}) matrix, got {matrix.shape}"
+            )
+        out = np.empty_like(matrix)
+        for j, (codec, spec) in enumerate(zip(self.codecs_, self.schema_.columns)):
+            col = codec.decode(matrix[:, j])
+            if spec.kind in (ColumnKind.DISCRETE, ColumnKind.CATEGORICAL):
+                col = np.rint(col)
+            if spec.kind is ColumnKind.CATEGORICAL:
+                col = np.clip(col, 0, spec.n_categories - 1)
+            out[:, j] = col
+        return Table(out, self.schema_)
+
+    def label_position(self) -> int:
+        """Index of the label column in the encoded matrix."""
+        check_fitted(self, "schema_")
+        if self.schema_.label is None:
+            raise ValueError("fitted schema has no label column")
+        return self.schema_.index(self.schema_.label)
+
+    def encode_label(self, raw_labels: np.ndarray) -> np.ndarray:
+        """Encode raw 0/1 labels into the feature range of the label column."""
+        check_fitted(self, "codecs_")
+        return self.codecs_[self.label_position()].encode(raw_labels)
+
+    def decode_label(self, encoded: np.ndarray) -> np.ndarray:
+        """Decode feature-range label values back to hard 0/1 labels."""
+        check_fitted(self, "codecs_")
+        decoded = self.codecs_[self.label_position()].decode(encoded)
+        return np.clip(np.rint(decoded), 0, 1)

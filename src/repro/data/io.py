@@ -1,0 +1,124 @@
+"""CSV import/export: apply table-GAN to user-supplied data.
+
+The evaluation pipeline generates its four datasets synthetically, but a
+downstream user wants to point the library at their own table.  This
+module reads a CSV into a schema-valid :class:`~repro.data.table.Table`
+(with column kinds inferred or declared), and writes Tables back out with
+categorical codes decoded.
+"""
+
+from __future__ import annotations
+
+import csv
+
+import numpy as np
+
+from repro.data.schema import ColumnKind, ColumnRole, ColumnSpec, TableSchema
+from repro.data.table import Table
+
+
+def _parse_numeric(values: list[str]) -> np.ndarray | None:
+    """Parse strings to floats, or None if any value is non-numeric."""
+    out = np.empty(len(values))
+    for i, raw in enumerate(values):
+        try:
+            out[i] = float(raw)
+        except ValueError:
+            return None
+    return out
+
+
+def infer_column(name: str, values: list[str], role: ColumnRole,
+                 force_categorical: bool = False) -> tuple[ColumnSpec, np.ndarray]:
+    """Infer one column's kind and produce its numeric representation.
+
+    Numeric columns become CONTINUOUS (or DISCRETE when every value is an
+    integer); non-numeric or forced columns become CATEGORICAL with a
+    sorted vocabulary and integer codes.
+    """
+    numeric = None if force_categorical else _parse_numeric(values)
+    if numeric is not None:
+        if np.allclose(numeric, np.rint(numeric)):
+            return ColumnSpec(name, ColumnKind.DISCRETE, role), numeric
+        return ColumnSpec(name, ColumnKind.CONTINUOUS, role), numeric
+    vocabulary = tuple(sorted(set(values)))
+    index = {v: i for i, v in enumerate(vocabulary)}
+    codes = np.array([index[v] for v in values], dtype=np.float64)
+    spec = ColumnSpec(name, ColumnKind.CATEGORICAL, role, vocabulary)
+    return spec, codes
+
+
+def read_csv(path, qids=(), label: str | None = None,
+             categorical=(), identifiers=(),
+             regression_target: str | None = None) -> Table:
+    """Read a CSV file into a Table, inferring column kinds.
+
+    Parameters
+    ----------
+    path:
+        CSV file with a header row.
+    qids:
+        Column names to mark as quasi-identifiers.
+    label:
+        Name of the binary ground-truth column (enables the classifier
+        network and the model-compatibility tests).
+    categorical:
+        Columns to force to CATEGORICAL even if their values parse as
+        numbers (e.g. ZIP codes).
+    identifiers:
+        Columns to *drop* entirely (SSNs etc.; never synthesized).
+    regression_target:
+        Continuous column for regression compatibility tests.
+    """
+    qids = set(qids)
+    categorical = set(categorical)
+    identifiers = set(identifiers)
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise ValueError(f"{path} is empty") from None
+        rows = [row for row in reader if row]
+    if not rows:
+        raise ValueError(f"{path} has a header but no data rows")
+    for row in rows:
+        if len(row) != len(header):
+            raise ValueError(
+                f"ragged CSV: row with {len(row)} cells, header has {len(header)}"
+            )
+    known = set(header)
+    for group, group_name in ((qids, "qids"), (categorical, "categorical"),
+                              (identifiers, "identifiers")):
+        missing = group - known
+        if missing:
+            raise KeyError(f"{group_name} not in CSV header: {sorted(missing)}")
+    if label is not None and label not in known:
+        raise KeyError(f"label {label!r} not in CSV header")
+
+    columns, data = [], []
+    for j, name in enumerate(header):
+        if name in identifiers:
+            continue
+        values = [row[j] for row in rows]
+        if name == label:
+            role = ColumnRole.LABEL
+        elif name in qids:
+            role = ColumnRole.QID
+        else:
+            role = ColumnRole.SENSITIVE
+        spec, column = infer_column(name, values, role, name in categorical)
+        columns.append(spec)
+        data.append(column)
+    schema = TableSchema(columns, regression_target=regression_target)
+    return Table(np.column_stack(data), schema)
+
+
+def write_csv(table: Table, path) -> None:
+    """Write a Table to CSV, decoding categorical codes to their strings."""
+    decoded = {name: table.decode_column(name) for name in table.schema.names}
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(table.schema.names)
+        for i in range(table.n_rows):
+            writer.writerow([decoded[name][i] for name in table.schema.names])

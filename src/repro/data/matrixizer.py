@@ -1,0 +1,136 @@
+"""Record vector <-> d×d square matrix conversion (paper §3.2 step 1).
+
+A record of ``n`` attributes is zero-padded to ``d*d`` values and reshaped
+into a ``d×d`` single-channel image so DCGAN-style 2-D convolutions apply.
+``d`` is chosen as the smallest power of two whose square holds all
+attributes (powers of two keep the stride-2 conv stack geometry exact);
+the paper's own architecture (Figure 2) uses the same halving/doubling
+ladder.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def side_for_features(n_features: int, minimum: int = 4) -> int:
+    """Smallest power-of-two side ``d`` with ``d*d >= n_features``."""
+    if n_features <= 0:
+        raise ValueError(f"n_features must be positive, got {n_features}")
+    d = minimum
+    while d * d < n_features:
+        d *= 2
+    return d
+
+
+class Matrixizer:
+    """Stateless converter between record batches and square matrices.
+
+    Parameters
+    ----------
+    n_features:
+        Number of attributes per record.
+    side:
+        Matrix side length; defaults to :func:`side_for_features`.
+    """
+
+    def __init__(self, n_features: int, side: int | None = None):
+        if n_features <= 0:
+            raise ValueError(f"n_features must be positive, got {n_features}")
+        self.n_features = n_features
+        self.side = side_for_features(n_features) if side is None else side
+        if self.side * self.side < n_features:
+            raise ValueError(
+                f"side {self.side} too small for {n_features} features"
+            )
+
+    @property
+    def padding(self) -> int:
+        """Number of zero cells appended to each record."""
+        return self.side * self.side - self.n_features
+
+    def to_matrices(self, records: np.ndarray) -> np.ndarray:
+        """(N, n_features) records -> (N, 1, d, d) matrices with zero padding."""
+        records = np.asarray(records, dtype=np.float64)
+        if records.ndim != 2 or records.shape[1] != self.n_features:
+            raise ValueError(
+                f"expected (n, {self.n_features}) records, got {records.shape}"
+            )
+        batch = records.shape[0]
+        padded = np.zeros((batch, self.side * self.side), dtype=np.float64)
+        padded[:, : self.n_features] = records
+        return padded.reshape(batch, 1, self.side, self.side)
+
+    def to_records(self, matrices: np.ndarray) -> np.ndarray:
+        """(N, 1, d, d) matrices -> (N, n_features) records, dropping padding."""
+        matrices = np.asarray(matrices, dtype=np.float64)
+        expected = (matrices.shape[0], 1, self.side, self.side)
+        if matrices.shape != expected:
+            raise ValueError(f"expected shape {expected}, got {matrices.shape}")
+        flat = matrices.reshape(matrices.shape[0], -1)
+        return flat[:, : self.n_features].copy()
+
+    def feature_position(self, feature_index: int) -> tuple[int, int]:
+        """(row, col) cell of a feature inside the d×d matrix."""
+        if not 0 <= feature_index < self.n_features:
+            raise IndexError(f"feature index {feature_index} out of range")
+        return divmod(feature_index, self.side)
+
+
+def length_for_features(n_features: int, minimum: int = 4) -> int:
+    """Smallest power-of-two length ``L >= n_features`` (1-D layout)."""
+    if n_features <= 0:
+        raise ValueError(f"n_features must be positive, got {n_features}")
+    length = minimum
+    while length < n_features:
+        length *= 2
+    return length
+
+
+class Vectorizer:
+    """Record batches <-> (N, 1, L) vectors for the §3.2 1-D layout ablation.
+
+    The paper's alternative to the square-matrix layout: records stay in
+    vector form and 1-D convolutions apply.  The paper found this
+    sub-optimal; :mod:`repro.core` exposes it via
+    ``TableGanConfig(layout="vector")`` so the claim is reproducible.
+    """
+
+    def __init__(self, n_features: int, length: int | None = None):
+        if n_features <= 0:
+            raise ValueError(f"n_features must be positive, got {n_features}")
+        self.n_features = n_features
+        self.side = length_for_features(n_features) if length is None else length
+        if self.side < n_features:
+            raise ValueError(f"length {self.side} too small for {n_features} features")
+
+    @property
+    def padding(self) -> int:
+        """Number of zero cells appended to each record."""
+        return self.side - self.n_features
+
+    def to_matrices(self, records: np.ndarray) -> np.ndarray:
+        """(N, n_features) records -> (N, 1, L) vectors with zero padding."""
+        records = np.asarray(records, dtype=np.float64)
+        if records.ndim != 2 or records.shape[1] != self.n_features:
+            raise ValueError(
+                f"expected (n, {self.n_features}) records, got {records.shape}"
+            )
+        batch = records.shape[0]
+        padded = np.zeros((batch, self.side), dtype=np.float64)
+        padded[:, : self.n_features] = records
+        return padded.reshape(batch, 1, self.side)
+
+    def to_records(self, matrices: np.ndarray) -> np.ndarray:
+        """(N, 1, L) vectors -> (N, n_features) records, dropping padding."""
+        matrices = np.asarray(matrices, dtype=np.float64)
+        expected = (matrices.shape[0], 1, self.side)
+        if matrices.shape != expected:
+            raise ValueError(f"expected shape {expected}, got {matrices.shape}")
+        return matrices.reshape(matrices.shape[0], -1)[:, : self.n_features].copy()
+
+    def feature_position(self, feature_index: int) -> tuple[int]:
+        """(offset,) cell of a feature inside the length-L vector."""
+        if not 0 <= feature_index < self.n_features:
+            raise IndexError(f"feature index {feature_index} out of range")
+        return (feature_index,)

@@ -1,0 +1,152 @@
+"""Table schema: column kinds, privacy roles, and schema-level accessors.
+
+The paper's terminology (§2) maps onto :class:`ColumnRole`:
+
+* *identifier* — unique per record (SSN); never synthesized or released.
+* *QID* (quasi-identifier) — combinations may identify a record; these are
+  what anonymization tools generalize.
+* *sensitive* — everything else; anonymization leaves these untouched,
+  which is exactly the weakness table-GAN targets.
+* *label* — the ground-truth attribute used for the classifier network and
+  the model-compatibility tests.
+
+Values are stored numerically everywhere (categoricals as integer codes
+with the string vocabulary kept in :class:`ColumnSpec`), mirroring the
+paper's label-encoding of non-numeric attributes (§5.2.2 footnote 6).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class ColumnKind(enum.Enum):
+    """Value type of a column, deciding decode-time rounding behaviour."""
+
+    CONTINUOUS = "continuous"
+    DISCRETE = "discrete"      # integer-valued numeric (year, count, age)
+    CATEGORICAL = "categorical"  # integer code into ``ColumnSpec.categories``
+
+
+class ColumnRole(enum.Enum):
+    """Privacy role of a column (paper §2 definitions)."""
+
+    IDENTIFIER = "identifier"
+    QID = "qid"
+    SENSITIVE = "sensitive"
+    LABEL = "label"
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """Schema entry for a single column.
+
+    Parameters
+    ----------
+    name:
+        Column name, unique within a schema.
+    kind:
+        Value type (continuous / discrete / categorical).
+    role:
+        Privacy role (identifier / qid / sensitive / label).
+    categories:
+        For categorical columns, the code -> string vocabulary.  Code ``i``
+        decodes to ``categories[i]``.
+    """
+
+    name: str
+    kind: ColumnKind
+    role: ColumnRole
+    categories: tuple[str, ...] = field(default=())
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValueError("column name must be non-empty")
+        if self.kind is ColumnKind.CATEGORICAL and not self.categories:
+            raise ValueError(f"categorical column {self.name!r} needs categories")
+        if self.kind is not ColumnKind.CATEGORICAL and self.categories:
+            raise ValueError(f"non-categorical column {self.name!r} must not set categories")
+
+    @property
+    def n_categories(self) -> int:
+        """Vocabulary size (0 for non-categorical columns)."""
+        return len(self.categories)
+
+
+class TableSchema:
+    """Ordered collection of :class:`ColumnSpec` plus task annotations.
+
+    Parameters
+    ----------
+    columns:
+        Column specs in storage order.
+    regression_target:
+        Name of the continuous column used for the paper's regression
+        model-compatibility tests, or ``None`` when (as for Health) only
+        classification applies.
+    """
+
+    def __init__(self, columns, regression_target: str | None = None):
+        self.columns: tuple[ColumnSpec, ...] = tuple(columns)
+        if not self.columns:
+            raise ValueError("schema needs at least one column")
+        names = [c.name for c in self.columns]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate column names in schema: {names}")
+        labels = [c.name for c in self.columns if c.role is ColumnRole.LABEL]
+        if len(labels) > 1:
+            raise ValueError(f"at most one label column supported, got {labels}")
+        self.label: str | None = labels[0] if labels else None
+        if regression_target is not None and regression_target not in names:
+            raise ValueError(f"regression target {regression_target!r} not in schema")
+        self.regression_target = regression_target
+        self._index = {name: i for i, name in enumerate(names)}
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """All column names in storage order."""
+        return tuple(c.name for c in self.columns)
+
+    @property
+    def qids(self) -> tuple[str, ...]:
+        """Quasi-identifier column names."""
+        return tuple(c.name for c in self.columns if c.role is ColumnRole.QID)
+
+    @property
+    def sensitive(self) -> tuple[str, ...]:
+        """Sensitive column names (the paper includes the label here)."""
+        return tuple(
+            c.name for c in self.columns
+            if c.role in (ColumnRole.SENSITIVE, ColumnRole.LABEL)
+        )
+
+    @property
+    def n_columns(self) -> int:
+        return len(self.columns)
+
+    def index(self, name: str) -> int:
+        """Storage index of column ``name``."""
+        if name not in self._index:
+            raise KeyError(f"no column named {name!r}; have {self.names}")
+        return self._index[name]
+
+    def spec(self, name: str) -> ColumnSpec:
+        """The :class:`ColumnSpec` for ``name``."""
+        return self.columns[self.index(name)]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, TableSchema)
+            and self.columns == other.columns
+            and self.regression_target == other.regression_target
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"TableSchema({self.n_columns} columns, qids={list(self.qids)}, "
+            f"label={self.label!r})"
+        )

@@ -1,0 +1,39 @@
+"""Train/test splitting of :class:`~repro.data.table.Table` objects.
+
+The paper reserves ≈20% of each dataset as unknown testing records for the
+model-compatibility evaluation, and additionally re-uses part of that
+held-out set as the "out" records of the membership attack (§5.3.2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.table import Table
+from repro.utils.rng import ensure_rng
+
+
+def train_test_split(table: Table, test_fraction: float = 0.2, seed=None) -> tuple[Table, Table]:
+    """Randomly partition ``table`` into (train, test).
+
+    Parameters
+    ----------
+    table:
+        Source table.
+    test_fraction:
+        Fraction of rows in the test partition; must leave both parts
+        non-empty.
+    seed:
+        Seed or generator for the shuffle.
+    """
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    rng = ensure_rng(seed)
+    n_test = int(round(table.n_rows * test_fraction))
+    if n_test == 0 or n_test == table.n_rows:
+        raise ValueError(
+            f"test_fraction {test_fraction} leaves an empty partition for "
+            f"{table.n_rows} rows"
+        )
+    order = rng.permutation(table.n_rows)
+    return table.take(order[n_test:]), table.take(order[:n_test])

@@ -1,0 +1,135 @@
+"""The :class:`Table` container: a numpy matrix plus a :class:`TableSchema`.
+
+A Table is the unit every component of the library consumes and produces:
+dataset generators emit Tables, table-GAN trains on a Table and samples a
+synthetic Table, anonymization/perturbation baselines map Table -> Table,
+and the evaluation harness compares Tables.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.schema import ColumnKind, TableSchema
+
+
+class Table:
+    """An immutable-by-convention relational table.
+
+    Parameters
+    ----------
+    values:
+        Float matrix of shape ``(n_rows, n_columns)``; categorical columns
+        hold integer codes.
+    schema:
+        Column specs matching ``values``'s second axis.
+    """
+
+    def __init__(self, values: np.ndarray, schema: TableSchema):
+        values = np.asarray(values, dtype=np.float64)
+        if values.ndim != 2:
+            raise ValueError(f"values must be 2-D, got shape {values.shape}")
+        if values.shape[1] != schema.n_columns:
+            raise ValueError(
+                f"values has {values.shape[1]} columns but schema has {schema.n_columns}"
+            )
+        self.values = values
+        self.schema = schema
+
+    @property
+    def n_rows(self) -> int:
+        return self.values.shape[0]
+
+    @property
+    def n_columns(self) -> int:
+        return self.values.shape[1]
+
+    def column(self, name: str) -> np.ndarray:
+        """The values of column ``name`` as a 1-D array (a view)."""
+        return self.values[:, self.schema.index(name)]
+
+    def columns(self, names) -> np.ndarray:
+        """A sub-matrix with the given columns, in the given order."""
+        idx = [self.schema.index(n) for n in names]
+        return self.values[:, idx]
+
+    def with_values(self, values: np.ndarray) -> "Table":
+        """A new Table sharing this schema with different values."""
+        return Table(values, self.schema)
+
+    def take(self, row_indices) -> "Table":
+        """A new Table containing the given rows (copy)."""
+        return Table(self.values[np.asarray(row_indices)], self.schema)
+
+    def head(self, n: int = 5) -> "Table":
+        """First ``n`` rows."""
+        return Table(self.values[:n].copy(), self.schema)
+
+    def features_and_label(self) -> tuple[np.ndarray, np.ndarray]:
+        """Split into (X, y) for the model-compatibility classification tests.
+
+        X contains every non-label column; y is the binary label column.
+        """
+        if self.schema.label is None:
+            raise ValueError("table schema has no label column")
+        label_idx = self.schema.index(self.schema.label)
+        mask = np.ones(self.n_columns, dtype=bool)
+        mask[label_idx] = False
+        return self.values[:, mask], self.values[:, label_idx]
+
+    def features_and_target(self) -> tuple[np.ndarray, np.ndarray]:
+        """Split into (X, y) for the regression tests.
+
+        X excludes both the regression target and the (derived) binary
+        label, since the label is a thresholding of the target and would
+        leak it.
+        """
+        target = self.schema.regression_target
+        if target is None:
+            raise ValueError("table schema has no regression target")
+        drop = {self.schema.index(target)}
+        if self.schema.label is not None:
+            drop.add(self.schema.index(self.schema.label))
+        mask = np.ones(self.n_columns, dtype=bool)
+        for idx in drop:
+            mask[idx] = False
+        return self.values[:, mask], self.values[:, self.schema.index(target)]
+
+    def decode_column(self, name: str) -> list:
+        """Column values rendered with categorical codes mapped to strings."""
+        spec = self.schema.spec(name)
+        col = self.column(name)
+        if spec.kind is ColumnKind.CATEGORICAL:
+            codes = np.clip(np.rint(col).astype(int), 0, spec.n_categories - 1)
+            return [spec.categories[c] for c in codes]
+        if spec.kind is ColumnKind.DISCRETE:
+            return [int(v) for v in np.rint(col)]
+        return [float(v) for v in col]
+
+    def describe(self) -> dict[str, dict[str, float]]:
+        """Per-column summary statistics (min/max/mean/std)."""
+        out = {}
+        for spec in self.schema.columns:
+            col = self.column(spec.name)
+            out[spec.name] = {
+                "min": float(col.min()),
+                "max": float(col.max()),
+                "mean": float(col.mean()),
+                "std": float(col.std()),
+            }
+        return out
+
+    def to_rows(self, n: int | None = None) -> list[dict]:
+        """Render rows as dicts with decoded categoricals (for reports)."""
+        count = self.n_rows if n is None else min(n, self.n_rows)
+        decoded = {name: self.decode_column(name) for name in self.schema.names}
+        return [
+            {name: decoded[name][i] for name in self.schema.names}
+            for i in range(count)
+        ]
+
+    def __len__(self) -> int:
+        return self.n_rows
+
+    def __repr__(self) -> str:
+        return f"Table({self.n_rows} rows × {self.n_columns} columns)"

@@ -1,0 +1,49 @@
+"""Evaluation harness: statistical similarity and model compatibility."""
+
+from repro.evaluation.compatibility import (
+    CompatibilityPoint,
+    CompatibilityReport,
+    classification_compatibility,
+    classifier_suite,
+    regression_compatibility,
+    regressor_suite,
+)
+from repro.evaluation.correlation import (
+    correlation_distance,
+    correlation_matrix,
+    label_correlation_gap,
+)
+from repro.evaluation.reporting import (
+    banner,
+    format_cdf_series,
+    format_scatter_summary,
+    format_table,
+)
+from repro.evaluation.statistical import (
+    CdfComparison,
+    compare_all_sensitive,
+    compare_cdf,
+    empirical_cdf,
+    mean_area_distance,
+)
+
+__all__ = [
+    "compare_cdf",
+    "compare_all_sensitive",
+    "mean_area_distance",
+    "empirical_cdf",
+    "CdfComparison",
+    "correlation_matrix",
+    "correlation_distance",
+    "label_correlation_gap",
+    "classification_compatibility",
+    "regression_compatibility",
+    "classifier_suite",
+    "regressor_suite",
+    "CompatibilityPoint",
+    "CompatibilityReport",
+    "format_table",
+    "format_cdf_series",
+    "format_scatter_summary",
+    "banner",
+]

@@ -1,0 +1,89 @@
+"""Plain-text rendering of tables and figure series for the benchmarks.
+
+Every benchmark prints the paper's artifact (table rows or figure series)
+next to the measured values, so EXPERIMENTS.md can be assembled directly
+from bench output.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def format_table(headers, rows, title: str | None = None) -> str:
+    """Render rows as an aligned monospace table."""
+    headers = [str(h) for h in headers]
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt(cells):
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(headers))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def format_cdf_series(comparison, n_rows: int = 11) -> str:
+    """Render a CdfComparison as a compact (x, original, released) listing."""
+    picks = np.linspace(0, comparison.grid.size - 1, n_rows).astype(int)
+    rows = [
+        (f"{comparison.grid[i]:.2f}",
+         f"{comparison.cdf_original[i]:.3f}",
+         f"{comparison.cdf_released[i]:.3f}")
+        for i in picks
+    ]
+    table = format_table(
+        ["x (normalized)", "original CDF", "released CDF"],
+        rows,
+        title=(
+            f"attribute={comparison.attribute}  "
+            f"KS={comparison.ks_statistic:.3f}  area={comparison.area_distance:.3f}"
+        ),
+    )
+    return table
+
+
+def format_scatter_summary(report, label: str) -> str:
+    """Summarize a CompatibilityReport the way the paper's figures read."""
+    rows = []
+    for algorithm, points in sorted(report.by_algorithm().items()):
+        xs = [p.score_original for p in points]
+        ys = [p.score_released for p in points]
+        gaps = [p.gap for p in points]
+        rows.append((
+            algorithm,
+            f"{np.mean(xs):.3f}",
+            f"{np.mean(ys):.3f}",
+            f"{np.mean(gaps):.3f}",
+            f"{np.max(gaps):.3f}",
+        ))
+    rows.append((
+        "ALL",
+        "", "",
+        f"{report.mean_gap:.3f}",
+        f"{report.max_gap:.3f}",
+    ))
+    return format_table(
+        ["algorithm", f"mean {report.metric} (orig)",
+         f"mean {report.metric} (released)", "mean |gap|", "max |gap|"],
+        rows,
+        title=label,
+    )
+
+
+def banner(text: str) -> str:
+    """Section banner used by the benchmark harness output."""
+    bar = "=" * max(len(text), 8)
+    return f"\n{bar}\n{text}\n{bar}"

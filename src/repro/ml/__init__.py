@@ -1,0 +1,63 @@
+"""Machine-learning substrate: the scikit-learn substitute.
+
+Implements every model family the paper's evaluation requires — the four
+classifiers and four regressors of the model-compatibility sweeps
+(Figures 5/6), the five attack-model families of the membership attack
+(Table 6), grid search with k-fold CV, and the metrics (F-1, ROC AUC, MRE).
+"""
+
+from repro.ml.base import Estimator, clone
+from repro.ml.boosting import AdaBoostClassifier
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.linear import (
+    HuberRegressor,
+    Lasso,
+    LinearRegression,
+    PassiveAggressiveRegressor,
+)
+from repro.ml.metrics import (
+    accuracy,
+    confusion_counts,
+    f1_score,
+    mean_relative_error,
+    mean_squared_error,
+    precision,
+    r2_score,
+    recall,
+    roc_auc,
+)
+from repro.ml.mlp import MLPClassifier
+from repro.ml.model_selection import GridSearchCV, KFold, param_grid_iter
+from repro.ml.preprocessing import LabelEncoder, MinMaxScaler, StandardScaler
+from repro.ml.svm import LinearSVC
+from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor
+
+__all__ = [
+    "Estimator",
+    "clone",
+    "DecisionTreeClassifier",
+    "DecisionTreeRegressor",
+    "RandomForestClassifier",
+    "AdaBoostClassifier",
+    "MLPClassifier",
+    "LinearSVC",
+    "LinearRegression",
+    "Lasso",
+    "PassiveAggressiveRegressor",
+    "HuberRegressor",
+    "GridSearchCV",
+    "KFold",
+    "param_grid_iter",
+    "LabelEncoder",
+    "StandardScaler",
+    "MinMaxScaler",
+    "accuracy",
+    "precision",
+    "recall",
+    "f1_score",
+    "roc_auc",
+    "confusion_counts",
+    "mean_relative_error",
+    "mean_squared_error",
+    "r2_score",
+]

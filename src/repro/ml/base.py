@@ -1,0 +1,46 @@
+"""Estimator base class with scikit-learn-style parameter introspection.
+
+Estimators follow three conventions the rest of the library relies on:
+
+* constructor arguments are stored verbatim on attributes of the same name
+  (so :func:`clone` can rebuild an unfitted copy),
+* fitting sets trailing-underscore attributes,
+* ``fit`` returns ``self``.
+"""
+
+from __future__ import annotations
+
+import inspect
+
+
+class Estimator:
+    """Base class providing ``get_params`` / ``set_params`` / ``clone``."""
+
+    @classmethod
+    def _param_names(cls) -> list[str]:
+        signature = inspect.signature(cls.__init__)
+        return [
+            name for name, p in signature.parameters.items()
+            if name != "self" and p.kind not in (p.VAR_POSITIONAL, p.VAR_KEYWORD)
+        ]
+
+    def get_params(self) -> dict:
+        """Constructor parameters and their current values."""
+        return {name: getattr(self, name) for name in self._param_names()}
+
+    def set_params(self, **params) -> "Estimator":
+        """Set constructor parameters in place; unknown names raise."""
+        valid = set(self._param_names())
+        for name, value in params.items():
+            if name not in valid:
+                raise ValueError(
+                    f"invalid parameter {name!r} for {type(self).__name__}; "
+                    f"valid: {sorted(valid)}"
+                )
+            setattr(self, name, value)
+        return self
+
+
+def clone(estimator: Estimator) -> Estimator:
+    """Build an unfitted copy of ``estimator`` with identical parameters."""
+    return type(estimator)(**estimator.get_params())

@@ -1,0 +1,111 @@
+"""AdaBoost classifier (SAMME) over decision-tree weak learners."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import Estimator
+from repro.ml.tree import DecisionTreeClassifier
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_array, check_fitted
+
+
+class AdaBoostClassifier(Estimator):
+    """Discrete AdaBoost with the SAMME multi-class weight update.
+
+    Parameters
+    ----------
+    n_estimators:
+        Maximum boosting rounds (stops early on a perfect or useless learner).
+    max_depth:
+        Depth of each weak tree (1 = decision stumps, the classic choice).
+    learning_rate:
+        Shrinkage on each learner's vote weight.
+    seed:
+        Seed for tree feature sub-sampling.
+    """
+
+    def __init__(self, n_estimators=50, max_depth=1, learning_rate=1.0, seed=None):
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.learning_rate = learning_rate
+        self.seed = seed
+
+    def fit(self, X, y) -> "AdaBoostClassifier":
+        """Run boosting rounds, reweighting misclassified samples."""
+        if self.n_estimators <= 0:
+            raise ValueError(f"n_estimators must be positive, got {self.n_estimators}")
+        if self.learning_rate <= 0:
+            raise ValueError(f"learning_rate must be positive, got {self.learning_rate}")
+        X = check_array(X, "X", ndim=2)
+        y = np.asarray(y, dtype=np.float64).ravel()
+        if y.size != X.shape[0]:
+            raise ValueError("X and y have inconsistent lengths")
+        rng = ensure_rng(self.seed)
+        self.classes_ = np.unique(y)
+        n_classes = self.classes_.size
+        if n_classes < 2:
+            # Degenerate training data (e.g. a degraded synthetic table whose
+            # label collapsed to one class): fall back to a constant
+            # predictor instead of failing the whole evaluation sweep.
+            self.estimators_ = []
+            self.estimator_weights_ = []
+            return self
+
+        n = X.shape[0]
+        weights = np.full(n, 1.0 / n)
+        self.estimators_: list[DecisionTreeClassifier] = []
+        self.estimator_weights_: list[float] = []
+
+        for _ in range(self.n_estimators):
+            tree = DecisionTreeClassifier(max_depth=self.max_depth, seed=rng)
+            tree.fit(X, y, sample_weight=weights)
+            pred = tree.predict(X)
+            miss = pred != y
+            error = float(np.sum(weights[miss]))
+            if error <= 1e-12:
+                # Perfect learner: give it a large, finite vote and stop.
+                self.estimators_.append(tree)
+                self.estimator_weights_.append(10.0)
+                break
+            if error >= 1.0 - 1.0 / n_classes:
+                # No better than chance; boosting cannot proceed.
+                if not self.estimators_:
+                    self.estimators_.append(tree)
+                    self.estimator_weights_.append(1.0)
+                break
+            alpha = self.learning_rate * (
+                np.log((1.0 - error) / error) + np.log(n_classes - 1.0)
+            )
+            self.estimators_.append(tree)
+            self.estimator_weights_.append(float(alpha))
+            weights = weights * np.exp(alpha * miss)
+            weights /= weights.sum()
+        return self
+
+    def decision_scores(self, X) -> np.ndarray:
+        """Weighted vote totals per class, shape (n, n_classes)."""
+        check_fitted(self, "classes_")
+        X = check_array(X, "X", ndim=2)
+        scores = np.zeros((X.shape[0], self.classes_.size))
+        if not self.estimators_:
+            # Constant predictor (single-class training data).
+            scores[:, 0] = 1.0
+            return scores
+        for tree, alpha in zip(self.estimators_, self.estimator_weights_):
+            pred = tree.predict(X)
+            cols = np.searchsorted(self.classes_, pred)
+            scores[np.arange(X.shape[0]), cols] += alpha
+        return scores
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Vote shares (normalized decision scores)."""
+        scores = self.decision_scores(X)
+        total = scores.sum(axis=1, keepdims=True)
+        total[total == 0] = 1.0
+        return scores / total
+
+    def predict(self, X) -> np.ndarray:
+        """Class with the highest weighted vote."""
+        scores = self.decision_scores(X)
+        return self.classes_[np.argmax(scores, axis=1)]

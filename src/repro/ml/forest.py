@@ -1,0 +1,90 @@
+"""Random forest classifier: bagged CART trees with feature sub-sampling."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import Estimator
+from repro.ml.tree import DecisionTreeClassifier
+from repro.utils.rng import ensure_rng, spawn_rng
+from repro.utils.validation import check_array, check_fitted
+
+
+class RandomForestClassifier(Estimator):
+    """Bagging ensemble of :class:`DecisionTreeClassifier`.
+
+    Parameters
+    ----------
+    n_estimators:
+        Number of trees.
+    max_depth, min_samples_split, min_samples_leaf:
+        Per-tree growth limits.
+    max_features:
+        Features considered per split (default ``"sqrt"``, the standard
+        forest heuristic).
+    bootstrap:
+        Sample rows with replacement per tree when True.
+    seed:
+        Seed for bootstrapping and per-tree feature sub-sampling.
+    """
+
+    def __init__(self, n_estimators=20, max_depth=None, min_samples_split=2,
+                 min_samples_leaf=1, max_features="sqrt", bootstrap=True, seed=None):
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.bootstrap = bootstrap
+        self.seed = seed
+
+    def fit(self, X, y) -> "RandomForestClassifier":
+        """Fit ``n_estimators`` trees on bootstrap replicates of (X, y)."""
+        if self.n_estimators <= 0:
+            raise ValueError(f"n_estimators must be positive, got {self.n_estimators}")
+        X = check_array(X, "X", ndim=2)
+        y = np.asarray(y, dtype=np.float64).ravel()
+        if y.size != X.shape[0]:
+            raise ValueError("X and y have inconsistent lengths")
+        rng = ensure_rng(self.seed)
+        tree_rngs = spawn_rng(rng, self.n_estimators)
+        self.classes_ = np.unique(y)
+        self.trees_ = []
+        n = X.shape[0]
+        for tree_rng in tree_rngs:
+            if self.bootstrap:
+                idx = tree_rng.integers(0, n, size=n)
+                Xb, yb = X[idx], y[idx]
+                if np.unique(yb).size < 2 and self.classes_.size >= 2:
+                    # Re-inject one example of a missing class so the tree
+                    # can still discriminate (tiny-sample edge case).
+                    missing = np.setdiff1d(self.classes_, np.unique(yb))[0]
+                    donor = int(np.flatnonzero(y == missing)[0])
+                    Xb, yb = np.vstack([Xb, X[donor]]), np.append(yb, missing)
+            else:
+                Xb, yb = X, y
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                min_samples_split=self.min_samples_split,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=self.max_features,
+                seed=tree_rng,
+            )
+            self.trees_.append(tree.fit(Xb, yb))
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Average of per-tree class probabilities, aligned to ``classes_``."""
+        check_fitted(self, "trees_")
+        X = check_array(X, "X", ndim=2)
+        total = np.zeros((X.shape[0], self.classes_.size))
+        for tree in self.trees_:
+            proba = tree.predict_proba(X)
+            cols = np.searchsorted(self.classes_, tree.classes_)
+            total[:, cols] += proba
+        return total / len(self.trees_)
+
+    def predict(self, X) -> np.ndarray:
+        """Majority-probability class per row."""
+        proba = self.predict_proba(X)
+        return self.classes_[np.argmax(proba, axis=1)]

@@ -1,0 +1,177 @@
+"""Linear regression family for the paper's regression compatibility tests.
+
+Figure 6 sweeps four regressors: ordinary linear regression, Lasso,
+passive-aggressive regression, and Huber regression.  All four standardize
+features internally and solve in the standardized space, then predictions
+are mapped back — this mirrors how the paper's scikit-learn pipelines
+behave on tables whose columns span wildly different scales.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import Estimator
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_array, check_fitted
+
+
+class _StandardizedLinear(Estimator):
+    """Shared standardize-fit-predict plumbing for the linear models."""
+
+    def _prepare(self, X, y):
+        X = check_array(X, "X", ndim=2)
+        y = np.asarray(y, dtype=np.float64).ravel()
+        if y.size != X.shape[0]:
+            raise ValueError("X and y have inconsistent lengths")
+        self.x_mean_ = X.mean(axis=0)
+        self.x_std_ = X.std(axis=0)
+        self.x_std_[self.x_std_ == 0] = 1.0
+        self.y_mean_ = float(y.mean())
+        self.y_std_ = float(y.std()) or 1.0
+        Xs = (X - self.x_mean_) / self.x_std_
+        ys = (y - self.y_mean_) / self.y_std_
+        return Xs, ys
+
+    def predict(self, X) -> np.ndarray:
+        """Predicted targets in the original scale."""
+        check_fitted(self, "coef_")
+        X = check_array(X, "X", ndim=2)
+        Xs = (X - self.x_mean_) / self.x_std_
+        ys = Xs @ self.coef_ + self.intercept_
+        return ys * self.y_std_ + self.y_mean_
+
+
+class LinearRegression(_StandardizedLinear):
+    """Ordinary least squares via the pseudo-inverse (ridge-free, exact)."""
+
+    def __init__(self):
+        pass
+
+    def fit(self, X, y) -> "LinearRegression":
+        Xs, ys = self._prepare(X, y)
+        design = np.column_stack([Xs, np.ones(Xs.shape[0])])
+        solution, *_ = np.linalg.lstsq(design, ys, rcond=None)
+        self.coef_ = solution[:-1]
+        self.intercept_ = float(solution[-1])
+        return self
+
+
+class Lasso(_StandardizedLinear):
+    """L1-penalized least squares solved by cyclic coordinate descent.
+
+    Parameters
+    ----------
+    alpha:
+        L1 penalty strength (in standardized space).
+    max_iter, tol:
+        Coordinate-descent schedule.
+    """
+
+    def __init__(self, alpha=0.1, max_iter=300, tol=1e-6):
+        self.alpha = alpha
+        self.max_iter = max_iter
+        self.tol = tol
+
+    def fit(self, X, y) -> "Lasso":
+        if self.alpha < 0:
+            raise ValueError(f"alpha must be non-negative, got {self.alpha}")
+        Xs, ys = self._prepare(X, y)
+        n, p = Xs.shape
+        coef = np.zeros(p)
+        col_sq = (Xs**2).sum(axis=0)
+        col_sq[col_sq == 0] = 1.0
+        residual = ys.copy()
+        threshold = self.alpha * n
+        for _ in range(self.max_iter):
+            max_delta = 0.0
+            for j in range(p):
+                old = coef[j]
+                rho = Xs[:, j] @ residual + old * col_sq[j]
+                new = np.sign(rho) * max(abs(rho) - threshold, 0.0) / col_sq[j]
+                if new != old:
+                    residual += Xs[:, j] * (old - new)
+                    coef[j] = new
+                    max_delta = max(max_delta, abs(new - old))
+            if max_delta < self.tol:
+                break
+        self.coef_ = coef
+        self.intercept_ = float(residual.mean())
+        return self
+
+
+class PassiveAggressiveRegressor(_StandardizedLinear):
+    """Online passive-aggressive regression (PA-I with epsilon tube).
+
+    Each sample whose absolute error exceeds ``epsilon`` triggers an
+    aggressive update clipped at ``C`` (Crammer et al., 2006).
+    """
+
+    def __init__(self, C=1.0, epsilon=0.1, epochs=10, shuffle=True, seed=None):
+        self.C = C
+        self.epsilon = epsilon
+        self.epochs = epochs
+        self.shuffle = shuffle
+        self.seed = seed
+
+    def fit(self, X, y) -> "PassiveAggressiveRegressor":
+        if self.C <= 0:
+            raise ValueError(f"C must be positive, got {self.C}")
+        if self.epochs <= 0:
+            raise ValueError(f"epochs must be positive, got {self.epochs}")
+        Xs, ys = self._prepare(X, y)
+        rng = ensure_rng(self.seed)
+        n, p = Xs.shape
+        coef = np.zeros(p)
+        intercept = 0.0
+        for _ in range(self.epochs):
+            order = rng.permutation(n) if self.shuffle else np.arange(n)
+            for i in order:
+                pred = Xs[i] @ coef + intercept
+                error = ys[i] - pred
+                loss = abs(error) - self.epsilon
+                if loss <= 0:
+                    continue
+                norm_sq = Xs[i] @ Xs[i] + 1.0
+                tau = min(self.C, loss / norm_sq)
+                update = tau * np.sign(error)
+                coef += update * Xs[i]
+                intercept += update
+        self.coef_ = coef
+        self.intercept_ = float(intercept)
+        return self
+
+
+class HuberRegressor(_StandardizedLinear):
+    """Huber-loss regression via iteratively reweighted least squares.
+
+    Quadratic within ``delta`` of the fit, linear outside — robust to the
+    heavy-tailed pay/fare columns of the evaluation datasets.
+    """
+
+    def __init__(self, delta=1.35, max_iter=50, tol=1e-6):
+        self.delta = delta
+        self.max_iter = max_iter
+        self.tol = tol
+
+    def fit(self, X, y) -> "HuberRegressor":
+        if self.delta <= 0:
+            raise ValueError(f"delta must be positive, got {self.delta}")
+        Xs, ys = self._prepare(X, y)
+        design = np.column_stack([Xs, np.ones(Xs.shape[0])])
+        solution, *_ = np.linalg.lstsq(design, ys, rcond=None)
+        for _ in range(self.max_iter):
+            residual = ys - design @ solution
+            abs_res = np.maximum(np.abs(residual), 1e-12)
+            weights = np.where(abs_res <= self.delta, 1.0, self.delta / abs_res)
+            weighted_design = design * weights[:, None]
+            gram = weighted_design.T @ design
+            rhs = weighted_design.T @ ys
+            new_solution = np.linalg.solve(gram + 1e-10 * np.eye(gram.shape[0]), rhs)
+            if np.max(np.abs(new_solution - solution)) < self.tol:
+                solution = new_solution
+                break
+            solution = new_solution
+        self.coef_ = solution[:-1]
+        self.intercept_ = float(solution[-1])
+        return self

@@ -1,0 +1,114 @@
+"""Evaluation metrics used throughout the paper's experiments.
+
+* F-1 score — the classification model-compatibility metric (Figure 5) and
+  the membership-attack success metric (Table 6);
+* ROC AUC — the second membership-attack metric;
+* mean relative error (MRE) — the regression model-compatibility metric
+  (Figure 6).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _validate_pair(y_true, y_pred) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true, dtype=np.float64).ravel()
+    y_pred = np.asarray(y_pred, dtype=np.float64).ravel()
+    if y_true.shape != y_pred.shape:
+        raise ValueError(f"shape mismatch: {y_true.shape} vs {y_pred.shape}")
+    if y_true.size == 0:
+        raise ValueError("metric inputs must be non-empty")
+    return y_true, y_pred
+
+
+def accuracy(y_true, y_pred) -> float:
+    """Fraction of exact matches."""
+    y_true, y_pred = _validate_pair(y_true, y_pred)
+    return float(np.mean(y_true == y_pred))
+
+
+def confusion_counts(y_true, y_pred, positive: float = 1.0) -> tuple[int, int, int, int]:
+    """(TP, FP, FN, TN) counts for the given positive class."""
+    y_true, y_pred = _validate_pair(y_true, y_pred)
+    pos_true = y_true == positive
+    pos_pred = y_pred == positive
+    tp = int(np.sum(pos_true & pos_pred))
+    fp = int(np.sum(~pos_true & pos_pred))
+    fn = int(np.sum(pos_true & ~pos_pred))
+    tn = int(np.sum(~pos_true & ~pos_pred))
+    return tp, fp, fn, tn
+
+
+def precision(y_true, y_pred, positive: float = 1.0) -> float:
+    """TP / (TP + FP); 0 when nothing is predicted positive."""
+    tp, fp, _, _ = confusion_counts(y_true, y_pred, positive)
+    return tp / (tp + fp) if (tp + fp) > 0 else 0.0
+
+
+def recall(y_true, y_pred, positive: float = 1.0) -> float:
+    """TP / (TP + FN); 0 when there are no positives."""
+    tp, _, fn, _ = confusion_counts(y_true, y_pred, positive)
+    return tp / (tp + fn) if (tp + fn) > 0 else 0.0
+
+
+def f1_score(y_true, y_pred, positive: float = 1.0) -> float:
+    """Harmonic mean of precision and recall (the paper's classification metric)."""
+    p = precision(y_true, y_pred, positive)
+    r = recall(y_true, y_pred, positive)
+    return 2.0 * p * r / (p + r) if (p + r) > 0 else 0.0
+
+
+def roc_auc(y_true, scores) -> float:
+    """Area under the ROC curve from continuous scores.
+
+    Computed via the rank statistic (equivalent to the Mann–Whitney U),
+    with proper tie handling.  Returns 0.5 when one class is absent, which
+    is the convention that keeps membership-attack summaries well-defined
+    on degenerate splits.
+    """
+    y_true, scores = _validate_pair(y_true, scores)
+    pos = y_true == 1.0
+    n_pos = int(pos.sum())
+    n_neg = y_true.size - n_pos
+    if n_pos == 0 or n_neg == 0:
+        return 0.5
+    order = np.argsort(scores, kind="mergesort")
+    ranks = np.empty(scores.size, dtype=np.float64)
+    sorted_scores = scores[order]
+    # Average ranks over ties.
+    i = 0
+    while i < scores.size:
+        j = i
+        while j + 1 < scores.size and sorted_scores[j + 1] == sorted_scores[i]:
+            j += 1
+        ranks[order[i : j + 1]] = 0.5 * (i + j) + 1.0
+        i = j + 1
+    rank_sum = ranks[pos].sum()
+    return float((rank_sum - n_pos * (n_pos + 1) / 2.0) / (n_pos * n_neg))
+
+
+def mean_relative_error(y_true, y_pred, eps: float = 1e-12) -> float:
+    """MRE = mean(|y - ŷ| / |y|), the paper's regression metric (Figure 6).
+
+    ``eps`` guards against division by exact zeros in the target.
+    """
+    y_true, y_pred = _validate_pair(y_true, y_pred)
+    denom = np.maximum(np.abs(y_true), eps)
+    return float(np.mean(np.abs(y_true - y_pred) / denom))
+
+
+def mean_squared_error(y_true, y_pred) -> float:
+    """Plain MSE."""
+    y_true, y_pred = _validate_pair(y_true, y_pred)
+    return float(np.mean((y_true - y_pred) ** 2))
+
+
+def r2_score(y_true, y_pred) -> float:
+    """Coefficient of determination; 0 for a constant-target degenerate case."""
+    y_true, y_pred = _validate_pair(y_true, y_pred)
+    ss_res = float(np.sum((y_true - y_pred) ** 2))
+    ss_tot = float(np.sum((y_true - y_true.mean()) ** 2))
+    if ss_tot == 0.0:
+        return 0.0
+    return 1.0 - ss_res / ss_tot

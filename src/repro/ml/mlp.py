@@ -1,0 +1,116 @@
+"""Multilayer perceptron classifier built on :mod:`repro.nn`.
+
+One of the four classifiers in the paper's model-compatibility sweep
+(Figure 5), and one of the attack-model families for the membership attack
+(Table 6).  Binary classification with a logistic output trained by Adam
+on mini-batches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import Estimator
+from repro.nn import Adam, Dense, ReLU, Sequential, bce_with_logits
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_array, check_fitted
+
+
+class MLPClassifier(Estimator):
+    """Feed-forward binary classifier.
+
+    Parameters
+    ----------
+    hidden_sizes:
+        Widths of the hidden layers.
+    epochs, batch_size, lr:
+        Adam training schedule.
+    standardize:
+        Z-score inputs using training statistics (recommended; raw tables
+        mix scales across columns by orders of magnitude).
+    seed:
+        Seed for init and shuffling.
+    """
+
+    def __init__(self, hidden_sizes=(32, 16), epochs=60, batch_size=64,
+                 lr=1e-3, standardize=True, seed=None):
+        self.hidden_sizes = tuple(hidden_sizes)
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.lr = lr
+        self.standardize = standardize
+        self.seed = seed
+
+    def _build(self, n_features: int, rng) -> Sequential:
+        layers = []
+        width = n_features
+        for hidden in self.hidden_sizes:
+            layers.append(Dense(width, hidden, init="he", rng=rng))
+            layers.append(ReLU())
+            width = hidden
+        layers.append(Dense(width, 1, init="glorot", rng=rng))
+        return Sequential(layers)
+
+    def fit(self, X, y) -> "MLPClassifier":
+        """Train with mini-batch Adam on the logistic loss."""
+        if self.epochs <= 0 or self.batch_size <= 0:
+            raise ValueError("epochs and batch_size must be positive")
+        X = check_array(X, "X", ndim=2)
+        y = np.asarray(y, dtype=np.float64).ravel()
+        if y.size != X.shape[0]:
+            raise ValueError("X and y have inconsistent lengths")
+        self.classes_ = np.unique(y)
+        if self.classes_.size > 2:
+            raise ValueError("MLPClassifier supports binary classification only")
+        targets = (y == self.classes_[-1]).astype(np.float64)
+
+        rng = ensure_rng(self.seed)
+        if self.standardize:
+            self.mean_ = X.mean(axis=0)
+            self.std_ = X.std(axis=0)
+            self.std_[self.std_ == 0] = 1.0
+            X = (X - self.mean_) / self.std_
+        else:
+            self.mean_, self.std_ = None, None
+
+        self.network_ = self._build(X.shape[1], rng)
+        optimizer = Adam(self.network_.parameters(), lr=self.lr, beta1=0.9)
+        n = X.shape[0]
+        batch = min(self.batch_size, n)
+        for _ in range(self.epochs):
+            order = rng.permutation(n)
+            for start in range(0, n, batch):
+                idx = order[start : start + batch]
+                logits = self.network_.forward(X[idx])
+                _, grad = bce_with_logits(logits, targets[idx].reshape(-1, 1))
+                self.network_.zero_grad()
+                self.network_.backward(grad)
+                optimizer.step()
+        return self
+
+    def _transform(self, X: np.ndarray) -> np.ndarray:
+        if self.mean_ is not None:
+            return (X - self.mean_) / self.std_
+        return X
+
+    def decision_function(self, X) -> np.ndarray:
+        """Raw logits for the positive class."""
+        check_fitted(self, "network_")
+        X = check_array(X, "X", ndim=2)
+        return self.network_.forward(self._transform(X), training=False).ravel()
+
+    def predict_proba(self, X) -> np.ndarray:
+        """(n, 2) class probabilities ordered like ``classes_``."""
+        logits = self.decision_function(X)
+        pos = 1.0 / (1.0 + np.exp(-np.clip(logits, -500, 500)))
+        if self.classes_.size == 1:
+            return np.ones((logits.size, 1))
+        return np.column_stack([1.0 - pos, pos])
+
+    def predict(self, X) -> np.ndarray:
+        """Thresholded class prediction."""
+        if self.classes_.size == 1:
+            logits = self.decision_function(X)
+            return np.full(logits.size, self.classes_[0])
+        logits = self.decision_function(X)
+        return np.where(logits >= 0.0, self.classes_[-1], self.classes_[0])

@@ -1,0 +1,123 @@
+"""Cross-validation and grid search.
+
+The membership attack (§5.3.2) tunes each attack model "through the grid
+search with 10-fold cross validation"; :class:`GridSearchCV` reproduces
+that protocol for any :class:`~repro.ml.base.Estimator`.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.ml.base import Estimator, clone
+from repro.ml.metrics import accuracy
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_fitted
+
+
+class KFold:
+    """K-fold cross-validation splitter.
+
+    Parameters
+    ----------
+    n_splits:
+        Number of folds.
+    shuffle, seed:
+        Shuffle rows before folding.
+    """
+
+    def __init__(self, n_splits=5, shuffle=True, seed=None):
+        if n_splits < 2:
+            raise ValueError(f"n_splits must be at least 2, got {n_splits}")
+        self.n_splits = n_splits
+        self.shuffle = shuffle
+        self.seed = seed
+
+    def split(self, n_samples: int):
+        """Yield ``(train_idx, test_idx)`` pairs over ``n_samples`` rows."""
+        if n_samples < self.n_splits:
+            raise ValueError(
+                f"cannot make {self.n_splits} folds from {n_samples} samples"
+            )
+        indices = np.arange(n_samples)
+        if self.shuffle:
+            ensure_rng(self.seed).shuffle(indices)
+        folds = np.array_split(indices, self.n_splits)
+        for i in range(self.n_splits):
+            test_idx = folds[i]
+            train_idx = np.concatenate([folds[j] for j in range(self.n_splits) if j != i])
+            yield train_idx, test_idx
+
+
+def param_grid_iter(grid: dict):
+    """Iterate dicts over the cartesian product of a parameter grid."""
+    if not grid:
+        yield {}
+        return
+    keys = sorted(grid)
+    for combo in itertools.product(*(grid[k] for k in keys)):
+        yield dict(zip(keys, combo))
+
+
+class GridSearchCV(Estimator):
+    """Exhaustive parameter search with k-fold cross-validation.
+
+    Parameters
+    ----------
+    estimator:
+        Prototype estimator; cloned per configuration per fold.
+    param_grid:
+        Mapping of parameter name to candidate values.
+    cv:
+        Number of folds (the paper uses 10 for attack models).
+    scorer:
+        ``scorer(y_true, y_pred) -> float`` to maximize; defaults to accuracy.
+    seed:
+        Seed for fold shuffling.
+    """
+
+    def __init__(self, estimator, param_grid, cv=5, scorer=None, seed=None):
+        self.estimator = estimator
+        self.param_grid = param_grid
+        self.cv = cv
+        self.scorer = scorer
+        self.seed = seed
+
+    def fit(self, X, y) -> "GridSearchCV":
+        """Evaluate every configuration; refit the best on all data."""
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64).ravel()
+        scorer = self.scorer or accuracy
+        folds = KFold(n_splits=self.cv, shuffle=True, seed=self.seed)
+        splits = list(folds.split(X.shape[0]))
+
+        self.results_: list[dict] = []
+        best_score, best_params = -np.inf, None
+        for params in param_grid_iter(self.param_grid):
+            scores = []
+            for train_idx, test_idx in splits:
+                model = clone(self.estimator).set_params(**params)
+                model.fit(X[train_idx], y[train_idx])
+                scores.append(scorer(y[test_idx], model.predict(X[test_idx])))
+            mean_score = float(np.mean(scores))
+            self.results_.append({"params": dict(params), "mean_score": mean_score})
+            if mean_score > best_score:
+                best_score, best_params = mean_score, dict(params)
+
+        self.best_score_ = best_score
+        self.best_params_ = best_params
+        self.best_estimator_ = clone(self.estimator).set_params(**best_params)
+        self.best_estimator_.fit(X, y)
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        """Predict with the refitted best estimator."""
+        check_fitted(self, "best_estimator_")
+        return self.best_estimator_.predict(X)
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Probabilities from the refitted best estimator."""
+        check_fitted(self, "best_estimator_")
+        return self.best_estimator_.predict_proba(X)

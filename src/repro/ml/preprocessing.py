@@ -1,0 +1,95 @@
+"""Feature preprocessing: label encoding and scalers.
+
+The paper label-encodes generalized QID strings before feeding
+anonymized tables to scikit-learn (§5.2.2 footnote 6); ``LabelEncoder``
+reproduces that, and the scalers serve the distance-based privacy metrics
+(DCR computes distances "after attribute-wise normalization").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import Estimator
+from repro.utils.validation import check_fitted
+
+
+class LabelEncoder(Estimator):
+    """Map arbitrary hashable values to integer codes 0..K-1."""
+
+    def __init__(self):
+        pass
+
+    def fit(self, values) -> "LabelEncoder":
+        """Learn the sorted vocabulary of ``values``."""
+        self.classes_ = sorted(set(values), key=str)
+        self._index_ = {v: i for i, v in enumerate(self.classes_)}
+        return self
+
+    def transform(self, values) -> np.ndarray:
+        """Encode values; unseen values raise ``KeyError``."""
+        check_fitted(self, "classes_")
+        try:
+            return np.array([self._index_[v] for v in values], dtype=np.float64)
+        except KeyError as exc:
+            raise KeyError(f"unseen value {exc.args[0]!r} in transform") from None
+
+    def fit_transform(self, values) -> np.ndarray:
+        """Fit then encode in one call."""
+        return self.fit(values).transform(values)
+
+    def inverse_transform(self, codes) -> list:
+        """Map codes back to original values."""
+        check_fitted(self, "classes_")
+        return [self.classes_[int(c)] for c in codes]
+
+
+class StandardScaler(Estimator):
+    """Column-wise z-scoring with frozen training statistics."""
+
+    def __init__(self):
+        pass
+
+    def fit(self, X) -> "StandardScaler":
+        X = np.asarray(X, dtype=np.float64)
+        self.mean_ = X.mean(axis=0)
+        self.std_ = X.std(axis=0)
+        self.std_[self.std_ == 0] = 1.0
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        check_fitted(self, "mean_")
+        return (np.asarray(X, dtype=np.float64) - self.mean_) / self.std_
+
+    def fit_transform(self, X) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X) -> np.ndarray:
+        check_fitted(self, "mean_")
+        return np.asarray(X, dtype=np.float64) * self.std_ + self.mean_
+
+
+class MinMaxScaler(Estimator):
+    """Column-wise scaling onto [0, 1] with frozen training min/max.
+
+    This is the normalization under which all DCR distances (Table 5) are
+    computed, so that "each attribute contributes to the distance equally".
+    """
+
+    def __init__(self):
+        pass
+
+    def fit(self, X) -> "MinMaxScaler":
+        X = np.asarray(X, dtype=np.float64)
+        self.min_ = X.min(axis=0)
+        span = X.max(axis=0) - self.min_
+        span[span == 0] = 1.0
+        self.span_ = span
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        check_fitted(self, "min_")
+        return (np.asarray(X, dtype=np.float64) - self.min_) / self.span_
+
+    def fit_transform(self, X) -> np.ndarray:
+        return self.fit(X).transform(X)

@@ -1,0 +1,90 @@
+"""Linear support vector classifier trained with Pegasos SGD.
+
+One of the five attack-model families the paper uses for the membership
+attack (§5.3.2).  Binary hinge-loss linear SVM with L2 regularization.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import Estimator
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_array, check_fitted
+
+
+class LinearSVC(Estimator):
+    """Binary linear SVM (hinge loss, L2 penalty) via Pegasos.
+
+    Parameters
+    ----------
+    C:
+        Inverse regularization strength (larger = less regularization);
+        mapped to Pegasos' lambda as ``1 / (C * n_samples)``.
+    epochs:
+        Passes over the shuffled data.
+    seed:
+        Seed for shuffling.
+    """
+
+    def __init__(self, C=1.0, epochs=20, seed=None):
+        self.C = C
+        self.epochs = epochs
+        self.seed = seed
+
+    def fit(self, X, y) -> "LinearSVC":
+        """Train on (X, y); y may be any two distinct values."""
+        if self.C <= 0:
+            raise ValueError(f"C must be positive, got {self.C}")
+        if self.epochs <= 0:
+            raise ValueError(f"epochs must be positive, got {self.epochs}")
+        X = check_array(X, "X", ndim=2)
+        y = np.asarray(y, dtype=np.float64).ravel()
+        if y.size != X.shape[0]:
+            raise ValueError("X and y have inconsistent lengths")
+        self.classes_ = np.unique(y)
+        if self.classes_.size != 2:
+            raise ValueError(f"LinearSVC is binary; got classes {self.classes_}")
+        signs = np.where(y == self.classes_[1], 1.0, -1.0)
+
+        self.mean_ = X.mean(axis=0)
+        self.std_ = X.std(axis=0)
+        self.std_[self.std_ == 0] = 1.0
+        Xs = (X - self.mean_) / self.std_
+
+        rng = ensure_rng(self.seed)
+        n, p = Xs.shape
+        lam = 1.0 / (self.C * n)
+        weights = np.zeros(p)
+        bias = 0.0
+        t = 0
+        for _ in range(self.epochs):
+            for i in rng.permutation(n):
+                t += 1
+                eta = 1.0 / (lam * t)
+                margin = signs[i] * (Xs[i] @ weights + bias)
+                weights *= 1.0 - eta * lam
+                if margin < 1.0:
+                    weights += eta * signs[i] * Xs[i]
+                    bias += eta * signs[i]
+        self.coef_ = weights
+        self.intercept_ = float(bias)
+        return self
+
+    def decision_function(self, X) -> np.ndarray:
+        """Signed distance to the separating hyperplane."""
+        check_fitted(self, "coef_")
+        X = check_array(X, "X", ndim=2)
+        Xs = (X - self.mean_) / self.std_
+        return Xs @ self.coef_ + self.intercept_
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Platt-style squashing of the margin into (n, 2) pseudo-probabilities."""
+        scores = self.decision_function(X)
+        pos = 1.0 / (1.0 + np.exp(-np.clip(scores, -500, 500)))
+        return np.column_stack([1.0 - pos, pos])
+
+    def predict(self, X) -> np.ndarray:
+        """Class prediction by margin sign."""
+        scores = self.decision_function(X)
+        return np.where(scores >= 0, self.classes_[1], self.classes_[0])

@@ -1,0 +1,268 @@
+"""CART decision trees (classifier and regressor).
+
+A vectorized CART implementation: at each node, candidate thresholds for
+every (sub-sampled) feature are scored with cumulative-sum statistics in
+O(n log n) per feature, which keeps pure-Python tree building fast enough
+for the paper's 40-configuration model-compatibility sweeps and for the
+random-forest / AdaBoost ensembles built on top.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import Estimator
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_array, check_fitted
+
+
+class _Node:
+    """A tree node; leaves store a prediction value, splits store children."""
+
+    __slots__ = ("feature", "threshold", "left", "right", "value")
+
+    def __init__(self, value):
+        self.feature: int | None = None
+        self.threshold: float = 0.0
+        self.left: "_Node | None" = None
+        self.right: "_Node | None" = None
+        self.value = value
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+def _best_split_classification(x_col, y, sample_weight, n_classes):
+    """Best (threshold, weighted-gini) split of one feature column.
+
+    Returns ``(gain, threshold)`` or ``None`` when no split helps.  Gini
+    impurities are computed from class-weight prefix sums over the sorted
+    column so all thresholds are scored in one vectorized pass.
+    """
+    order = np.argsort(x_col, kind="mergesort")
+    xs = x_col[order]
+    w = sample_weight[order]
+    onehot = np.zeros((xs.size, n_classes))
+    onehot[np.arange(xs.size), y[order].astype(int)] = 1.0
+    wc = onehot * w[:, None]
+
+    left_class = np.cumsum(wc, axis=0)[:-1]
+    total_class = left_class[-1] + wc[-1]
+    left_total = np.cumsum(w)[:-1]
+    grand_total = left_total[-1] + w[-1]
+    right_class = total_class[None, :] - left_class
+    right_total = grand_total - left_total
+
+    valid = xs[1:] != xs[:-1]
+    if not valid.any():
+        return None
+    with np.errstate(divide="ignore", invalid="ignore"):
+        gini_left = 1.0 - np.sum((left_class / left_total[:, None]) ** 2, axis=1)
+        gini_right = 1.0 - np.sum((right_class / right_total[:, None]) ** 2, axis=1)
+    parent_gini = 1.0 - np.sum((total_class / grand_total) ** 2)
+    weighted = (left_total * gini_left + right_total * gini_right) / grand_total
+    weighted = np.where(valid, weighted, np.inf)
+    best = int(np.argmin(weighted))
+    gain = parent_gini - weighted[best]
+    if not np.isfinite(weighted[best]) or gain <= 1e-12:
+        return None
+    threshold = 0.5 * (xs[best] + xs[best + 1])
+    return float(gain), float(threshold)
+
+
+def _best_split_regression(x_col, y, sample_weight):
+    """Best (threshold, variance-reduction) split of one feature column."""
+    order = np.argsort(x_col, kind="mergesort")
+    xs = x_col[order]
+    ys = y[order]
+    w = sample_weight[order]
+
+    wy = w * ys
+    wy2 = w * ys * ys
+    left_w = np.cumsum(w)[:-1]
+    left_wy = np.cumsum(wy)[:-1]
+    left_wy2 = np.cumsum(wy2)[:-1]
+    total_w = left_w[-1] + w[-1]
+    total_wy = left_wy[-1] + wy[-1]
+    total_wy2 = left_wy2[-1] + wy2[-1]
+    right_w = total_w - left_w
+    right_wy = total_wy - left_wy
+    right_wy2 = total_wy2 - left_wy2
+
+    valid = xs[1:] != xs[:-1]
+    if not valid.any():
+        return None
+    with np.errstate(divide="ignore", invalid="ignore"):
+        sse_left = left_wy2 - left_wy**2 / left_w
+        sse_right = right_wy2 - right_wy**2 / right_w
+    parent_sse = total_wy2 - total_wy**2 / total_w
+    child_sse = np.where(valid, sse_left + sse_right, np.inf)
+    best = int(np.argmin(child_sse))
+    gain = parent_sse - child_sse[best]
+    if not np.isfinite(child_sse[best]) or gain <= 1e-12:
+        return None
+    threshold = 0.5 * (xs[best] + xs[best + 1])
+    return float(gain), float(threshold)
+
+
+class _BaseTree(Estimator):
+    """Shared recursive construction for the two tree flavours."""
+
+    def __init__(self, max_depth=None, min_samples_split=2, min_samples_leaf=1,
+                 max_features=None, seed=None):
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.seed = seed
+
+    # Subclass hooks -------------------------------------------------------
+    def _leaf_value(self, y, w):
+        raise NotImplementedError
+
+    def _is_pure(self, y) -> bool:
+        raise NotImplementedError
+
+    def _split(self, x_col, y, w):
+        raise NotImplementedError
+
+    # Construction ---------------------------------------------------------
+    def _n_candidate_features(self, n_features: int) -> int:
+        if self.max_features is None:
+            return n_features
+        if self.max_features == "sqrt":
+            return max(1, int(np.sqrt(n_features)))
+        return max(1, min(int(self.max_features), n_features))
+
+    def _build(self, X, y, w, depth, rng) -> _Node:
+        node = _Node(self._leaf_value(y, w))
+        if (
+            (self.max_depth is not None and depth >= self.max_depth)
+            or y.size < self.min_samples_split
+            or self._is_pure(y)
+        ):
+            return node
+
+        n_features = X.shape[1]
+        k = self._n_candidate_features(n_features)
+        features = rng.choice(n_features, size=k, replace=False) if k < n_features \
+            else np.arange(n_features)
+
+        best_gain, best_feature, best_threshold = 0.0, None, 0.0
+        for f in features:
+            result = self._split(X[:, f], y, w)
+            if result is not None and result[0] > best_gain:
+                best_gain, best_feature, best_threshold = result[0], int(f), result[1]
+
+        if best_feature is None:
+            return node
+        mask = X[:, best_feature] <= best_threshold
+        n_left = int(mask.sum())
+        if n_left < self.min_samples_leaf or (y.size - n_left) < self.min_samples_leaf:
+            return node
+        node.feature = best_feature
+        node.threshold = best_threshold
+        node.left = self._build(X[mask], y[mask], w[mask], depth + 1, rng)
+        node.right = self._build(X[~mask], y[~mask], w[~mask], depth + 1, rng)
+        return node
+
+    def _fit_common(self, X, y, sample_weight):
+        X = check_array(X, "X", ndim=2)
+        y = np.asarray(y, dtype=np.float64).ravel()
+        if y.size != X.shape[0]:
+            raise ValueError("X and y have inconsistent lengths")
+        if sample_weight is None:
+            sample_weight = np.ones(y.size)
+        else:
+            sample_weight = np.asarray(sample_weight, dtype=np.float64).ravel()
+            if sample_weight.size != y.size:
+                raise ValueError("sample_weight length mismatch")
+        return X, y, sample_weight
+
+    def _predict_node(self, X: np.ndarray) -> list:
+        """The leaf reached by each row."""
+        out = []
+        for row in X:
+            node = self.root_
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            out.append(node)
+        return out
+
+    def depth(self) -> int:
+        """Actual depth of the fitted tree."""
+        check_fitted(self, "root_")
+
+        def _depth(node):
+            if node.is_leaf:
+                return 0
+            return 1 + max(_depth(node.left), _depth(node.right))
+
+        return _depth(self.root_)
+
+
+class DecisionTreeClassifier(_BaseTree):
+    """CART classifier with gini impurity.
+
+    Parameters mirror scikit-learn: ``max_depth``, ``min_samples_split``,
+    ``min_samples_leaf``, ``max_features`` (``None``, ``"sqrt"`` or an int),
+    and ``seed`` for feature sub-sampling.
+    """
+
+    def fit(self, X, y, sample_weight=None) -> "DecisionTreeClassifier":
+        X, y, w = self._fit_common(X, y, sample_weight)
+        self.classes_ = np.unique(y)
+        self._class_index = {c: i for i, c in enumerate(self.classes_)}
+        encoded = np.array([self._class_index[v] for v in y], dtype=np.float64)
+        rng = ensure_rng(self.seed)
+        self.root_ = self._build(X, encoded, w, 0, rng)
+        return self
+
+    def _leaf_value(self, y, w):
+        counts = np.bincount(y.astype(int), weights=w, minlength=len(self.classes_))
+        total = counts.sum()
+        return counts / total if total > 0 else np.ones_like(counts) / counts.size
+
+    def _is_pure(self, y) -> bool:
+        return np.unique(y).size <= 1
+
+    def _split(self, x_col, y, w):
+        return _best_split_classification(x_col, y, w, len(self.classes_))
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Class-probability estimates from leaf class frequencies."""
+        check_fitted(self, "root_")
+        X = check_array(X, "X", ndim=2)
+        return np.array([node.value for node in self._predict_node(X)])
+
+    def predict(self, X) -> np.ndarray:
+        """Most probable class per row."""
+        proba = self.predict_proba(X)
+        return self.classes_[np.argmax(proba, axis=1)]
+
+
+class DecisionTreeRegressor(_BaseTree):
+    """CART regressor minimizing weighted squared error."""
+
+    def fit(self, X, y, sample_weight=None) -> "DecisionTreeRegressor":
+        X, y, w = self._fit_common(X, y, sample_weight)
+        rng = ensure_rng(self.seed)
+        self.root_ = self._build(X, y, w, 0, rng)
+        return self
+
+    def _leaf_value(self, y, w):
+        total = w.sum()
+        return float(np.sum(w * y) / total) if total > 0 else float(y.mean())
+
+    def _is_pure(self, y) -> bool:
+        return float(y.max() - y.min()) < 1e-12
+
+    def _split(self, x_col, y, w):
+        return _best_split_regression(x_col, y, w)
+
+    def predict(self, X) -> np.ndarray:
+        """Leaf mean per row."""
+        check_fitted(self, "root_")
+        X = check_array(X, "X", ndim=2)
+        return np.array([node.value for node in self._predict_node(X)])

@@ -1,0 +1,47 @@
+"""A from-scratch numpy deep-learning framework.
+
+This subpackage is the substrate replacing TensorFlow in the paper's
+implementation: strided convolutions, transposed convolutions, batch
+normalization, DCGAN initialization, Adam — everything table-GAN's three
+networks need, with explicit per-layer backward rules.
+"""
+
+from repro.nn.activations import LeakyReLU, ReLU, Sigmoid, Tanh
+from repro.nn.batchnorm import BatchNorm
+from repro.nn.conv import Conv2D, ConvTranspose2D
+from repro.nn.conv1d import Conv1D, ConvTranspose1D
+from repro.nn.layers import Dense, Flatten, Layer, Parameter, Reshape
+from repro.nn.losses import bce_with_logits, hinge_threshold, l1, mse, sigmoid
+from repro.nn.optim import SGD, Adam, Optimizer
+from repro.nn.sequential import Sequential
+from repro.nn.serialization import load_npz, load_state_dict, save_npz, state_dict
+
+__all__ = [
+    "Layer",
+    "Parameter",
+    "Dense",
+    "Flatten",
+    "Reshape",
+    "Conv2D",
+    "ConvTranspose2D",
+    "Conv1D",
+    "ConvTranspose1D",
+    "BatchNorm",
+    "ReLU",
+    "LeakyReLU",
+    "Sigmoid",
+    "Tanh",
+    "Sequential",
+    "SGD",
+    "Adam",
+    "Optimizer",
+    "bce_with_logits",
+    "mse",
+    "l1",
+    "hinge_threshold",
+    "sigmoid",
+    "state_dict",
+    "load_state_dict",
+    "save_npz",
+    "load_npz",
+]

@@ -1,0 +1,89 @@
+"""Activation layers: ReLU, LeakyReLU, Sigmoid, Tanh.
+
+DCGAN's recipe (adopted by table-GAN §4.1): ReLU in the generator,
+LeakyReLU(0.2) in the discriminator/classifier, Tanh on the generator
+output, Sigmoid on the discriminator/classifier output.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Layer
+
+
+class ReLU(Layer):
+    """Rectified linear unit, ``max(0, x)``."""
+
+    def __init__(self):
+        super().__init__()
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, 0.0)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        return np.where(self._mask, grad, 0.0)
+
+
+class LeakyReLU(Layer):
+    """Leaky rectifier, ``x if x > 0 else alpha * x`` (default alpha 0.2)."""
+
+    def __init__(self, alpha: float = 0.2):
+        super().__init__()
+        if alpha < 0:
+            raise ValueError(f"alpha must be non-negative, got {alpha}")
+        self.alpha = alpha
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, self.alpha * x)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        return np.where(self._mask, grad, self.alpha * grad)
+
+
+class Sigmoid(Layer):
+    """Logistic sigmoid; output spans (0, 1)."""
+
+    def __init__(self):
+        super().__init__()
+        self._out: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        # Numerically stable piecewise form avoids exp overflow for |x| >> 0.
+        out = np.empty_like(x)
+        pos = x >= 0
+        out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+        ex = np.exp(x[~pos])
+        out[~pos] = ex / (1.0 + ex)
+        self._out = out
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._out is None:
+            raise RuntimeError("backward called before forward")
+        return grad * self._out * (1.0 - self._out)
+
+
+class Tanh(Layer):
+    """Hyperbolic tangent; output spans (-1, 1), matching the [-1, 1] record encoding."""
+
+    def __init__(self):
+        super().__init__()
+        self._out: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        self._out = np.tanh(x)
+        return self._out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._out is None:
+            raise RuntimeError("backward called before forward")
+        return grad * (1.0 - self._out**2)

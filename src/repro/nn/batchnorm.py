@@ -1,0 +1,111 @@
+"""Batch normalization (Ioffe & Szegedy, 2015) for 2-D and 4-D inputs.
+
+DCGAN applies batch norm in both generator and discriminator (except the
+generator output and discriminator input layers).  One class handles both
+dense (N, F) and convolutional (N, C, H, W) activations, normalizing per
+feature / per channel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import initializers
+from repro.nn.layers import Layer, Parameter
+
+
+class BatchNorm(Layer):
+    """Batch normalization with learnable scale (gamma) and shift (beta).
+
+    Parameters
+    ----------
+    num_features:
+        Feature width (2-D input) or channel count (4-D input).
+    momentum:
+        EWMA weight for the running statistics used at inference time.
+    eps:
+        Variance floor for numerical stability.
+    """
+
+    def __init__(self, num_features: int, momentum: float = 0.9, eps: float = 1e-5):
+        super().__init__()
+        if num_features <= 0:
+            raise ValueError(f"num_features must be positive, got {num_features}")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.num_features = num_features
+        self.momentum = momentum
+        self.eps = eps
+        self.gamma = Parameter(initializers.ones((num_features,)), "bn.gamma")
+        self.beta = Parameter(initializers.zeros((num_features,)), "bn.beta")
+        self.params = [self.gamma, self.beta]
+        self.running_mean = np.zeros(num_features)
+        self.running_var = np.ones(num_features)
+        self._cache: tuple | None = None
+
+    def extra_state(self) -> dict[str, np.ndarray]:
+        return {
+            "running_mean": self.running_mean.copy(),
+            "running_var": self.running_var.copy(),
+        }
+
+    def load_extra_state(self, state: dict[str, np.ndarray]) -> None:
+        mean = np.asarray(state["running_mean"], dtype=np.float64)
+        var = np.asarray(state["running_var"], dtype=np.float64)
+        if mean.shape != self.running_mean.shape or var.shape != self.running_var.shape:
+            raise ValueError("running-statistics shape mismatch")
+        self.running_mean = mean
+        self.running_var = var
+
+    @staticmethod
+    def _axes(x: np.ndarray) -> tuple[int, ...]:
+        if x.ndim == 2:
+            return (0,)
+        if x.ndim == 3:
+            return (0, 2)
+        if x.ndim == 4:
+            return (0, 2, 3)
+        raise ValueError(f"BatchNorm expects 2-D, 3-D or 4-D input, got shape {x.shape}")
+
+    @staticmethod
+    def _bcast(stat: np.ndarray, ndim: int) -> np.ndarray:
+        if ndim == 2:
+            return stat.reshape(1, -1)
+        if ndim == 3:
+            return stat.reshape(1, -1, 1)
+        return stat.reshape(1, -1, 1, 1)
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        axes = self._axes(x)
+        if x.shape[1] != self.num_features:
+            raise ValueError(
+                f"expected {self.num_features} features/channels, got {x.shape[1]}"
+            )
+        if training:
+            mean = x.mean(axis=axes)
+            var = x.var(axis=axes)
+            self.running_mean = self.momentum * self.running_mean + (1 - self.momentum) * mean
+            self.running_var = self.momentum * self.running_var + (1 - self.momentum) * var
+        else:
+            mean, var = self.running_mean, self.running_var
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        x_hat = (x - self._bcast(mean, x.ndim)) * self._bcast(inv_std, x.ndim)
+        out = self._bcast(self.gamma.data, x.ndim) * x_hat + self._bcast(self.beta.data, x.ndim)
+        count = x.size // self.num_features
+        self._cache = (x_hat, inv_std, axes, count, x.ndim, training)
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        x_hat, inv_std, axes, count, ndim, trained = self._cache
+        self.gamma.grad += (grad * x_hat).sum(axis=axes)
+        self.beta.grad += grad.sum(axis=axes)
+        g = grad * self._bcast(self.gamma.data, ndim)
+        if not trained:
+            # Inference mode: mean/var are constants, gradient is a plain scale.
+            return g * self._bcast(inv_std, ndim)
+        # Training mode: propagate through the batch statistics.
+        mean_g = g.mean(axis=axes, keepdims=True)
+        mean_gx = (g * x_hat).mean(axis=axes, keepdims=True)
+        return self._bcast(inv_std, ndim) * (g - mean_g - x_hat * mean_gx)

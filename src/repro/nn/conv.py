@@ -1,0 +1,164 @@
+"""Convolution layers: strided Conv2D and ConvTranspose2D.
+
+Both are built on the im2col/col2im machinery.  A transposed convolution's
+forward pass is exactly the backward (input-gradient) pass of a normal
+convolution with the same geometry, and vice versa — the implementation
+exploits that symmetry so the two layers share all index computations.
+
+Shapes are NCHW.  DCGAN uses kernel 4, stride 2, padding 1 throughout,
+which exactly halves (conv) or doubles (deconv) spatial dimensions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import initializers
+from repro.nn.im2col import col2im, conv_output_size, im2col
+from repro.nn.layers import Layer, Parameter
+
+
+class Conv2D(Layer):
+    """2-D convolution with square kernel.
+
+    Parameters
+    ----------
+    in_channels, out_channels:
+        Channel counts.
+    kernel:
+        Square kernel size (DCGAN uses 4).
+    stride, padding:
+        Convolution geometry; must tile the input exactly.
+    bias:
+        Whether to learn a per-output-channel bias.
+    rng:
+        Seed or generator for DCGAN N(0, 0.02) weight init.
+    """
+
+    def __init__(self, in_channels: int, out_channels: int, kernel: int = 4,
+                 stride: int = 2, padding: int = 1, bias: bool = True, rng=None):
+        super().__init__()
+        if min(in_channels, out_channels, kernel, stride) <= 0 or padding < 0:
+            raise ValueError("invalid convolution geometry")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel = kernel
+        self.stride = stride
+        self.padding = padding
+        weight = initializers.dcgan_normal(
+            (out_channels, in_channels, kernel, kernel), rng
+        )
+        self.weight = Parameter(weight, "conv.weight")
+        self.bias = Parameter(initializers.zeros((out_channels,)), "conv.bias") if bias else None
+        self.params = [self.weight] + ([self.bias] if bias else [])
+        self._cols: np.ndarray | None = None
+        self._x_shape: tuple[int, ...] | None = None
+
+    def output_shape(self, height: int, width: int) -> tuple[int, int]:
+        """Spatial output size for an input of ``height`` × ``width``."""
+        return (
+            conv_output_size(height, self.kernel, self.padding, self.stride),
+            conv_output_size(width, self.kernel, self.padding, self.stride),
+        )
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1] != self.in_channels:
+            raise ValueError(
+                f"expected (N, {self.in_channels}, H, W) input, got {x.shape}"
+            )
+        batch = x.shape[0]
+        out_h, out_w = self.output_shape(x.shape[2], x.shape[3])
+        cols = im2col(x, self.kernel, self.padding, self.stride)
+        self._cols = cols
+        self._x_shape = x.shape
+        w_mat = self.weight.data.reshape(self.out_channels, -1)
+        out = w_mat @ cols  # (C_out, out_h*out_w*N) in im2col column order
+        out = out.reshape(self.out_channels, out_h, out_w, batch).transpose(3, 0, 1, 2)
+        if self.bias is not None:
+            out = out + self.bias.data.reshape(1, -1, 1, 1)
+        return np.ascontiguousarray(out)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._cols is None or self._x_shape is None:
+            raise RuntimeError("backward called before forward")
+        if self.bias is not None:
+            self.bias.grad += grad.sum(axis=(0, 2, 3))
+        grad_mat = grad.transpose(1, 2, 3, 0).reshape(self.out_channels, -1)
+        self.weight.grad += (grad_mat @ self._cols.T).reshape(self.weight.shape)
+        w_mat = self.weight.data.reshape(self.out_channels, -1)
+        dcols = w_mat.T @ grad_mat
+        return col2im(dcols, self._x_shape, self.kernel, self.padding, self.stride)
+
+
+class ConvTranspose2D(Layer):
+    """2-D transposed ("de-") convolution, the upsampling layer of DCGAN generators.
+
+    The forward pass scatters each input pixel through the kernel into the
+    (larger) output — the adjoint of :class:`Conv2D` — so spatial size grows
+    by the stride factor with DCGAN's (kernel=4, stride=2, padding=1)
+    geometry.
+
+    The weight tensor has shape ``(in_channels, out_channels, k, k)``,
+    matching the convention where the deconvolution is the gradient of a
+    convolution mapping ``out_channels -> in_channels``.
+    """
+
+    def __init__(self, in_channels: int, out_channels: int, kernel: int = 4,
+                 stride: int = 2, padding: int = 1, bias: bool = True, rng=None):
+        super().__init__()
+        if min(in_channels, out_channels, kernel, stride) <= 0 or padding < 0:
+            raise ValueError("invalid convolution geometry")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel = kernel
+        self.stride = stride
+        self.padding = padding
+        weight = initializers.dcgan_normal(
+            (in_channels, out_channels, kernel, kernel), rng
+        )
+        self.weight = Parameter(weight, "deconv.weight")
+        self.bias = Parameter(initializers.zeros((out_channels,)), "deconv.bias") if bias else None
+        self.params = [self.weight] + ([self.bias] if bias else [])
+        self._x: np.ndarray | None = None
+        self._out_shape: tuple[int, ...] | None = None
+
+    def output_shape(self, height: int, width: int) -> tuple[int, int]:
+        """Spatial output size for an input of ``height`` × ``width``."""
+        out_h = (height - 1) * self.stride - 2 * self.padding + self.kernel
+        out_w = (width - 1) * self.stride - 2 * self.padding + self.kernel
+        return out_h, out_w
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1] != self.in_channels:
+            raise ValueError(
+                f"expected (N, {self.in_channels}, H, W) input, got {x.shape}"
+            )
+        batch, _, in_h, in_w = x.shape
+        out_h, out_w = self.output_shape(in_h, in_w)
+        self._x = x
+        self._out_shape = (batch, self.out_channels, out_h, out_w)
+        # Treat x as the "output gradient" of the adjoint convolution:
+        # columns = W^T @ x, then fold into the larger output image.
+        w_mat = self.weight.data.reshape(self.in_channels, -1)  # (C_in, C_out*k*k)
+        x_mat = x.transpose(1, 2, 3, 0).reshape(self.in_channels, -1)
+        cols = w_mat.T @ x_mat  # (C_out*k*k, in_h*in_w*N) in im2col column order
+        out = col2im(cols, self._out_shape, self.kernel, self.padding, self.stride)
+        if self.bias is not None:
+            out = out + self.bias.data.reshape(1, -1, 1, 1)
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._x is None or self._out_shape is None:
+            raise RuntimeError("backward called before forward")
+        if self.bias is not None:
+            self.bias.grad += grad.sum(axis=(0, 2, 3))
+        batch, _, in_h, in_w = self._x.shape
+        # Input gradient: a plain convolution of grad with the kernel.
+        grad_cols = im2col(grad, self.kernel, self.padding, self.stride)
+        w_mat = self.weight.data.reshape(self.in_channels, -1)
+        dx = w_mat @ grad_cols  # (C_in, in_h*in_w*N) in im2col column order
+        dx = dx.reshape(self.in_channels, in_h, in_w, batch).transpose(3, 0, 1, 2)
+        # Weight gradient: correlate input activations with output gradient patches.
+        x_mat = self._x.transpose(1, 2, 3, 0).reshape(self.in_channels, -1)
+        self.weight.grad += (x_mat @ grad_cols.T).reshape(self.weight.shape)
+        return np.ascontiguousarray(dx)

@@ -1,0 +1,157 @@
+"""1-D convolution layers for the paper's record-layout ablation.
+
+§3.2 step 1 notes that records could instead be kept "in the original
+vector format" and processed with 1-D convolutions, but the authors found
+that layout's synthesis performance sub-optimal.  These layers make that
+comparison reproducible: :class:`Conv1D` / :class:`ConvTranspose1D` mirror
+the 2-D pair over (N, C, L) tensors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import initializers
+from repro.nn.layers import Layer, Parameter
+
+
+def conv1d_output_size(size: int, kernel: int, padding: int, stride: int) -> int:
+    """Output length of a 1-D convolution; geometry must divide exactly."""
+    numerator = size + 2 * padding - kernel
+    if numerator < 0:
+        raise ValueError(f"kernel {kernel} larger than padded input {size + 2 * padding}")
+    if numerator % stride != 0:
+        raise ValueError(
+            f"1-D convolution geometry not exact: size={size}, kernel={kernel}, "
+            f"padding={padding}, stride={stride}"
+        )
+    return numerator // stride + 1
+
+
+def _im2col_1d(x: np.ndarray, kernel: int, padding: int, stride: int) -> np.ndarray:
+    """Unfold (N, C, L) into (C*kernel, L_out*N) patch columns."""
+    batch, channels, length = x.shape
+    out_len = conv1d_output_size(length, kernel, padding, stride)
+    if padding > 0:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding)), mode="constant")
+    k = np.repeat(np.arange(channels), kernel).reshape(-1, 1)
+    offsets = np.tile(np.arange(kernel), channels).reshape(-1, 1)
+    starts = stride * np.arange(out_len).reshape(1, -1)
+    cols = x[:, k, offsets + starts]  # (N, C*kernel, L_out)
+    return cols.transpose(1, 2, 0).reshape(channels * kernel, -1)
+
+
+def _col2im_1d(cols: np.ndarray, x_shape: tuple[int, int, int],
+               kernel: int, padding: int, stride: int) -> np.ndarray:
+    """Adjoint of :func:`_im2col_1d`: fold columns back, accumulating overlaps."""
+    batch, channels, length = x_shape
+    out_len = conv1d_output_size(length, kernel, padding, stride)
+    x_padded = np.zeros((batch, channels, length + 2 * padding), dtype=cols.dtype)
+    k = np.repeat(np.arange(channels), kernel).reshape(-1, 1)
+    offsets = np.tile(np.arange(kernel), channels).reshape(-1, 1)
+    starts = stride * np.arange(out_len).reshape(1, -1)
+    cols_reshaped = cols.reshape(channels * kernel, out_len, batch).transpose(2, 0, 1)
+    np.add.at(x_padded, (slice(None), k, offsets + starts), cols_reshaped)
+    if padding == 0:
+        return x_padded
+    return x_padded[:, :, padding:-padding]
+
+
+class Conv1D(Layer):
+    """Strided 1-D convolution over (N, C, L) tensors."""
+
+    def __init__(self, in_channels: int, out_channels: int, kernel: int = 4,
+                 stride: int = 2, padding: int = 1, bias: bool = True, rng=None):
+        super().__init__()
+        if min(in_channels, out_channels, kernel, stride) <= 0 or padding < 0:
+            raise ValueError("invalid convolution geometry")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel = kernel
+        self.stride = stride
+        self.padding = padding
+        weight = initializers.dcgan_normal((out_channels, in_channels, kernel), rng)
+        self.weight = Parameter(weight, "conv1d.weight")
+        self.bias = Parameter(initializers.zeros((out_channels,)), "conv1d.bias") if bias else None
+        self.params = [self.weight] + ([self.bias] if bias else [])
+        self._cols: np.ndarray | None = None
+        self._x_shape: tuple[int, int, int] | None = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        if x.ndim != 3 or x.shape[1] != self.in_channels:
+            raise ValueError(f"expected (N, {self.in_channels}, L) input, got {x.shape}")
+        batch = x.shape[0]
+        out_len = conv1d_output_size(x.shape[2], self.kernel, self.padding, self.stride)
+        cols = _im2col_1d(x, self.kernel, self.padding, self.stride)
+        self._cols = cols
+        self._x_shape = x.shape
+        w_mat = self.weight.data.reshape(self.out_channels, -1)
+        out = (w_mat @ cols).reshape(self.out_channels, out_len, batch)
+        out = out.transpose(2, 0, 1)
+        if self.bias is not None:
+            out = out + self.bias.data.reshape(1, -1, 1)
+        return np.ascontiguousarray(out)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._cols is None or self._x_shape is None:
+            raise RuntimeError("backward called before forward")
+        if self.bias is not None:
+            self.bias.grad += grad.sum(axis=(0, 2))
+        grad_mat = grad.transpose(1, 2, 0).reshape(self.out_channels, -1)
+        self.weight.grad += (grad_mat @ self._cols.T).reshape(self.weight.shape)
+        w_mat = self.weight.data.reshape(self.out_channels, -1)
+        dcols = w_mat.T @ grad_mat
+        return _col2im_1d(dcols, self._x_shape, self.kernel, self.padding, self.stride)
+
+
+class ConvTranspose1D(Layer):
+    """Strided 1-D transposed convolution (adjoint of :class:`Conv1D`)."""
+
+    def __init__(self, in_channels: int, out_channels: int, kernel: int = 4,
+                 stride: int = 2, padding: int = 1, bias: bool = True, rng=None):
+        super().__init__()
+        if min(in_channels, out_channels, kernel, stride) <= 0 or padding < 0:
+            raise ValueError("invalid convolution geometry")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel = kernel
+        self.stride = stride
+        self.padding = padding
+        weight = initializers.dcgan_normal((in_channels, out_channels, kernel), rng)
+        self.weight = Parameter(weight, "deconv1d.weight")
+        self.bias = Parameter(initializers.zeros((out_channels,)), "deconv1d.bias") if bias else None
+        self.params = [self.weight] + ([self.bias] if bias else [])
+        self._x: np.ndarray | None = None
+        self._out_shape: tuple[int, int, int] | None = None
+
+    def output_length(self, length: int) -> int:
+        """Output length for an input of ``length``."""
+        return (length - 1) * self.stride - 2 * self.padding + self.kernel
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        if x.ndim != 3 or x.shape[1] != self.in_channels:
+            raise ValueError(f"expected (N, {self.in_channels}, L) input, got {x.shape}")
+        batch, _, in_len = x.shape
+        out_len = self.output_length(in_len)
+        self._x = x
+        self._out_shape = (batch, self.out_channels, out_len)
+        w_mat = self.weight.data.reshape(self.in_channels, -1)
+        x_mat = x.transpose(1, 2, 0).reshape(self.in_channels, -1)
+        cols = w_mat.T @ x_mat
+        out = _col2im_1d(cols, self._out_shape, self.kernel, self.padding, self.stride)
+        if self.bias is not None:
+            out = out + self.bias.data.reshape(1, -1, 1)
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._x is None or self._out_shape is None:
+            raise RuntimeError("backward called before forward")
+        if self.bias is not None:
+            self.bias.grad += grad.sum(axis=(0, 2))
+        batch, _, in_len = self._x.shape
+        grad_cols = _im2col_1d(grad, self.kernel, self.padding, self.stride)
+        w_mat = self.weight.data.reshape(self.in_channels, -1)
+        dx = (w_mat @ grad_cols).reshape(self.in_channels, in_len, batch).transpose(2, 0, 1)
+        x_mat = self._x.transpose(1, 2, 0).reshape(self.in_channels, -1)
+        self.weight.grad += (x_mat @ grad_cols.T).reshape(self.weight.shape)
+        return np.ascontiguousarray(dx)

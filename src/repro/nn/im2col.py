@@ -1,0 +1,106 @@
+"""im2col / col2im index machinery for convolution layers.
+
+Convolutions are implemented as matrix multiplications over patch matrices
+("columns").  ``im2col`` unfolds sliding windows of the input into a 2-D
+matrix; ``col2im`` folds a column matrix back into an image, accumulating
+overlapping contributions — exactly the adjoint of ``im2col``, which is what
+back-propagation (and transposed convolution) needs.
+
+Shapes follow the NCHW convention used throughout :mod:`repro.nn`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def conv_output_size(size: int, kernel: int, padding: int, stride: int) -> int:
+    """Spatial output size of a convolution along one axis.
+
+    Raises ``ValueError`` when the geometry does not divide evenly, because a
+    silent floor would desynchronize ``im2col`` and ``col2im``.
+    """
+    numerator = size + 2 * padding - kernel
+    if numerator < 0:
+        raise ValueError(
+            f"kernel {kernel} larger than padded input {size + 2 * padding}"
+        )
+    if numerator % stride != 0:
+        raise ValueError(
+            f"convolution geometry not exact: size={size}, kernel={kernel}, "
+            f"padding={padding}, stride={stride}"
+        )
+    return numerator // stride + 1
+
+
+def im2col_indices(
+    x_shape: tuple[int, int, int, int],
+    kernel: int,
+    padding: int,
+    stride: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Compute the (channel, row, col) gather indices for ``im2col``.
+
+    Returns index arrays ``(k, i, j)`` such that
+    ``padded_x[:, k, i, j]`` has shape ``(N, C*kernel*kernel, H_out*W_out)``.
+    """
+    _, channels, height, width = x_shape
+    out_h = conv_output_size(height, kernel, padding, stride)
+    out_w = conv_output_size(width, kernel, padding, stride)
+
+    i0 = np.repeat(np.arange(kernel), kernel)
+    i0 = np.tile(i0, channels)
+    i1 = stride * np.repeat(np.arange(out_h), out_w)
+    j0 = np.tile(np.arange(kernel), kernel * channels)
+    j1 = stride * np.tile(np.arange(out_w), out_h)
+
+    i = i0.reshape(-1, 1) + i1.reshape(1, -1)
+    j = j0.reshape(-1, 1) + j1.reshape(1, -1)
+    k = np.repeat(np.arange(channels), kernel * kernel).reshape(-1, 1)
+    return k, i, j
+
+
+def im2col(x: np.ndarray, kernel: int, padding: int, stride: int) -> np.ndarray:
+    """Unfold ``x`` (N, C, H, W) into a patch matrix.
+
+    Returns an array of shape ``(C*kernel*kernel, N*H_out*W_out)`` whose
+    columns are flattened receptive fields.
+    """
+    k, i, j = im2col_indices(x.shape, kernel, padding, stride)
+    if padding > 0:
+        x = np.pad(
+            x,
+            ((0, 0), (0, 0), (padding, padding), (padding, padding)),
+            mode="constant",
+        )
+    cols = x[:, k, i, j]
+    channels_kk = cols.shape[1]
+    return cols.transpose(1, 2, 0).reshape(channels_kk, -1)
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    kernel: int,
+    padding: int,
+    stride: int,
+) -> np.ndarray:
+    """Fold a patch matrix back into an image, accumulating overlaps.
+
+    ``cols`` has shape ``(C*kernel*kernel, N*H_out*W_out)`` and the result
+    has shape ``x_shape`` (N, C, H, W).  This is the exact adjoint of
+    :func:`im2col` and therefore also the forward pass of a transposed
+    convolution.
+    """
+    batch, channels, height, width = x_shape
+    padded_h, padded_w = height + 2 * padding, width + 2 * padding
+    x_padded = np.zeros((batch, channels, padded_h, padded_w), dtype=cols.dtype)
+
+    k, i, j = im2col_indices(x_shape, kernel, padding, stride)
+    cols_reshaped = cols.reshape(channels * kernel * kernel, -1, batch)
+    cols_reshaped = cols_reshaped.transpose(2, 0, 1)
+    np.add.at(x_padded, (slice(None), k, i, j), cols_reshaped)
+
+    if padding == 0:
+        return x_padded
+    return x_padded[:, :, padding:-padding, padding:-padding]

@@ -1,0 +1,159 @@
+"""Layer protocol plus the shape-manipulating and dense layers.
+
+Every layer implements ``forward``/``backward`` and exposes its learnable
+:class:`Parameter` objects.  Backward passes accumulate into
+``Parameter.grad``; optimizers consume and the trainer zeroes them.  The
+design is deliberately layer-local (no tape/autograd) — the table-GAN
+training loop only needs feed-forward stacks, and explicit per-layer
+backward rules keep the numerics auditable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import initializers
+
+
+class Parameter:
+    """A learnable tensor: ``data`` plus accumulated gradient ``grad``."""
+
+    def __init__(self, data: np.ndarray, name: str = "param"):
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad = np.zeros_like(self.data)
+        self.name = name
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient to zero in place."""
+        self.grad[...] = 0.0
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    def __repr__(self) -> str:
+        return f"Parameter({self.name}, shape={self.data.shape})"
+
+
+class Layer:
+    """Base class for all layers.
+
+    Subclasses override :meth:`forward` and :meth:`backward` and register
+    parameters in ``self.params``.  ``forward`` may cache whatever it needs
+    for the backward pass; caches must not be mutated by ``backward`` so a
+    single forward can support multiple backward passes (the table-GAN
+    generator update back-propagates through the discriminator twice: once
+    from the adversarial loss and once from the information loss).
+    """
+
+    def __init__(self):
+        self.params: list[Parameter] = []
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def parameters(self) -> list[Parameter]:
+        """All learnable parameters of this layer."""
+        return list(self.params)
+
+    def extra_state(self) -> dict[str, np.ndarray]:
+        """Non-learnable state to persist (e.g. batch-norm running stats)."""
+        return {}
+
+    def load_extra_state(self, state: dict[str, np.ndarray]) -> None:
+        """Restore state captured by :meth:`extra_state`."""
+        if state:
+            raise ValueError(f"{type(self).__name__} has no extra state to load")
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+    def __call__(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        return self.forward(x, training=training)
+
+
+class Dense(Layer):
+    """Fully connected layer ``y = x @ W + b``.
+
+    Parameters
+    ----------
+    in_features, out_features:
+        Input and output widths.
+    init:
+        ``"dcgan"`` (N(0, 0.02)), ``"he"``, or ``"glorot"``.
+    bias:
+        Whether to learn an additive bias.
+    rng:
+        Seed or generator for weight initialization.
+    """
+
+    def __init__(self, in_features: int, out_features: int, init: str = "dcgan",
+                 bias: bool = True, rng=None):
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("in_features and out_features must be positive")
+        shape = (in_features, out_features)
+        if init == "dcgan":
+            weight = initializers.dcgan_normal(shape, rng)
+        elif init == "he":
+            weight = initializers.he_normal(shape, in_features, rng)
+        elif init == "glorot":
+            weight = initializers.glorot_uniform(shape, in_features, out_features, rng)
+        else:
+            raise ValueError(f"unknown init {init!r}")
+        self.weight = Parameter(weight, "dense.weight")
+        self.bias = Parameter(initializers.zeros((out_features,)), "dense.bias") if bias else None
+        self.params = [self.weight] + ([self.bias] if bias else [])
+        self._x: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        if x.ndim != 2:
+            raise ValueError(f"Dense expects 2-D input, got shape {x.shape}")
+        self._x = x
+        out = x @ self.weight.data
+        if self.bias is not None:
+            out = out + self.bias.data
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward called before forward")
+        self.weight.grad += self._x.T @ grad
+        if self.bias is not None:
+            self.bias.grad += grad.sum(axis=0)
+        return grad @ self.weight.data.T
+
+
+class Flatten(Layer):
+    """Flatten (N, ...) to (N, features), remembering the shape for backward."""
+
+    def __init__(self):
+        super().__init__()
+        self._shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._shape is None:
+            raise RuntimeError("backward called before forward")
+        return grad.reshape(self._shape)
+
+
+class Reshape(Layer):
+    """Reshape (N, features) to (N, *target_shape); inverse of :class:`Flatten`."""
+
+    def __init__(self, target_shape: tuple[int, ...]):
+        super().__init__()
+        self.target_shape = tuple(target_shape)
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        return x.reshape(x.shape[0], *self.target_shape)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        return grad.reshape(grad.shape[0], -1)

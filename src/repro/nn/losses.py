@@ -1,0 +1,85 @@
+"""Loss functions used by the GAN training loops and the MLP classifier.
+
+All losses operate on *logits* (pre-sigmoid scores) where possible, using
+the numerically stable softplus formulation so that extreme discriminator
+confidence never produces inf/nan gradients.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _softplus(x: np.ndarray) -> np.ndarray:
+    """log(1 + exp(x)) computed without overflow."""
+    return np.maximum(x, 0.0) + np.log1p(np.exp(-np.abs(x)))
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic sigmoid."""
+    out = np.empty_like(x, dtype=np.float64)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out
+
+
+def bce_with_logits(logits: np.ndarray, targets: np.ndarray) -> tuple[float, np.ndarray]:
+    """Binary cross-entropy on logits.
+
+    Returns ``(mean_loss, grad_wrt_logits)``.  The gradient is already
+    divided by the batch size, so it can be fed straight into ``backward``.
+    """
+    logits = np.asarray(logits, dtype=np.float64)
+    targets = np.asarray(targets, dtype=np.float64)
+    if logits.shape != targets.shape:
+        raise ValueError(f"shape mismatch: logits {logits.shape} vs targets {targets.shape}")
+    loss = float(np.mean(_softplus(logits) - targets * logits))
+    grad = (sigmoid(logits) - targets) / logits.size
+    return loss, grad
+
+
+def mse(pred: np.ndarray, target: np.ndarray) -> tuple[float, np.ndarray]:
+    """Mean squared error; returns ``(loss, grad_wrt_pred)``."""
+    pred = np.asarray(pred, dtype=np.float64)
+    target = np.asarray(target, dtype=np.float64)
+    if pred.shape != target.shape:
+        raise ValueError(f"shape mismatch: pred {pred.shape} vs target {target.shape}")
+    diff = pred - target
+    loss = float(np.mean(diff**2))
+    grad = 2.0 * diff / diff.size
+    return loss, grad
+
+
+def l1(pred: np.ndarray, target: np.ndarray) -> tuple[float, np.ndarray]:
+    """Mean absolute error; returns ``(loss, subgrad_wrt_pred)``.
+
+    Used by the table-GAN classification loss (Eq. 5), which measures the
+    absolute discrepancy between synthesized labels and classifier
+    predictions.
+    """
+    pred = np.asarray(pred, dtype=np.float64)
+    target = np.asarray(target, dtype=np.float64)
+    if pred.shape != target.shape:
+        raise ValueError(f"shape mismatch: pred {pred.shape} vs target {target.shape}")
+    diff = pred - target
+    loss = float(np.mean(np.abs(diff)))
+    grad = np.sign(diff) / diff.size
+    return loss, grad
+
+
+def hinge_threshold(value: float, delta: float) -> tuple[float, float]:
+    """The table-GAN hinge ``max(0, value - delta)`` (Eq. 4).
+
+    Returns ``(loss, dloss_dvalue)``; the derivative is the indicator that
+    the hinge is active, which is what turns δ into a privacy knob: while
+    the discrepancy stays below δ no gradient flows and synthesis quality is
+    deliberately left degraded.
+    """
+    if delta < 0:
+        raise ValueError(f"delta must be non-negative, got {delta}")
+    excess = value - delta
+    if excess > 0:
+        return float(excess), 1.0
+    return 0.0, 0.0

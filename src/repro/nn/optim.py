@@ -1,0 +1,85 @@
+"""Optimizers: SGD with momentum, and Adam.
+
+table-GAN trains all three networks with Adam using DCGAN's canonical
+hyper-parameters (lr=2e-4, beta1=0.5).  Optimizers hold per-parameter
+state keyed by identity, so one optimizer instance serves one network.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Parameter
+
+
+class Optimizer:
+    """Base optimizer over a fixed list of :class:`Parameter` objects."""
+
+    def __init__(self, params: list[Parameter], lr: float):
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.params = list(params)
+        if not self.params:
+            raise ValueError("optimizer needs at least one parameter")
+        self.lr = lr
+
+    def step(self) -> None:
+        """Apply one update using the gradients accumulated in each parameter."""
+        raise NotImplementedError
+
+    def zero_grad(self) -> None:
+        """Zero all parameter gradients."""
+        for p in self.params:
+            p.zero_grad()
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional classical momentum."""
+
+    def __init__(self, params: list[Parameter], lr: float = 0.01, momentum: float = 0.0):
+        super().__init__(params, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        for p, v in zip(self.params, self._velocity):
+            if self.momentum > 0:
+                v *= self.momentum
+                v += p.grad
+                p.data -= self.lr * v
+            else:
+                p.data -= self.lr * p.grad
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba, 2015) with bias correction.
+
+    Defaults follow DCGAN: ``lr=2e-4, beta1=0.5, beta2=0.999``.
+    """
+
+    def __init__(self, params: list[Parameter], lr: float = 2e-4,
+                 beta1: float = 0.5, beta2: float = 0.999, eps: float = 1e-8):
+        super().__init__(params, lr)
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValueError("betas must be in [0, 1)")
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        bc1 = 1.0 - self.beta1**self._t
+        bc2 = 1.0 - self.beta2**self._t
+        for p, m, v in zip(self.params, self._m, self._v):
+            m *= self.beta1
+            m += (1.0 - self.beta1) * p.grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * p.grad**2
+            m_hat = m / bc1
+            v_hat = v / bc2
+            p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

@@ -1,0 +1,115 @@
+"""Sequential layer container with partial forward/backward access.
+
+The table-GAN training loop needs more than a plain feed-forward stack:
+
+* the information loss reads the discriminator's *feature layer* (the
+  flattened activations right before the final dense+sigmoid), and
+* the generator update injects a gradient at that feature layer and
+  back-propagates it the rest of the way to the input.
+
+``Sequential`` therefore caches per-layer outputs on every forward pass and
+exposes :meth:`activation`, :meth:`backward_from` and :meth:`layer_index`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Layer, Parameter
+
+
+class Sequential(Layer):
+    """A stack of layers applied in order.
+
+    Layers can be given names via ``(name, layer)`` tuples so call sites can
+    refer to semantically meaningful points in the stack (e.g. the
+    table-GAN discriminator names its flattened feature layer ``"features"``).
+    """
+
+    def __init__(self, layers):
+        super().__init__()
+        self.layers: list[Layer] = []
+        self.names: list[str] = []
+        for idx, entry in enumerate(layers):
+            if isinstance(entry, tuple):
+                name, layer = entry
+            else:
+                name, layer = f"layer{idx}", entry
+            if not isinstance(layer, Layer):
+                raise TypeError(f"entry {idx} is not a Layer: {layer!r}")
+            self.layers.append(layer)
+            self.names.append(name)
+        self._activations: list[np.ndarray] | None = None
+
+    def layer_index(self, name: str) -> int:
+        """Index of the layer registered under ``name``."""
+        try:
+            return self.names.index(name)
+        except ValueError:
+            raise KeyError(f"no layer named {name!r}; have {self.names}") from None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        activations = []
+        out = x
+        for layer in self.layers:
+            out = layer.forward(out, training=training)
+            activations.append(out)
+        self._activations = activations
+        return out
+
+    def activation(self, name_or_index) -> np.ndarray:
+        """Cached output of a layer from the most recent forward pass."""
+        if self._activations is None:
+            raise RuntimeError("no forward pass has been run yet")
+        idx = name_or_index if isinstance(name_or_index, int) else self.layer_index(name_or_index)
+        return self._activations[idx]
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        return self.backward_from(len(self.layers) - 1, grad)
+
+    def backward_from(self, name_or_index, grad: np.ndarray) -> np.ndarray:
+        """Back-propagate ``grad`` from the output of the given layer to the input.
+
+        Uses the caches of the most recent forward pass.  Parameter gradients
+        of the traversed layers accumulate; call :meth:`zero_grad` first when
+        they should not (e.g. when the discriminator is only a conduit for
+        generator gradients).
+        """
+        if self._activations is None:
+            raise RuntimeError("backward called before forward")
+        idx = name_or_index if isinstance(name_or_index, int) else self.layer_index(name_or_index)
+        out_grad = grad
+        for layer in reversed(self.layers[: idx + 1]):
+            out_grad = layer.backward(out_grad)
+        return out_grad
+
+    def parameters(self) -> list[Parameter]:
+        params: list[Parameter] = []
+        for layer in self.layers:
+            params.extend(layer.parameters())
+        return params
+
+    def extra_state(self) -> dict[str, np.ndarray]:
+        state: dict[str, np.ndarray] = {}
+        for idx, layer in enumerate(self.layers):
+            for key, value in layer.extra_state().items():
+                state[f"{idx:04d}.{key}"] = value
+        return state
+
+    def load_extra_state(self, state: dict[str, np.ndarray]) -> None:
+        per_layer: dict[int, dict[str, np.ndarray]] = {}
+        for key, value in state.items():
+            idx_str, _, rest = key.partition(".")
+            per_layer.setdefault(int(idx_str), {})[rest] = value
+        for idx, layer_state in per_layer.items():
+            self.layers[idx].load_extra_state(layer_state)
+
+    def zero_grad(self) -> None:
+        for layer in self.layers:
+            layer.zero_grad()
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __iter__(self):
+        return iter(self.layers)

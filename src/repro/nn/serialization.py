@@ -1,0 +1,57 @@
+"""Parameter persistence for :mod:`repro.nn` networks.
+
+Weights are stored as flat ``.npz`` archives keyed by position so a trained
+table-GAN can be saved and reloaded without retraining.  Loading validates
+shapes so mismatched architectures fail loudly instead of silently
+corrupting a model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Layer
+
+
+def state_dict(network: Layer) -> dict[str, np.ndarray]:
+    """Snapshot parameters and extra state (e.g. batch-norm running stats)."""
+    state = {
+        f"p{idx:04d}.{param.name}": param.data.copy()
+        for idx, param in enumerate(network.parameters())
+    }
+    for key, value in network.extra_state().items():
+        state[f"x.{key}"] = value.copy()
+    return state
+
+
+def load_state_dict(network: Layer, state: dict[str, np.ndarray]) -> None:
+    """Restore state captured by :func:`state_dict` into ``network``.
+
+    Raises ``ValueError`` on any count or shape mismatch.
+    """
+    param_state = {k: v for k, v in state.items() if k.startswith("p")}
+    extra_state = {k[2:]: v for k, v in state.items() if k.startswith("x.")}
+    params = network.parameters()
+    if len(param_state) != len(params):
+        raise ValueError(
+            f"state has {len(param_state)} parameter entries but network has "
+            f"{len(params)} parameters"
+        )
+    for (key, value), param in zip(sorted(param_state.items()), params):
+        if value.shape != param.data.shape:
+            raise ValueError(
+                f"shape mismatch for {key}: saved {value.shape}, network {param.data.shape}"
+            )
+        param.data[...] = value
+    network.load_extra_state(extra_state)
+
+
+def save_npz(path, network: Layer) -> None:
+    """Write ``network`` parameters to ``path`` as a compressed .npz archive."""
+    np.savez_compressed(path, **state_dict(network))
+
+
+def load_npz(path, network: Layer) -> None:
+    """Load parameters saved by :func:`save_npz` into ``network`` in place."""
+    with np.load(path) as archive:
+        load_state_dict(network, dict(archive.items()))

@@ -1,0 +1,39 @@
+"""Privacy evaluation: DCR, classical risk models, and the membership attack."""
+
+from repro.privacy.dcr import (
+    DcrResult,
+    closest_record_distances,
+    closest_synthetic_rows,
+    dcr,
+    dcr_sensitive_only,
+)
+from repro.privacy.membership import (
+    ATTACK_MODEL_FAMILIES,
+    MembershipAttack,
+    MembershipAttackResult,
+    paper_attack_model,
+)
+from repro.privacy.risk import (
+    RiskReport,
+    assert_applicable_to,
+    equivalence_class_sizes,
+    equivalence_classes,
+    risk_report,
+)
+
+__all__ = [
+    "dcr",
+    "dcr_sensitive_only",
+    "DcrResult",
+    "closest_record_distances",
+    "closest_synthetic_rows",
+    "MembershipAttack",
+    "MembershipAttackResult",
+    "paper_attack_model",
+    "ATTACK_MODEL_FAMILIES",
+    "RiskReport",
+    "risk_report",
+    "equivalence_classes",
+    "equivalence_class_sizes",
+    "assert_applicable_to",
+]

@@ -1,0 +1,108 @@
+"""Distance to the closest record (DCR) — the paper's Table 5 metric.
+
+For each record r of the original table, DCR is the Euclidean distance to
+the nearest record of the anonymized/perturbed/synthesized table, computed
+after attribute-wise min–max normalization "so each attribute contributes
+to the distance equally" (§5.1.2).  A released record at DCR 0 leaks a
+real record verbatim; large mean DCR with small standard deviation is the
+safe regime (§5.3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.table import Table
+from repro.ml.preprocessing import MinMaxScaler
+
+
+@dataclass(frozen=True)
+class DcrResult:
+    """DCR summary: the paper reports ``mean ± std`` per cell of Table 5."""
+
+    mean: float
+    std: float
+    min: float
+    distances: np.ndarray
+
+    def formatted(self) -> str:
+        """Render as the paper's ``avg ± std`` cell format."""
+        return f"{self.mean:.2f} ± {self.std:.2f}"
+
+
+def closest_record_distances(original: Table, released: Table,
+                             columns=None, block_size: int = 512) -> np.ndarray:
+    """Per-original-row distance to the nearest released row.
+
+    Parameters
+    ----------
+    original, released:
+        Tables sharing a schema.
+    columns:
+        Column subset to compare (default: all columns).  Table 5 uses
+        both "QIDs + sensitive" (all) and "only sensitive".
+    block_size:
+        Rows per distance block, bounding memory at
+        ``block_size * len(released)`` floats.
+    """
+    if original.schema != released.schema:
+        raise ValueError("original and released tables must share a schema")
+    names = list(columns) if columns is not None else list(original.schema.names)
+    if not names:
+        raise ValueError("no columns selected for the distance computation")
+    a = original.columns(names)
+    b = released.columns(names)
+    scaler = MinMaxScaler().fit(a)
+    a = scaler.transform(a)
+    b = scaler.transform(b)
+
+    out = np.empty(a.shape[0])
+    b_sq = (b**2).sum(axis=1)
+    for start in range(0, a.shape[0], block_size):
+        block = a[start : start + block_size]
+        # Squared distances via the expansion ||x-y||^2 = x^2 - 2xy + y^2.
+        d2 = (block**2).sum(axis=1)[:, None] - 2.0 * block @ b.T + b_sq[None, :]
+        nearest = np.maximum(d2.min(axis=1), 0.0)
+        # The expansion leaves ~1e-16 residue on exact matches; snap it so a
+        # verbatim leak reports the paper's DCR = 0 exactly.
+        nearest[nearest < 1e-12] = 0.0
+        out[start : start + block.shape[0]] = np.sqrt(nearest)
+    return out
+
+
+def dcr(original: Table, released: Table, columns=None) -> DcrResult:
+    """DCR summary statistics between ``original`` and ``released``."""
+    distances = closest_record_distances(original, released, columns)
+    return DcrResult(
+        mean=float(distances.mean()),
+        std=float(distances.std()),
+        min=float(distances.min()),
+        distances=distances,
+    )
+
+
+def dcr_sensitive_only(original: Table, released: Table) -> DcrResult:
+    """DCR over sensitive attributes only (bottom half of Table 5)."""
+    return dcr(original, released, columns=original.schema.sensitive)
+
+
+def closest_synthetic_rows(original: Table, released: Table) -> np.ndarray:
+    """Index of the nearest released row for each original row.
+
+    Used by the paper's generation examples (Tables 7–8): for each real
+    record, show the closest synthetic record.
+    """
+    if original.schema != released.schema:
+        raise ValueError("original and released tables must share a schema")
+    a = MinMaxScaler().fit_transform(original.values)
+    scaler = MinMaxScaler().fit(original.values)
+    b = scaler.transform(released.values)
+    b_sq = (b**2).sum(axis=1)
+    out = np.empty(a.shape[0], dtype=np.int64)
+    for start in range(0, a.shape[0], 512):
+        block = a[start : start + 512]
+        d2 = (block**2).sum(axis=1)[:, None] - 2.0 * block @ b.T + b_sq[None, :]
+        out[start : start + block.shape[0]] = d2.argmin(axis=1)
+    return out

@@ -1,0 +1,76 @@
+"""Classical re-identification risk models (paper §2.2).
+
+The prosecutor, journalist and marketer models score anonymized tables by
+equivalence-class sizes.  They require a one-to-one correspondence between
+original and released records, so — as the paper stresses — they apply to
+the anonymization/perturbation baselines but *cannot* score table-GAN
+output (no such correspondence exists); the library raises when asked to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.table import Table
+
+
+@dataclass(frozen=True)
+class RiskReport:
+    """Re-identification risk summary over equivalence classes."""
+
+    prosecutor_max: float       # worst-case: 1 / min class size
+    prosecutor_mean: float      # expected success over records
+    journalist_risk: float      # 1 / size of the smallest class
+    marketer_risk: float        # expected fraction of re-identified records
+    n_classes: int
+
+
+def equivalence_classes(table: Table) -> tuple[np.ndarray, np.ndarray]:
+    """(per-record class size, per-class size) of a generalized table's QIDs."""
+    qids = table.schema.qids
+    if not qids:
+        raise ValueError("schema declares no QID columns")
+    qid_values = table.columns(qids)
+    _, inverse, counts = np.unique(
+        qid_values, axis=0, return_inverse=True, return_counts=True
+    )
+    return counts[inverse], counts
+
+
+def equivalence_class_sizes(table: Table) -> np.ndarray:
+    """Per-record equivalence-class size of a (generalized) table."""
+    per_record, _ = equivalence_classes(table)
+    return per_record
+
+
+def risk_report(table: Table) -> RiskReport:
+    """Prosecutor/journalist/marketer risks of a generalized table.
+
+    ``risk(p) = 1 / |equivalence class of p|`` per the prosecutor model;
+    the marketer risk is its average, the journalist risk the worst class.
+    """
+    per_record, class_sizes = equivalence_classes(table)
+    per_record_risk = 1.0 / per_record
+    return RiskReport(
+        prosecutor_max=float(per_record_risk.max()),
+        prosecutor_mean=float(per_record_risk.mean()),
+        journalist_risk=float(1.0 / class_sizes.min()),
+        marketer_risk=float(per_record_risk.mean()),
+        n_classes=int(class_sizes.size),
+    )
+
+
+def assert_applicable_to(method_name: str) -> None:
+    """Raise for synthesis methods, mirroring the paper's §2.2 argument.
+
+    Risk evaluation needs equivalence classes and record correspondence;
+    fully synthetic tables have neither.
+    """
+    synthetic = {"table-gan", "tablegan", "dcgan", "condensation"}
+    if method_name.lower().replace("_", "-") in synthetic:
+        raise ValueError(
+            f"classical risk models do not apply to {method_name}: synthetic "
+            "tables have no one-to-one record correspondence (paper §2.2)"
+        )

@@ -1,0 +1,18 @@
+"""Shared utilities: seeded random number generation and argument validation."""
+
+from repro.utils.rng import ensure_rng, spawn_rng
+from repro.utils.validation import (
+    check_array,
+    check_fitted,
+    check_positive,
+    check_probability,
+)
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rng",
+    "check_array",
+    "check_fitted",
+    "check_positive",
+    "check_probability",
+]

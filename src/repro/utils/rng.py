@@ -1,0 +1,39 @@
+"""Seeded random-number-generator helpers.
+
+Every stochastic component in the library accepts a ``seed`` argument that
+may be ``None`` (fresh entropy), an ``int`` (deterministic), or an existing
+:class:`numpy.random.Generator` (shared stream).  These helpers normalize
+all three into a ``Generator`` so downstream code never branches on type.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+SeedLike = "int | np.random.Generator | None"
+
+
+def ensure_rng(seed=None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` for OS entropy, an ``int`` for a deterministic stream, or an
+        existing ``Generator`` which is returned unchanged.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rng(rng: np.random.Generator, count: int) -> list[np.random.Generator]:
+    """Split ``rng`` into ``count`` independent child generators.
+
+    Used when a parent process needs to hand deterministic, non-overlapping
+    streams to sub-components (e.g. chunked table-GAN training).
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    seeds = rng.integers(0, 2**63 - 1, size=count, dtype=np.int64)
+    return [np.random.default_rng(int(s)) for s in seeds]

@@ -1,0 +1,58 @@
+"""Shared argument-validation helpers.
+
+Centralizing the checks keeps error messages consistent across the library
+and keeps the numerical code free of boilerplate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def check_array(x, name: str = "array", ndim: int | None = None, dtype=np.float64) -> np.ndarray:
+    """Convert ``x`` to a contiguous ndarray and validate its rank.
+
+    Parameters
+    ----------
+    x:
+        Array-like input.
+    name:
+        Argument name used in error messages.
+    ndim:
+        Required number of dimensions, or ``None`` to accept any rank.
+    dtype:
+        Target dtype (``None`` keeps the input dtype).
+    """
+    arr = np.asarray(x, dtype=dtype)
+    if ndim is not None and arr.ndim != ndim:
+        raise ValueError(f"{name} must be {ndim}-dimensional, got shape {arr.shape}")
+    if arr.size == 0:
+        raise ValueError(f"{name} must not be empty")
+    return np.ascontiguousarray(arr)
+
+
+def check_fitted(obj, attribute: str) -> None:
+    """Raise ``RuntimeError`` unless ``obj`` has a non-None ``attribute``.
+
+    Mirrors scikit-learn's ``check_is_fitted`` convention: estimators set a
+    trailing-underscore attribute in ``fit`` and predict-time methods call
+    this first.
+    """
+    if getattr(obj, attribute, None) is None:
+        raise RuntimeError(
+            f"{type(obj).__name__} is not fitted yet; call fit() before using this method"
+        )
+
+
+def check_positive(value, name: str, strict: bool = True) -> None:
+    """Validate that a scalar is positive (``strict``) or non-negative."""
+    if strict and not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value}")
+    if not strict and not value >= 0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+
+
+def check_probability(value, name: str) -> None:
+    """Validate that a scalar lies in the closed interval [0, 1]."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")

@@ -1,0 +1,76 @@
+"""ArxAnonymizer facade and the paper's parameter sweeps."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.anonymization import (
+    PAPER_EPSILON_GRID,
+    PAPER_K_GRID,
+    PAPER_T_GRID,
+    ArxAnonymizer,
+    arx_parameter_sweep,
+)
+from repro.data.datasets import generate_adult
+
+
+@pytest.fixture(scope="module")
+def adult():
+    return generate_adult(rows=300, seed=13)
+
+
+class TestArxAnonymizer:
+    def test_k_t_preserves_sensitive(self, adult):
+        anon = ArxAnonymizer(method="k_t", k=5, t=0.5).anonymize(adult)
+        sens = list(adult.schema.sensitive)
+        assert np.allclose(anon.columns(sens), adult.columns(sens))
+
+    def test_k_l_method(self, adult):
+        anon = ArxAnonymizer(method="k_l", k=5, l=2).anonymize(adult)
+        assert anon.n_rows == adult.n_rows
+
+    def test_dp_disclosure_method(self, adult):
+        anon = ArxAnonymizer(
+            method="dp_disclosure", epsilon=2.0, dp_delta=1e-3,
+            disclosure_delta=2.0, seed=0,
+        ).anonymize(adult)
+        assert anon.n_rows == adult.n_rows
+
+    def test_explicit_sensitive_column(self, adult):
+        anon = ArxAnonymizer(method="k_t", k=5, t=0.5, sensitive="workclass")
+        assert anon.anonymize(adult).n_rows == adult.n_rows
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError, match="unknown method"):
+            ArxAnonymizer(method="magic")
+
+    def test_unknown_sensitive_rejected(self, adult):
+        arx = ArxAnonymizer(method="k_t", sensitive="missing")
+        with pytest.raises(KeyError):
+            arx.anonymize(adult)
+
+    def test_stronger_k_generalizes_more(self, adult):
+        """Higher k coarsens QIDs: fewer distinct generalized QID tuples."""
+        weak = ArxAnonymizer(method="k_t", k=2, t=0.9).anonymize(adult)
+        strong = ArxAnonymizer(method="k_t", k=15, t=0.9).anonymize(adult)
+        qids = list(adult.schema.qids)
+        n_weak = np.unique(weak.columns(qids), axis=0).shape[0]
+        n_strong = np.unique(strong.columns(qids), axis=0).shape[0]
+        assert n_strong < n_weak
+
+
+class TestSweeps:
+    def test_k_t_sweep_covers_grid(self):
+        combos = list(arx_parameter_sweep("k_t"))
+        assert len(combos) == len(PAPER_K_GRID) * len(PAPER_T_GRID)
+
+    def test_dp_sweep_covers_grid(self):
+        combos = list(arx_parameter_sweep("dp_disclosure"))
+        assert len(combos) == len(PAPER_EPSILON_GRID) * 3 * 2
+
+    def test_sweep_configs_are_constructible(self):
+        for kwargs in arx_parameter_sweep("k_t"):
+            ArxAnonymizer(**kwargs)
+
+    def test_unknown_sweep_rejected(self):
+        with pytest.raises(ValueError):
+            list(arx_parameter_sweep("bogus"))

@@ -1,0 +1,60 @@
+"""Additional DP-release and risk-model interaction tests."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.anonymization import (
+    ArxAnonymizer,
+    DifferentiallyPrivateRelease,
+    dp_parameters,
+)
+from repro.data.datasets import generate_adult
+from repro.privacy.risk import risk_report
+
+
+@pytest.fixture(scope="module")
+def adult():
+    return generate_adult(rows=400, seed=77)
+
+
+class TestDpEpsilonTradeoff:
+    def test_smaller_epsilon_larger_classes(self, adult):
+        """Tighter privacy budget forces coarser generalization."""
+        loose = DifferentiallyPrivateRelease(5.0, 1e-3, seed=0)
+        tight = DifferentiallyPrivateRelease(0.5, 1e-3, seed=0)
+        assert tight.k_ > loose.k_
+        assert tight.beta_ < loose.beta_
+
+    def test_beta_bounds(self):
+        for epsilon in (0.01, 0.5, 1, 2, 5):
+            beta, k = dp_parameters(epsilon, 1e-3)
+            assert 0.0 < beta < 1.0
+            assert k >= 2
+
+    def test_released_qids_are_generalized(self, adult):
+        released = DifferentiallyPrivateRelease(1.0, 1e-3, seed=0).anonymize(adult)
+        qids = list(adult.schema.qids)
+        n_original = np.unique(adult.columns(qids), axis=0).shape[0]
+        n_released = np.unique(released.columns(qids), axis=0).shape[0]
+        assert n_released < n_original
+
+    def test_deterministic_with_seed(self, adult):
+        a = DifferentiallyPrivateRelease(1.0, 1e-3, seed=4).anonymize(adult)
+        b = DifferentiallyPrivateRelease(1.0, 1e-3, seed=4).anonymize(adult)
+        assert np.allclose(a.values, b.values)
+
+
+class TestRiskAcrossMethods:
+    def test_dp_release_has_bounded_risk(self, adult):
+        released = ArxAnonymizer(
+            method="dp_disclosure", epsilon=1.0, dp_delta=1e-3,
+            disclosure_delta=2.0, seed=0,
+        ).anonymize(adult)
+        report = risk_report(released)
+        # DP release resamples rows, so classes can only grow.
+        assert report.prosecutor_max <= 1.0
+
+    def test_raw_table_risk_is_high(self, adult):
+        report = risk_report(adult)
+        # Fine-grained QIDs on raw data: many records are unique.
+        assert report.prosecutor_max == 1.0

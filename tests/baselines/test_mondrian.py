@@ -1,0 +1,96 @@
+"""Mondrian k-anonymity: partition invariants and generalization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.anonymization.mondrian import (
+    generalize,
+    merge_partitions,
+    mondrian_partitions,
+    partition_of_each_row,
+)
+from repro.data.datasets import generate_adult
+
+
+@pytest.fixture(scope="module")
+def adult():
+    return generate_adult(rows=400, seed=9)
+
+
+class TestPartitions:
+    def test_every_partition_at_least_k(self, adult):
+        for k in (2, 5, 15):
+            partitions = mondrian_partitions(adult, k)
+            assert min(p.size for p in partitions) >= k
+
+    def test_partitions_cover_all_rows_exactly_once(self, adult):
+        partitions = mondrian_partitions(adult, 5)
+        owner = partition_of_each_row(partitions, adult.n_rows)
+        assert owner.min() >= 0
+        sizes = np.bincount(owner)
+        assert sizes.sum() == adult.n_rows
+
+    def test_larger_k_fewer_partitions(self, adult):
+        few = mondrian_partitions(adult, 15)
+        many = mondrian_partitions(adult, 2)
+        assert len(few) < len(many)
+
+    def test_ranges_bound_member_values(self, adult):
+        partitions = mondrian_partitions(adult, 5)
+        for p in partitions[:10]:
+            for name, (lo, hi) in p.ranges.items():
+                col = adult.column(name)[p.rows]
+                assert col.min() >= lo and col.max() <= hi
+
+    def test_k_one_allows_singletons(self, adult):
+        partitions = mondrian_partitions(adult, 1)
+        assert min(p.size for p in partitions) >= 1
+
+    def test_rejects_bad_k(self, adult):
+        with pytest.raises(ValueError):
+            mondrian_partitions(adult, 0)
+        with pytest.raises(ValueError):
+            mondrian_partitions(adult, adult.n_rows + 1)
+
+    @settings(max_examples=10, deadline=None)
+    @given(k=st.integers(2, 30))
+    def test_k_anonymity_property(self, adult, k):
+        """For any k, every equivalence class has at least k members."""
+        partitions = mondrian_partitions(adult, k)
+        assert min(p.size for p in partitions) >= k
+
+
+class TestGeneralize:
+    def test_sensitive_untouched(self, adult):
+        partitions = mondrian_partitions(adult, 5)
+        anon = generalize(adult, partitions)
+        sens = list(adult.schema.sensitive)
+        assert np.allclose(anon.columns(sens), adult.columns(sens))
+
+    def test_qids_equal_within_partition(self, adult):
+        partitions = mondrian_partitions(adult, 5)
+        anon = generalize(adult, partitions)
+        qids = list(adult.schema.qids)
+        for p in partitions[:10]:
+            block = anon.columns(qids)[p.rows]
+            assert np.allclose(block, block[0])
+
+    def test_generalized_value_is_range_midpoint(self, adult):
+        partitions = mondrian_partitions(adult, 5)
+        anon = generalize(adult, partitions)
+        p = partitions[0]
+        name = adult.schema.qids[0]
+        lo, hi = p.ranges[name]
+        assert np.allclose(anon.column(name)[p.rows], 0.5 * (lo + hi))
+
+
+class TestMerge:
+    def test_merge_unions_rows_and_ranges(self, adult):
+        a, b = mondrian_partitions(adult, 50)[:2]
+        merged = merge_partitions(a, b)
+        assert merged.size == a.size + b.size
+        for name in a.ranges:
+            assert merged.ranges[name][0] == min(a.ranges[name][0], b.ranges[name][0])
+            assert merged.ranges[name][1] == max(a.ranges[name][1], b.ranges[name][1])

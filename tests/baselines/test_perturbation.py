@@ -1,0 +1,136 @@
+"""MDAV micro-aggregation, PRAM, and the sdcMicro facade."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.perturbation import (
+    SdcMicroPerturber,
+    mdav_groups,
+    microaggregate,
+    pram_column,
+    pram_table,
+    pram_transition_matrix,
+    sdcmicro_parameter_sweep,
+)
+from repro.data.datasets import generate_adult
+
+
+@pytest.fixture(scope="module")
+def adult():
+    return generate_adult(rows=300, seed=21)
+
+
+class TestMdav:
+    def test_group_sizes_at_least_k(self, rng):
+        values = rng.standard_normal((100, 3))
+        for k in (3, 5, 10):
+            groups = mdav_groups(values, k)
+            assert min(g.size for g in groups) >= k
+
+    def test_groups_partition_rows(self, rng):
+        values = rng.standard_normal((97, 2))  # non-multiple of k
+        groups = mdav_groups(values, 5)
+        allidx = np.sort(np.concatenate(groups))
+        assert np.array_equal(allidx, np.arange(97))
+
+    def test_groups_are_spatially_compact(self, rng):
+        """MDAV clusters beat random grouping on within-group variance."""
+        values = rng.standard_normal((120, 2))
+        groups = mdav_groups(values, 6)
+        mdav_var = np.mean([values[g].var(axis=0).sum() for g in groups])
+        shuffled = rng.permutation(120).reshape(20, 6)
+        random_var = np.mean([values[g].var(axis=0).sum() for g in shuffled])
+        assert mdav_var < random_var
+
+    def test_rejects_bad_k(self, rng):
+        with pytest.raises(ValueError):
+            mdav_groups(rng.random((10, 2)), 0)
+        with pytest.raises(ValueError):
+            mdav_groups(rng.random((3, 2)), 5)
+
+
+class TestMicroaggregate:
+    def test_only_selected_columns_change(self, adult):
+        out = microaggregate(adult, adult.schema.qids, k=3)
+        untouched = [n for n in adult.schema.names if n not in adult.schema.qids]
+        assert np.allclose(out.columns(untouched), adult.columns(untouched))
+        assert not np.allclose(
+            out.columns(list(adult.schema.qids)),
+            adult.columns(list(adult.schema.qids)),
+        )
+
+    def test_column_means_preserved(self, adult):
+        """Centroid replacement preserves each column's mean exactly."""
+        out = microaggregate(adult, adult.schema.qids, k=3)
+        for name in adult.schema.qids:
+            assert out.column(name).mean() == pytest.approx(adult.column(name).mean())
+
+
+class TestPram:
+    def test_transition_matrix_rows_sum_to_one(self):
+        matrix = pram_transition_matrix(np.array([10.0, 5.0, 1.0]), pd=0.7)
+        assert np.allclose(matrix.sum(axis=1), 1.0)
+        assert np.allclose(np.diag(matrix), 0.7)
+
+    def test_pd_one_is_identity(self, rng):
+        col = rng.integers(0, 4, 100).astype(float)
+        assert np.allclose(pram_column(col, pd=1.0, rng=rng), col)
+
+    def test_pd_zero_always_moves(self, rng):
+        col = rng.integers(0, 4, 200).astype(float)
+        out = pram_column(col, pd=0.0, rng=rng)
+        assert np.all(out != col)
+
+    def test_values_stay_in_support(self, rng):
+        col = rng.integers(2, 6, 100).astype(float)
+        out = pram_column(col, pd=0.5, rng=rng)
+        assert set(np.unique(out)) <= set(np.unique(col))
+
+    def test_single_category_stable(self, rng):
+        col = np.full(20, 3.0)
+        assert np.allclose(pram_column(col, pd=0.5, rng=rng), col)
+
+    def test_pram_table_rejects_continuous(self, adult, rng):
+        with pytest.raises(ValueError, match="continuous"):
+            pram_table(adult, ["capital_gain"], pd=0.5, rng=rng)
+
+    @settings(max_examples=20, deadline=None)
+    @given(pd=st.floats(0, 1), seed=st.integers(0, 100))
+    def test_transition_matrix_is_stochastic(self, pd, seed):
+        freq = np.random.default_rng(seed).integers(1, 50, 5).astype(float)
+        matrix = pram_transition_matrix(freq, pd)
+        assert np.allclose(matrix.sum(axis=1), 1.0)
+        assert matrix.min() >= 0.0
+
+
+class TestSdcMicroFacade:
+    def test_perturbs_qids_and_sensitive(self, adult):
+        out = SdcMicroPerturber(pd=0.5, alpha=0.5, seed=0).perturb(adult)
+        qids = list(adult.schema.qids)
+        assert not np.allclose(out.columns(qids), adult.columns(qids))
+        assert not np.allclose(out.column("capital_gain"), adult.column("capital_gain"))
+
+    def test_label_never_perturbed(self, adult):
+        out = SdcMicroPerturber(pd=0.01, alpha=1.0, seed=0).perturb(adult)
+        assert np.allclose(out.column("long_hours"), adult.column("long_hours"))
+
+    def test_zero_noise_keeps_continuous(self, adult):
+        out = SdcMicroPerturber(pd=1.0, alpha=0.0, seed=0).perturb(adult)
+        assert np.allclose(out.column("capital_gain"), adult.column("capital_gain"))
+
+    def test_sweep_matches_paper_grid(self):
+        assert len(list(sdcmicro_parameter_sweep())) == 9
+
+    def test_sweep_configs_constructible(self):
+        for kwargs in sdcmicro_parameter_sweep():
+            SdcMicroPerturber(**kwargs)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SdcMicroPerturber(pd=1.5)
+        with pytest.raises(ValueError):
+            SdcMicroPerturber(alpha=-1.0)
+        with pytest.raises(ValueError):
+            SdcMicroPerturber(k=0)

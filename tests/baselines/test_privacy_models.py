@@ -1,0 +1,141 @@
+"""l-diversity, t-closeness, δ-disclosure and the DP release."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.anonymization.closeness import (
+    emd_categorical,
+    emd_ordered,
+    enforce_t_closeness,
+    is_t_close,
+)
+from repro.baselines.anonymization.disclosure import (
+    enforce_delta_disclosure,
+    is_delta_disclosure_private,
+)
+from repro.baselines.anonymization.diversity import (
+    distinct_sensitive_values,
+    enforce_l_diversity,
+    is_l_diverse,
+)
+from repro.baselines.anonymization.dp import DifferentiallyPrivateRelease, dp_parameters
+from repro.baselines.anonymization.mondrian import mondrian_partitions
+from repro.data.datasets import generate_adult, generate_health
+
+
+@pytest.fixture(scope="module")
+def adult():
+    return generate_adult(rows=400, seed=4)
+
+
+@pytest.fixture(scope="module")
+def partitions(adult):
+    return mondrian_partitions(adult, 5)
+
+
+class TestLDiversity:
+    def test_enforcement_reaches_l(self, adult, partitions):
+        fixed = enforce_l_diversity(adult, partitions, "workclass", 3)
+        assert is_l_diverse(adult, fixed, "workclass", 3)
+
+    def test_enforcement_never_loses_rows(self, adult, partitions):
+        fixed = enforce_l_diversity(adult, partitions, "workclass", 3)
+        assert sum(p.size for p in fixed) == adult.n_rows
+
+    def test_one_diversity_always_holds(self, adult, partitions):
+        assert is_l_diverse(adult, partitions, "workclass", 1)
+
+    def test_unsatisfiable_l_raises(self, adult, partitions):
+        with pytest.raises(ValueError, match="unsatisfiable"):
+            enforce_l_diversity(adult, partitions, "workclass", 100)
+
+    def test_distinct_count(self, adult, partitions):
+        count = distinct_sensitive_values(adult, partitions[0], "workclass")
+        assert 1 <= count <= 8
+
+
+class TestEmd:
+    def test_identical_distributions_zero(self):
+        p = np.array([0.2, 0.3, 0.5])
+        assert emd_ordered(p, p) == 0.0
+        assert emd_categorical(p, p) == 0.0
+
+    def test_ordered_respects_distance(self):
+        # Mass moved one step vs. two steps over a 3-point support.
+        base = np.array([1.0, 0.0, 0.0])
+        near = np.array([0.0, 1.0, 0.0])
+        far = np.array([0.0, 0.0, 1.0])
+        assert emd_ordered(base, far) > emd_ordered(base, near)
+
+    def test_categorical_is_total_variation(self):
+        p = np.array([1.0, 0.0])
+        q = np.array([0.0, 1.0])
+        assert emd_categorical(p, q) == 1.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            emd_ordered(np.array([1.0]), np.array([0.5, 0.5]))
+
+
+class TestTCloseness:
+    def test_enforcement_reaches_t(self, adult, partitions):
+        fixed = enforce_t_closeness(adult, partitions, "hours_per_week", 0.1)
+        assert is_t_close(adult, fixed, "hours_per_week", 0.1)
+
+    def test_loose_t_keeps_partitions(self, adult, partitions):
+        fixed = enforce_t_closeness(adult, partitions, "hours_per_week", 0.9)
+        assert len(fixed) == len(partitions)
+
+    def test_tight_t_merges(self, adult, partitions):
+        fixed = enforce_t_closeness(adult, partitions, "hours_per_week", 0.01)
+        assert len(fixed) < len(partitions)
+
+    def test_rows_preserved(self, adult, partitions):
+        fixed = enforce_t_closeness(adult, partitions, "hours_per_week", 0.05)
+        assert sum(p.size for p in fixed) == adult.n_rows
+
+    def test_rejects_negative_t(self, adult, partitions):
+        with pytest.raises(ValueError):
+            is_t_close(adult, partitions, "hours_per_week", -0.1)
+
+
+class TestDeltaDisclosure:
+    def test_enforcement_reaches_delta(self, adult, partitions):
+        fixed = enforce_delta_disclosure(adult, partitions, "workclass", 1.0)
+        assert is_delta_disclosure_private(adult, fixed, "workclass", 1.0)
+
+    def test_loose_delta_no_merge(self, adult, partitions):
+        fixed = enforce_delta_disclosure(adult, partitions, "workclass", 50.0)
+        assert len(fixed) == len(partitions)
+
+    def test_rejects_non_positive_delta(self, adult, partitions):
+        with pytest.raises(ValueError):
+            enforce_delta_disclosure(adult, partitions, "workclass", 0.0)
+
+
+class TestDpRelease:
+    def test_parameters_derivation(self):
+        beta, k = dp_parameters(1.0, 1e-3)
+        assert 0 < beta < 1
+        assert k >= 2
+        # Tighter epsilon -> smaller sample, bigger classes.
+        beta2, k2 = dp_parameters(0.1, 1e-3)
+        assert beta2 < beta
+        assert k2 > k
+
+    def test_release_has_original_row_count(self):
+        health = generate_health(rows=300, seed=1)
+        released = DifferentiallyPrivateRelease(1.0, 1e-3, seed=0).anonymize(health)
+        assert released.n_rows == 300
+
+    def test_released_rows_are_generalized_samples(self):
+        health = generate_health(rows=300, seed=1)
+        released = DifferentiallyPrivateRelease(1.0, 1e-3, seed=0).anonymize(health)
+        # Sampling + re-expansion duplicates rows: fewer unique than total.
+        assert np.unique(released.values, axis=0).shape[0] < released.n_rows
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            dp_parameters(0.0, 1e-3)
+        with pytest.raises(ValueError):
+            dp_parameters(1.0, 0.0)

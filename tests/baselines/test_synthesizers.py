@@ -1,0 +1,74 @@
+"""Condensation and DCGAN baseline synthesizers."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.condensation import CondensationSynthesizer
+from repro.baselines.dcgan import DCGANSynthesizer
+from repro.data.schema import ColumnKind
+
+
+class TestCondensation:
+    def test_preserves_first_order_statistics(self, lacity_bundle):
+        train = lacity_bundle.train
+        model = CondensationSynthesizer(group_size=40, seed=0).fit(train)
+        syn = model.sample(train.n_rows, rng=np.random.default_rng(1))
+        for name in ("base_salary", "q1_payments"):
+            assert syn.column(name).mean() == pytest.approx(
+                train.column(name).mean(), rel=0.1
+            )
+
+    def test_output_is_schema_valid(self, lacity_bundle):
+        model = CondensationSynthesizer(group_size=40, seed=0).fit(lacity_bundle.train)
+        syn = model.sample(100, rng=np.random.default_rng(2))
+        for spec in syn.schema.columns:
+            col = syn.column(spec.name)
+            if spec.kind is ColumnKind.CATEGORICAL:
+                assert col.min() >= 0
+                assert col.max() <= spec.n_categories - 1
+
+    def test_values_clipped_to_training_range(self, lacity_bundle):
+        train = lacity_bundle.train
+        model = CondensationSynthesizer(group_size=40, seed=0).fit(train)
+        syn = model.sample(200, rng=np.random.default_rng(3))
+        for name in train.schema.names:
+            assert syn.column(name).min() >= train.column(name).min() - 1e-9
+            assert syn.column(name).max() <= train.column(name).max() + 1e-9
+
+    def test_group_count(self, lacity_bundle):
+        train = lacity_bundle.train
+        model = CondensationSynthesizer(group_size=50, seed=0).fit(train)
+        assert len(model.groups_) == int(np.ceil(train.n_rows / 50))
+
+    def test_validation(self, lacity_bundle):
+        with pytest.raises(ValueError):
+            CondensationSynthesizer(group_size=1)
+        with pytest.raises(ValueError):
+            CondensationSynthesizer(group_size=10_000).fit(lacity_bundle.train)
+        model = CondensationSynthesizer(group_size=40, seed=0)
+        with pytest.raises(RuntimeError):
+            model.sample(5)
+
+
+class TestDcganBaseline:
+    def test_aux_losses_forced_off(self):
+        model = DCGANSynthesizer(epochs=1, seed=0)
+        assert not model.config.use_info_loss
+        assert not model.config.use_classifier
+
+    def test_config_override_path(self):
+        from repro.core.config import TableGanConfig
+
+        base = TableGanConfig(epochs=2, use_info_loss=True, use_classifier=True)
+        model = DCGANSynthesizer(config=base)
+        assert not model.config.use_info_loss
+        assert model.config.epochs == 2
+
+    def test_trains_without_classifier_network(self, adult_bundle):
+        model = DCGANSynthesizer(epochs=1, batch_size=32, base_channels=8, seed=0)
+        model.fit(adult_bundle.train)
+        assert model.classifier_ is None
+        assert model.sample(20).n_rows == 20
+        history = model.history_
+        assert all(e.g_info_loss == 0.0 for e in history.epochs)
+        assert all(e.c_loss == 0.0 for e in history.epochs)

@@ -1,0 +1,46 @@
+"""Shared fixtures.
+
+Expensive artifacts (dataset bundles, a trained tiny table-GAN) are
+session-scoped so the suite stays fast; tests must treat them as
+read-only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import TableGAN, low_privacy
+from repro.data.datasets import load_dataset
+
+
+@pytest.fixture(scope="session")
+def adult_bundle():
+    """Small Adult bundle shared across tests (read-only)."""
+    return load_dataset("adult", rows=400, seed=101)
+
+
+@pytest.fixture(scope="session")
+def lacity_bundle():
+    """Small LACity bundle shared across tests (read-only)."""
+    return load_dataset("lacity", rows=400, seed=202)
+
+
+@pytest.fixture(scope="session")
+def tiny_gan_config():
+    """Config small enough to train in a couple of seconds."""
+    return low_privacy(epochs=3, batch_size=32, base_channels=8, seed=11)
+
+
+@pytest.fixture(scope="session")
+def trained_gan(adult_bundle, tiny_gan_config):
+    """A table-GAN trained on the tiny Adult bundle (read-only)."""
+    gan = TableGAN(tiny_gan_config)
+    gan.fit(adult_bundle.train)
+    return gan
+
+
+@pytest.fixture()
+def rng():
+    """Fresh deterministic generator per test."""
+    return np.random.default_rng(12345)

@@ -1,0 +1,52 @@
+"""Chunked training (§4.4)."""
+
+import numpy as np
+import pytest
+
+from repro import ChunkedTableGAN, low_privacy
+
+
+@pytest.fixture(scope="module")
+def chunked(adult_bundle_module):
+    config = low_privacy(epochs=2, batch_size=32, base_channels=8, seed=0)
+    model = ChunkedTableGAN(config, n_chunks=2)
+    model.fit(adult_bundle_module.train)
+    return model
+
+
+@pytest.fixture(scope="module")
+def adult_bundle_module():
+    from repro.data.datasets import load_dataset
+
+    return load_dataset("adult", rows=300, seed=55)
+
+
+class TestChunkedTableGAN:
+    def test_trains_one_model_per_chunk(self, chunked):
+        assert len(chunked.models_) == 2
+        assert sum(chunked.chunk_sizes_) == 240  # 300 * 0.8 train rows
+
+    def test_sample_merges_chunks(self, chunked, adult_bundle_module):
+        syn = chunked.sample(100)
+        assert syn.n_rows == 100
+        assert syn.schema == adult_bundle_module.train.schema
+
+    def test_total_training_time(self, chunked):
+        assert chunked.train_seconds_ > 0
+
+    def test_rejects_bad_chunk_count(self):
+        with pytest.raises(ValueError):
+            ChunkedTableGAN(n_chunks=0)
+
+    def test_rejects_too_small_table(self, adult_bundle_module):
+        model = ChunkedTableGAN(low_privacy(epochs=1), n_chunks=200)
+        with pytest.raises(ValueError, match="too few"):
+            model.fit(adult_bundle_module.train)
+
+    def test_unfitted_sample_raises(self):
+        with pytest.raises(RuntimeError):
+            ChunkedTableGAN(n_chunks=2).sample(5)
+
+    def test_sample_count_validation(self, chunked):
+        with pytest.raises(ValueError):
+            chunked.sample(0)

@@ -1,0 +1,65 @@
+"""TableGanConfig and the paper's privacy presets."""
+
+import pytest
+
+from repro.core.config import (
+    TableGanConfig,
+    dcgan_baseline,
+    high_privacy,
+    low_privacy,
+    mid_privacy,
+)
+
+
+class TestPresets:
+    def test_paper_delta_values(self):
+        """§5.1.5: low = 0/0, mid = 0.1/0.1, high = 0.2/0.2."""
+        assert (low_privacy().delta_mean, low_privacy().delta_sd) == (0.0, 0.0)
+        assert (mid_privacy().delta_mean, mid_privacy().delta_sd) == (0.1, 0.1)
+        assert (high_privacy().delta_mean, high_privacy().delta_sd) == (0.2, 0.2)
+
+    def test_dcgan_baseline_disables_aux_losses(self):
+        config = dcgan_baseline()
+        assert not config.use_info_loss
+        assert not config.use_classifier
+
+    def test_presets_accept_overrides(self):
+        config = high_privacy(epochs=3, batch_size=16)
+        assert config.epochs == 3
+        assert config.delta_mean == 0.2
+
+    def test_paper_defaults(self):
+        config = TableGanConfig()
+        assert config.epochs == 25          # §5.1.5
+        assert config.latent_dim == 100     # Figure 2
+        assert config.ewma_weight == 0.99   # §4.3
+        assert config.lr == 2e-4            # DCGAN Adam
+        assert config.beta1 == 0.5
+
+
+class TestValidation:
+    def test_negative_deltas_rejected(self):
+        with pytest.raises(ValueError):
+            TableGanConfig(delta_mean=-0.1)
+        with pytest.raises(ValueError):
+            TableGanConfig(delta_sd=-0.1)
+
+    def test_non_positive_schedule_rejected(self):
+        with pytest.raises(ValueError):
+            TableGanConfig(epochs=0)
+        with pytest.raises(ValueError):
+            TableGanConfig(batch_size=0)
+        with pytest.raises(ValueError):
+            TableGanConfig(latent_dim=0)
+        with pytest.raises(ValueError):
+            TableGanConfig(generator_updates=0)
+
+    def test_ewma_weight_range(self):
+        with pytest.raises(ValueError):
+            TableGanConfig(ewma_weight=1.0)
+
+    def test_with_overrides_returns_new_config(self):
+        base = TableGanConfig()
+        other = base.with_overrides(epochs=7)
+        assert base.epochs == 25
+        assert other.epochs == 7

@@ -1,0 +1,196 @@
+"""The three table-GAN losses and the EWMA feature statistics."""
+
+import numpy as np
+import pytest
+
+from repro.core.losses import (
+    FeatureStats,
+    classification_loss,
+    discriminator_loss,
+    generator_adversarial_loss,
+    information_loss,
+)
+from repro.nn.losses import sigmoid
+
+
+class TestFeatureStats:
+    def test_initialized_to_zero(self):
+        """Algorithm 2 line 4: all four statistics start at zero vectors."""
+        stats = FeatureStats(8)
+        for vec in (stats.fx_mean, stats.fx_sd, stats.fz_mean, stats.fz_sd):
+            assert np.all(vec == 0.0)
+
+    def test_ewma_update_rule(self, rng):
+        stats = FeatureStats(4, weight=0.9)
+        batch = rng.standard_normal((16, 4))
+        stats.update_real(batch)
+        assert np.allclose(stats.fx_mean, 0.1 * batch.mean(axis=0))
+        assert np.allclose(stats.fx_sd, 0.1 * batch.std(axis=0))
+
+    def test_converges_to_true_statistics(self, rng):
+        """Repeated updates with stationary batches approach batch stats."""
+        stats = FeatureStats(3, weight=0.9)
+        batch = rng.standard_normal((64, 3)) + 5.0
+        for _ in range(200):
+            stats.update_synthetic(batch)
+        assert np.allclose(stats.fz_mean, batch.mean(axis=0), atol=1e-6)
+
+    def test_l_mean_l_sd(self):
+        stats = FeatureStats(2)
+        stats.fx_mean = np.array([1.0, 0.0])
+        stats.fz_mean = np.array([0.0, 0.0])
+        assert stats.l_mean == pytest.approx(1.0)
+        stats.fx_sd = np.array([0.0, 2.0])
+        assert stats.l_sd == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FeatureStats(0)
+        with pytest.raises(ValueError):
+            FeatureStats(4, weight=1.0)
+
+
+class TestDiscriminatorLoss:
+    def test_confident_correct_is_low(self):
+        loss, _, _ = discriminator_loss(
+            np.full((4, 1), 10.0), np.full((4, 1), -10.0)
+        )
+        assert loss < 1e-3
+
+    def test_confident_wrong_is_high(self):
+        loss, _, _ = discriminator_loss(
+            np.full((4, 1), -10.0), np.full((4, 1), 10.0)
+        )
+        assert loss > 10.0
+
+    def test_gradient_signs(self):
+        logits = np.zeros((2, 1))
+        _, grad_real, grad_fake = discriminator_loss(logits, logits)
+        # Real half pushes logits up (negative grad for descent); fake down.
+        assert np.all(grad_real < 0)
+        assert np.all(grad_fake > 0)
+
+    def test_gradients_match_numerical(self, rng):
+        real = rng.standard_normal((3, 1))
+        fake = rng.standard_normal((3, 1))
+        _, grad_real, grad_fake = discriminator_loss(real, fake)
+        eps = 1e-6
+        for i in range(3):
+            bumped = real.copy()
+            bumped[i] += eps
+            plus, _, _ = discriminator_loss(bumped, fake)
+            bumped[i] -= 2 * eps
+            minus, _, _ = discriminator_loss(bumped, fake)
+            assert np.isclose(grad_real[i, 0], (plus - minus) / (2 * eps), atol=1e-6)
+
+
+class TestGeneratorAdversarialLoss:
+    def test_non_saturating_gradient_strong_when_fooled_badly(self):
+        """-log D(G(z)) keeps gradients alive when D rejects the fakes."""
+        _, grad_weak = generator_adversarial_loss(np.full((1, 1), -10.0))
+        _, grad_strong = generator_adversarial_loss(np.full((1, 1), 10.0))
+        assert abs(grad_weak[0, 0]) > abs(grad_strong[0, 0])
+
+    def test_saturating_variant_matches_eq1(self, rng):
+        logits = rng.standard_normal((4, 1))
+        loss, grad = generator_adversarial_loss(logits, saturating=True)
+        p = sigmoid(logits)
+        assert np.isclose(loss, np.mean(np.log(1 - p + 1e-12)))
+        assert np.allclose(grad, -p / 4)
+
+    def test_non_saturating_gradient_numerical(self, rng):
+        logits = rng.standard_normal((3, 1))
+        _, grad = generator_adversarial_loss(logits)
+        eps = 1e-6
+        for i in range(3):
+            bumped = logits.copy()
+            bumped[i] += eps
+            plus, _ = generator_adversarial_loss(bumped)
+            bumped[i] -= 2 * eps
+            minus, _ = generator_adversarial_loss(bumped)
+            assert np.isclose(grad[i, 0], (plus - minus) / (2 * eps), atol=1e-6)
+
+
+class TestInformationLoss:
+    def make_stats(self, l_mean=1.0, l_sd=0.5, width=4):
+        stats = FeatureStats(width)
+        stats.fx_mean = np.zeros(width)
+        stats.fz_mean = np.zeros(width)
+        stats.fz_mean[0] = l_mean
+        stats.fx_sd = np.zeros(width)
+        stats.fz_sd = np.zeros(width)
+        stats.fz_sd[1] = l_sd
+        return stats
+
+    def test_loss_is_hinged_discrepancy(self, rng):
+        stats = self.make_stats(l_mean=1.0, l_sd=0.5)
+        feats = rng.standard_normal((8, 4))
+        loss, _ = information_loss(stats, feats, delta_mean=0.2, delta_sd=0.2)
+        assert loss == pytest.approx((1.0 - 0.2) + (0.5 - 0.2))
+
+    def test_hinge_gates_gradient(self, rng):
+        """δ above the discrepancy: no loss, no gradient — the privacy knob."""
+        stats = self.make_stats(l_mean=0.1, l_sd=0.1)
+        feats = rng.standard_normal((8, 4))
+        loss, grad = information_loss(stats, feats, delta_mean=0.5, delta_sd=0.5)
+        assert loss == 0.0
+        assert np.all(grad == 0.0)
+
+    def test_partial_activation(self, rng):
+        stats = self.make_stats(l_mean=1.0, l_sd=0.01)
+        feats = rng.standard_normal((8, 4))
+        loss, grad = information_loss(stats, feats, delta_mean=0.0, delta_sd=0.5)
+        assert loss == pytest.approx(1.0)
+        assert np.any(grad != 0.0)
+
+    def test_mean_gradient_direction(self, rng):
+        """The mean-term gradient pushes synthetic features toward real ones."""
+        stats = self.make_stats(l_mean=2.0, l_sd=0.0)
+        feats = rng.standard_normal((8, 4))
+        _, grad = information_loss(stats, feats, delta_mean=0.0, delta_sd=np.inf)
+        # fz_mean exceeds fx_mean along axis 0 -> descent lowers feature 0.
+        assert np.all(grad[:, 0] > 0)
+        assert np.allclose(grad[:, 1:], 0.0)
+
+
+class TestClassificationLoss:
+    def test_perfect_prediction_zero_loss(self):
+        logits = np.array([50.0, -50.0])
+        labels = np.array([1.0, 0.0])
+        loss, grad_logits, _ = classification_loss(logits, labels)
+        assert loss < 1e-10
+        assert np.allclose(grad_logits, 0.0, atol=1e-10)
+
+    def test_loss_is_mean_absolute_gap(self):
+        logits = np.zeros(2)  # sigmoid = 0.5
+        labels = np.array([1.0, 0.0])
+        loss, _, _ = classification_loss(logits, labels)
+        assert loss == pytest.approx(0.5)
+
+    def test_gradient_signs(self):
+        logits = np.zeros(2)
+        labels = np.array([1.0, 0.0])
+        _, grad_logits, grad_labels = classification_loss(logits, labels)
+        # label=1, p=0.5: raise the logit (descent: negative gradient).
+        assert grad_logits[0, 0] < 0
+        assert grad_logits[1, 0] > 0
+        # Moving the synthesized label toward the prediction lowers loss.
+        assert grad_labels[0] > 0
+        assert grad_labels[1] < 0
+
+    def test_logit_gradient_numerical(self, rng):
+        logits = rng.standard_normal(4)
+        labels = (rng.random(4) > 0.5).astype(float)
+        _, grad, _ = classification_loss(logits, labels)
+        eps = 1e-6
+        for i in range(4):
+            bumped = logits.copy()
+            bumped[i] += eps
+            plus, _, _ = classification_loss(bumped, labels)
+            bumped[i] -= 2 * eps
+            minus, _, _ = classification_loss(bumped, labels)
+            assert np.isclose(grad[i, 0], (plus - minus) / (2 * eps), atol=1e-5)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            classification_loss(np.zeros(2), np.zeros(3))

@@ -1,0 +1,143 @@
+"""Algorithm 2 trainer mechanics."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import TableGanConfig
+from repro.core.networks import build_classifier, build_discriminator, build_generator
+from repro.core.trainer import TableGanTrainer
+
+
+def tiny_config(**overrides):
+    defaults = dict(
+        epochs=2, batch_size=16, latent_dim=10, base_channels=8, seed=0,
+        generator_updates=1,
+    )
+    defaults.update(overrides)
+    return TableGanConfig(**defaults)
+
+
+def make_trainer(config, side=4, with_classifier=True):
+    gen = build_generator(side, config.latent_dim, config.base_channels, rng=0)
+    disc = build_discriminator(side, config.base_channels, rng=1)
+    clf = build_classifier(side, config.base_channels, rng=2) if with_classifier else None
+    label_cell = (0, 3) if with_classifier else None
+    cfg = config if with_classifier else config.with_overrides(use_classifier=False)
+    return TableGanTrainer(gen, disc, clf, cfg, label_cell=label_cell), gen, disc, clf
+
+
+def toy_matrices(rng, n=64, side=4):
+    """Records with structure: cell (0,0) ~ U(-1,1), label cell (0,3) = sign."""
+    mats = rng.uniform(-0.5, 0.5, (n, 1, side, side))
+    mats[:, 0, 0, 3] = np.sign(mats[:, 0, 0, 0])
+    return mats
+
+
+class TestTrainingLoop:
+    def test_produces_history(self, rng):
+        config = tiny_config()
+        trainer, *_ = make_trainer(config)
+        history = trainer.train(toy_matrices(rng), rng=rng)
+        assert len(history.epochs) == config.epochs
+        for epoch in history.epochs:
+            for value in (epoch.d_loss, epoch.g_adv_loss, epoch.g_info_loss,
+                          epoch.g_class_loss, epoch.c_loss):
+                assert np.isfinite(value)
+
+    def test_updates_all_networks(self, rng):
+        config = tiny_config(epochs=1)
+        trainer, gen, disc, clf = make_trainer(config)
+        before = [
+            [p.data.copy() for p in net.parameters()]
+            for net in (gen, disc, clf)
+        ]
+        trainer.train(toy_matrices(rng), rng=rng)
+        for net, snapshots in zip((gen, disc, clf), before):
+            changed = any(
+                not np.allclose(p.data, old)
+                for p, old in zip(net.parameters(), snapshots)
+            )
+            assert changed, f"{net} parameters did not move"
+
+    def test_epoch_callback_invoked(self, rng):
+        config = tiny_config(epochs=3)
+        trainer, *_ = make_trainer(config)
+        seen = []
+        trainer.train(toy_matrices(rng), rng=rng,
+                      on_epoch_end=lambda i, losses: seen.append(i))
+        assert seen == [0, 1, 2]
+
+    def test_without_classifier(self, rng):
+        config = tiny_config(use_classifier=False)
+        trainer, *_ = make_trainer(config, with_classifier=False)
+        history = trainer.train(toy_matrices(rng), rng=rng)
+        assert all(e.c_loss == 0.0 for e in history.epochs)
+        assert all(e.g_class_loss == 0.0 for e in history.epochs)
+
+    def test_without_info_loss(self, rng):
+        config = tiny_config(use_info_loss=False)
+        trainer, *_ = make_trainer(config)
+        history = trainer.train(toy_matrices(rng), rng=rng)
+        assert all(e.g_info_loss == 0.0 for e in history.epochs)
+
+    def test_final_stats_recorded(self, rng):
+        trainer, *_ = make_trainer(tiny_config())
+        history = trainer.train(toy_matrices(rng), rng=rng)
+        assert history.final_l_mean >= 0.0
+        assert history.final_l_sd >= 0.0
+
+    def test_deterministic_given_seeds(self, rng):
+        mats = toy_matrices(np.random.default_rng(5))
+        h1 = make_trainer(tiny_config())[0].train(mats, rng=np.random.default_rng(1))
+        h2 = make_trainer(tiny_config())[0].train(mats, rng=np.random.default_rng(1))
+        assert h1.epochs[-1].d_loss == pytest.approx(h2.epochs[-1].d_loss)
+
+
+class TestValidation:
+    def test_rejects_bad_matrix_shape(self, rng):
+        trainer, *_ = make_trainer(tiny_config())
+        with pytest.raises(ValueError, match="expected"):
+            trainer.train(rng.uniform(-1, 1, (10, 4, 4)))
+
+    def test_rejects_too_few_records(self, rng):
+        trainer, *_ = make_trainer(tiny_config())
+        with pytest.raises(ValueError, match="at least 2"):
+            trainer.train(rng.uniform(-1, 1, (1, 1, 4, 4)))
+
+    def test_classifier_requires_label_cell(self):
+        config = tiny_config()
+        gen = build_generator(4, config.latent_dim, config.base_channels, rng=0)
+        disc = build_discriminator(4, config.base_channels, rng=1)
+        clf = build_classifier(4, config.base_channels, rng=2)
+        with pytest.raises(ValueError, match="label_cell"):
+            TableGanTrainer(gen, disc, clf, config, label_cell=None)
+
+    def test_batch_larger_than_data_raises(self, rng):
+        trainer, *_ = make_trainer(tiny_config(batch_size=500, epochs=1))
+        # batch is clamped to n, so this should actually run fine.
+        history = trainer.train(toy_matrices(rng, n=32), rng=rng)
+        assert len(history.epochs) == 1
+
+
+class TestLabelHandling:
+    def test_remove_label_zeroes_cell(self, rng):
+        trainer, *_ = make_trainer(tiny_config())
+        mats = toy_matrices(rng, n=8)
+        removed = trainer._remove_label(mats)
+        assert np.all(removed[:, 0, 0, 3] == 0.0)
+        # Original untouched; other cells preserved.
+        assert np.any(mats[:, 0, 0, 3] != 0.0)
+        assert np.allclose(removed[:, 0, 1:, :], mats[:, 0, 1:, :])
+
+    def test_labels01_maps_range(self, rng):
+        trainer, *_ = make_trainer(tiny_config())
+        mats = toy_matrices(rng, n=8)
+        mats[:, 0, 0, 3] = np.array([-1, 1, 0, -1, 1, 0, 1, -1])
+        labels = trainer._labels01(mats)
+        assert np.allclose(labels, [0, 1, 0.5, 0, 1, 0.5, 1, 0])
+
+    def test_latent_in_unit_hypercube(self, rng):
+        trainer, *_ = make_trainer(tiny_config())
+        z = trainer.sample_latent(100, rng)
+        assert z.shape == (100, 10)
+        assert z.min() >= -1.0 and z.max() <= 1.0

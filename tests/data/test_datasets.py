@@ -1,0 +1,137 @@
+"""The four synthetic datasets: schema shape, correlations, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import (
+    DATASET_NAMES,
+    PAPER_ROWS,
+    generate_adult,
+    generate_airline,
+    generate_health,
+    generate_lacity,
+    load_dataset,
+)
+from repro.data.schema import ColumnKind
+
+# Paper Table 3: (n_qids, n_sensitive incl. label).
+TABLE3_SHAPE = {
+    "lacity": (2, 21),
+    "adult": (5, 9),
+    "health": (4, 28),
+    "airline": (2, 30),
+}
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_loads_every_dataset(self, name):
+        bundle = load_dataset(name, rows=200, seed=0)
+        assert bundle.name == name
+        assert bundle.n_train + bundle.n_test == 200
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            load_dataset("census")
+
+    def test_test_fraction_matches_paper(self):
+        bundle = load_dataset("adult", rows=500, seed=0)
+        assert bundle.n_test == pytest.approx(100, abs=1)
+
+    def test_paper_rows_recorded(self):
+        assert PAPER_ROWS["airline"] == 1_000_000
+        assert PAPER_ROWS["lacity"] == 15000
+
+
+class TestSchemaShapes:
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_qid_and_sensitive_counts_match_table3(self, name):
+        bundle = load_dataset(name, rows=100, seed=0)
+        schema = bundle.train.schema
+        n_qids, n_sensitive = TABLE3_SHAPE[name]
+        assert len(schema.qids) == n_qids
+        assert len(schema.sensitive) == n_sensitive
+
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_every_dataset_has_label(self, name):
+        bundle = load_dataset(name, rows=100, seed=0)
+        assert bundle.train.schema.label is not None
+
+    def test_health_has_no_regression_target(self):
+        bundle = load_dataset("health", rows=100, seed=0)
+        assert bundle.train.schema.regression_target is None
+
+    @pytest.mark.parametrize("name", ["lacity", "adult", "airline"])
+    def test_regression_targets(self, name):
+        bundle = load_dataset(name, rows=100, seed=0)
+        assert bundle.train.schema.regression_target is not None
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("generate", [
+        generate_lacity, generate_adult, generate_health, generate_airline,
+    ])
+    def test_deterministic(self, generate):
+        a = generate(rows=100, seed=42)
+        b = generate(rows=100, seed=42)
+        assert np.allclose(a.values, b.values)
+
+    @pytest.mark.parametrize("generate", [
+        generate_lacity, generate_adult, generate_health, generate_airline,
+    ])
+    def test_categorical_codes_in_vocabulary(self, generate):
+        t = generate(rows=300, seed=1)
+        for spec in t.schema.columns:
+            if spec.kind is ColumnKind.CATEGORICAL:
+                col = t.column(spec.name)
+                assert col.min() >= 0
+                assert col.max() <= spec.n_categories - 1
+                assert np.allclose(col, np.rint(col))
+
+    @pytest.mark.parametrize("generate", [
+        generate_lacity, generate_adult, generate_health, generate_airline,
+    ])
+    def test_rejects_tiny_row_counts(self, generate):
+        with pytest.raises(ValueError):
+            generate(rows=5)
+
+
+class TestLearnableStructure:
+    """The simulators must carry the label correlations the paper's
+    classifier network and model-compatibility tests rely on."""
+
+    def test_lacity_label_is_salary_median_split(self):
+        t = generate_lacity(rows=1000, seed=3)
+        salary = t.column("base_salary")
+        label = t.column("high_salary")
+        assert np.allclose(label, salary > np.median(salary))
+
+    def test_lacity_quarters_track_salary(self):
+        t = generate_lacity(rows=1000, seed=3)
+        corr = np.corrcoef(t.column("base_salary"), t.column("q1_payments"))[0, 1]
+        assert corr > 0.8
+
+    def test_adult_label_is_hours_median_split(self):
+        t = generate_adult(rows=1000, seed=3)
+        hours = t.column("hours_per_week")
+        assert np.allclose(t.column("long_hours"), hours > np.median(hours))
+
+    def test_health_diabetes_tracks_glucose(self):
+        t = generate_health(rows=3000, seed=3)
+        glucose = t.column("glucose")
+        diabetes = t.column("diabetes")
+        mean_diabetic = glucose[diabetes == 1].mean()
+        mean_healthy = glucose[diabetes == 0].mean()
+        assert mean_diabetic > mean_healthy + 10.0
+
+    def test_airline_price_tracks_distance_and_class(self):
+        t = generate_airline(rows=2000, seed=3)
+        corr = np.corrcoef(t.column("ticket_price"), t.column("distance_miles"))[0, 1]
+        assert corr > 0.3
+        price = t.column("ticket_price")
+        fare_class = t.column("fare_class")
+        assert price[fare_class >= 3].mean() > price[fare_class <= 1].mean()
+
+    def test_airline_no_self_loops(self):
+        t = generate_airline(rows=1000, seed=5)
+        assert np.all(t.column("origin_airport") != t.column("dest_airport"))

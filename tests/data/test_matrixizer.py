@@ -1,0 +1,74 @@
+"""Record <-> square matrix conversion (paper §3.2 step 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.matrixizer import Matrixizer, side_for_features
+
+
+class TestSideForFeatures:
+    @pytest.mark.parametrize("n,expected", [
+        (1, 4), (14, 4), (16, 4), (17, 8), (23, 8), (64, 8), (65, 16), (256, 16),
+    ])
+    def test_smallest_power_of_two(self, n, expected):
+        assert side_for_features(n) == expected
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            side_for_features(0)
+
+
+class TestMatrixizer:
+    def test_paper_example_24_values(self):
+        """A 24-value record pads into a square matrix (paper §3.2 uses 5x5;
+        we use the next power of two, 8x8, for exact conv geometry)."""
+        m = Matrixizer(24)
+        assert m.side == 8
+        assert m.padding == 40
+
+    def test_round_trip(self, rng):
+        m = Matrixizer(23)
+        records = rng.uniform(-1, 1, (10, 23))
+        mats = m.to_matrices(records)
+        assert mats.shape == (10, 1, 8, 8)
+        assert np.allclose(m.to_records(mats), records)
+
+    def test_padding_cells_are_zero(self, rng):
+        m = Matrixizer(5, side=4)
+        mats = m.to_matrices(rng.uniform(-1, 1, (3, 5)))
+        flat = mats.reshape(3, -1)
+        assert np.all(flat[:, 5:] == 0.0)
+
+    def test_explicit_side(self):
+        m = Matrixizer(10, side=16)
+        assert m.side == 16
+        with pytest.raises(ValueError, match="too small"):
+            Matrixizer(20, side=4)
+
+    def test_feature_position(self):
+        m = Matrixizer(10, side=4)
+        assert m.feature_position(0) == (0, 0)
+        assert m.feature_position(5) == (1, 1)
+        with pytest.raises(IndexError):
+            m.feature_position(10)
+
+    def test_shape_validation(self, rng):
+        m = Matrixizer(6, side=4)
+        with pytest.raises(ValueError, match="expected"):
+            m.to_matrices(rng.uniform(-1, 1, (3, 7)))
+        with pytest.raises(ValueError, match="expected"):
+            m.to_records(rng.uniform(-1, 1, (3, 1, 8, 8)))
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n_features=st.integers(1, 70),
+        batch=st.integers(1, 8),
+        seed=st.integers(0, 1000),
+    )
+    def test_round_trip_property(self, n_features, batch, seed):
+        rng = np.random.default_rng(seed)
+        m = Matrixizer(n_features)
+        records = rng.uniform(-1, 1, (batch, n_features))
+        assert np.allclose(m.to_records(m.to_matrices(records)), records)

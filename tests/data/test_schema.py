@@ -1,0 +1,88 @@
+"""Schema construction, validation, and role accessors."""
+
+import pytest
+
+from repro.data.schema import ColumnKind, ColumnRole, ColumnSpec, TableSchema
+
+
+def specs():
+    return [
+        ColumnSpec("zip", ColumnKind.DISCRETE, ColumnRole.QID),
+        ColumnSpec("age", ColumnKind.DISCRETE, ColumnRole.QID),
+        ColumnSpec("salary", ColumnKind.CONTINUOUS, ColumnRole.SENSITIVE),
+        ColumnSpec("disease", ColumnKind.CATEGORICAL, ColumnRole.SENSITIVE,
+                   ("aids", "ebola", "cancer")),
+        ColumnSpec("rich", ColumnKind.DISCRETE, ColumnRole.LABEL),
+    ]
+
+
+class TestColumnSpec:
+    def test_categorical_requires_categories(self):
+        with pytest.raises(ValueError, match="needs categories"):
+            ColumnSpec("c", ColumnKind.CATEGORICAL, ColumnRole.SENSITIVE)
+
+    def test_non_categorical_rejects_categories(self):
+        with pytest.raises(ValueError, match="must not set"):
+            ColumnSpec("c", ColumnKind.CONTINUOUS, ColumnRole.SENSITIVE, ("a",))
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            ColumnSpec("", ColumnKind.CONTINUOUS, ColumnRole.SENSITIVE)
+
+    def test_n_categories(self):
+        spec = specs()[3]
+        assert spec.n_categories == 3
+        assert specs()[0].n_categories == 0
+
+
+class TestTableSchema:
+    def test_names_in_order(self):
+        schema = TableSchema(specs())
+        assert schema.names == ("zip", "age", "salary", "disease", "rich")
+
+    def test_role_accessors(self):
+        schema = TableSchema(specs())
+        assert schema.qids == ("zip", "age")
+        # The paper counts the label among sensitive attributes.
+        assert schema.sensitive == ("salary", "disease", "rich")
+        assert schema.label == "rich"
+
+    def test_index_and_spec(self):
+        schema = TableSchema(specs())
+        assert schema.index("salary") == 2
+        assert schema.spec("disease").kind is ColumnKind.CATEGORICAL
+        with pytest.raises(KeyError):
+            schema.index("missing")
+
+    def test_contains(self):
+        schema = TableSchema(specs())
+        assert "age" in schema
+        assert "missing" not in schema
+
+    def test_duplicate_names_rejected(self):
+        bad = specs() + [ColumnSpec("age", ColumnKind.DISCRETE, ColumnRole.SENSITIVE)]
+        with pytest.raises(ValueError, match="duplicate"):
+            TableSchema(bad)
+
+    def test_multiple_labels_rejected(self):
+        bad = specs() + [ColumnSpec("rich2", ColumnKind.DISCRETE, ColumnRole.LABEL)]
+        with pytest.raises(ValueError, match="at most one label"):
+            TableSchema(bad)
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(ValueError):
+            TableSchema([])
+
+    def test_regression_target_validated(self):
+        with pytest.raises(ValueError, match="not in schema"):
+            TableSchema(specs(), regression_target="missing")
+        schema = TableSchema(specs(), regression_target="salary")
+        assert schema.regression_target == "salary"
+
+    def test_no_label_schema(self):
+        schema = TableSchema(specs()[:4])
+        assert schema.label is None
+
+    def test_equality(self):
+        assert TableSchema(specs()) == TableSchema(specs())
+        assert TableSchema(specs()) != TableSchema(specs()[:4])

@@ -1,0 +1,49 @@
+"""Train/test splitting."""
+
+import numpy as np
+import pytest
+
+from repro.data.schema import ColumnKind, ColumnRole, ColumnSpec, TableSchema
+from repro.data.splits import train_test_split
+from repro.data.table import Table
+
+
+def table_of(n):
+    schema = TableSchema([ColumnSpec("x", ColumnKind.CONTINUOUS, ColumnRole.SENSITIVE)])
+    return Table(np.arange(n, dtype=float).reshape(-1, 1), schema)
+
+
+class TestTrainTestSplit:
+    def test_sizes(self):
+        train, test = train_test_split(table_of(100), test_fraction=0.2, seed=0)
+        assert train.n_rows == 80
+        assert test.n_rows == 20
+
+    def test_partition_is_exact(self):
+        t = table_of(50)
+        train, test = train_test_split(t, test_fraction=0.3, seed=1)
+        combined = np.sort(np.concatenate([train.values[:, 0], test.values[:, 0]]))
+        assert np.allclose(combined, np.arange(50))
+
+    def test_deterministic_with_seed(self):
+        t = table_of(30)
+        a1, b1 = train_test_split(t, seed=7)
+        a2, b2 = train_test_split(t, seed=7)
+        assert np.allclose(a1.values, a2.values)
+        assert np.allclose(b1.values, b2.values)
+
+    def test_different_seeds_differ(self):
+        t = table_of(100)
+        a1, _ = train_test_split(t, seed=1)
+        a2, _ = train_test_split(t, seed=2)
+        assert not np.allclose(a1.values, a2.values)
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            train_test_split(table_of(10), test_fraction=0.0)
+        with pytest.raises(ValueError):
+            train_test_split(table_of(10), test_fraction=1.0)
+
+    def test_rejects_empty_partition(self):
+        with pytest.raises(ValueError, match="empty partition"):
+            train_test_split(table_of(3), test_fraction=0.01)

@@ -1,0 +1,119 @@
+"""Table container semantics."""
+
+import numpy as np
+import pytest
+
+from repro.data.schema import ColumnKind, ColumnRole, ColumnSpec, TableSchema
+from repro.data.table import Table
+
+
+def make_table():
+    schema = TableSchema([
+        ColumnSpec("a", ColumnKind.CONTINUOUS, ColumnRole.QID),
+        ColumnSpec("b", ColumnKind.DISCRETE, ColumnRole.SENSITIVE),
+        ColumnSpec("c", ColumnKind.CATEGORICAL, ColumnRole.SENSITIVE, ("x", "y", "z")),
+        ColumnSpec("label", ColumnKind.DISCRETE, ColumnRole.LABEL),
+    ], regression_target="a")
+    values = np.array([
+        [1.0, 10.0, 0.0, 0.0],
+        [2.0, 20.0, 1.0, 1.0],
+        [3.0, 30.0, 2.0, 0.0],
+        [4.0, 40.0, 1.0, 1.0],
+    ])
+    return Table(values, schema)
+
+
+class TestBasics:
+    def test_dimensions(self):
+        t = make_table()
+        assert (t.n_rows, t.n_columns) == (4, 4)
+        assert len(t) == 4
+
+    def test_column_access(self):
+        t = make_table()
+        assert np.allclose(t.column("b"), [10, 20, 30, 40])
+        with pytest.raises(KeyError):
+            t.column("missing")
+
+    def test_columns_submatrix_order(self):
+        t = make_table()
+        sub = t.columns(["c", "a"])
+        assert np.allclose(sub[:, 0], t.column("c"))
+        assert np.allclose(sub[:, 1], t.column("a"))
+
+    def test_shape_validation(self):
+        t = make_table()
+        with pytest.raises(ValueError, match="columns"):
+            Table(np.zeros((2, 3)), t.schema)
+        with pytest.raises(ValueError, match="2-D"):
+            Table(np.zeros(4), t.schema)
+
+    def test_take_and_head(self):
+        t = make_table()
+        sub = t.take([2, 0])
+        assert np.allclose(sub.column("a"), [3.0, 1.0])
+        assert t.head(2).n_rows == 2
+
+    def test_with_values_shares_schema(self):
+        t = make_table()
+        t2 = t.with_values(t.values * 2)
+        assert t2.schema is t.schema
+        assert np.allclose(t2.column("a"), 2 * t.column("a"))
+
+
+class TestTaskSplits:
+    def test_features_and_label(self):
+        t = make_table()
+        X, y = t.features_and_label()
+        assert X.shape == (4, 3)
+        assert np.allclose(y, [0, 1, 0, 1])
+
+    def test_features_and_target_drops_label_too(self):
+        t = make_table()
+        X, y = t.features_and_target()
+        # Drops both 'a' (target) and 'label' -> 2 feature columns.
+        assert X.shape == (4, 2)
+        assert np.allclose(y, [1, 2, 3, 4])
+
+    def test_missing_label_raises(self):
+        t = make_table()
+        schema = TableSchema(list(t.schema.columns[:3]))
+        no_label = Table(t.values[:, :3], schema)
+        with pytest.raises(ValueError, match="label"):
+            no_label.features_and_label()
+
+    def test_missing_target_raises(self):
+        t = make_table()
+        schema = TableSchema(list(t.schema.columns))  # no regression target
+        no_target = Table(t.values, schema)
+        with pytest.raises(ValueError, match="regression"):
+            no_target.features_and_target()
+
+
+class TestDecoding:
+    def test_decode_categorical(self):
+        t = make_table()
+        assert t.decode_column("c") == ["x", "y", "z", "y"]
+
+    def test_decode_clips_out_of_vocabulary(self):
+        t = make_table()
+        values = t.values.copy()
+        values[0, 2] = 99.0
+        assert t.with_values(values).decode_column("c")[0] == "z"
+
+    def test_decode_discrete_rounds(self):
+        t = make_table()
+        values = t.values.copy()
+        values[0, 1] = 10.4
+        assert t.with_values(values).decode_column("b")[0] == 10
+
+    def test_to_rows(self):
+        rows = make_table().to_rows(2)
+        assert len(rows) == 2
+        assert rows[0]["c"] == "x"
+        assert rows[1]["label"] == 1
+
+    def test_describe(self):
+        stats = make_table().describe()
+        assert stats["a"]["min"] == 1.0
+        assert stats["a"]["max"] == 4.0

@@ -1,0 +1,93 @@
+"""Model-compatibility harness (Figures 5/6 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.compatibility import (
+    classification_compatibility,
+    classifier_suite,
+    regression_compatibility,
+    regressor_suite,
+)
+
+
+def small_classifier_suite():
+    """Fast 2x2 subset keeping the harness path identical."""
+    full = classifier_suite()
+    return [full[0], full[3], full[10], full[13]]
+
+
+def small_regressor_suite():
+    full = regressor_suite()
+    return [full[0], full[10], full[20], full[30]]
+
+
+class TestSuites:
+    def test_classifier_suite_is_4x10(self):
+        suite = classifier_suite()
+        assert len(suite) == 40
+        algorithms = {name for name, _, _ in suite}
+        assert algorithms == {"decision_tree", "random_forest", "adaboost", "mlp"}
+        for name in algorithms:
+            assert sum(1 for n, _, _ in suite if n == name) == 10
+
+    def test_regressor_suite_is_4x10(self):
+        suite = regressor_suite()
+        assert len(suite) == 40
+        algorithms = {name for name, _, _ in suite}
+        assert algorithms == {"linear", "lasso", "passive_aggressive", "huber"}
+
+
+class TestClassificationCompatibility:
+    def test_identical_training_tables_on_diagonal(self, adult_bundle):
+        """Same training table on both axes -> every point exactly on x=y."""
+        report = classification_compatibility(
+            adult_bundle.train, adult_bundle.train, adult_bundle.test,
+            suite=small_classifier_suite(),
+        )
+        assert report.metric == "f1"
+        assert report.mean_gap == pytest.approx(0.0, abs=1e-12)
+
+    def test_synthetic_table_report(self, adult_bundle, trained_gan):
+        syn = trained_gan.sample(adult_bundle.train.n_rows)
+        report = classification_compatibility(
+            adult_bundle.train, syn, adult_bundle.test,
+            suite=small_classifier_suite(),
+        )
+        assert len(report.points) == 4
+        for p in report.points:
+            assert 0.0 <= p.score_original <= 1.0
+            assert 0.0 <= p.score_released <= 1.0
+
+    def test_by_algorithm_grouping(self, adult_bundle):
+        report = classification_compatibility(
+            adult_bundle.train, adult_bundle.train, adult_bundle.test,
+            suite=small_classifier_suite(),
+        )
+        groups = report.by_algorithm()
+        assert sum(len(v) for v in groups.values()) == 4
+
+
+class TestRegressionCompatibility:
+    def test_identical_training_tables_on_diagonal(self, adult_bundle):
+        report = regression_compatibility(
+            adult_bundle.train, adult_bundle.train, adult_bundle.test,
+            suite=small_regressor_suite(),
+        )
+        assert report.metric == "mre"
+        assert report.mean_gap == pytest.approx(0.0, abs=1e-12)
+
+    def test_health_has_no_regression(self):
+        from repro.data.datasets import load_dataset
+
+        health = load_dataset("health", rows=100, seed=0)
+        with pytest.raises(ValueError, match="regression"):
+            regression_compatibility(health.train, health.train, health.test)
+
+    def test_gap_properties(self, adult_bundle, trained_gan):
+        syn = trained_gan.sample(adult_bundle.train.n_rows)
+        report = regression_compatibility(
+            adult_bundle.train, syn, adult_bundle.test,
+            suite=small_regressor_suite(),
+        )
+        assert report.max_gap >= report.mean_gap >= 0.0

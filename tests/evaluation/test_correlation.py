@@ -1,0 +1,90 @@
+"""Correlation-structure similarity metric."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.correlation import (
+    correlation_distance,
+    correlation_matrix,
+    label_correlation_gap,
+)
+
+
+class TestCorrelationMatrix:
+    def test_matches_numpy_on_clean_data(self, adult_bundle):
+        ours = correlation_matrix(adult_bundle.train)
+        reference = np.corrcoef(adult_bundle.train.values.T)
+        assert np.allclose(ours, reference, atol=1e-10)
+
+    def test_constant_column_is_finite(self, adult_bundle):
+        t = adult_bundle.train
+        values = t.values.copy()
+        values[:, 0] = 7.0
+        corr = correlation_matrix(t.with_values(values))
+        assert np.all(np.isfinite(corr))
+        assert corr[0, 0] == 1.0
+        assert np.allclose(corr[0, 1:], 0.0)
+
+    def test_symmetric_unit_diagonal(self, lacity_bundle):
+        corr = correlation_matrix(lacity_bundle.train)
+        assert np.allclose(corr, corr.T)
+        assert np.allclose(np.diag(corr), 1.0)
+        assert corr.min() >= -1.0 and corr.max() <= 1.0
+
+
+class TestCorrelationDistance:
+    def test_identical_tables_zero(self, adult_bundle):
+        assert correlation_distance(adult_bundle.train, adult_bundle.train) == 0.0
+
+    def test_shuffled_columns_destroy_structure(self, adult_bundle, rng):
+        """Independently permuting each column kills correlations."""
+        t = adult_bundle.train
+        values = t.values.copy()
+        for j in range(values.shape[1]):
+            rng.shuffle(values[:, j])
+        shuffled = t.with_values(values)
+        assert correlation_distance(t, shuffled) > 0.05
+
+    def test_synthetic_distance_bounded(self, adult_bundle, trained_gan):
+        """A (briefly trained) GAN's correlation distance stays in range.
+
+        Distinguishing a well-trained GAN from column-shuffled data needs
+        longer training than the shared test fixture; the benchmark suite's
+        ablation runs cover that ordering.
+        """
+        syn = trained_gan.sample(adult_bundle.train.n_rows)
+        distance = correlation_distance(adult_bundle.train, syn)
+        assert 0.0 <= distance <= 2.0
+
+    def test_schema_mismatch_rejected(self, adult_bundle, lacity_bundle):
+        with pytest.raises(ValueError, match="schema"):
+            correlation_distance(adult_bundle.train, lacity_bundle.train)
+
+
+class TestLabelCorrelationGap:
+    def test_identical_tables_zero(self, adult_bundle):
+        assert label_correlation_gap(adult_bundle.train, adult_bundle.train) == 0.0
+
+    def test_flipped_label_maximal(self, adult_bundle):
+        t = adult_bundle.train
+        values = t.values.copy()
+        j = t.schema.index(t.schema.label)
+        values[:, j] = 1.0 - values[:, j]
+        flipped = t.with_values(values)
+        # Flipping the label negates every label correlation, doubling each
+        # absolute difference.
+        gap = label_correlation_gap(t, flipped)
+        assert gap > 0.1
+
+    def test_requires_label(self, adult_bundle):
+        from repro.data.schema import TableSchema
+        from repro.data.table import Table
+
+        schema = adult_bundle.train.schema
+        keep = [i for i, c in enumerate(schema.columns) if c.name != schema.label]
+        stripped = Table(
+            adult_bundle.train.values[:, keep],
+            TableSchema([schema.columns[i] for i in keep]),
+        )
+        with pytest.raises(ValueError, match="label"):
+            label_correlation_gap(stripped, stripped)

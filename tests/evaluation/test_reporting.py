@@ -1,0 +1,41 @@
+"""Text rendering helpers."""
+
+import pytest
+
+from repro.evaluation.reporting import banner, format_cdf_series, format_table
+from repro.evaluation.statistical import compare_cdf
+
+
+class TestFormatTable:
+    def test_alignment_and_content(self):
+        out = format_table(["name", "value"], [("alpha", 1), ("b", 22)])
+        lines = out.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert "alpha" in lines[2]
+        assert lines[1].startswith("-")
+
+    def test_title(self):
+        out = format_table(["a"], [("x",)], title="Table 5")
+        assert out.splitlines()[0] == "Table 5"
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(ValueError, match="cells"):
+            format_table(["a", "b"], [("only-one",)])
+
+
+class TestFormatCdfSeries:
+    def test_contains_summary_stats(self, adult_bundle):
+        comparison = compare_cdf(adult_bundle.train, adult_bundle.test, "age")
+        out = format_cdf_series(comparison)
+        assert "KS=" in out
+        assert "attribute=age" in out
+        # 11 sample rows + title + header + rule.
+        assert len(out.splitlines()) == 14
+
+
+class TestBanner:
+    def test_shape(self):
+        out = banner("Table 6: membership attack")
+        lines = out.strip().splitlines()
+        assert lines[0] == lines[2]
+        assert lines[1] == "Table 6: membership attack"

@@ -1,0 +1,65 @@
+"""CLI smoke tests (fast configurations)."""
+
+import csv
+
+import pytest
+
+from repro.cli import build_parser, main, write_csv
+
+
+class TestParser:
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        args = parser.parse_args(["datasets"])
+        assert args.command == "datasets"
+        for command in ("train", "sample", "evaluate", "attack"):
+            sub_args = ["--dataset", "adult"]
+            if command == "sample":
+                sub_args += ["--model", "m.npz", "--out", "o.csv"]
+            parsed = parser.parse_args([command, *sub_args])
+            assert parsed.command == command
+
+    def test_unknown_dataset_rejected(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["train", "--dataset", "census"])
+
+
+class TestCommands:
+    def test_datasets_listing(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        for name in ("lacity", "adult", "health", "airline"):
+            assert name in out
+
+    def test_train_sample_round_trip(self, tmp_path, capsys):
+        model = str(tmp_path / "model.npz")
+        out_csv = str(tmp_path / "synthetic.csv")
+        common = ["--dataset", "adult", "--rows", "300", "--seed", "5",
+                  "--epochs", "1", "--base-channels", "8"]
+        assert main(["train", *common, "--model", model]) == 0
+        assert main(["sample", *common, "--model", model,
+                     "-n", "25", "--out", out_csv]) == 0
+        with open(out_csv) as handle:
+            rows = list(csv.reader(handle))
+        assert len(rows) == 26  # header + 25 samples
+        assert rows[0][0] == "age"
+
+    def test_evaluate_report(self, capsys):
+        code = main(["evaluate", "--dataset", "adult", "--rows", "300",
+                     "--seed", "5", "--epochs", "1", "--base-channels", "8"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "DCR" in out
+        assert "model compatibility" in out
+
+
+class TestWriteCsv:
+    def test_decodes_categoricals(self, tmp_path, adult_bundle):
+        path = tmp_path / "table.csv"
+        write_csv(adult_bundle.train.head(3), str(path))
+        with open(path) as handle:
+            rows = list(csv.reader(handle))
+        header = rows[0]
+        sex_idx = header.index("sex")
+        assert rows[1][sex_idx] in ("female", "male")

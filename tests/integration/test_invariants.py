@@ -1,0 +1,140 @@
+"""Property-based invariants across the full pipeline.
+
+Hypothesis drives configurations and schemas through the table-GAN
+pipeline and checks structural invariants the paper's workflow depends on:
+encoded records stay in [-1, 1], decoded tables are always schema-valid,
+training never emits non-finite losses, and sampling respects training
+ranges.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import TableGAN, TableGanConfig
+from repro.data.encoding import TableCodec
+from repro.data.matrixizer import Matrixizer
+from repro.data.schema import ColumnKind, ColumnRole, ColumnSpec, TableSchema
+from repro.data.table import Table
+
+
+@st.composite
+def small_tables(draw):
+    """Random small tables with mixed column kinds and a binary label."""
+    n_rows = draw(st.integers(20, 60))
+    n_continuous = draw(st.integers(1, 4))
+    n_categorical = draw(st.integers(0, 2))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+
+    columns, data = [], []
+    for i in range(n_continuous):
+        columns.append(ColumnSpec(f"c{i}", ColumnKind.CONTINUOUS, ColumnRole.SENSITIVE))
+        scale = 10.0 ** draw(st.integers(-2, 5))
+        data.append(rng.normal(0.0, scale, n_rows))
+    for i in range(n_categorical):
+        n_cats = draw(st.integers(2, 5))
+        columns.append(ColumnSpec(
+            f"k{i}", ColumnKind.CATEGORICAL, ColumnRole.QID,
+            tuple(f"v{j}" for j in range(n_cats)),
+        ))
+        data.append(rng.integers(0, n_cats, n_rows).astype(float))
+    columns.append(ColumnSpec("label", ColumnKind.DISCRETE, ColumnRole.LABEL))
+    data.append((rng.random(n_rows) > 0.5).astype(float))
+    return Table(np.column_stack(data), TableSchema(columns))
+
+
+class TestEncodingInvariants:
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(table=small_tables())
+    def test_encode_decode_round_trip(self, table):
+        codec = TableCodec().fit(table)
+        encoded = codec.encode(table)
+        assert encoded.min() >= -1.0 - 1e-9
+        assert encoded.max() <= 1.0 + 1e-9
+        decoded = codec.decode(encoded)
+        scale = 1.0 + np.abs(table.values).max()
+        assert np.allclose(decoded.values, table.values, atol=1e-6 * scale)
+
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(table=small_tables())
+    def test_matrixizer_preserves_encoding(self, table):
+        codec = TableCodec().fit(table)
+        encoded = codec.encode(table)
+        matrixizer = Matrixizer(table.n_columns)
+        back = matrixizer.to_records(matrixizer.to_matrices(encoded))
+        assert np.allclose(back, encoded)
+
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(table=small_tables())
+    def test_decoded_noise_is_always_schema_valid(self, table):
+        """Decoding arbitrary generator output yields a valid table."""
+        codec = TableCodec().fit(table)
+        rng = np.random.default_rng(0)
+        noise = rng.uniform(-1.5, 1.5, (30, table.n_columns))
+        decoded = codec.decode(noise)
+        for spec in table.schema.columns:
+            col = decoded.column(spec.name)
+            assert np.all(np.isfinite(col))
+            if spec.kind is ColumnKind.CATEGORICAL:
+                assert col.min() >= 0
+                assert col.max() <= spec.n_categories - 1
+            if spec.kind in (ColumnKind.DISCRETE, ColumnKind.CATEGORICAL):
+                assert np.allclose(col, np.rint(col))
+
+
+class TestTrainingInvariants:
+    @settings(max_examples=4, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        table=small_tables(),
+        delta=st.sampled_from([0.0, 0.2]),
+        use_classifier=st.booleans(),
+    )
+    def test_training_losses_always_finite(self, table, delta, use_classifier):
+        config = TableGanConfig(
+            delta_mean=delta, delta_sd=delta, epochs=1, batch_size=16,
+            base_channels=8, use_classifier=use_classifier, seed=0,
+        )
+        gan = TableGAN(config)
+        gan.fit(table)
+        for epoch in gan.history_.epochs:
+            for value in (epoch.d_loss, epoch.g_adv_loss, epoch.g_info_loss,
+                          epoch.g_class_loss, epoch.c_loss):
+                assert np.isfinite(value)
+        sample = gan.sample(10)
+        assert np.all(np.isfinite(sample.values))
+
+
+class TestFailureInjection:
+    def test_non_finite_training_data_rejected_by_codec(self, adult_bundle):
+        table = adult_bundle.train
+        values = table.values.copy()
+        values[0, 0] = np.nan
+        bad = table.with_values(values)
+        codec = TableCodec().fit(bad)
+        encoded = codec.encode(bad)
+        # NaN propagates visibly rather than silently corrupting ranges.
+        assert np.isnan(encoded[0, 0])
+
+    def test_sampling_more_rows_than_training(self, trained_gan, adult_bundle):
+        """Synthesis is not limited by the training row count."""
+        syn = trained_gan.sample(3 * adult_bundle.train.n_rows)
+        assert syn.n_rows == 3 * adult_bundle.train.n_rows
+
+    def test_single_column_table_trains(self):
+        schema = TableSchema([
+            ColumnSpec("x", ColumnKind.CONTINUOUS, ColumnRole.SENSITIVE),
+        ])
+        rng = np.random.default_rng(0)
+        table = Table(rng.normal(0, 1, (40, 1)), schema)
+        gan = TableGAN(TableGanConfig(
+            epochs=1, batch_size=16, base_channels=8, seed=0,
+        ))
+        gan.fit(table)
+        assert gan.classifier_ is None  # no label column
+        assert gan.sample(5).n_rows == 5

@@ -1,0 +1,85 @@
+"""Edge cases across the ML substrate that the evaluation sweeps can hit."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.ml.boosting import AdaBoostClassifier
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.metrics import roc_auc
+from repro.ml.mlp import MLPClassifier
+from repro.ml.tree import DecisionTreeClassifier
+
+
+class TestRocAucAgainstScipy:
+    def test_matches_mannwhitney_relationship(self, rng):
+        """AUC == U / (n_pos * n_neg) with scipy's Mann-Whitney U."""
+        y = rng.integers(0, 2, 200).astype(float)
+        scores = rng.standard_normal(200) + y  # informative scores
+        pos_scores = scores[y == 1]
+        neg_scores = scores[y == 0]
+        u_stat, _ = stats.mannwhitneyu(pos_scores, neg_scores, alternative="two-sided")
+        expected = u_stat / (pos_scores.size * neg_scores.size)
+        assert roc_auc(y, scores) == pytest.approx(expected, abs=1e-10)
+
+    def test_heavy_ties(self, rng):
+        y = rng.integers(0, 2, 100).astype(float)
+        scores = rng.integers(0, 3, 100).astype(float)  # only 3 levels
+        pos = scores[y == 1]
+        neg = scores[y == 0]
+        u_stat, _ = stats.mannwhitneyu(pos, neg, alternative="two-sided")
+        expected = u_stat / (pos.size * neg.size)
+        assert roc_auc(y, scores) == pytest.approx(expected, abs=1e-10)
+
+
+class TestForestClassAlignment:
+    def test_proba_columns_follow_global_classes(self, rng):
+        """Trees fit on bootstrap samples; probabilities must align to the
+        forest-level class ordering even when labels are non-contiguous."""
+        X = rng.uniform(-1, 1, (150, 2))
+        y = np.where(X[:, 0] > 0, 7.0, 3.0)  # classes {3, 7}
+        forest = RandomForestClassifier(n_estimators=8, seed=0).fit(X, y)
+        assert np.array_equal(forest.classes_, [3.0, 7.0])
+        proba = forest.predict_proba(X)
+        pred = forest.predict(X)
+        chosen = forest.classes_[np.argmax(proba, axis=1)]
+        assert np.array_equal(pred, chosen)
+
+    def test_tiny_dataset(self, rng):
+        X = rng.uniform(-1, 1, (6, 2))
+        y = np.array([0.0, 1.0, 0.0, 1.0, 0.0, 1.0])
+        forest = RandomForestClassifier(n_estimators=3, seed=0).fit(X, y)
+        assert forest.predict(X).shape == (6,)
+
+
+class TestClassifiersOnDegenerateFeatures:
+    """The released tables of weak baselines can have constant columns."""
+
+    @pytest.mark.parametrize("model_cls,kwargs", [
+        (DecisionTreeClassifier, {"max_depth": 3, "seed": 0}),
+        (RandomForestClassifier, {"n_estimators": 4, "seed": 0}),
+        (AdaBoostClassifier, {"n_estimators": 5, "seed": 0}),
+        (MLPClassifier, {"epochs": 3, "seed": 0}),
+    ])
+    def test_constant_features_dont_crash(self, model_cls, kwargs, rng):
+        X = np.ones((40, 3))
+        y = (rng.random(40) > 0.5).astype(float)
+        model = model_cls(**kwargs).fit(X, y)
+        pred = model.predict(np.ones((5, 3)))
+        assert pred.shape == (5,)
+        assert set(np.unique(pred)) <= {0.0, 1.0}
+
+    @pytest.mark.parametrize("model_cls,kwargs", [
+        (DecisionTreeClassifier, {"max_depth": 3, "seed": 0}),
+        (MLPClassifier, {"epochs": 3, "seed": 0}),
+    ])
+    def test_extreme_feature_scales(self, model_cls, kwargs, rng):
+        """Mixed 1e-6 / 1e+9 column scales (raw tables!) must not break."""
+        X = np.column_stack([
+            rng.normal(0, 1e-6, 100),
+            rng.normal(0, 1e9, 100),
+            rng.normal(5, 1, 100),
+        ])
+        y = (X[:, 2] > 5).astype(float)
+        model = model_cls(**kwargs).fit(X, y)
+        assert np.all(np.isfinite(model.predict_proba(X)))

@@ -1,0 +1,98 @@
+"""Random forest and AdaBoost ensembles."""
+
+import numpy as np
+import pytest
+
+from repro.ml.boosting import AdaBoostClassifier
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.metrics import accuracy
+from repro.ml.tree import DecisionTreeClassifier
+
+
+def two_moons_like(rng, n=400):
+    """Noisy nonlinear binary data a single stump cannot fit."""
+    X = rng.uniform(-1, 1, (n, 2))
+    y = ((X[:, 0] ** 2 + X[:, 1]) > 0.3).astype(float)
+    flip = rng.random(n) < 0.05
+    y[flip] = 1 - y[flip]
+    return X, y
+
+
+class TestRandomForest:
+    def test_beats_single_shallow_tree(self, rng):
+        X, y = two_moons_like(rng)
+        tree = DecisionTreeClassifier(max_depth=3, seed=0).fit(X, y)
+        forest = RandomForestClassifier(n_estimators=25, max_depth=6, seed=0).fit(X, y)
+        assert accuracy(y, forest.predict(X)) >= accuracy(y, tree.predict(X))
+
+    def test_generalizes(self, rng):
+        X, y = two_moons_like(rng, n=600)
+        forest = RandomForestClassifier(n_estimators=20, seed=0).fit(X[:400], y[:400])
+        assert accuracy(y[400:], forest.predict(X[400:])) > 0.85
+
+    def test_predict_proba_normalized(self, rng):
+        X, y = two_moons_like(rng, n=100)
+        forest = RandomForestClassifier(n_estimators=5, seed=0).fit(X, y)
+        proba = forest.predict_proba(X)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_deterministic_with_seed(self, rng):
+        X, y = two_moons_like(rng, n=150)
+        a = RandomForestClassifier(n_estimators=5, seed=9).fit(X, y).predict(X)
+        b = RandomForestClassifier(n_estimators=5, seed=9).fit(X, y).predict(X)
+        assert np.array_equal(a, b)
+
+    def test_without_bootstrap(self, rng):
+        X, y = two_moons_like(rng, n=150)
+        forest = RandomForestClassifier(n_estimators=5, bootstrap=False, seed=0).fit(X, y)
+        assert accuracy(y, forest.predict(X)) > 0.8
+
+    def test_rejects_zero_estimators(self, rng):
+        with pytest.raises(ValueError):
+            RandomForestClassifier(n_estimators=0).fit(rng.random((10, 2)), np.zeros(10))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            RandomForestClassifier().predict(np.zeros((1, 2)))
+
+
+class TestAdaBoost:
+    def test_stumps_combine_beyond_single_stump(self, rng):
+        X, y = two_moons_like(rng)
+        stump = DecisionTreeClassifier(max_depth=1, seed=0).fit(X, y)
+        boosted = AdaBoostClassifier(n_estimators=40, seed=0).fit(X, y)
+        assert accuracy(y, boosted.predict(X)) > accuracy(y, stump.predict(X))
+
+    def test_training_error_decreases_with_rounds(self, rng):
+        X, y = two_moons_like(rng)
+        few = AdaBoostClassifier(n_estimators=3, seed=0).fit(X, y)
+        many = AdaBoostClassifier(n_estimators=50, seed=0).fit(X, y)
+        assert accuracy(y, many.predict(X)) >= accuracy(y, few.predict(X))
+
+    def test_early_stop_on_perfect_learner(self, rng):
+        X = rng.uniform(-1, 1, (100, 1))
+        y = (X[:, 0] > 0).astype(float)  # one stump solves it
+        boosted = AdaBoostClassifier(n_estimators=50, seed=0).fit(X, y)
+        assert len(boosted.estimators_) == 1
+        assert accuracy(y, boosted.predict(X)) == 1.0
+
+    def test_predict_proba_normalized(self, rng):
+        X, y = two_moons_like(rng, n=120)
+        boosted = AdaBoostClassifier(n_estimators=10, seed=0).fit(X, y)
+        proba = boosted.predict_proba(X)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_learning_rate_validation(self):
+        with pytest.raises(ValueError):
+            AdaBoostClassifier(learning_rate=0.0).fit(np.zeros((4, 1)), np.array([0, 1, 0, 1]))
+
+    def test_single_class_degrades_to_constant(self, rng):
+        """Single-class training data yields a constant predictor, not a crash.
+
+        The model-compatibility sweeps feed degraded synthetic tables whose
+        label may have collapsed; the evaluation must still run.
+        """
+        model = AdaBoostClassifier().fit(rng.random((10, 2)), np.zeros(10))
+        pred = model.predict(rng.random((5, 2)))
+        assert np.all(pred == 0.0)
+        assert model.predict_proba(rng.random((5, 2))).shape == (5, 1)

@@ -1,0 +1,101 @@
+"""Linear regression family: coefficient recovery and robustness."""
+
+import numpy as np
+import pytest
+
+from repro.ml.linear import (
+    HuberRegressor,
+    Lasso,
+    LinearRegression,
+    PassiveAggressiveRegressor,
+)
+from repro.ml.metrics import mean_relative_error
+
+
+def linear_data(rng, n=300, noise=0.1):
+    X = rng.standard_normal((n, 4))
+    coefs = np.array([3.0, -2.0, 0.0, 0.5])
+    y = X @ coefs + 10.0 + rng.normal(0, noise, n)
+    return X, y, coefs
+
+
+class TestLinearRegression:
+    def test_recovers_coefficients(self, rng):
+        X, y, coefs = linear_data(rng, noise=0.01)
+        model = LinearRegression().fit(X, y)
+        # Model fits in standardized space; compare on predictions.
+        assert mean_relative_error(y, model.predict(X)) < 0.01
+
+    def test_exact_on_noiseless_data(self, rng):
+        X, y, _ = linear_data(rng, noise=0.0)
+        model = LinearRegression().fit(X, y)
+        assert np.allclose(model.predict(X), y, atol=1e-8)
+
+    def test_length_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            LinearRegression().fit(rng.random((5, 2)), np.zeros(4))
+
+
+class TestLasso:
+    def test_shrinks_irrelevant_coefficient(self, rng):
+        X, y, _ = linear_data(rng, n=500, noise=0.05)
+        model = Lasso(alpha=0.05).fit(X, y)
+        # True third coefficient is 0; Lasso should drive it to (near) zero.
+        assert abs(model.coef_[2]) < 0.02
+        assert abs(model.coef_[0]) > 0.5
+
+    def test_large_alpha_zeroes_everything(self, rng):
+        X, y, _ = linear_data(rng)
+        model = Lasso(alpha=100.0).fit(X, y)
+        assert np.allclose(model.coef_, 0.0, atol=1e-8)
+
+    def test_alpha_zero_matches_ols(self, rng):
+        X, y, _ = linear_data(rng, noise=0.01)
+        lasso = Lasso(alpha=0.0, max_iter=2000).fit(X, y)
+        ols = LinearRegression().fit(X, y)
+        assert np.allclose(lasso.predict(X), ols.predict(X), atol=0.05)
+
+    def test_rejects_negative_alpha(self, rng):
+        X, y, _ = linear_data(rng, n=20)
+        with pytest.raises(ValueError):
+            Lasso(alpha=-1.0).fit(X, y)
+
+
+class TestPassiveAggressive:
+    def test_fits_linear_data(self, rng):
+        X, y, _ = linear_data(rng, noise=0.05)
+        model = PassiveAggressiveRegressor(epochs=20, seed=0).fit(X, y)
+        assert mean_relative_error(y, model.predict(X)) < 0.05
+
+    def test_epsilon_tube_ignores_small_errors(self, rng):
+        X, y, _ = linear_data(rng, n=100)
+        # With a huge epsilon no update ever triggers: coefficients stay 0.
+        model = PassiveAggressiveRegressor(epsilon=1e6, seed=0).fit(X, y)
+        assert np.allclose(model.coef_, 0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PassiveAggressiveRegressor(C=0.0).fit(np.zeros((4, 1)), np.zeros(4))
+        with pytest.raises(ValueError):
+            PassiveAggressiveRegressor(epochs=0).fit(np.zeros((4, 1)), np.zeros(4))
+
+
+class TestHuber:
+    def test_fits_clean_data(self, rng):
+        X, y, _ = linear_data(rng, noise=0.05)
+        model = HuberRegressor().fit(X, y)
+        assert mean_relative_error(y, model.predict(X)) < 0.05
+
+    def test_robust_to_outliers(self, rng):
+        X, y, _ = linear_data(rng, n=300, noise=0.05)
+        y_dirty = y.copy()
+        y_dirty[:15] += 500.0  # gross outliers
+        huber = HuberRegressor(delta=1.0).fit(X, y_dirty)
+        ols = LinearRegression().fit(X, y_dirty)
+        clean_mre_huber = mean_relative_error(y[15:], huber.predict(X[15:]))
+        clean_mre_ols = mean_relative_error(y[15:], ols.predict(X[15:]))
+        assert clean_mre_huber < clean_mre_ols
+
+    def test_rejects_bad_delta(self):
+        with pytest.raises(ValueError):
+            HuberRegressor(delta=0.0).fit(np.zeros((4, 1)), np.zeros(4))

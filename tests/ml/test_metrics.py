@@ -1,0 +1,106 @@
+"""Metrics: hand-checked values and invariance properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.metrics import (
+    accuracy,
+    confusion_counts,
+    f1_score,
+    mean_relative_error,
+    mean_squared_error,
+    precision,
+    r2_score,
+    recall,
+    roc_auc,
+)
+
+
+class TestClassificationMetrics:
+    def test_confusion_counts(self):
+        y_true = np.array([1, 1, 0, 0, 1])
+        y_pred = np.array([1, 0, 1, 0, 1])
+        assert confusion_counts(y_true, y_pred) == (2, 1, 1, 1)
+
+    def test_precision_recall_f1_hand_checked(self):
+        y_true = np.array([1, 1, 0, 0, 1])
+        y_pred = np.array([1, 0, 1, 0, 1])
+        assert precision(y_true, y_pred) == pytest.approx(2 / 3)
+        assert recall(y_true, y_pred) == pytest.approx(2 / 3)
+        assert f1_score(y_true, y_pred) == pytest.approx(2 / 3)
+
+    def test_perfect_and_zero(self):
+        y = np.array([0, 1, 1])
+        assert f1_score(y, y) == 1.0
+        assert f1_score(y, 1 - y) == 0.0
+
+    def test_no_positive_predictions(self):
+        assert precision(np.array([1, 1]), np.array([0, 0])) == 0.0
+        assert f1_score(np.array([1, 1]), np.array([0, 0])) == 0.0
+
+    def test_accuracy(self):
+        assert accuracy([1, 0, 1], [1, 1, 1]) == pytest.approx(2 / 3)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            f1_score([], [])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            f1_score([1, 0], [1])
+
+
+class TestRocAuc:
+    def test_perfect_separation(self):
+        assert roc_auc([0, 0, 1, 1], [0.1, 0.2, 0.8, 0.9]) == 1.0
+
+    def test_inverted_scores(self):
+        assert roc_auc([0, 0, 1, 1], [0.9, 0.8, 0.2, 0.1]) == 0.0
+
+    def test_random_is_half(self):
+        rng = np.random.default_rng(0)
+        y = rng.integers(0, 2, 2000)
+        scores = rng.random(2000)
+        assert roc_auc(y, scores) == pytest.approx(0.5, abs=0.05)
+
+    def test_ties_handled(self):
+        # All scores equal: AUC must be exactly 0.5 by symmetry.
+        assert roc_auc([0, 1, 0, 1], [0.5, 0.5, 0.5, 0.5]) == pytest.approx(0.5)
+
+    def test_single_class_returns_half(self):
+        assert roc_auc([1, 1, 1], [0.1, 0.5, 0.9]) == 0.5
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_monotone_transform_invariance(self, seed):
+        """AUC depends only on score ranks."""
+        rng = np.random.default_rng(seed)
+        y = rng.integers(0, 2, 50)
+        scores = rng.standard_normal(50)
+        a = roc_auc(y, scores)
+        b = roc_auc(y, np.exp(scores))  # strictly monotone transform
+        assert a == pytest.approx(b)
+
+
+class TestRegressionMetrics:
+    def test_mre_hand_checked(self):
+        assert mean_relative_error([10.0, 20.0], [11.0, 18.0]) == pytest.approx(
+            (0.1 + 0.1) / 2
+        )
+
+    def test_mre_zero_target_guard(self):
+        value = mean_relative_error([0.0, 10.0], [1.0, 10.0])
+        assert np.isfinite(value)
+
+    def test_mse(self):
+        assert mean_squared_error([1.0, 2.0], [2.0, 4.0]) == pytest.approx(2.5)
+
+    def test_r2_perfect_and_mean(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r2_score(y, y) == 1.0
+        assert r2_score(y, np.full(3, y.mean())) == pytest.approx(0.0)
+
+    def test_r2_constant_target(self):
+        assert r2_score([2.0, 2.0], [1.0, 3.0]) == 0.0

@@ -1,0 +1,99 @@
+"""MLP classifier and linear SVM."""
+
+import numpy as np
+import pytest
+
+from repro.ml.metrics import accuracy, roc_auc
+from repro.ml.mlp import MLPClassifier
+from repro.ml.svm import LinearSVC
+
+
+def gaussians(rng, n=400, gap=2.0, dims=4):
+    X = np.vstack([
+        rng.normal(0.0, 1.0, (n // 2, dims)),
+        rng.normal(gap, 1.0, (n // 2, dims)),
+    ])
+    y = np.array([0.0] * (n // 2) + [1.0] * (n // 2))
+    order = rng.permutation(n)
+    return X[order], y[order]
+
+
+class TestMLP:
+    def test_separates_gaussians(self, rng):
+        X, y = gaussians(rng)
+        model = MLPClassifier(epochs=40, seed=0).fit(X[:300], y[:300])
+        assert accuracy(y[300:], model.predict(X[300:])) > 0.9
+
+    def test_learns_nonlinear_boundary(self, rng):
+        X = rng.uniform(-1, 1, (500, 2))
+        y = ((X**2).sum(axis=1) < 0.4).astype(float)
+        model = MLPClassifier(hidden_sizes=(32, 16), epochs=120, seed=0).fit(X, y)
+        assert accuracy(y, model.predict(X)) > 0.9
+
+    def test_predict_proba_valid(self, rng):
+        X, y = gaussians(rng, n=100)
+        model = MLPClassifier(epochs=10, seed=0).fit(X, y)
+        proba = model.predict_proba(X)
+        assert proba.shape == (100, 2)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+        assert np.all((proba >= 0) & (proba <= 1))
+
+    def test_decision_function_ranks_well(self, rng):
+        X, y = gaussians(rng)
+        model = MLPClassifier(epochs=30, seed=0).fit(X, y)
+        assert roc_auc(y, model.decision_function(X)) > 0.95
+
+    def test_arbitrary_binary_class_values(self, rng):
+        X, y = gaussians(rng, n=200)
+        y = np.where(y == 1, 7.0, 3.0)
+        model = MLPClassifier(epochs=20, seed=0).fit(X, y)
+        assert set(np.unique(model.predict(X))) <= {3.0, 7.0}
+
+    def test_rejects_multiclass(self, rng):
+        with pytest.raises(ValueError, match="binary"):
+            MLPClassifier().fit(rng.random((9, 2)), np.array([0, 1, 2] * 3))
+
+    def test_rejects_bad_schedule(self, rng):
+        with pytest.raises(ValueError):
+            MLPClassifier(epochs=0).fit(rng.random((4, 2)), np.array([0, 1, 0, 1]))
+
+    def test_deterministic_with_seed(self, rng):
+        X, y = gaussians(rng, n=120)
+        a = MLPClassifier(epochs=5, seed=4).fit(X, y).decision_function(X)
+        b = MLPClassifier(epochs=5, seed=4).fit(X, y).decision_function(X)
+        assert np.allclose(a, b)
+
+
+class TestLinearSVC:
+    def test_separates_gaussians(self, rng):
+        X, y = gaussians(rng)
+        model = LinearSVC(seed=0).fit(X[:300], y[:300])
+        assert accuracy(y[300:], model.predict(X[300:])) > 0.9
+
+    def test_margin_sign_matches_prediction(self, rng):
+        X, y = gaussians(rng, n=200)
+        model = LinearSVC(seed=0).fit(X, y)
+        scores = model.decision_function(X)
+        pred = model.predict(X)
+        assert np.all((scores >= 0) == (pred == model.classes_[1]))
+
+    def test_predict_proba_shape(self, rng):
+        X, y = gaussians(rng, n=100)
+        model = LinearSVC(seed=0).fit(X, y)
+        proba = model.predict_proba(X)
+        assert proba.shape == (100, 2)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_regularization_strength_changes_weights(self, rng):
+        X, y = gaussians(rng, n=200)
+        strong = LinearSVC(C=0.01, seed=0).fit(X, y)
+        weak = LinearSVC(C=100.0, seed=0).fit(X, y)
+        assert np.linalg.norm(strong.coef_) < np.linalg.norm(weak.coef_)
+
+    def test_rejects_non_binary(self, rng):
+        with pytest.raises(ValueError, match="binary"):
+            LinearSVC().fit(rng.random((9, 2)), np.array([0, 1, 2] * 3))
+
+    def test_rejects_bad_c(self):
+        with pytest.raises(ValueError):
+            LinearSVC(C=0.0).fit(np.zeros((4, 1)), np.array([0, 1, 0, 1]))

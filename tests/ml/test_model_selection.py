@@ -1,0 +1,96 @@
+"""KFold and GridSearchCV."""
+
+import numpy as np
+import pytest
+
+from repro.ml.metrics import f1_score
+from repro.ml.model_selection import GridSearchCV, KFold, param_grid_iter
+from repro.ml.tree import DecisionTreeClassifier
+
+
+class TestKFold:
+    def test_folds_partition_indices(self):
+        folds = list(KFold(n_splits=5, seed=0).split(53))
+        assert len(folds) == 5
+        all_test = np.sort(np.concatenate([test for _, test in folds]))
+        assert np.array_equal(all_test, np.arange(53))
+
+    def test_train_test_disjoint(self):
+        for train, test in KFold(n_splits=4, seed=1).split(40):
+            assert np.intersect1d(train, test).size == 0
+            assert train.size + test.size == 40
+
+    def test_no_shuffle_is_contiguous(self):
+        _, first_test = next(iter(KFold(n_splits=2, shuffle=False).split(10)))
+        assert np.array_equal(first_test, np.arange(5))
+
+    def test_rejects_too_few_samples(self):
+        with pytest.raises(ValueError):
+            list(KFold(n_splits=10).split(5))
+
+    def test_rejects_one_split(self):
+        with pytest.raises(ValueError):
+            KFold(n_splits=1)
+
+
+class TestParamGridIter:
+    def test_cartesian_product(self):
+        grid = list(param_grid_iter({"a": [1, 2], "b": ["x", "y", "z"]}))
+        assert len(grid) == 6
+        assert {"a": 1, "b": "x"} in grid
+
+    def test_empty_grid(self):
+        assert list(param_grid_iter({})) == [{}]
+
+
+class TestGridSearchCV:
+    def make_data(self, rng):
+        X = rng.uniform(-1, 1, (300, 2))
+        y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(float)  # needs depth >= 2
+        return X, y
+
+    def test_selects_sufficient_depth(self, rng):
+        X, y = self.make_data(rng)
+        gs = GridSearchCV(
+            DecisionTreeClassifier(seed=0),
+            {"max_depth": [1, 4]},
+            cv=3,
+            seed=0,
+        )
+        gs.fit(X, y)
+        assert gs.best_params_["max_depth"] == 4
+        assert gs.best_score_ > 0.8
+
+    def test_results_cover_grid(self, rng):
+        X, y = self.make_data(rng)
+        gs = GridSearchCV(
+            DecisionTreeClassifier(seed=0),
+            {"max_depth": [1, 2, 3]},
+            cv=3,
+            seed=0,
+        ).fit(X, y)
+        assert len(gs.results_) == 3
+
+    def test_custom_scorer(self, rng):
+        X, y = self.make_data(rng)
+        gs = GridSearchCV(
+            DecisionTreeClassifier(seed=0),
+            {"max_depth": [1, 4]},
+            cv=3,
+            scorer=f1_score,
+            seed=0,
+        ).fit(X, y)
+        assert gs.best_params_["max_depth"] == 4
+
+    def test_best_estimator_refit_on_all_data(self, rng):
+        X, y = self.make_data(rng)
+        gs = GridSearchCV(
+            DecisionTreeClassifier(seed=0), {"max_depth": [4]}, cv=3, seed=0
+        ).fit(X, y)
+        assert gs.predict(X).shape == (300,)
+        assert gs.predict_proba(X).shape[0] == 300
+
+    def test_unfitted_predict_raises(self):
+        gs = GridSearchCV(DecisionTreeClassifier(), {"max_depth": [1]})
+        with pytest.raises(RuntimeError):
+            gs.predict(np.zeros((1, 2)))

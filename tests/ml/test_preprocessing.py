@@ -1,0 +1,77 @@
+"""LabelEncoder and the scalers."""
+
+import numpy as np
+import pytest
+
+from repro.ml.base import clone
+from repro.ml.preprocessing import LabelEncoder, MinMaxScaler, StandardScaler
+from repro.ml.tree import DecisionTreeClassifier
+
+
+class TestLabelEncoder:
+    def test_round_trip(self):
+        enc = LabelEncoder()
+        codes = enc.fit_transform(["b", "a", "c", "a"])
+        assert np.array_equal(codes, [1.0, 0.0, 2.0, 0.0])
+        assert enc.inverse_transform(codes) == ["b", "a", "c", "a"]
+
+    def test_handles_generalized_interval_strings(self):
+        """The paper label-encodes generalized QIDs like '4767*' / '<=40'."""
+        enc = LabelEncoder().fit(["4767*", "4790*", "<=40", ">=50"])
+        out = enc.transform(["<=40", "4767*"])
+        assert out.shape == (2,)
+
+    def test_unseen_value_raises(self):
+        enc = LabelEncoder().fit(["a", "b"])
+        with pytest.raises(KeyError, match="unseen"):
+            enc.transform(["c"])
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            LabelEncoder().transform(["a"])
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_std(self, rng):
+        X = rng.normal(5, 3, (200, 4))
+        out = StandardScaler().fit_transform(X)
+        assert np.allclose(out.mean(axis=0), 0.0, atol=1e-10)
+        assert np.allclose(out.std(axis=0), 1.0, atol=1e-10)
+
+    def test_inverse_transform(self, rng):
+        X = rng.normal(5, 3, (50, 3))
+        scaler = StandardScaler().fit(X)
+        assert np.allclose(scaler.inverse_transform(scaler.transform(X)), X)
+
+    def test_constant_column_safe(self):
+        X = np.column_stack([np.ones(10), np.arange(10.0)])
+        out = StandardScaler().fit_transform(X)
+        assert np.all(np.isfinite(out))
+
+
+class TestMinMaxScaler:
+    def test_unit_range(self, rng):
+        X = rng.uniform(-50, 50, (100, 3))
+        out = MinMaxScaler().fit_transform(X)
+        assert np.allclose(out.min(axis=0), 0.0)
+        assert np.allclose(out.max(axis=0), 1.0)
+
+    def test_frozen_statistics(self, rng):
+        X = rng.uniform(0, 1, (50, 2))
+        scaler = MinMaxScaler().fit(X)
+        out = scaler.transform(X * 10)  # new data may exceed [0, 1]
+        assert out.max() > 1.0
+
+    def test_constant_column_safe(self):
+        X = np.full((5, 2), 3.0)
+        out = MinMaxScaler().fit_transform(X)
+        assert np.all(np.isfinite(out))
+
+
+class TestClone:
+    def test_clone_is_unfitted_copy(self):
+        tree = DecisionTreeClassifier(max_depth=5, seed=3)
+        copy = clone(tree)
+        assert copy is not tree
+        assert copy.get_params() == tree.get_params()
+        assert getattr(copy, "root_", None) is None

@@ -1,0 +1,113 @@
+"""CART decision trees: learning behaviour, limits, and weights."""
+
+import numpy as np
+import pytest
+
+from repro.ml.metrics import accuracy
+from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor
+
+
+def xor_data(rng, n=400):
+    X = rng.uniform(-1, 1, (n, 2))
+    y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(float)
+    return X, y
+
+
+class TestClassifier:
+    def test_learns_axis_aligned_split(self, rng):
+        X = rng.uniform(-1, 1, (200, 3))
+        y = (X[:, 1] > 0.2).astype(float)
+        tree = DecisionTreeClassifier(max_depth=2, seed=0).fit(X, y)
+        assert accuracy(y, tree.predict(X)) > 0.98
+
+    def test_learns_xor_with_depth(self, rng):
+        X, y = xor_data(rng)
+        tree = DecisionTreeClassifier(max_depth=4, seed=0).fit(X, y)
+        assert accuracy(y, tree.predict(X)) > 0.95
+
+    def test_depth_limit_respected(self, rng):
+        X, y = xor_data(rng)
+        tree = DecisionTreeClassifier(max_depth=3, seed=0).fit(X, y)
+        assert tree.depth() <= 3
+
+    def test_stump_cannot_learn_xor(self, rng):
+        X, y = xor_data(rng)
+        stump = DecisionTreeClassifier(max_depth=1, seed=0).fit(X, y)
+        assert accuracy(y, stump.predict(X)) < 0.7
+
+    def test_min_samples_leaf(self, rng):
+        X = rng.uniform(-1, 1, (50, 2))
+        y = (X[:, 0] > 0).astype(float)
+        tree = DecisionTreeClassifier(min_samples_leaf=25, seed=0).fit(X, y)
+        assert tree.depth() <= 1
+
+    def test_predict_proba_rows_sum_to_one(self, rng):
+        X, y = xor_data(rng, n=100)
+        tree = DecisionTreeClassifier(max_depth=4, seed=0).fit(X, y)
+        proba = tree.predict_proba(X)
+        assert proba.shape == (100, 2)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_sample_weights_bias_prediction(self, rng):
+        # Two overlapping points, one heavily weighted.
+        X = np.array([[0.0], [0.0]])
+        y = np.array([0.0, 1.0])
+        w = np.array([1.0, 100.0])
+        tree = DecisionTreeClassifier(seed=0).fit(X, y, sample_weight=w)
+        assert tree.predict(np.array([[0.0]]))[0] == 1.0
+
+    def test_non_binary_labels(self, rng):
+        X = rng.uniform(0, 3, (300, 1))
+        y = np.floor(X[:, 0])
+        tree = DecisionTreeClassifier(max_depth=3, seed=0).fit(X, y)
+        assert accuracy(y, tree.predict(X)) > 0.95
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            DecisionTreeClassifier().predict(np.zeros((1, 2)))
+
+    def test_length_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit(rng.random((5, 2)), np.zeros(4))
+
+    def test_constant_features_yield_leaf(self):
+        X = np.ones((20, 3))
+        y = np.array([0.0, 1.0] * 10)
+        tree = DecisionTreeClassifier(seed=0).fit(X, y)
+        assert tree.depth() == 0
+
+
+class TestRegressor:
+    def test_learns_step_function(self, rng):
+        X = rng.uniform(-1, 1, (300, 1))
+        y = np.where(X[:, 0] > 0, 5.0, -5.0)
+        tree = DecisionTreeRegressor(max_depth=1).fit(X, y)
+        pred = tree.predict(X)
+        assert np.abs(pred - y).mean() < 0.5
+
+    def test_approximates_smooth_function(self, rng):
+        X = rng.uniform(-3, 3, (600, 1))
+        y = np.sin(X[:, 0])
+        tree = DecisionTreeRegressor(max_depth=6).fit(X, y)
+        assert np.abs(tree.predict(X) - y).mean() < 0.12
+
+    def test_leaf_predicts_weighted_mean(self):
+        X = np.ones((3, 1))
+        y = np.array([0.0, 0.0, 3.0])
+        w = np.array([1.0, 1.0, 2.0])
+        tree = DecisionTreeRegressor().fit(X, y, sample_weight=w)
+        assert tree.predict(X)[0] == pytest.approx(6.0 / 4.0)
+
+    def test_depth_zero_predicts_mean(self, rng):
+        X = rng.random((50, 2))
+        y = rng.random(50)
+        tree = DecisionTreeRegressor(max_depth=0).fit(X, y)
+        assert np.allclose(tree.predict(X), y.mean())
+
+    def test_get_set_params(self):
+        tree = DecisionTreeRegressor(max_depth=4)
+        assert tree.get_params()["max_depth"] == 4
+        tree.set_params(max_depth=2)
+        assert tree.max_depth == 2
+        with pytest.raises(ValueError):
+            tree.set_params(bogus=1)

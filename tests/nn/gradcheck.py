@@ -1,0 +1,66 @@
+"""Numerical gradient checking helpers shared by the nn tests."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def numerical_input_grad(layer, x, upstream, training=True, eps=1e-6):
+    """Central-difference gradient of sum(layer(x) * upstream) w.r.t. x."""
+    x = np.array(x, dtype=np.float64)
+    num = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    for _ in it:
+        idx = it.multi_index
+        orig = x[idx]
+        x[idx] = orig + eps
+        plus = float(np.sum(layer.forward(x, training=training) * upstream))
+        x[idx] = orig - eps
+        minus = float(np.sum(layer.forward(x, training=training) * upstream))
+        x[idx] = orig
+        num[idx] = (plus - minus) / (2 * eps)
+    return num
+
+
+def numerical_param_grad(layer, param, x, upstream, training=True, eps=1e-6):
+    """Central-difference gradient w.r.t. one Parameter's data."""
+    num = np.zeros_like(param.data)
+    it = np.nditer(param.data, flags=["multi_index"])
+    for _ in it:
+        idx = it.multi_index
+        orig = param.data[idx]
+        param.data[idx] = orig + eps
+        plus = float(np.sum(layer.forward(x, training=training) * upstream))
+        param.data[idx] = orig - eps
+        minus = float(np.sum(layer.forward(x, training=training) * upstream))
+        param.data[idx] = orig
+        num[idx] = (plus - minus) / (2 * eps)
+    return num
+
+
+def check_input_grad(layer, x, training=True, seed=0, atol=1e-7):
+    """Assert analytic input gradient matches the numerical one."""
+    rng = np.random.default_rng(seed)
+    out = layer.forward(x, training=training)
+    upstream = rng.standard_normal(out.shape)
+    layer.zero_grad()
+    analytic = layer.backward(upstream)
+    numeric = numerical_input_grad(layer, x, upstream, training=training)
+    assert np.allclose(analytic, numeric, atol=atol), (
+        f"input grad mismatch: max err {np.abs(analytic - numeric).max():.2e}"
+    )
+
+
+def check_param_grads(layer, x, training=True, seed=0, atol=1e-7):
+    """Assert analytic parameter gradients match numerical ones."""
+    rng = np.random.default_rng(seed)
+    out = layer.forward(x, training=training)
+    upstream = rng.standard_normal(out.shape)
+    layer.zero_grad()
+    layer.backward(upstream)
+    for param in layer.parameters():
+        numeric = numerical_param_grad(layer, param, x, upstream, training=training)
+        assert np.allclose(param.grad, numeric, atol=atol), (
+            f"grad mismatch for {param.name}: "
+            f"max err {np.abs(param.grad - numeric).max():.2e}"
+        )

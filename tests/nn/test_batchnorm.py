@@ -1,0 +1,87 @@
+"""BatchNorm: normalization semantics, running statistics, gradients."""
+
+import numpy as np
+import pytest
+
+from repro.nn import BatchNorm
+
+from tests.nn.gradcheck import check_input_grad, check_param_grads
+
+
+class TestForward:
+    def test_normalizes_2d_batch(self, rng):
+        bn = BatchNorm(5)
+        x = rng.standard_normal((64, 5)) * 3.0 + 7.0
+        out = bn.forward(x, training=True)
+        assert np.allclose(out.mean(axis=0), 0.0, atol=1e-10)
+        assert np.allclose(out.std(axis=0), 1.0, atol=1e-3)
+
+    def test_normalizes_4d_per_channel(self, rng):
+        bn = BatchNorm(3)
+        x = rng.standard_normal((8, 3, 4, 4)) * 2.0 - 5.0
+        out = bn.forward(x, training=True)
+        assert np.allclose(out.mean(axis=(0, 2, 3)), 0.0, atol=1e-10)
+
+    def test_gamma_beta_shift(self, rng):
+        bn = BatchNorm(2)
+        bn.gamma.data[...] = 2.0
+        bn.beta.data[...] = 1.0
+        out = bn.forward(rng.standard_normal((32, 2)), training=True)
+        assert np.allclose(out.mean(axis=0), 1.0, atol=1e-10)
+
+    def test_eval_mode_uses_running_stats(self, rng):
+        bn = BatchNorm(4, momentum=0.0)  # running stats = last batch exactly
+        x = rng.standard_normal((128, 4)) * 2.0 + 3.0
+        bn.forward(x, training=True)
+        single = x[:1]
+        out = bn.forward(single, training=False)
+        expected = (single - x.mean(axis=0)) / np.sqrt(x.var(axis=0) + bn.eps)
+        assert np.allclose(out, expected, atol=1e-8)
+
+    def test_rejects_wrong_width(self, rng):
+        bn = BatchNorm(4)
+        with pytest.raises(ValueError, match="expected 4"):
+            bn.forward(rng.standard_normal((8, 5)))
+
+    def test_rejects_5d_input(self, rng):
+        with pytest.raises(ValueError, match="2-D, 3-D or 4-D"):
+            BatchNorm(4).forward(rng.standard_normal((2, 4, 3, 3, 3)))
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            BatchNorm(0)
+        with pytest.raises(ValueError):
+            BatchNorm(4, momentum=1.0)
+
+
+class TestGradients:
+    def test_input_gradient_2d_training(self, rng):
+        check_input_grad(BatchNorm(4), rng.standard_normal((8, 4)), atol=1e-6)
+
+    def test_input_gradient_4d_training(self, rng):
+        check_input_grad(BatchNorm(2), rng.standard_normal((4, 2, 3, 3)), atol=1e-6)
+
+    def test_param_gradients(self, rng):
+        check_param_grads(BatchNorm(3), rng.standard_normal((6, 3)), atol=1e-6)
+
+    def test_eval_mode_gradient_is_scale(self, rng):
+        bn = BatchNorm(3)
+        x = rng.standard_normal((16, 3))
+        bn.forward(x, training=True)  # populate running stats
+        check_input_grad(bn, rng.standard_normal((4, 3)), training=False, atol=1e-6)
+
+
+class TestRunningStats:
+    def test_ewma_update(self, rng):
+        bn = BatchNorm(2, momentum=0.9)
+        x = rng.standard_normal((100, 2)) + 4.0
+        bn.forward(x, training=True)
+        expected_mean = 0.9 * 0.0 + 0.1 * x.mean(axis=0)
+        assert np.allclose(bn.running_mean, expected_mean)
+
+    def test_eval_does_not_update(self, rng):
+        bn = BatchNorm(2)
+        bn.forward(rng.standard_normal((10, 2)), training=True)
+        before = bn.running_mean.copy()
+        bn.forward(rng.standard_normal((10, 2)) + 100.0, training=False)
+        assert np.allclose(bn.running_mean, before)

@@ -1,0 +1,96 @@
+"""Conv2D and ConvTranspose2D: shapes, gradients, and mutual adjointness."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Conv2D, ConvTranspose2D
+
+from tests.nn.gradcheck import check_input_grad, check_param_grads
+
+
+class TestConv2DShapes:
+    def test_dcgan_halving(self, rng):
+        conv = Conv2D(1, 8, kernel=4, stride=2, padding=1, rng=0)
+        out = conv.forward(rng.standard_normal((2, 1, 16, 16)))
+        assert out.shape == (2, 8, 8, 8)
+
+    def test_output_shape_helper(self):
+        conv = Conv2D(1, 4, kernel=4, stride=2, padding=1, rng=0)
+        assert conv.output_shape(8, 8) == (4, 4)
+
+    def test_rejects_wrong_channels(self, rng):
+        conv = Conv2D(3, 4, rng=0)
+        with pytest.raises(ValueError, match="expected"):
+            conv.forward(rng.standard_normal((1, 2, 8, 8)))
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            Conv2D(0, 4)
+        with pytest.raises(ValueError):
+            Conv2D(1, 4, padding=-1)
+
+
+class TestConv2DGradients:
+    def test_input_gradient(self, rng):
+        conv = Conv2D(2, 3, kernel=4, stride=2, padding=1, rng=1)
+        check_input_grad(conv, rng.standard_normal((2, 2, 8, 8)))
+
+    def test_parameter_gradients(self, rng):
+        conv = Conv2D(2, 2, kernel=4, stride=2, padding=1, rng=2)
+        check_param_grads(conv, rng.standard_normal((2, 2, 8, 8)))
+
+    def test_unit_stride_gradients(self, rng):
+        conv = Conv2D(1, 2, kernel=3, stride=1, padding=1, rng=3)
+        check_input_grad(conv, rng.standard_normal((1, 1, 5, 5)))
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            Conv2D(1, 1, rng=0).backward(np.ones((1, 1, 2, 2)))
+
+
+class TestConvTranspose2DShapes:
+    def test_dcgan_doubling(self, rng):
+        deconv = ConvTranspose2D(8, 4, kernel=4, stride=2, padding=1, rng=0)
+        out = deconv.forward(rng.standard_normal((2, 8, 4, 4)))
+        assert out.shape == (2, 4, 8, 8)
+
+    def test_output_shape_helper(self):
+        deconv = ConvTranspose2D(4, 1, kernel=4, stride=2, padding=1, rng=0)
+        assert deconv.output_shape(2, 2) == (4, 4)
+
+    def test_rejects_wrong_channels(self, rng):
+        deconv = ConvTranspose2D(3, 2, rng=0)
+        with pytest.raises(ValueError, match="expected"):
+            deconv.forward(rng.standard_normal((1, 2, 4, 4)))
+
+
+class TestConvTranspose2DGradients:
+    def test_input_gradient(self, rng):
+        deconv = ConvTranspose2D(3, 2, kernel=4, stride=2, padding=1, rng=1)
+        check_input_grad(deconv, rng.standard_normal((2, 3, 4, 4)))
+
+    def test_parameter_gradients(self, rng):
+        deconv = ConvTranspose2D(2, 2, kernel=4, stride=2, padding=1, rng=2)
+        check_param_grads(deconv, rng.standard_normal((2, 2, 4, 4)))
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            ConvTranspose2D(1, 1, rng=0).backward(np.ones((1, 1, 4, 4)))
+
+
+class TestAdjointness:
+    def test_deconv_is_conv_adjoint(self, rng):
+        """With shared weights and no bias, <conv(x), y> == <x, deconv(y)>.
+
+        This is the defining relationship of transposed convolution; DCGAN's
+        generator literally runs the discriminator's convolutions backwards.
+        """
+        conv = Conv2D(3, 5, kernel=4, stride=2, padding=1, bias=False, rng=0)
+        deconv = ConvTranspose2D(5, 3, kernel=4, stride=2, padding=1, bias=False, rng=0)
+        # deconv weight layout is (C_in=5, C_out=3, k, k); conv's is (5, 3, k, k).
+        deconv.weight.data[...] = conv.weight.data
+        x = rng.standard_normal((2, 3, 8, 8))
+        y = rng.standard_normal((2, 5, 4, 4))
+        lhs = float(np.sum(conv.forward(x) * y))
+        rhs = float(np.sum(x * deconv.forward(y)))
+        assert np.isclose(lhs, rhs)

@@ -1,0 +1,91 @@
+"""im2col/col2im: geometry, round trips, and the adjoint property."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.im2col import col2im, conv_output_size, im2col
+
+
+class TestConvOutputSize:
+    def test_dcgan_geometry_halves(self):
+        assert conv_output_size(16, 4, 1, 2) == 8
+        assert conv_output_size(8, 4, 1, 2) == 4
+        assert conv_output_size(4, 4, 1, 2) == 2
+
+    def test_unit_stride(self):
+        assert conv_output_size(5, 3, 1, 1) == 5
+
+    def test_rejects_inexact_geometry(self):
+        with pytest.raises(ValueError, match="not exact"):
+            conv_output_size(5, 4, 1, 2)
+
+    def test_rejects_oversized_kernel(self):
+        with pytest.raises(ValueError, match="larger than"):
+            conv_output_size(2, 8, 0, 1)
+
+
+class TestIm2col:
+    def test_shape(self):
+        x = np.arange(2 * 3 * 8 * 8, dtype=float).reshape(2, 3, 8, 8)
+        cols = im2col(x, kernel=4, padding=1, stride=2)
+        assert cols.shape == (3 * 16, 4 * 4 * 2)
+
+    def test_identity_kernel_1x1(self):
+        x = np.random.default_rng(0).standard_normal((2, 2, 4, 4))
+        cols = im2col(x, kernel=1, padding=0, stride=1)
+        # 1x1 kernel at stride 1 just flattens the spatial grid.
+        assert cols.shape == (2, 32)
+        assert np.allclose(np.sort(cols.ravel()), np.sort(x.ravel()))
+
+    def test_known_patch_values(self):
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        cols = im2col(x, kernel=2, padding=0, stride=2)
+        # First column = top-left 2x2 patch [0, 1, 4, 5].
+        assert np.allclose(cols[:, 0], [0, 1, 4, 5])
+
+    def test_padding_adds_zero_border(self):
+        x = np.ones((1, 1, 2, 2))
+        cols = im2col(x, kernel=2, padding=1, stride=2)
+        # Every corner patch touches the zero border.
+        assert cols.min() == 0.0
+        assert cols.max() == 1.0
+
+
+class TestCol2im:
+    def test_round_trip_non_overlapping(self):
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((2, 3, 4, 4))
+        cols = im2col(x, kernel=2, padding=0, stride=2)
+        back = col2im(cols, x.shape, kernel=2, padding=0, stride=2)
+        # Non-overlapping windows: col2im exactly inverts im2col.
+        assert np.allclose(back, x)
+
+    def test_overlap_accumulates(self):
+        x = np.ones((1, 1, 3, 3))
+        cols = im2col(x, kernel=3, padding=1, stride=1)
+        back = col2im(cols, x.shape, kernel=3, padding=1, stride=1)
+        # Center cell is visited by all 9 windows.
+        assert back[0, 0, 1, 1] == 9.0
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        batch=st.integers(1, 3),
+        channels=st.integers(1, 3),
+        seed=st.integers(0, 10_000),
+    )
+    def test_adjoint_property(self, batch, channels, seed):
+        """<im2col(x), y> == <x, col2im(y)> for all x, y (exact adjoints).
+
+        This is the property that makes col2im the correct backward pass of
+        convolution and the correct forward pass of deconvolution.
+        """
+        rng = np.random.default_rng(seed)
+        shape = (batch, channels, 8, 8)
+        x = rng.standard_normal(shape)
+        cols = im2col(x, kernel=4, padding=1, stride=2)
+        y = rng.standard_normal(cols.shape)
+        lhs = float(np.sum(cols * y))
+        rhs = float(np.sum(x * col2im(y, shape, kernel=4, padding=1, stride=2)))
+        assert np.isclose(lhs, rhs)

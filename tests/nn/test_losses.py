@@ -1,0 +1,104 @@
+"""Loss functions: values, gradients, and numerical stability."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import bce_with_logits, hinge_threshold, l1, mse, sigmoid
+
+
+class TestSigmoid:
+    def test_extreme_logits_finite(self):
+        out = sigmoid(np.array([-1e6, -50.0, 0.0, 50.0, 1e6]))
+        assert np.all(np.isfinite(out))
+        assert np.all((out >= 0) & (out <= 1))
+
+    @settings(max_examples=50, deadline=None)
+    @given(x=st.floats(-700, 700))
+    def test_matches_reference(self, x):
+        expected = 1.0 / (1.0 + np.exp(-np.clip(x, -500, 500)))
+        assert np.isclose(sigmoid(np.array([x]))[0], expected, atol=1e-12)
+
+
+class TestBceWithLogits:
+    def test_matches_manual_formula(self, rng):
+        logits = rng.standard_normal((8, 1))
+        targets = (rng.random((8, 1)) > 0.5).astype(float)
+        loss, grad = bce_with_logits(logits, targets)
+        p = sigmoid(logits)
+        manual = -np.mean(targets * np.log(p) + (1 - targets) * np.log(1 - p))
+        assert np.isclose(loss, manual)
+
+    def test_gradient_matches_numerical(self, rng):
+        logits = rng.standard_normal((5, 1))
+        targets = np.ones((5, 1))
+        _, grad = bce_with_logits(logits, targets)
+        eps = 1e-6
+        for i in range(5):
+            bump = logits.copy()
+            bump[i, 0] += eps
+            plus, _ = bce_with_logits(bump, targets)
+            bump[i, 0] -= 2 * eps
+            minus, _ = bce_with_logits(bump, targets)
+            assert np.isclose(grad[i, 0], (plus - minus) / (2 * eps), atol=1e-6)
+
+    def test_extreme_logits_stable(self):
+        loss, grad = bce_with_logits(np.array([[1e4], [-1e4]]), np.array([[0.0], [1.0]]))
+        assert np.isfinite(loss)
+        assert np.all(np.isfinite(grad))
+
+    def test_perfect_prediction_near_zero_loss(self):
+        loss, _ = bce_with_logits(np.array([[50.0]]), np.array([[1.0]]))
+        assert loss < 1e-10
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            bce_with_logits(np.zeros((2, 1)), np.zeros((3, 1)))
+
+
+class TestMseL1:
+    def test_mse_value_and_grad(self):
+        loss, grad = mse(np.array([1.0, 3.0]), np.array([0.0, 1.0]))
+        assert np.isclose(loss, (1 + 4) / 2)
+        assert np.allclose(grad, [1.0, 2.0])
+
+    def test_l1_value_and_subgradient(self):
+        loss, grad = l1(np.array([2.0, -1.0]), np.array([0.0, 0.0]))
+        assert np.isclose(loss, 1.5)
+        assert np.allclose(grad, [0.5, -0.5])
+
+    def test_zero_at_match(self):
+        x = np.array([1.0, 2.0])
+        assert mse(x, x)[0] == 0.0
+        assert l1(x, x)[0] == 0.0
+
+    @pytest.mark.parametrize("fn", [mse, l1])
+    def test_shape_mismatch_raises(self, fn):
+        with pytest.raises(ValueError):
+            fn(np.zeros(2), np.zeros(3))
+
+
+class TestHingeThreshold:
+    def test_inactive_below_delta(self):
+        loss, dloss = hinge_threshold(0.05, 0.1)
+        assert loss == 0.0
+        assert dloss == 0.0
+
+    def test_active_above_delta(self):
+        loss, dloss = hinge_threshold(0.3, 0.1)
+        assert np.isclose(loss, 0.2)
+        assert dloss == 1.0
+
+    def test_rejects_negative_delta(self):
+        with pytest.raises(ValueError):
+            hinge_threshold(1.0, -0.1)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        value=st.floats(0, 100, allow_nan=False),
+        delta=st.floats(0, 100, allow_nan=False),
+    )
+    def test_hinge_is_relu_of_excess(self, value, delta):
+        loss, _ = hinge_threshold(value, delta)
+        assert np.isclose(loss, max(0.0, value - delta))

@@ -1,0 +1,91 @@
+"""Optimizers: convergence on known problems, state handling, validation."""
+
+import numpy as np
+import pytest
+
+from repro.nn import SGD, Adam
+from repro.nn.layers import Parameter
+
+
+def quadratic_step(param, target):
+    """Gradient of 0.5 * ||w - target||^2."""
+    param.grad[...] = param.data - target
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.array([10.0, -10.0]))
+        target = np.array([3.0, -1.0])
+        opt = SGD([p], lr=0.1)
+        for _ in range(200):
+            p.zero_grad()
+            quadratic_step(p, target)
+            opt.step()
+        assert np.allclose(p.data, target, atol=1e-6)
+
+    def test_momentum_accelerates(self):
+        def run(momentum):
+            p = Parameter(np.array([10.0]))
+            opt = SGD([p], lr=0.01, momentum=momentum)
+            for _ in range(50):
+                p.zero_grad()
+                quadratic_step(p, np.zeros(1))
+                opt.step()
+            return abs(float(p.data[0]))
+
+        assert run(0.9) < run(0.0)
+
+    def test_rejects_bad_params(self):
+        p = Parameter(np.zeros(1))
+        with pytest.raises(ValueError):
+            SGD([p], lr=0.0)
+        with pytest.raises(ValueError):
+            SGD([p], lr=0.1, momentum=1.0)
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.array([5.0, -7.0]))
+        target = np.array([1.0, 2.0])
+        opt = Adam([p], lr=0.05)
+        for _ in range(2000):
+            p.zero_grad()
+            quadratic_step(p, target)
+            opt.step()
+        # Adam oscillates near the optimum; tolerance reflects that.
+        assert np.allclose(p.data, target, atol=1e-2)
+
+    def test_first_step_magnitude_is_lr(self):
+        """With bias correction, the first Adam step has magnitude ~lr."""
+        p = Parameter(np.array([1.0]))
+        opt = Adam([p], lr=0.01)
+        p.grad[...] = 123.0  # any positive gradient
+        opt.step()
+        assert np.isclose(1.0 - p.data[0], 0.01, rtol=1e-5)
+
+    def test_handles_sparse_gradient_scales(self):
+        """Per-parameter scaling: huge and tiny gradients both make progress."""
+        p = Parameter(np.array([1.0, 1.0]))
+        opt = Adam([p], lr=0.01)
+        for _ in range(100):
+            p.zero_grad()
+            p.grad[...] = [1e6 * p.data[0], 1e-6 * np.sign(p.data[1])]
+            opt.step()
+        assert abs(p.data[0]) < 0.5
+        assert abs(p.data[1]) < 0.5
+
+    def test_rejects_bad_betas(self):
+        p = Parameter(np.zeros(1))
+        with pytest.raises(ValueError):
+            Adam([p], beta1=1.0)
+        with pytest.raises(ValueError):
+            Adam([p], beta2=-0.1)
+
+    def test_zero_grad_helper(self):
+        p = Parameter(np.zeros(3))
+        opt = Adam([p])
+        p.grad += 4.0
+        opt.zero_grad()
+        assert np.all(p.grad == 0)

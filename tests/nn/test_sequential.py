@@ -1,0 +1,114 @@
+"""Sequential container: naming, activation caching, partial backward."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Dense, LeakyReLU, Sequential, Sigmoid
+
+
+def make_net():
+    return Sequential([
+        Dense(6, 4, rng=0),
+        ("hidden", LeakyReLU()),
+        Dense(4, 1, rng=1),
+        ("out", Sigmoid()),
+    ])
+
+
+class TestConstruction:
+    def test_named_and_anonymous_layers(self):
+        net = make_net()
+        assert net.names == ["layer0", "hidden", "layer2", "out"]
+        assert len(net) == 4
+
+    def test_layer_index_lookup(self):
+        net = make_net()
+        assert net.layer_index("hidden") == 1
+        with pytest.raises(KeyError, match="no layer named"):
+            net.layer_index("missing")
+
+    def test_rejects_non_layer(self):
+        with pytest.raises(TypeError):
+            Sequential([Dense(2, 2, rng=0), "not a layer"])
+
+    def test_parameters_collects_all(self):
+        net = make_net()
+        assert len(net.parameters()) == 4  # two Dense layers x (W, b)
+
+
+class TestForwardCache:
+    def test_activation_by_name(self, rng):
+        net = make_net()
+        x = rng.standard_normal((3, 6))
+        out = net.forward(x)
+        assert out.shape == (3, 1)
+        assert net.activation("hidden").shape == (3, 4)
+        assert np.allclose(net.activation("out"), out)
+
+    def test_activation_by_index(self, rng):
+        net = make_net()
+        net.forward(rng.standard_normal((2, 6)))
+        assert net.activation(0).shape == (2, 4)
+
+    def test_activation_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            make_net().activation("hidden")
+
+
+class TestBackward:
+    def test_full_backward_shape(self, rng):
+        net = make_net()
+        x = rng.standard_normal((3, 6))
+        out = net.forward(x)
+        grad = net.backward(np.ones_like(out))
+        assert grad.shape == x.shape
+
+    def test_backward_from_intermediate_layer(self, rng):
+        """Gradient injected at the hidden layer skips downstream layers."""
+        net = make_net()
+        x = rng.standard_normal((3, 6))
+        net.forward(x)
+        hidden = net.activation("hidden")
+        grad = net.backward_from("hidden", np.ones_like(hidden))
+        assert grad.shape == x.shape
+
+    def test_backward_from_matches_manual_chain(self, rng):
+        """backward_from('hidden', g) == Dense.backward(LeakyReLU.backward(g))."""
+        dense = Dense(5, 3, rng=2)
+        act = LeakyReLU()
+        net = Sequential([dense, ("mid", act)])
+        x = rng.standard_normal((2, 5))
+        net.forward(x)
+        g = rng.standard_normal((2, 3))
+        expected = dense.backward(act.backward(g))
+        dense.zero_grad()
+        got = net.backward_from("mid", g)
+        assert np.allclose(got, expected)
+
+    def test_double_backward_same_forward(self, rng):
+        """Two backward passes off one forward give identical input grads.
+
+        The table-GAN generator update relies on this (adversarial and
+        information gradients both flow through one discriminator forward).
+        """
+        net = make_net()
+        x = rng.standard_normal((3, 6))
+        out = net.forward(x)
+        g = np.ones_like(out)
+        first = net.backward(g)
+        second = net.backward(g)
+        assert np.allclose(first, second)
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            make_net().backward(np.ones((1, 1)))
+
+
+class TestZeroGrad:
+    def test_zeroes_all_parameters(self, rng):
+        net = make_net()
+        out = net.forward(rng.standard_normal((2, 6)))
+        net.backward(np.ones_like(out))
+        assert any(np.any(p.grad != 0) for p in net.parameters())
+        net.zero_grad()
+        assert all(np.all(p.grad == 0) for p in net.parameters())

@@ -1,0 +1,58 @@
+"""Weight persistence: round trips and mismatch detection."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Dense,
+    LeakyReLU,
+    Sequential,
+    load_npz,
+    load_state_dict,
+    save_npz,
+    state_dict,
+)
+
+
+def make_net(seed=0):
+    return Sequential([Dense(4, 3, rng=seed), LeakyReLU(), Dense(3, 1, rng=seed + 1)])
+
+
+class TestStateDict:
+    def test_snapshot_is_a_copy(self):
+        net = make_net()
+        state = state_dict(net)
+        first_key = sorted(state)[0]
+        state[first_key][...] = 999.0
+        assert not np.any(net.parameters()[0].data == 999.0)
+
+    def test_round_trip_restores_outputs(self, rng):
+        source = make_net(seed=0)
+        target = make_net(seed=7)
+        x = rng.standard_normal((5, 4))
+        assert not np.allclose(source.forward(x), target.forward(x))
+        load_state_dict(target, state_dict(source))
+        assert np.allclose(source.forward(x), target.forward(x))
+
+    def test_count_mismatch_raises(self):
+        net = make_net()
+        small = Sequential([Dense(4, 3, rng=0)])
+        with pytest.raises(ValueError, match="parameters"):
+            load_state_dict(small, state_dict(net))
+
+    def test_shape_mismatch_raises(self):
+        net = make_net()
+        other = Sequential([Dense(4, 2, rng=0), LeakyReLU(), Dense(2, 1, rng=1)])
+        with pytest.raises(ValueError, match="shape mismatch"):
+            load_state_dict(other, state_dict(net))
+
+
+class TestNpz:
+    def test_file_round_trip(self, tmp_path, rng):
+        source = make_net(seed=3)
+        target = make_net(seed=9)
+        path = tmp_path / "weights.npz"
+        save_npz(path, source)
+        load_npz(path, target)
+        x = rng.standard_normal((2, 4))
+        assert np.allclose(source.forward(x), target.forward(x))

@@ -1,0 +1,77 @@
+"""Distance to the closest record."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.anonymization import ArxAnonymizer
+from repro.privacy.dcr import closest_synthetic_rows, dcr, dcr_sensitive_only
+
+
+class TestDcr:
+    def test_identical_table_zero(self, adult_bundle):
+        result = dcr(adult_bundle.train, adult_bundle.train)
+        assert result.mean == 0.0
+        assert result.std == 0.0
+        assert result.min == 0.0
+
+    def test_arx_sensitive_only_is_zero(self, adult_bundle):
+        """Table 5's defining row: ARX never touches sensitive attributes."""
+        anon = ArxAnonymizer(method="k_t", k=5, t=0.9).anonymize(adult_bundle.train)
+        result = dcr_sensitive_only(adult_bundle.train, anon)
+        assert result.mean == 0.0
+        assert result.std == 0.0
+
+    def test_arx_full_dcr_positive(self, adult_bundle):
+        anon = ArxAnonymizer(method="k_t", k=15, t=0.9).anonymize(adult_bundle.train)
+        result = dcr(adult_bundle.train, anon)
+        assert result.mean > 0.0
+
+    def test_synthetic_dcr_positive(self, trained_gan, adult_bundle):
+        syn = trained_gan.sample(adult_bundle.train.n_rows)
+        result = dcr(adult_bundle.train, syn)
+        assert result.mean > 0.0
+        assert result.distances.shape == (adult_bundle.train.n_rows,)
+
+    def test_column_subset(self, adult_bundle, trained_gan):
+        syn = trained_gan.sample(200)
+        full = dcr(adult_bundle.train, syn)
+        sens = dcr(adult_bundle.train, syn, columns=adult_bundle.train.schema.sensitive)
+        # Fewer dimensions can only lower (or keep) the minimum distance.
+        assert sens.mean <= full.mean + 1e-9
+
+    def test_schema_mismatch_raises(self, adult_bundle, lacity_bundle):
+        with pytest.raises(ValueError, match="schema"):
+            dcr(adult_bundle.train, lacity_bundle.train)
+
+    def test_empty_column_selection_raises(self, adult_bundle):
+        with pytest.raises(ValueError, match="no columns"):
+            dcr(adult_bundle.train, adult_bundle.train, columns=[])
+
+    def test_formatted_cell(self, adult_bundle):
+        cell = dcr(adult_bundle.train, adult_bundle.train).formatted()
+        assert cell == "0.00 ± 0.00"
+
+    def test_blocked_computation_matches_direct(self, adult_bundle, trained_gan):
+        """Block size must not change results (pure memory optimization)."""
+        from repro.privacy.dcr import closest_record_distances
+
+        syn = trained_gan.sample(150)
+        a = closest_record_distances(adult_bundle.train, syn, block_size=7)
+        b = closest_record_distances(adult_bundle.train, syn, block_size=10_000)
+        assert np.allclose(a, b)
+
+
+class TestClosestRows:
+    def test_self_match(self, adult_bundle):
+        idx = closest_synthetic_rows(adult_bundle.train, adult_bundle.train)
+        # Every row's nearest neighbour in the same table is itself (distance 0).
+        distances = np.linalg.norm(
+            adult_bundle.train.values - adult_bundle.train.values[idx], axis=1
+        )
+        assert np.allclose(distances, 0.0)
+
+    def test_indices_in_range(self, adult_bundle, trained_gan):
+        syn = trained_gan.sample(77)
+        idx = closest_synthetic_rows(adult_bundle.train, syn)
+        assert idx.shape == (adult_bundle.train.n_rows,)
+        assert idx.min() >= 0 and idx.max() < 77

@@ -1,0 +1,102 @@
+"""Shadow-model membership attack (§4.5)."""
+
+import numpy as np
+import pytest
+
+from repro import low_privacy
+from repro.privacy.membership import MembershipAttack, _attack_features
+
+
+class TestAttackFeatures:
+    def test_shape_and_finiteness(self):
+        scores = np.array([0.0, 0.5, 1.0])  # boundary scores must not blow up
+        feats = _attack_features(scores)
+        assert feats.shape == (3, 3)
+        assert np.all(np.isfinite(feats))
+
+    def test_monotone_in_score(self):
+        feats = _attack_features(np.array([0.1, 0.9]))
+        assert feats[1, 0] > feats[0, 0]
+
+
+class TestMembershipAttack:
+    @pytest.fixture(scope="class")
+    def attack_result(self, trained_gan, adult_bundle, tiny_gan_config):
+        attack = MembershipAttack(
+            n_shadows=1, shadow_config=tiny_gan_config, seed=77
+        )
+        return attack.run(trained_gan, adult_bundle.train, adult_bundle.test)
+
+    def test_metrics_in_valid_range(self, attack_result):
+        assert 0.0 <= attack_result.f1 <= 1.0
+        assert 0.0 <= attack_result.auc <= 1.0
+
+    def test_per_class_breakdown(self, attack_result):
+        assert len(attack_result.per_class_f1) >= 1
+        assert set(attack_result.per_class_f1) == set(attack_result.per_class_auc)
+
+    def test_balanced_evaluation_set(self, attack_result):
+        assert attack_result.n_eval > 0
+        assert attack_result.n_eval % 2 == 0
+
+    def test_schema_mismatch_rejected(self, trained_gan, adult_bundle, lacity_bundle):
+        attack = MembershipAttack(n_shadows=1, seed=0)
+        with pytest.raises(ValueError, match="schema"):
+            attack.run(trained_gan, adult_bundle.train, lacity_bundle.train)
+
+    def test_requires_label(self, trained_gan, adult_bundle):
+        from repro.data.schema import TableSchema
+        from repro.data.table import Table
+
+        schema = adult_bundle.train.schema
+        keep = [i for i, c in enumerate(schema.columns) if c.name != schema.label]
+        unlabeled_schema = TableSchema([schema.columns[i] for i in keep])
+        unlabeled = Table(adult_bundle.train.values[:, keep], unlabeled_schema)
+        attack = MembershipAttack(n_shadows=1, seed=0)
+        with pytest.raises(ValueError, match="schema|label"):
+            attack.run(trained_gan, unlabeled, unlabeled)
+
+    def test_rejects_zero_shadows(self):
+        with pytest.raises(ValueError):
+            MembershipAttack(n_shadows=0)
+
+
+class TestPaperAttackModels:
+    """The §5.3.2 protocol: five families tuned by grid search + k-fold CV."""
+
+    def test_all_five_families_constructible(self):
+        from repro.privacy import ATTACK_MODEL_FAMILIES, paper_attack_model
+
+        assert len(ATTACK_MODEL_FAMILIES) == 5
+        for family in ATTACK_MODEL_FAMILIES:
+            model = paper_attack_model(family, cv=3, seed=0)
+            assert hasattr(model, "fit")
+            assert hasattr(model, "predict_proba")
+
+    def test_unknown_family_rejected(self):
+        from repro.privacy import paper_attack_model
+
+        with pytest.raises(KeyError, match="unknown family"):
+            paper_attack_model("naive_bayes")
+
+    def test_grid_searched_family_learns(self, rng):
+        from repro.privacy import paper_attack_model
+
+        X = np.vstack([rng.normal(0, 1, (60, 3)), rng.normal(2, 1, (60, 3))])
+        y = np.array([0.0] * 60 + [1.0] * 60)
+        model = paper_attack_model("decision_tree", cv=3, seed=0)
+        model.fit(X, y)
+        assert (model.predict(X) == y).mean() > 0.9
+
+    def test_attack_accepts_grid_searched_model(self, trained_gan, adult_bundle,
+                                                tiny_gan_config):
+        from repro.privacy import paper_attack_model
+
+        attack = MembershipAttack(
+            n_shadows=1,
+            shadow_config=tiny_gan_config,
+            attack_model=paper_attack_model("decision_tree", cv=3, seed=0),
+            seed=3,
+        )
+        result = attack.run(trained_gan, adult_bundle.train, adult_bundle.test)
+        assert 0.0 <= result.auc <= 1.0

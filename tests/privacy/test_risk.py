@@ -1,0 +1,55 @@
+"""Classical risk models (prosecutor/journalist/marketer)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.anonymization import ArxAnonymizer
+from repro.privacy.risk import (
+    assert_applicable_to,
+    equivalence_class_sizes,
+    risk_report,
+)
+
+
+class TestEquivalenceClasses:
+    def test_generalized_table_sizes(self, adult_bundle):
+        anon = ArxAnonymizer(method="k_t", k=5, t=0.9).anonymize(adult_bundle.train)
+        sizes = equivalence_class_sizes(anon)
+        assert sizes.shape == (adult_bundle.train.n_rows,)
+        assert sizes.min() >= 5  # k-anonymity reflected in class sizes
+
+    def test_raw_table_mostly_singletons(self, adult_bundle):
+        sizes = equivalence_class_sizes(adult_bundle.train)
+        assert np.median(sizes) <= 2
+
+
+class TestRiskReport:
+    def test_k_anonymity_bounds_prosecutor_risk(self, adult_bundle):
+        """risk(p) = 1/|class| <= 1/k (paper §2.2 formula)."""
+        for k in (2, 5, 15):
+            anon = ArxAnonymizer(method="k_t", k=k, t=0.9).anonymize(adult_bundle.train)
+            report = risk_report(anon)
+            assert report.prosecutor_max <= 1.0 / k + 1e-12
+
+    def test_stronger_k_lower_risk(self, adult_bundle):
+        weak = risk_report(ArxAnonymizer(method="k_t", k=2, t=0.9).anonymize(adult_bundle.train))
+        strong = risk_report(ArxAnonymizer(method="k_t", k=15, t=0.9).anonymize(adult_bundle.train))
+        assert strong.prosecutor_max <= weak.prosecutor_max
+        assert strong.marketer_risk < weak.marketer_risk
+
+    def test_marketer_equals_mean_prosecutor(self, adult_bundle):
+        anon = ArxAnonymizer(method="k_t", k=5, t=0.9).anonymize(adult_bundle.train)
+        report = risk_report(anon)
+        assert report.marketer_risk == pytest.approx(report.prosecutor_mean)
+
+
+class TestApplicability:
+    @pytest.mark.parametrize("method", ["table-gan", "tablegan", "dcgan", "condensation"])
+    def test_rejects_synthesis_methods(self, method):
+        """§2.2: risk metrics need record correspondence; synthesis has none."""
+        with pytest.raises(ValueError, match="one-to-one"):
+            assert_applicable_to(method)
+
+    @pytest.mark.parametrize("method", ["arx", "sdcmicro", "k-anonymity"])
+    def test_accepts_anonymization_methods(self, method):
+        assert_applicable_to(method)  # must not raise

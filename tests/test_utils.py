@@ -1,0 +1,93 @@
+"""Shared utilities: rng helpers and validation."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import ensure_rng, spawn_rng
+from repro.utils.validation import (
+    check_array,
+    check_fitted,
+    check_positive,
+    check_probability,
+)
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_is_deterministic(self):
+        a = ensure_rng(42).random(5)
+        b = ensure_rng(42).random(5)
+        assert np.allclose(a, b)
+
+    def test_generator_passes_through(self):
+        rng = np.random.default_rng(0)
+        assert ensure_rng(rng) is rng
+
+
+class TestSpawnRng:
+    def test_children_are_independent_and_deterministic(self):
+        parent_a = np.random.default_rng(1)
+        parent_b = np.random.default_rng(1)
+        children_a = spawn_rng(parent_a, 3)
+        children_b = spawn_rng(parent_b, 3)
+        for ca, cb in zip(children_a, children_b):
+            assert np.allclose(ca.random(4), cb.random(4))
+        # Distinct children produce distinct streams.
+        assert not np.allclose(children_a[0].random(4), children_a[1].random(4))
+
+    def test_zero_children(self):
+        assert spawn_rng(np.random.default_rng(0), 0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rng(np.random.default_rng(0), -1)
+
+
+class TestCheckArray:
+    def test_converts_and_validates_ndim(self):
+        out = check_array([[1, 2], [3, 4]], ndim=2)
+        assert out.dtype == np.float64
+        assert out.flags["C_CONTIGUOUS"]
+
+    def test_wrong_ndim_rejected(self):
+        with pytest.raises(ValueError, match="2-dimensional"):
+            check_array([1.0, 2.0], "x", ndim=2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            check_array(np.zeros((0, 3)), "x")
+
+
+class TestCheckFitted:
+    def test_missing_attribute_raises(self):
+        class Model:
+            pass
+
+        with pytest.raises(RuntimeError, match="not fitted"):
+            check_fitted(Model(), "coef_")
+
+    def test_present_attribute_passes(self):
+        class Model:
+            coef_ = np.zeros(3)
+
+        check_fitted(Model(), "coef_")  # must not raise
+
+
+class TestScalarChecks:
+    def test_check_positive(self):
+        check_positive(1.0, "x")
+        check_positive(0.0, "x", strict=False)
+        with pytest.raises(ValueError):
+            check_positive(0.0, "x")
+        with pytest.raises(ValueError):
+            check_positive(-1.0, "x", strict=False)
+
+    def test_check_probability(self):
+        check_probability(0.0, "p")
+        check_probability(1.0, "p")
+        with pytest.raises(ValueError):
+            check_probability(1.5, "p")
+        with pytest.raises(ValueError):
+            check_probability(-0.1, "p")
