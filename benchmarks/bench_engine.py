@@ -1,0 +1,41 @@
+"""Standalone runner for the convolution-engine benchmark.
+
+Times the fast engine (stride-trick im2col, bincount col2im, cached index
+plans, float32) against the retained reference implementations (fancy-index
+gather, ``np.add.at`` scatter, float64) and writes ``BENCH_engine.json``.
+
+Run either of::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py [--out PATH] [--repeats N]
+    PYTHONPATH=src python -m repro bench [--out PATH] [--repeats N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench import main
+
+
+def _positive_int(value: str) -> int:
+    count = int(value)
+    if count < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {count}")
+    return count
+
+
+def _parse_args(argv=None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_engine.json",
+                        help="output JSON path (default: BENCH_engine.json)")
+    parser.add_argument("--repeats", type=_positive_int, default=5,
+                        help="timing repeats for conv micro-benchmarks")
+    parser.add_argument("--fit-repeats", type=_positive_int, default=2,
+                        help="timing repeats for the one-epoch fit benchmark")
+    return parser.parse_args(argv)
+
+
+if __name__ == "__main__":
+    args = _parse_args()
+    sys.exit(main(args.out, repeats=args.repeats, fit_repeats=args.fit_repeats))

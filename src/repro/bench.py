@@ -1,0 +1,167 @@
+"""Convolution-engine benchmark (``python -m repro bench``).
+
+Times the hot paths of the compute substrate — Conv2D forward/backward,
+ConvTranspose2D forward, and one full table-GAN training epoch on a
+synthetic 16×16 workload — twice each:
+
+* **engine**: the fast im2col/col2im engine (stride-trick gather, bincount
+  scatter, memoized index plans) in the default float32 compute dtype;
+* **reference**: the retained seed idioms (fancy-index gather,
+  ``np.add.at`` scatter via :func:`repro.nn.im2col.reference_ops`) in
+  float64 — i.e. what every forward/backward cost before the engine.
+
+Results are written as ``BENCH_engine.json`` so speedups are trackable
+across commits.  The standalone runner lives at
+``benchmarks/bench_engine.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import numpy as np
+
+from repro.core.config import TableGanConfig
+from repro.core.networks import build_classifier, build_discriminator, build_generator
+from repro.core.trainer import TableGanTrainer
+from repro.nn import Conv2D, ConvTranspose2D, clear_plan_cache
+from repro.nn.im2col import reference_ops
+
+#: The synthetic 16×16 benchmark workload (≈ the quickstart scale, but with
+#: the deeper conv ladder a 16-sided record matrix exercises).
+WORKLOAD = {
+    "records": 256,
+    "side": 16,
+    "batch_size": 64,
+    "base_channels": 32,
+    "conv_batch": 64,
+    "conv_in_channels": 16,
+    "conv_out_channels": 32,
+}
+
+
+def _best_of(fn, repeats: int) -> float:
+    """Minimum wall-clock of ``repeats`` runs (one warmup run discarded)."""
+    fn()
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _conv_timings(dtype, reference: bool, repeats: int) -> dict[str, float]:
+    """Forward/backward conv and forward deconv timings for one mode."""
+    rng = np.random.default_rng(0)
+    batch = WORKLOAD["conv_batch"]
+    c_in = WORKLOAD["conv_in_channels"]
+    c_out = WORKLOAD["conv_out_channels"]
+    side = WORKLOAD["side"]
+    conv = Conv2D(c_in, c_out, rng=1, dtype=dtype)
+    deconv = ConvTranspose2D(c_out, c_in, rng=1, dtype=dtype)
+    x = rng.standard_normal((batch, c_in, side, side)).astype(dtype, copy=False)
+    grad = rng.standard_normal(
+        (batch, c_out, side // 2, side // 2)
+    ).astype(dtype, copy=False)
+
+    def run(fn):
+        if reference:
+            with reference_ops():
+                return _best_of(fn, repeats)
+        return _best_of(fn, repeats)
+
+    # The timed forwards leave conv._cols populated for the backward runs.
+    timings = {"conv_forward_s": run(lambda: conv.forward(x))}
+    timings["conv_backward_s"] = run(lambda: conv.backward(grad))
+    timings["deconv_forward_s"] = run(lambda: deconv.forward(grad))
+    return timings
+
+
+def _fit_epoch_seconds(dtype_name: str, reference: bool, repeats: int) -> float:
+    """One Algorithm 2 epoch on the synthetic workload, best of ``repeats``."""
+    side = WORKLOAD["side"]
+    rng = np.random.default_rng(3)
+    matrices = rng.uniform(-0.5, 0.5, (WORKLOAD["records"], 1, side, side))
+    matrices[:, 0, 0, 3] = np.sign(matrices[:, 0, 0, 0])
+
+    def one_epoch():
+        config = TableGanConfig(
+            epochs=1,
+            batch_size=WORKLOAD["batch_size"],
+            base_channels=WORKLOAD["base_channels"],
+            seed=0,
+            dtype=dtype_name,
+        )
+        dtype = config.np_dtype
+        gen = build_generator(side, config.latent_dim, config.base_channels,
+                              rng=0, dtype=dtype)
+        disc = build_discriminator(side, config.base_channels, rng=1, dtype=dtype)
+        clf = build_classifier(side, config.base_channels, rng=2, dtype=dtype)
+        trainer = TableGanTrainer(gen, disc, clf, config, label_cell=(0, 3))
+        trainer.train(matrices, rng=np.random.default_rng(0))
+
+    if reference:
+        with reference_ops():
+            return _best_of(one_epoch, repeats)
+    return _best_of(one_epoch, repeats)
+
+
+def run_benchmarks(repeats: int = 5, fit_repeats: int = 2) -> dict:
+    """Run the full engine-vs-reference comparison and return the report."""
+    if repeats < 1 or fit_repeats < 1:
+        raise ValueError(
+            f"repeats must be >= 1, got repeats={repeats}, fit_repeats={fit_repeats}"
+        )
+    clear_plan_cache()
+    report = {"workload": dict(WORKLOAD)}
+    engine = _conv_timings(np.float32, reference=False, repeats=repeats)
+    reference = _conv_timings(np.float64, reference=True, repeats=repeats)
+    engine["fit_epoch_s"] = _fit_epoch_seconds("float32", False, fit_repeats)
+    reference["fit_epoch_s"] = _fit_epoch_seconds("float64", True, fit_repeats)
+    report["engine"] = engine
+    report["reference"] = reference
+    report["speedup"] = {
+        key.removesuffix("_s"): reference[key] / engine[key]
+        for key in engine
+        if engine[key] > 0
+    }
+    return report
+
+
+def write_report(report: dict, path: str = "BENCH_engine.json") -> None:
+    """Write the benchmark report as JSON."""
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def format_report(report: dict) -> str:
+    """Human-readable summary of a benchmark report."""
+    lines = ["metric            engine      reference   speedup"]
+    for key in ("conv_forward_s", "conv_backward_s", "deconv_forward_s",
+                "fit_epoch_s"):
+        name = key.removesuffix("_s")
+        lines.append(
+            f"{name:<16}  {report['engine'][key]:>9.4f}s  "
+            f"{report['reference'][key]:>9.4f}s  {report['speedup'][name]:>6.1f}x"
+        )
+    return "\n".join(lines)
+
+
+def main(out_path: str = "BENCH_engine.json", repeats: int = 5,
+         fit_repeats: int = 2) -> int:
+    """Run the benchmark, print the summary, and write the JSON report."""
+    try:
+        # Fail on an unwritable path now, not after minutes of benchmarking.
+        with open(out_path, "a"):
+            pass
+    except OSError as exc:
+        print(f"cannot write report to {out_path}: {exc}")
+        return 1
+    report = run_benchmarks(repeats=repeats, fit_repeats=fit_repeats)
+    print(format_report(report))
+    write_report(report, out_path)
+    print(f"report written to {out_path}")
+    return 0

@@ -155,6 +155,20 @@ def cmd_attack(args) -> int:
     return 0
 
 
+def _positive_int(value: str) -> int:
+    count = int(value)
+    if count < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {count}")
+    return count
+
+
+def cmd_bench(args) -> int:
+    """Run the convolution-engine benchmark and write BENCH_engine.json."""
+    from repro.bench import main as bench_main
+
+    return bench_main(args.out, repeats=args.repeats, fit_repeats=args.fit_repeats)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -192,6 +206,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_attack.add_argument("--shadows", type=int, default=1,
                           help="number of shadow table-GANs")
     p_attack.set_defaults(func=cmd_attack)
+
+    p_bench = sub.add_parser(
+        "bench", help="benchmark the conv engine vs the reference implementation"
+    )
+    p_bench.add_argument("--out", default="BENCH_engine.json",
+                         help="output JSON path (default: BENCH_engine.json)")
+    p_bench.add_argument("--repeats", type=_positive_int, default=5,
+                         help="timing repeats for conv micro-benchmarks")
+    p_bench.add_argument("--fit-repeats", type=_positive_int, default=2,
+                         help="timing repeats for the one-epoch fit benchmark")
+    p_bench.set_defaults(func=cmd_bench)
     return parser
 
 

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+import numpy as np
+
 
 @dataclass(frozen=True)
 class TableGanConfig:
@@ -59,6 +61,11 @@ class TableGanConfig:
         extension: the classifier grows one sigmoid head per named column,
         all sharing intermediate layers.  ``None`` (default) uses the
         schema's single label column.
+    dtype:
+        Compute dtype of the three networks and the training pipeline:
+        ``"float32"`` (default) or ``"float64"``.  float32 halves memory
+        traffic through the conv engine with no measurable effect on
+        synthesis quality; float64 reproduces the seed numerics exactly.
     seed:
         Seed for weight init, latent sampling, and shuffling.
     """
@@ -79,7 +86,13 @@ class TableGanConfig:
     side: int | None = None
     layout: str = "square"
     label_columns: tuple = None
+    dtype: str = "float32"
     seed: int | None = None
+
+    @property
+    def np_dtype(self) -> np.dtype:
+        """The compute dtype as a ``np.dtype`` object."""
+        return np.dtype(self.dtype)
 
     def __post_init__(self):
         if self.delta_mean < 0 or self.delta_sd < 0:
@@ -96,6 +109,15 @@ class TableGanConfig:
                 raise ValueError("label_columns must be None or non-empty")
         if not 0.0 <= self.ewma_weight < 1.0:
             raise ValueError(f"ewma_weight must be in [0, 1), got {self.ewma_weight}")
+        try:
+            name = np.dtype(self.dtype).name
+        except TypeError as exc:
+            raise ValueError(f"invalid dtype {self.dtype!r}") from exc
+        if name not in ("float32", "float64"):
+            raise ValueError(
+                f"dtype must be 'float32' or 'float64', got {self.dtype!r}"
+            )
+        object.__setattr__(self, "dtype", name)
 
     def with_overrides(self, **kwargs) -> "TableGanConfig":
         """A copy of this config with the given fields replaced."""

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.nn.losses import sigmoid
+from repro.nn.losses import _as_float, sigmoid
 
 
 class FeatureStats:
@@ -65,8 +65,8 @@ def discriminator_loss(real_logits: np.ndarray, fake_logits: np.ndarray
     Returns ``(loss, grad_real_logits, grad_fake_logits)`` for gradient
     *descent* (the maximization is folded into the sign).
     """
-    real_logits = np.asarray(real_logits, dtype=np.float64)
-    fake_logits = np.asarray(fake_logits, dtype=np.float64)
+    real_logits = _as_float(real_logits)
+    fake_logits = _as_float(fake_logits)
     p_real = sigmoid(real_logits)
     p_fake = sigmoid(fake_logits)
     eps = 1e-12
@@ -86,7 +86,7 @@ def generator_adversarial_loss(fake_logits: np.ndarray, saturating: bool = False
     every practical DCGAN uses; ``True`` is the literal minimization of
     log(1 - D(G(z))) from Eq. 1.
     """
-    fake_logits = np.asarray(fake_logits, dtype=np.float64)
+    fake_logits = _as_float(fake_logits)
     p = sigmoid(fake_logits)
     eps = 1e-12
     if saturating:
@@ -155,8 +155,8 @@ def classification_loss(classifier_logits: np.ndarray, labels01: np.ndarray
     supported; gradients keep the input shape except that 1-D logits come
     back as a ``(batch, 1)`` column ready for network backward calls.
     """
-    classifier_logits = np.asarray(classifier_logits, dtype=np.float64)
-    labels01 = np.asarray(labels01, dtype=np.float64)
+    classifier_logits = _as_float(classifier_logits)
+    labels01 = _as_float(labels01)
     if classifier_logits.shape != labels01.shape:
         raise ValueError(
             f"shape mismatch: logits {classifier_logits.shape} vs labels {labels01.shape}"

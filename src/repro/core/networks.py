@@ -50,36 +50,37 @@ def feature_width(side: int, base_channels: int) -> int:
     return top_channels * 2 * 2
 
 
-def build_generator(side: int, latent_dim: int, base_channels: int, rng=None) -> Sequential:
+def build_generator(side: int, latent_dim: int, base_channels: int, rng=None,
+                    dtype=np.float64) -> Sequential:
     """DCGAN generator: latent z -> (1, side, side) record matrix in [-1, 1].
 
     The latent vector is projected to a 2×2 feature map and repeatedly
     doubled by transposed convolutions; the final layer outputs one channel
-    through tanh.
+    through tanh.  ``dtype`` is the compute dtype of every parameter.
     """
     rng = ensure_rng(rng)
     stages = _n_stages(side)
     top_channels = base_channels * 2 ** (stages - 1)
     layers = [
-        Dense(latent_dim, top_channels * 2 * 2, rng=rng),
+        Dense(latent_dim, top_channels * 2 * 2, rng=rng, dtype=dtype),
         Reshape((top_channels, 2, 2)),
-        BatchNorm(top_channels),
+        BatchNorm(top_channels, dtype=dtype),
         ReLU(),
     ]
     channels = top_channels
     for stage in range(stages - 1):
         next_channels = channels // 2
-        layers.append(ConvTranspose2D(channels, next_channels, rng=rng))
-        layers.append(BatchNorm(next_channels))
+        layers.append(ConvTranspose2D(channels, next_channels, rng=rng, dtype=dtype))
+        layers.append(BatchNorm(next_channels, dtype=dtype))
         layers.append(ReLU())
         channels = next_channels
-    layers.append(ConvTranspose2D(channels, 1, rng=rng))
+    layers.append(ConvTranspose2D(channels, 1, rng=rng, dtype=dtype))
     layers.append(Tanh())
     return Sequential(layers)
 
 
 def build_discriminator(side: int, base_channels: int, rng=None,
-                        n_outputs: int = 1) -> Sequential:
+                        n_outputs: int = 1, dtype=np.float64) -> Sequential:
     """DCGAN discriminator: record matrix -> real/synthetic logit.
 
     The flattened pre-logit activations are registered under
@@ -91,33 +92,34 @@ def build_discriminator(side: int, base_channels: int, rng=None,
     rng = ensure_rng(rng)
     stages = _n_stages(side)
     layers = [
-        Conv2D(1, base_channels, rng=rng),
+        Conv2D(1, base_channels, rng=rng, dtype=dtype),
         LeakyReLU(0.2),
     ]
     channels = base_channels
     for stage in range(stages - 1):
         next_channels = channels * 2
-        layers.append(Conv2D(channels, next_channels, rng=rng))
-        layers.append(BatchNorm(next_channels))
+        layers.append(Conv2D(channels, next_channels, rng=rng, dtype=dtype))
+        layers.append(BatchNorm(next_channels, dtype=dtype))
         layers.append(LeakyReLU(0.2))
         channels = next_channels
     layers.append((FEATURE_LAYER, Flatten()))
-    layers.append(Dense(channels * 2 * 2, n_outputs, rng=rng))
+    layers.append(Dense(channels * 2 * 2, n_outputs, rng=rng, dtype=dtype))
     return Sequential(layers)
 
 
 def build_classifier(side: int, base_channels: int, rng=None,
-                     n_labels: int = 1) -> Sequential:
+                     n_labels: int = 1, dtype=np.float64) -> Sequential:
     """Classifier network C — the same architecture as the discriminator (§4.1.3).
 
     With ``n_labels > 1`` this is the §4.2.3 multi-task extension: multiple
     sigmoid heads sharing all intermediate layers, one per label.
     """
-    return build_discriminator(side, base_channels, rng=rng, n_outputs=n_labels)
+    return build_discriminator(side, base_channels, rng=rng, n_outputs=n_labels,
+                               dtype=dtype)
 
 
 def build_generator_1d(length: int, latent_dim: int, base_channels: int,
-                       rng=None) -> Sequential:
+                       rng=None, dtype=np.float64) -> Sequential:
     """1-D generator for the §3.2 record-layout ablation.
 
     Same ladder as :func:`build_generator`, but over (N, 1, L) vectors with
@@ -130,47 +132,48 @@ def build_generator_1d(length: int, latent_dim: int, base_channels: int,
     stages = _n_stages(length)
     top_channels = base_channels * 2 ** (stages - 1)
     layers = [
-        Dense(latent_dim, top_channels * 2, rng=rng),
+        Dense(latent_dim, top_channels * 2, rng=rng, dtype=dtype),
         Reshape((top_channels, 2)),
-        BatchNorm(top_channels),
+        BatchNorm(top_channels, dtype=dtype),
         ReLU(),
     ]
     channels = top_channels
     for stage in range(stages - 1):
         next_channels = channels // 2
-        layers.append(ConvTranspose1D(channels, next_channels, rng=rng))
-        layers.append(BatchNorm(next_channels))
+        layers.append(ConvTranspose1D(channels, next_channels, rng=rng, dtype=dtype))
+        layers.append(BatchNorm(next_channels, dtype=dtype))
         layers.append(ReLU())
         channels = next_channels
-    layers.append(ConvTranspose1D(channels, 1, rng=rng))
+    layers.append(ConvTranspose1D(channels, 1, rng=rng, dtype=dtype))
     layers.append(Tanh())
     return Sequential(layers)
 
 
 def build_discriminator_1d(length: int, base_channels: int, rng=None,
-                           n_outputs: int = 1) -> Sequential:
+                           n_outputs: int = 1, dtype=np.float64) -> Sequential:
     """1-D discriminator for the §3.2 record-layout ablation."""
     from repro.nn.conv1d import Conv1D
 
     rng = ensure_rng(rng)
     stages = _n_stages(length)
     layers = [
-        Conv1D(1, base_channels, rng=rng),
+        Conv1D(1, base_channels, rng=rng, dtype=dtype),
         LeakyReLU(0.2),
     ]
     channels = base_channels
     for stage in range(stages - 1):
         next_channels = channels * 2
-        layers.append(Conv1D(channels, next_channels, rng=rng))
-        layers.append(BatchNorm(next_channels))
+        layers.append(Conv1D(channels, next_channels, rng=rng, dtype=dtype))
+        layers.append(BatchNorm(next_channels, dtype=dtype))
         layers.append(LeakyReLU(0.2))
         channels = next_channels
     layers.append((FEATURE_LAYER, Flatten()))
-    layers.append(Dense(channels * 2, n_outputs, rng=rng))
+    layers.append(Dense(channels * 2, n_outputs, rng=rng, dtype=dtype))
     return Sequential(layers)
 
 
 def build_classifier_1d(length: int, base_channels: int, rng=None,
-                        n_labels: int = 1) -> Sequential:
+                        n_labels: int = 1, dtype=np.float64) -> Sequential:
     """1-D classifier — same architecture as the 1-D discriminator."""
-    return build_discriminator_1d(length, base_channels, rng=rng, n_outputs=n_labels)
+    return build_discriminator_1d(length, base_channels, rng=rng, n_outputs=n_labels,
+                                  dtype=dtype)

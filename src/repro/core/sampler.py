@@ -40,20 +40,35 @@ class RecordSampler:
         self.codec = codec
         self.matrixizer = matrixizer
         self.latent_dim = latent_dim
+        params = generator.parameters()
+        self._dtype = params[0].data.dtype if params else np.dtype(np.float64)
 
     def sample_matrices(self, n: int, rng=None, batch_size: int = 256) -> np.ndarray:
-        """Generate ``n`` raw record matrices (N, 1, d, d) in [-1, 1]."""
+        """Generate ``n`` raw record matrices (N, 1, d, d) in [-1, 1].
+
+        The output is allocated once and filled batch by batch (no
+        per-chunk concatenation); latent vectors are drawn in float64 and
+        cast to the generator's compute dtype, so the record stream is
+        identical across batch sizes and dtypes.
+        """
         if n <= 0:
             raise ValueError(f"n must be positive, got {n}")
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
         rng = ensure_rng(rng)
-        chunks = []
-        remaining = n
-        while remaining > 0:
-            batch = min(batch_size, remaining)
+        out: np.ndarray | None = None
+        filled = 0
+        while filled < n:
+            batch = min(batch_size, n - filled)
             z = rng.uniform(-1.0, 1.0, size=(batch, self.latent_dim))
-            chunks.append(self.generator.forward(z, training=False))
-            remaining -= batch
-        return np.concatenate(chunks, axis=0)
+            matrices = self.generator.forward(
+                z.astype(self._dtype, copy=False), training=False
+            )
+            if out is None:
+                out = np.empty((n, *matrices.shape[1:]), dtype=matrices.dtype)
+            out[filled : filled + batch] = matrices
+            filled += batch
+        return out
 
     def sample_records(self, n: int, rng=None) -> np.ndarray:
         """Generate ``n`` encoded records (N, n_features) in [-1, 1]."""

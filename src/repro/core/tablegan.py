@@ -38,7 +38,7 @@ from repro.data.matrixizer import (
     side_for_features,
 )
 from repro.data.table import Table
-from repro.nn import load_state_dict, state_dict
+from repro.nn import load_state_dict, sigmoid, state_dict
 from repro.utils.rng import ensure_rng
 from repro.utils.validation import check_fitted
 
@@ -62,6 +62,7 @@ class TableGAN:
         self.classifier_ = None
         self.history_: TrainingHistory | None = None
         self.train_seconds_: float | None = None
+        self._sampler: RecordSampler | None = None
 
     def fit(self, table: Table, rng=None, on_epoch_end=None) -> "TableGAN":
         """Train on ``table`` and return self.
@@ -78,6 +79,8 @@ class TableGAN:
         config = self.config
         rng = ensure_rng(rng if rng is not None else config.seed)
         started = time.perf_counter()
+        self._sampler = None
+        dtype = config.np_dtype
 
         self.codec_ = TableCodec().fit(table)
         encoded = self.codec_.encode(table)
@@ -85,17 +88,21 @@ class TableGAN:
             side = config.side or length_for_features(table.n_columns)
             self.matrixizer_ = Vectorizer(table.n_columns, length=side)
             self.generator_ = build_generator_1d(
-                side, config.latent_dim, config.base_channels, rng
+                side, config.latent_dim, config.base_channels, rng, dtype=dtype
             )
-            self.discriminator_ = build_discriminator_1d(side, config.base_channels, rng)
+            self.discriminator_ = build_discriminator_1d(
+                side, config.base_channels, rng, dtype=dtype
+            )
             build_c = build_classifier_1d
         else:
             side = config.side or side_for_features(table.n_columns)
             self.matrixizer_ = Matrixizer(table.n_columns, side=side)
             self.generator_ = build_generator(
-                side, config.latent_dim, config.base_channels, rng
+                side, config.latent_dim, config.base_channels, rng, dtype=dtype
             )
-            self.discriminator_ = build_discriminator(side, config.base_channels, rng)
+            self.discriminator_ = build_discriminator(
+                side, config.base_channels, rng, dtype=dtype
+            )
             build_c = build_classifier
         matrices = self.matrixizer_.to_matrices(encoded)
 
@@ -109,7 +116,8 @@ class TableGAN:
         label_cell = None
         if use_classifier:
             self.classifier_ = build_c(
-                side, config.base_channels, rng, n_labels=len(label_names)
+                side, config.base_channels, rng, n_labels=len(label_names),
+                dtype=dtype,
             )
             label_cell = [
                 self.matrixizer_.feature_position(table.schema.index(name))
@@ -127,35 +135,48 @@ class TableGAN:
         self.train_seconds_ = time.perf_counter() - started
         return self
 
+    def _get_sampler(self) -> RecordSampler:
+        """The cached :class:`RecordSampler` for the fitted generator.
+
+        Built lazily on first use and invalidated whenever the generator
+        changes (:meth:`fit`, :meth:`load_generator`), so repeated
+        ``sample``/``sample_encoded`` calls reuse one sampler instead of
+        rebuilding it per call.
+        """
+        check_fitted(self, "generator_")
+        if self._sampler is None or self._sampler.generator is not self.generator_:
+            self._sampler = RecordSampler(
+                self.generator_, self.codec_, self.matrixizer_,
+                self.config.latent_dim,
+            )
+        return self._sampler
+
     def sample(self, n: int, rng=None) -> Table:
         """Draw ``n`` synthetic rows as a schema-valid Table."""
-        check_fitted(self, "generator_")
+        sampler = self._get_sampler()
         rng = ensure_rng(rng if rng is not None else self.config.seed)
-        sampler = RecordSampler(
-            self.generator_, self.codec_, self.matrixizer_, self.config.latent_dim
-        )
         return sampler.sample_table(n, rng)
 
     def sample_encoded(self, n: int, rng=None) -> np.ndarray:
         """Draw ``n`` synthetic records in the encoded [-1, 1] space."""
-        check_fitted(self, "generator_")
+        sampler = self._get_sampler()
         rng = ensure_rng(rng if rng is not None else self.config.seed)
-        sampler = RecordSampler(
-            self.generator_, self.codec_, self.matrixizer_, self.config.latent_dim
-        )
         return sampler.sample_records(n, rng)
 
     def discriminator_scores(self, table: Table) -> np.ndarray:
         """D's probability-of-real for each row of ``table``.
 
         This is the black-box surface the membership attack queries on
-        shadow models (§4.5 step 4).
+        shadow models (§4.5 step 4).  Scores are computed with the shared
+        stable sigmoid (no clipping needed) and returned in float64.
         """
         check_fitted(self, "discriminator_")
         encoded = self.codec_.encode(table)
-        matrices = self.matrixizer_.to_matrices(encoded)
+        matrices = self.matrixizer_.to_matrices(encoded).astype(
+            self.config.np_dtype, copy=False
+        )
         logits = self.discriminator_.forward(matrices, training=False).ravel()
-        return 1.0 / (1.0 + np.exp(-np.clip(logits, -500, 500)))
+        return sigmoid(logits.astype(np.float64))
 
     def save(self, path) -> None:
         """Persist generator weights plus codec state to ``path`` (.npz)."""
@@ -184,25 +205,34 @@ class TableGAN:
                     f"saved model has {n_features} features, table has {table.n_columns}"
                 )
             self.codec_ = TableCodec().fit(table)
+            self._sampler = None
             for codec, lo, hi in zip(
                 self.codec_.codecs_, archive["meta.col_min"], archive["meta.col_max"]
             ):
                 codec.data_min_ = float(lo)
                 codec.data_max_ = float(hi)
+            gen_state = {
+                k[len("gen."):]: v for k, v in archive.items() if k.startswith("gen.")
+            }
+            # Rebuild the generator at the dtype the weights were saved in
+            # (seed-era archives are float64): loading into the config
+            # dtype would silently truncate the persisted model.
+            dtypes = {
+                v.dtype for v in gen_state.values()
+                if np.issubdtype(v.dtype, np.floating)
+            }
+            saved_dtype = dtypes.pop() if len(dtypes) == 1 else np.dtype(np.float64)
             if self.config.layout == "vector":
                 self.matrixizer_ = Vectorizer(n_features, length=side)
                 self.generator_ = build_generator_1d(
                     side, self.config.latent_dim, self.config.base_channels,
-                    ensure_rng(self.config.seed),
+                    ensure_rng(self.config.seed), dtype=saved_dtype,
                 )
             else:
                 self.matrixizer_ = Matrixizer(n_features, side=side)
                 self.generator_ = build_generator(
                     side, self.config.latent_dim, self.config.base_channels,
-                    ensure_rng(self.config.seed),
+                    ensure_rng(self.config.seed), dtype=saved_dtype,
                 )
-            gen_state = {
-                k[len("gen."):]: v for k, v in archive.items() if k.startswith("gen.")
-            }
             load_state_dict(self.generator_, gen_state)
         return self

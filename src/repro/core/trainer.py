@@ -103,11 +103,17 @@ class TableGanTrainer:
             else None
         )
         self.stats: FeatureStats | None = None
+        self._dtype = config.np_dtype
 
     # ------------------------------------------------------------------
     def sample_latent(self, batch: int, rng) -> np.ndarray:
-        """z uniform in the unit hypercube [-1, 1]^latent_dim (paper §4.1.2)."""
-        return rng.uniform(-1.0, 1.0, size=(batch, self.config.latent_dim))
+        """z uniform in the unit hypercube [-1, 1]^latent_dim (paper §4.1.2).
+
+        Drawn in float64 (so the stream is dtype-independent) and cast to
+        the compute dtype.
+        """
+        z = rng.uniform(-1.0, 1.0, size=(batch, self.config.latent_dim))
+        return z.astype(self._dtype, copy=False)
 
     @property
     def _label_indices(self) -> list[tuple]:
@@ -240,7 +246,7 @@ class TableGanTrainer:
             Optional callback ``(epoch_index, EpochLosses) -> None``.
         """
         config = self.config
-        matrices = np.asarray(matrices, dtype=np.float64)
+        matrices = np.ascontiguousarray(matrices, dtype=self._dtype)
         if matrices.ndim not in (3, 4) or matrices.shape[1] != 1:
             raise ValueError(
                 f"expected (N, 1, d, d) or (N, 1, L) matrices, got {matrices.shape}"
@@ -258,11 +264,13 @@ class TableGanTrainer:
         history = TrainingHistory()
         batch = min(config.batch_size, n)
         for epoch in range(config.epochs):
-            order = rng.permutation(n)
+            # One shuffled gather per epoch; every mini-batch below is a
+            # zero-copy contiguous view into it.
+            shuffled = matrices[rng.permutation(n)]
             sums = np.zeros(5)
             n_batches = 0
             for start in range(0, n - batch + 1, batch):
-                real = matrices[order[start : start + batch]]
+                real = shuffled[start : start + batch]
                 z = self.sample_latent(real.shape[0], rng)
                 fake = self.generator.forward(z)
 

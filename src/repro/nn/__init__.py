@@ -13,10 +13,15 @@ from repro.nn.conv1d import Conv1D, ConvTranspose1D
 from repro.nn.layers import Dense, Flatten, Layer, Parameter, Reshape
 from repro.nn.losses import bce_with_logits, hinge_threshold, l1, mse, sigmoid
 from repro.nn.optim import SGD, Adam, Optimizer
+from repro.nn.plan import ConvPlan, clear_plan_cache, conv_plan, plan_cache_info
 from repro.nn.sequential import Sequential
 from repro.nn.serialization import load_npz, load_state_dict, save_npz, state_dict
 
 __all__ = [
+    "ConvPlan",
+    "conv_plan",
+    "plan_cache_info",
+    "clear_plan_cache",
     "Layer",
     "Parameter",
     "Dense",

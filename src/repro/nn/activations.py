@@ -21,12 +21,12 @@ class ReLU(Layer):
 
     def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
         self._mask = x > 0
-        return np.where(self._mask, x, 0.0)
+        return np.maximum(x, 0.0)
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
         if self._mask is None:
             raise RuntimeError("backward called before forward")
-        return np.where(self._mask, grad, 0.0)
+        return grad * self._mask
 
 
 class LeakyReLU(Layer):
@@ -37,16 +37,20 @@ class LeakyReLU(Layer):
         if alpha < 0:
             raise ValueError(f"alpha must be non-negative, got {alpha}")
         self.alpha = alpha
-        self._mask: np.ndarray | None = None
+        self._scale: np.ndarray | None = None
 
     def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
-        self._mask = x > 0
-        return np.where(self._mask, x, self.alpha * x)
+        # One cached scale array (1 or alpha per element) makes forward and
+        # backward a single multiply each instead of two np.where passes.
+        one = x.dtype.type(1.0) if np.issubdtype(x.dtype, np.floating) else 1.0
+        alpha = x.dtype.type(self.alpha) if np.issubdtype(x.dtype, np.floating) else self.alpha
+        self._scale = np.where(x > 0, one, alpha)
+        return x * self._scale
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
-        if self._mask is None:
+        if self._scale is None:
             raise RuntimeError("backward called before forward")
-        return np.where(self._mask, grad, self.alpha * grad)
+        return grad * self._scale
 
 
 class Sigmoid(Layer):

@@ -25,9 +25,13 @@ class BatchNorm(Layer):
         EWMA weight for the running statistics used at inference time.
     eps:
         Variance floor for numerical stability.
+    dtype:
+        Parameter and running-statistics dtype (the trainer's compute
+        dtype; default float64).
     """
 
-    def __init__(self, num_features: int, momentum: float = 0.9, eps: float = 1e-5):
+    def __init__(self, num_features: int, momentum: float = 0.9, eps: float = 1e-5,
+                 dtype=np.float64):
         super().__init__()
         if num_features <= 0:
             raise ValueError(f"num_features must be positive, got {num_features}")
@@ -36,11 +40,11 @@ class BatchNorm(Layer):
         self.num_features = num_features
         self.momentum = momentum
         self.eps = eps
-        self.gamma = Parameter(initializers.ones((num_features,)), "bn.gamma")
-        self.beta = Parameter(initializers.zeros((num_features,)), "bn.beta")
+        self.gamma = Parameter(initializers.ones((num_features,), dtype=dtype), "bn.gamma")
+        self.beta = Parameter(initializers.zeros((num_features,), dtype=dtype), "bn.beta")
         self.params = [self.gamma, self.beta]
-        self.running_mean = np.zeros(num_features)
-        self.running_var = np.ones(num_features)
+        self.running_mean = np.zeros(num_features, dtype=dtype)
+        self.running_var = np.ones(num_features, dtype=dtype)
         self._cache: tuple | None = None
 
     def extra_state(self) -> dict[str, np.ndarray]:
@@ -50,8 +54,8 @@ class BatchNorm(Layer):
         }
 
     def load_extra_state(self, state: dict[str, np.ndarray]) -> None:
-        mean = np.asarray(state["running_mean"], dtype=np.float64)
-        var = np.asarray(state["running_var"], dtype=np.float64)
+        mean = np.asarray(state["running_mean"], dtype=self.running_mean.dtype)
+        var = np.asarray(state["running_var"], dtype=self.running_var.dtype)
         if mean.shape != self.running_mean.shape or var.shape != self.running_var.shape:
             raise ValueError("running-statistics shape mismatch")
         self.running_mean = mean

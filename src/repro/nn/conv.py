@@ -3,7 +3,8 @@
 Both are built on the im2col/col2im machinery.  A transposed convolution's
 forward pass is exactly the backward (input-gradient) pass of a normal
 convolution with the same geometry, and vice versa — the implementation
-exploits that symmetry so the two layers share all index computations.
+exploits that symmetry so the two layers share all index computations
+(memoized per geometry in :mod:`repro.nn.plan`).
 
 Shapes are NCHW.  DCGAN uses kernel 4, stride 2, padding 1 throughout,
 which exactly halves (conv) or doubles (deconv) spatial dimensions.
@@ -33,10 +34,13 @@ class Conv2D(Layer):
         Whether to learn a per-output-channel bias.
     rng:
         Seed or generator for DCGAN N(0, 0.02) weight init.
+    dtype:
+        Parameter dtype (the trainer's compute dtype; default float64).
     """
 
     def __init__(self, in_channels: int, out_channels: int, kernel: int = 4,
-                 stride: int = 2, padding: int = 1, bias: bool = True, rng=None):
+                 stride: int = 2, padding: int = 1, bias: bool = True, rng=None,
+                 dtype=np.float64):
         super().__init__()
         if min(in_channels, out_channels, kernel, stride) <= 0 or padding < 0:
             raise ValueError("invalid convolution geometry")
@@ -46,10 +50,13 @@ class Conv2D(Layer):
         self.stride = stride
         self.padding = padding
         weight = initializers.dcgan_normal(
-            (out_channels, in_channels, kernel, kernel), rng
+            (out_channels, in_channels, kernel, kernel), rng, dtype=dtype
         )
         self.weight = Parameter(weight, "conv.weight")
-        self.bias = Parameter(initializers.zeros((out_channels,)), "conv.bias") if bias else None
+        self.bias = (
+            Parameter(initializers.zeros((out_channels,), dtype=dtype), "conv.bias")
+            if bias else None
+        )
         self.params = [self.weight] + ([self.bias] if bias else [])
         self._cols: np.ndarray | None = None
         self._x_shape: tuple[int, ...] | None = None
@@ -73,10 +80,9 @@ class Conv2D(Layer):
         self._x_shape = x.shape
         w_mat = self.weight.data.reshape(self.out_channels, -1)
         out = w_mat @ cols  # (C_out, out_h*out_w*N) in im2col column order
-        out = out.reshape(self.out_channels, out_h, out_w, batch).transpose(3, 0, 1, 2)
         if self.bias is not None:
-            out = out + self.bias.data.reshape(1, -1, 1, 1)
-        return np.ascontiguousarray(out)
+            out += self.bias.data[:, None]
+        return out.reshape(self.out_channels, out_h, out_w, batch).transpose(3, 0, 1, 2)
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
         if self._cols is None or self._x_shape is None:
@@ -104,7 +110,8 @@ class ConvTranspose2D(Layer):
     """
 
     def __init__(self, in_channels: int, out_channels: int, kernel: int = 4,
-                 stride: int = 2, padding: int = 1, bias: bool = True, rng=None):
+                 stride: int = 2, padding: int = 1, bias: bool = True, rng=None,
+                 dtype=np.float64):
         super().__init__()
         if min(in_channels, out_channels, kernel, stride) <= 0 or padding < 0:
             raise ValueError("invalid convolution geometry")
@@ -114,10 +121,13 @@ class ConvTranspose2D(Layer):
         self.stride = stride
         self.padding = padding
         weight = initializers.dcgan_normal(
-            (in_channels, out_channels, kernel, kernel), rng
+            (in_channels, out_channels, kernel, kernel), rng, dtype=dtype
         )
         self.weight = Parameter(weight, "deconv.weight")
-        self.bias = Parameter(initializers.zeros((out_channels,)), "deconv.bias") if bias else None
+        self.bias = (
+            Parameter(initializers.zeros((out_channels,), dtype=dtype), "deconv.bias")
+            if bias else None
+        )
         self.params = [self.weight] + ([self.bias] if bias else [])
         self._x: np.ndarray | None = None
         self._out_shape: tuple[int, ...] | None = None
@@ -144,7 +154,8 @@ class ConvTranspose2D(Layer):
         cols = w_mat.T @ x_mat  # (C_out*k*k, in_h*in_w*N) in im2col column order
         out = col2im(cols, self._out_shape, self.kernel, self.padding, self.stride)
         if self.bias is not None:
-            out = out + self.bias.data.reshape(1, -1, 1, 1)
+            # col2im output is freshly allocated, so the add is safely in place.
+            out += self.bias.data.reshape(1, -1, 1, 1)
         return out
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
@@ -161,4 +172,4 @@ class ConvTranspose2D(Layer):
         # Weight gradient: correlate input activations with output gradient patches.
         x_mat = self._x.transpose(1, 2, 3, 0).reshape(self.in_channels, -1)
         self.weight.grad += (x_mat @ grad_cols.T).reshape(self.weight.shape)
-        return np.ascontiguousarray(dx)
+        return dx

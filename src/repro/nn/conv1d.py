@@ -4,7 +4,8 @@
 vector format" and processed with 1-D convolutions, but the authors found
 that layout's synthesis performance sub-optimal.  These layers make that
 comparison reproducible: :class:`Conv1D` / :class:`ConvTranspose1D` mirror
-the 2-D pair over (N, C, L) tensors.
+the 2-D pair over (N, C, L) tensors, and share the fast im2col/col2im
+engine (and its memoized index plans) with the 2-D layers.
 """
 
 from __future__ import annotations
@@ -12,56 +13,32 @@ from __future__ import annotations
 import numpy as np
 
 from repro.nn import initializers
+from repro.nn.im2col import col2im, conv_output_size, im2col
 from repro.nn.layers import Layer, Parameter
 
 
 def conv1d_output_size(size: int, kernel: int, padding: int, stride: int) -> int:
     """Output length of a 1-D convolution; geometry must divide exactly."""
-    numerator = size + 2 * padding - kernel
-    if numerator < 0:
-        raise ValueError(f"kernel {kernel} larger than padded input {size + 2 * padding}")
-    if numerator % stride != 0:
-        raise ValueError(
-            f"1-D convolution geometry not exact: size={size}, kernel={kernel}, "
-            f"padding={padding}, stride={stride}"
-        )
-    return numerator // stride + 1
+    return conv_output_size(size, kernel, padding, stride)
 
 
 def _im2col_1d(x: np.ndarray, kernel: int, padding: int, stride: int) -> np.ndarray:
     """Unfold (N, C, L) into (C*kernel, L_out*N) patch columns."""
-    batch, channels, length = x.shape
-    out_len = conv1d_output_size(length, kernel, padding, stride)
-    if padding > 0:
-        x = np.pad(x, ((0, 0), (0, 0), (padding, padding)), mode="constant")
-    k = np.repeat(np.arange(channels), kernel).reshape(-1, 1)
-    offsets = np.tile(np.arange(kernel), channels).reshape(-1, 1)
-    starts = stride * np.arange(out_len).reshape(1, -1)
-    cols = x[:, k, offsets + starts]  # (N, C*kernel, L_out)
-    return cols.transpose(1, 2, 0).reshape(channels * kernel, -1)
+    return im2col(x, kernel, padding, stride)
 
 
 def _col2im_1d(cols: np.ndarray, x_shape: tuple[int, int, int],
                kernel: int, padding: int, stride: int) -> np.ndarray:
     """Adjoint of :func:`_im2col_1d`: fold columns back, accumulating overlaps."""
-    batch, channels, length = x_shape
-    out_len = conv1d_output_size(length, kernel, padding, stride)
-    x_padded = np.zeros((batch, channels, length + 2 * padding), dtype=cols.dtype)
-    k = np.repeat(np.arange(channels), kernel).reshape(-1, 1)
-    offsets = np.tile(np.arange(kernel), channels).reshape(-1, 1)
-    starts = stride * np.arange(out_len).reshape(1, -1)
-    cols_reshaped = cols.reshape(channels * kernel, out_len, batch).transpose(2, 0, 1)
-    np.add.at(x_padded, (slice(None), k, offsets + starts), cols_reshaped)
-    if padding == 0:
-        return x_padded
-    return x_padded[:, :, padding:-padding]
+    return col2im(cols, x_shape, kernel, padding, stride)
 
 
 class Conv1D(Layer):
     """Strided 1-D convolution over (N, C, L) tensors."""
 
     def __init__(self, in_channels: int, out_channels: int, kernel: int = 4,
-                 stride: int = 2, padding: int = 1, bias: bool = True, rng=None):
+                 stride: int = 2, padding: int = 1, bias: bool = True, rng=None,
+                 dtype=np.float64):
         super().__init__()
         if min(in_channels, out_channels, kernel, stride) <= 0 or padding < 0:
             raise ValueError("invalid convolution geometry")
@@ -70,9 +47,14 @@ class Conv1D(Layer):
         self.kernel = kernel
         self.stride = stride
         self.padding = padding
-        weight = initializers.dcgan_normal((out_channels, in_channels, kernel), rng)
+        weight = initializers.dcgan_normal(
+            (out_channels, in_channels, kernel), rng, dtype=dtype
+        )
         self.weight = Parameter(weight, "conv1d.weight")
-        self.bias = Parameter(initializers.zeros((out_channels,)), "conv1d.bias") if bias else None
+        self.bias = (
+            Parameter(initializers.zeros((out_channels,), dtype=dtype), "conv1d.bias")
+            if bias else None
+        )
         self.params = [self.weight] + ([self.bias] if bias else [])
         self._cols: np.ndarray | None = None
         self._x_shape: tuple[int, int, int] | None = None
@@ -86,11 +68,10 @@ class Conv1D(Layer):
         self._cols = cols
         self._x_shape = x.shape
         w_mat = self.weight.data.reshape(self.out_channels, -1)
-        out = (w_mat @ cols).reshape(self.out_channels, out_len, batch)
-        out = out.transpose(2, 0, 1)
+        out = w_mat @ cols  # (C_out, L_out*N) in im2col column order
         if self.bias is not None:
-            out = out + self.bias.data.reshape(1, -1, 1)
-        return np.ascontiguousarray(out)
+            out += self.bias.data[:, None]
+        return out.reshape(self.out_channels, out_len, batch).transpose(2, 0, 1)
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
         if self._cols is None or self._x_shape is None:
@@ -108,7 +89,8 @@ class ConvTranspose1D(Layer):
     """Strided 1-D transposed convolution (adjoint of :class:`Conv1D`)."""
 
     def __init__(self, in_channels: int, out_channels: int, kernel: int = 4,
-                 stride: int = 2, padding: int = 1, bias: bool = True, rng=None):
+                 stride: int = 2, padding: int = 1, bias: bool = True, rng=None,
+                 dtype=np.float64):
         super().__init__()
         if min(in_channels, out_channels, kernel, stride) <= 0 or padding < 0:
             raise ValueError("invalid convolution geometry")
@@ -117,9 +99,14 @@ class ConvTranspose1D(Layer):
         self.kernel = kernel
         self.stride = stride
         self.padding = padding
-        weight = initializers.dcgan_normal((in_channels, out_channels, kernel), rng)
+        weight = initializers.dcgan_normal(
+            (in_channels, out_channels, kernel), rng, dtype=dtype
+        )
         self.weight = Parameter(weight, "deconv1d.weight")
-        self.bias = Parameter(initializers.zeros((out_channels,)), "deconv1d.bias") if bias else None
+        self.bias = (
+            Parameter(initializers.zeros((out_channels,), dtype=dtype), "deconv1d.bias")
+            if bias else None
+        )
         self.params = [self.weight] + ([self.bias] if bias else [])
         self._x: np.ndarray | None = None
         self._out_shape: tuple[int, int, int] | None = None
@@ -140,7 +127,7 @@ class ConvTranspose1D(Layer):
         cols = w_mat.T @ x_mat
         out = _col2im_1d(cols, self._out_shape, self.kernel, self.padding, self.stride)
         if self.bias is not None:
-            out = out + self.bias.data.reshape(1, -1, 1)
+            out += self.bias.data.reshape(1, -1, 1)
         return out
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
@@ -154,4 +141,4 @@ class ConvTranspose1D(Layer):
         dx = (w_mat @ grad_cols).reshape(self.in_channels, in_len, batch).transpose(2, 0, 1)
         x_mat = self._x.transpose(1, 2, 0).reshape(self.in_channels, -1)
         self.weight.grad += (x_mat @ grad_cols.T).reshape(self.weight.shape)
-        return np.ascontiguousarray(dx)
+        return dx

@@ -1,4 +1,4 @@
-"""im2col / col2im index machinery for convolution layers.
+"""im2col / col2im patch machinery for convolution layers.
 
 Convolutions are implemented as matrix multiplications over patch matrices
 ("columns").  ``im2col`` unfolds sliding windows of the input into a 2-D
@@ -6,32 +6,182 @@ matrix; ``col2im`` folds a column matrix back into an image, accumulating
 overlapping contributions — exactly the adjoint of ``im2col``, which is what
 back-propagation (and transposed convolution) needs.
 
-Shapes follow the NCHW convention used throughout :mod:`repro.nn`.
+Two implementations live here:
+
+* the **fast engine** — gather through
+  ``np.lib.stride_tricks.sliding_window_view`` (one strided copy, no index
+  arrays) and a three-way scatter over the memoized
+  :class:`~repro.nn.plan.ConvPlan`: a single fancy-index assignment when
+  ``stride >= kernel`` makes the windows non-overlapping; ``np.bincount``
+  over the plan's precomputed flat indices for overlapping float64 columns
+  (bincount accumulates in float64 natively); and a per-kernel-offset
+  strided accumulation for overlapping float32 columns, which stays in
+  dtype instead of paying bincount's float64 round trip.  All three
+  accumulate each output cell in ascending kernel-offset order — the same
+  per-cell order as the reference ``np.add.at`` — so results are
+  bit-identical to the oracle in every dtype;
+* the **reference oracle** — the original fancy-index gather and
+  ``np.add.at`` scatter, retained as ``_reference_*`` functions and used by
+  the equivalence tests and the engine benchmark.
+
+``im2col``/``col2im`` accept both 4-D ``(N, C, H, W)`` and 3-D
+``(N, C, L)`` inputs, so the 1-D layers in :mod:`repro.nn.conv1d` share the
+same engine.  Shapes follow the NCHW convention used throughout
+:mod:`repro.nn`; column order is spatial-position-major, then batch.
 """
 
 from __future__ import annotations
 
+from contextlib import contextmanager
+
 import numpy as np
 
+from repro.nn.plan import ConvPlan, conv_output_size, conv_plan
 
-def conv_output_size(size: int, kernel: int, padding: int, stride: int) -> int:
-    """Spatial output size of a convolution along one axis.
+__all__ = [
+    "conv_output_size",
+    "im2col",
+    "col2im",
+    "im2col_indices",
+    "reference_ops",
+]
 
-    Raises ``ValueError`` when the geometry does not divide evenly, because a
-    silent floor would desynchronize ``im2col`` and ``col2im``.
+#: When True, the public im2col/col2im dispatch to the reference oracle.
+_USE_REFERENCE = False
+
+
+@contextmanager
+def reference_ops():
+    """Context manager forcing the reference im2col/col2im implementations.
+
+    Used by the engine benchmark to time the seed idioms against the fast
+    engine on identical workloads, and by tests exercising the dispatch.
     """
-    numerator = size + 2 * padding - kernel
-    if numerator < 0:
-        raise ValueError(
-            f"kernel {kernel} larger than padded input {size + 2 * padding}"
-        )
-    if numerator % stride != 0:
-        raise ValueError(
-            f"convolution geometry not exact: size={size}, kernel={kernel}, "
-            f"padding={padding}, stride={stride}"
-        )
-    return numerator // stride + 1
+    global _USE_REFERENCE
+    previous = _USE_REFERENCE
+    _USE_REFERENCE = True
+    try:
+        yield
+    finally:
+        _USE_REFERENCE = previous
 
+
+def _pad_spatial(x: np.ndarray, padding: int) -> np.ndarray:
+    if padding <= 0:
+        return x
+    width = ((0, 0), (0, 0)) + ((padding, padding),) * (x.ndim - 2)
+    return np.pad(x, width, mode="constant")
+
+
+def im2col(x: np.ndarray, kernel: int, padding: int, stride: int) -> np.ndarray:
+    """Unfold ``x`` (N, C, H, W) or (N, C, L) into a patch matrix.
+
+    Returns ``(C*kernel*kernel, N*H_out*W_out)`` for 4-D input and
+    ``(C*kernel, N*L_out)`` for 3-D input; columns are flattened receptive
+    fields.  The input dtype is preserved.
+    """
+    if x.ndim not in (3, 4):
+        raise ValueError(f"expected (N, C, L) or (N, C, H, W) input, got {x.shape}")
+    if _USE_REFERENCE:
+        if x.ndim == 4:
+            return _reference_im2col(x, kernel, padding, stride)
+        return _reference_im2col_1d(x, kernel, padding, stride)
+    plan = conv_plan(x.shape, kernel, padding, stride)
+    x = _pad_spatial(x, padding)
+    if x.ndim == 4:
+        windows = np.lib.stride_tricks.sliding_window_view(
+            x, (kernel, kernel), axis=(2, 3)
+        )[:, :, ::stride, ::stride]  # (N, C, out_h, out_w, k, k)
+        cols = windows.transpose(1, 4, 5, 2, 3, 0)  # (C, k, k, out_h, out_w, N)
+    else:
+        windows = np.lib.stride_tricks.sliding_window_view(
+            x, kernel, axis=2
+        )[:, :, ::stride]  # (N, C, out_len, k)
+        cols = windows.transpose(1, 3, 2, 0)  # (C, k, out_len, N)
+    # The reshape of the transposed view is the single data copy.
+    return cols.reshape(plan.cols_shape)
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: tuple[int, ...],
+    kernel: int,
+    padding: int,
+    stride: int,
+) -> np.ndarray:
+    """Fold a patch matrix back into an image, accumulating overlaps.
+
+    ``cols`` has the shape produced by :func:`im2col` for ``x_shape`` and
+    the result has shape ``x_shape``.  This is the exact adjoint of
+    :func:`im2col` and therefore also the forward pass of a transposed
+    convolution.  The dtype of ``cols`` is preserved.
+    """
+    if len(x_shape) not in (3, 4):
+        raise ValueError(f"expected (N, C, L) or (N, C, H, W) shape, got {x_shape}")
+    if _USE_REFERENCE:
+        if len(x_shape) == 4:
+            return _reference_col2im(cols, x_shape, kernel, padding, stride)
+        return _reference_col2im_1d(cols, x_shape, kernel, padding, stride)
+    plan = conv_plan(x_shape, kernel, padding, stride)
+    if cols.shape != plan.cols_shape:
+        raise ValueError(
+            f"cols shape {cols.shape} does not match plan {plan.cols_shape} "
+            f"for x_shape={tuple(x_shape)}"
+        )
+    if not plan.overlapping:
+        # stride >= kernel: scatter targets are disjoint, no accumulation
+        # needed — one fancy-index assignment, staying in dtype throughout.
+        flat = np.zeros(plan.padded_size, dtype=cols.dtype)
+        flat[plan.scatter_index] = cols.ravel()
+        return flat.reshape(plan.padded_shape)[plan.unpad_slices]
+    if cols.dtype == np.float64:
+        # scatter_index is laid out in cols.ravel() order; each target cell
+        # accumulates its overlaps in ascending kernel-offset order, the
+        # same per-cell order as the reference np.add.at, so sums are
+        # bit-identical.
+        flat = np.bincount(
+            plan.scatter_index, weights=cols.ravel(), minlength=plan.padded_size
+        )
+        return flat.reshape(plan.padded_shape)[plan.unpad_slices]
+    return _offset_col2im(cols, plan)
+
+
+def _offset_col2im(cols: np.ndarray, plan: ConvPlan) -> np.ndarray:
+    """Overlapping scatter as ``kernel**S`` strided-slice accumulations.
+
+    Accumulates in a channel-major ``(C, *padded, N)`` buffer so both the
+    reads (contiguous column blocks) and the writes (stride-``s`` slices
+    with contiguous inner runs of N) stay cache-friendly, then transposes
+    back to NCHW once.  The kernel offsets are visited in ascending order,
+    matching the reference per-cell accumulation order bit for bit.
+    """
+    kernel, stride = plan.kernel, plan.stride
+    padded = plan.padded_shape[2:]
+    out = plan.out
+    acc = np.zeros((plan.channels, *padded, plan.batch), dtype=cols.dtype)
+    spatial_core = plan.unpad_slices[2:]
+    if len(padded) == 2:
+        view = cols.reshape(
+            plan.channels, kernel, kernel, out[0], out[1], plan.batch
+        )
+        for ki in range(kernel):
+            rows = slice(ki, ki + stride * out[0], stride)
+            for kj in range(kernel):
+                acc[:, rows, kj : kj + stride * out[1] : stride, :] += view[:, ki, kj]
+        core = acc[:, spatial_core[0], spatial_core[1], :]
+        return np.ascontiguousarray(core.transpose(3, 0, 1, 2))
+    view = cols.reshape(plan.channels, kernel, out[0], plan.batch)
+    for ki in range(kernel):
+        acc[:, ki : ki + stride * out[0] : stride, :] += view[:, ki]
+    core = acc[:, spatial_core[0], :]
+    return np.ascontiguousarray(core.transpose(2, 0, 1))
+
+
+# ----------------------------------------------------------------------
+# Reference oracle: the original implementations, kept verbatim.  They are
+# the ground truth the fast engine is property-tested against and the
+# baseline the engine benchmark measures speedups from.
+# ----------------------------------------------------------------------
 
 def im2col_indices(
     x_shape: tuple[int, int, int, int],
@@ -60,38 +210,24 @@ def im2col_indices(
     return k, i, j
 
 
-def im2col(x: np.ndarray, kernel: int, padding: int, stride: int) -> np.ndarray:
-    """Unfold ``x`` (N, C, H, W) into a patch matrix.
-
-    Returns an array of shape ``(C*kernel*kernel, N*H_out*W_out)`` whose
-    columns are flattened receptive fields.
-    """
+def _reference_im2col(x: np.ndarray, kernel: int, padding: int,
+                      stride: int) -> np.ndarray:
+    """Fancy-index gather (the seed implementation of :func:`im2col`)."""
     k, i, j = im2col_indices(x.shape, kernel, padding, stride)
-    if padding > 0:
-        x = np.pad(
-            x,
-            ((0, 0), (0, 0), (padding, padding), (padding, padding)),
-            mode="constant",
-        )
+    x = _pad_spatial(x, padding)
     cols = x[:, k, i, j]
     channels_kk = cols.shape[1]
     return cols.transpose(1, 2, 0).reshape(channels_kk, -1)
 
 
-def col2im(
+def _reference_col2im(
     cols: np.ndarray,
     x_shape: tuple[int, int, int, int],
     kernel: int,
     padding: int,
     stride: int,
 ) -> np.ndarray:
-    """Fold a patch matrix back into an image, accumulating overlaps.
-
-    ``cols`` has shape ``(C*kernel*kernel, N*H_out*W_out)`` and the result
-    has shape ``x_shape`` (N, C, H, W).  This is the exact adjoint of
-    :func:`im2col` and therefore also the forward pass of a transposed
-    convolution.
-    """
+    """Buffered ``np.add.at`` scatter (the seed implementation of :func:`col2im`)."""
     batch, channels, height, width = x_shape
     padded_h, padded_w = height + 2 * padding, width + 2 * padding
     x_padded = np.zeros((batch, channels, padded_h, padded_w), dtype=cols.dtype)
@@ -104,3 +240,32 @@ def col2im(
     if padding == 0:
         return x_padded
     return x_padded[:, :, padding:-padding, padding:-padding]
+
+
+def _reference_im2col_1d(x: np.ndarray, kernel: int, padding: int,
+                         stride: int) -> np.ndarray:
+    """Fancy-index gather over (N, C, L) (the seed ``_im2col_1d``)."""
+    batch, channels, length = x.shape
+    out_len = conv_output_size(length, kernel, padding, stride)
+    x = _pad_spatial(x, padding)
+    k = np.repeat(np.arange(channels), kernel).reshape(-1, 1)
+    offsets = np.tile(np.arange(kernel), channels).reshape(-1, 1)
+    starts = stride * np.arange(out_len).reshape(1, -1)
+    cols = x[:, k, offsets + starts]  # (N, C*kernel, L_out)
+    return cols.transpose(1, 2, 0).reshape(channels * kernel, -1)
+
+
+def _reference_col2im_1d(cols: np.ndarray, x_shape: tuple[int, int, int],
+                         kernel: int, padding: int, stride: int) -> np.ndarray:
+    """``np.add.at`` scatter over (N, C, L) (the seed ``_col2im_1d``)."""
+    batch, channels, length = x_shape
+    out_len = conv_output_size(length, kernel, padding, stride)
+    x_padded = np.zeros((batch, channels, length + 2 * padding), dtype=cols.dtype)
+    k = np.repeat(np.arange(channels), kernel).reshape(-1, 1)
+    offsets = np.tile(np.arange(kernel), channels).reshape(-1, 1)
+    starts = stride * np.arange(out_len).reshape(1, -1)
+    cols_reshaped = cols.reshape(channels * kernel, out_len, batch).transpose(2, 0, 1)
+    np.add.at(x_padded, (slice(None), k, offsets + starts), cols_reshaped)
+    if padding == 0:
+        return x_padded
+    return x_padded[:, :, padding:-padding]

@@ -3,6 +3,11 @@
 DCGAN (Radford et al., 2015) initializes all weights from N(0, 0.02); we
 expose that alongside the standard He and Glorot schemes used by the dense
 networks in :mod:`repro.ml`.
+
+Every initializer takes a ``dtype`` (default float64).  Samples are always
+drawn in float64 and then cast, so a float32 network starts from the
+rounded float64 weights — the random stream is identical across compute
+dtypes, which keeps seeded runs comparable.
 """
 
 from __future__ import annotations
@@ -15,34 +20,36 @@ from repro.utils.rng import ensure_rng
 DCGAN_STD = 0.02
 
 
-def dcgan_normal(shape: tuple[int, ...], rng=None) -> np.ndarray:
+def dcgan_normal(shape: tuple[int, ...], rng=None, dtype=np.float64) -> np.ndarray:
     """N(0, 0.02) initialization used by every DCGAN conv/deconv/dense layer."""
     rng = ensure_rng(rng)
-    return rng.normal(0.0, DCGAN_STD, size=shape)
+    return rng.normal(0.0, DCGAN_STD, size=shape).astype(dtype, copy=False)
 
 
-def he_normal(shape: tuple[int, ...], fan_in: int, rng=None) -> np.ndarray:
+def he_normal(shape: tuple[int, ...], fan_in: int, rng=None,
+              dtype=np.float64) -> np.ndarray:
     """He initialization, appropriate for ReLU-family activations."""
     if fan_in <= 0:
         raise ValueError(f"fan_in must be positive, got {fan_in}")
     rng = ensure_rng(rng)
-    return rng.normal(0.0, np.sqrt(2.0 / fan_in), size=shape)
+    return rng.normal(0.0, np.sqrt(2.0 / fan_in), size=shape).astype(dtype, copy=False)
 
 
-def glorot_uniform(shape: tuple[int, ...], fan_in: int, fan_out: int, rng=None) -> np.ndarray:
+def glorot_uniform(shape: tuple[int, ...], fan_in: int, fan_out: int, rng=None,
+                   dtype=np.float64) -> np.ndarray:
     """Glorot/Xavier uniform initialization for tanh/sigmoid networks."""
     if fan_in <= 0 or fan_out <= 0:
         raise ValueError("fan_in and fan_out must be positive")
     rng = ensure_rng(rng)
     limit = np.sqrt(6.0 / (fan_in + fan_out))
-    return rng.uniform(-limit, limit, size=shape)
+    return rng.uniform(-limit, limit, size=shape).astype(dtype, copy=False)
 
 
-def zeros(shape: tuple[int, ...]) -> np.ndarray:
+def zeros(shape: tuple[int, ...], dtype=np.float64) -> np.ndarray:
     """All-zeros initializer (biases, batch-norm shift)."""
-    return np.zeros(shape, dtype=np.float64)
+    return np.zeros(shape, dtype=dtype)
 
 
-def ones(shape: tuple[int, ...]) -> np.ndarray:
+def ones(shape: tuple[int, ...], dtype=np.float64) -> np.ndarray:
     """All-ones initializer (batch-norm scale)."""
-    return np.ones(shape, dtype=np.float64)
+    return np.ones(shape, dtype=dtype)

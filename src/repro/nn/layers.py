@@ -16,10 +16,17 @@ from repro.nn import initializers
 
 
 class Parameter:
-    """A learnable tensor: ``data`` plus accumulated gradient ``grad``."""
+    """A learnable tensor: ``data`` plus accumulated gradient ``grad``.
+
+    The floating dtype of ``data`` is preserved (that is the network's
+    compute dtype); non-float input is promoted to float64.
+    """
 
     def __init__(self, data: np.ndarray, name: str = "param"):
-        self.data = np.asarray(data, dtype=np.float64)
+        data = np.asarray(data)
+        if not np.issubdtype(data.dtype, np.floating):
+            data = data.astype(np.float64)
+        self.data = data
         self.grad = np.zeros_like(self.data)
         self.name = name
 
@@ -89,24 +96,31 @@ class Dense(Layer):
         Whether to learn an additive bias.
     rng:
         Seed or generator for weight initialization.
+    dtype:
+        Parameter dtype (the trainer's compute dtype; default float64).
     """
 
     def __init__(self, in_features: int, out_features: int, init: str = "dcgan",
-                 bias: bool = True, rng=None):
+                 bias: bool = True, rng=None, dtype=np.float64):
         super().__init__()
         if in_features <= 0 or out_features <= 0:
             raise ValueError("in_features and out_features must be positive")
         shape = (in_features, out_features)
         if init == "dcgan":
-            weight = initializers.dcgan_normal(shape, rng)
+            weight = initializers.dcgan_normal(shape, rng, dtype=dtype)
         elif init == "he":
-            weight = initializers.he_normal(shape, in_features, rng)
+            weight = initializers.he_normal(shape, in_features, rng, dtype=dtype)
         elif init == "glorot":
-            weight = initializers.glorot_uniform(shape, in_features, out_features, rng)
+            weight = initializers.glorot_uniform(
+                shape, in_features, out_features, rng, dtype=dtype
+            )
         else:
             raise ValueError(f"unknown init {init!r}")
         self.weight = Parameter(weight, "dense.weight")
-        self.bias = Parameter(initializers.zeros((out_features,)), "dense.bias") if bias else None
+        self.bias = (
+            Parameter(initializers.zeros((out_features,), dtype=dtype), "dense.bias")
+            if bias else None
+        )
         self.params = [self.weight] + ([self.bias] if bias else [])
         self._x: np.ndarray | None = None
 

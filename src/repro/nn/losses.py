@@ -10,14 +10,31 @@ from __future__ import annotations
 import numpy as np
 
 
+def _as_float(x: np.ndarray) -> np.ndarray:
+    """View ``x`` as a float array, preserving float32/float64.
+
+    Non-float input (ints, lists) is promoted to float64; float input keeps
+    its dtype so the float32 training path never silently upcasts.
+    """
+    x = np.asarray(x)
+    if not np.issubdtype(x.dtype, np.floating):
+        x = x.astype(np.float64)
+    return x
+
+
 def _softplus(x: np.ndarray) -> np.ndarray:
     """log(1 + exp(x)) computed without overflow."""
     return np.maximum(x, 0.0) + np.log1p(np.exp(-np.abs(x)))
 
 
 def sigmoid(x: np.ndarray) -> np.ndarray:
-    """Numerically stable logistic sigmoid."""
-    out = np.empty_like(x, dtype=np.float64)
+    """Numerically stable logistic sigmoid, preserving the input dtype.
+
+    This is the shared stable-sigmoid helper: it never overflows, even for
+    extreme logits, so callers must not pre-clip their inputs.
+    """
+    x = _as_float(x)
+    out = np.empty_like(x)
     pos = x >= 0
     out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
     ex = np.exp(x[~pos])
@@ -31,8 +48,8 @@ def bce_with_logits(logits: np.ndarray, targets: np.ndarray) -> tuple[float, np.
     Returns ``(mean_loss, grad_wrt_logits)``.  The gradient is already
     divided by the batch size, so it can be fed straight into ``backward``.
     """
-    logits = np.asarray(logits, dtype=np.float64)
-    targets = np.asarray(targets, dtype=np.float64)
+    logits = _as_float(logits)
+    targets = _as_float(targets)
     if logits.shape != targets.shape:
         raise ValueError(f"shape mismatch: logits {logits.shape} vs targets {targets.shape}")
     loss = float(np.mean(_softplus(logits) - targets * logits))
@@ -42,8 +59,8 @@ def bce_with_logits(logits: np.ndarray, targets: np.ndarray) -> tuple[float, np.
 
 def mse(pred: np.ndarray, target: np.ndarray) -> tuple[float, np.ndarray]:
     """Mean squared error; returns ``(loss, grad_wrt_pred)``."""
-    pred = np.asarray(pred, dtype=np.float64)
-    target = np.asarray(target, dtype=np.float64)
+    pred = _as_float(pred)
+    target = _as_float(target)
     if pred.shape != target.shape:
         raise ValueError(f"shape mismatch: pred {pred.shape} vs target {target.shape}")
     diff = pred - target
@@ -59,8 +76,8 @@ def l1(pred: np.ndarray, target: np.ndarray) -> tuple[float, np.ndarray]:
     absolute discrepancy between synthesized labels and classifier
     predictions.
     """
-    pred = np.asarray(pred, dtype=np.float64)
-    target = np.asarray(target, dtype=np.float64)
+    pred = _as_float(pred)
+    target = _as_float(target)
     if pred.shape != target.shape:
         raise ValueError(f"shape mismatch: pred {pred.shape} vs target {target.shape}")
     diff = pred - target

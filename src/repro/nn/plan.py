@@ -1,0 +1,178 @@
+"""Cached convolution index plans.
+
+Every convolution in :mod:`repro.nn` reduces to two primitives: a *gather*
+(``im2col``) and its adjoint *scatter* (``col2im``).  Both are fully
+determined by the input geometry ``(x_shape, kernel, padding, stride)``,
+yet the seed implementation recomputed the index arithmetic on every call
+— inside the hottest loop of the codebase.  A :class:`ConvPlan` captures
+everything derivable from the geometry once:
+
+* the validated output spatial sizes;
+* the flat scatter indices that map each patch-matrix element to its
+  position in the (padded) image, laid out so a single ``np.bincount``
+  accumulates all overlapping contributions;
+* whether windows overlap at all — when ``stride >= kernel`` the scatter
+  targets are disjoint and ``col2im`` degenerates to one fancy-index
+  assignment with no accumulation.
+
+Plans are memoized per geometry with :func:`functools.lru_cache`, so the
+three conv layer families (``Conv2D``, ``ConvTranspose2D`` and the 1-D
+pair in :mod:`repro.nn.conv1d`) share index computations across layers,
+batches, and training steps.  One plan handles one or two spatial
+dimensions; ``x_shape`` is ``(N, C, L)`` or ``(N, C, H, W)``.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from math import prod
+
+import numpy as np
+
+
+def conv_output_size(size: int, kernel: int, padding: int, stride: int) -> int:
+    """Spatial output size of a convolution along one axis.
+
+    Raises ``ValueError`` when the geometry does not divide evenly, because
+    a silent floor would desynchronize ``im2col`` and ``col2im``.  Both
+    error messages spell out the full geometry for debuggability.
+    """
+    numerator = size + 2 * padding - kernel
+    if numerator < 0:
+        raise ValueError(
+            f"kernel {kernel} larger than padded input {size + 2 * padding}: "
+            f"size={size}, kernel={kernel}, padding={padding}, stride={stride}"
+        )
+    if numerator % stride != 0:
+        raise ValueError(
+            f"convolution geometry not exact: size={size}, kernel={kernel}, "
+            f"padding={padding}, stride={stride}"
+        )
+    return numerator // stride + 1
+
+
+class ConvPlan:
+    """Precomputed im2col/col2im geometry for one input shape.
+
+    Attributes
+    ----------
+    x_shape:
+        The (unpadded) input shape, ``(N, C, *spatial)``.
+    out:
+        Output spatial sizes, one per spatial dimension.
+    cols_shape:
+        Shape of the patch matrix: ``(C * kernel**S, prod(out) * N)``.
+    overlapping:
+        True when ``stride < kernel``, i.e. scatter targets collide and
+        ``col2im`` must accumulate.
+    scatter_index:
+        Flat ``np.intp`` indices into the padded image buffer in
+        ``cols.ravel()`` order ``(rows, positions, N)``, so ``col2im`` is a
+        single ``np.bincount`` with no reordering copy.  Each target cell
+        receives its overlapping contributions in ascending kernel-offset
+        (row) order — the same per-cell order the reference ``np.add.at``
+        uses — so float accumulation is bit-identical to the oracle.
+        Built lazily on first access: the default float32 overlapping path
+        scatters by strided kernel-offset slices and never needs it.
+    """
+
+    __slots__ = (
+        "x_shape", "kernel", "padding", "stride", "batch", "channels",
+        "spatial", "out", "n_positions", "rows", "cols_shape",
+        "padded_shape", "padded_size", "unpad_slices", "overlapping",
+        "_scatter_index",
+    )
+
+    def __init__(self, x_shape: tuple[int, ...], kernel: int, padding: int,
+                 stride: int):
+        if len(x_shape) not in (3, 4):
+            raise ValueError(
+                f"expected (N, C, L) or (N, C, H, W) input shape, got {x_shape}"
+            )
+        batch, channels, *spatial = (int(s) for s in x_shape)
+        self.x_shape = (batch, channels, *spatial)
+        self.kernel = kernel
+        self.padding = padding
+        self.stride = stride
+        self.batch = batch
+        self.channels = channels
+        self.spatial = tuple(spatial)
+        self.out = tuple(
+            conv_output_size(s, kernel, padding, stride) for s in spatial
+        )
+        ndim_sp = len(self.spatial)
+        padded = tuple(s + 2 * padding for s in spatial)
+        self.n_positions = prod(self.out)
+        self.rows = channels * kernel**ndim_sp
+        self.cols_shape = (self.rows, self.n_positions * batch)
+        self.padded_shape = (batch, channels, *padded)
+        self.padded_size = prod(self.padded_shape)
+        self.unpad_slices = (slice(None), slice(None)) + tuple(
+            slice(padding, size - padding) if padding else slice(None)
+            for size in padded
+        )
+        self.overlapping = stride < kernel
+        self._scatter_index: np.ndarray | None = None
+
+    @property
+    def scatter_index(self) -> np.ndarray:
+        if self._scatter_index is None:
+            # Flat scatter targets: for patch row (c, *k_off) and output
+            # position (*o), the element lands at spatial cell
+            # stride * o + k_off of channel c.
+            kernel, stride = self.kernel, self.stride
+            padded = self.padded_shape[2:]
+            ndim_sp = len(padded)
+            k_grid = np.indices((kernel,) * ndim_sp).reshape(ndim_sp, -1)
+            o_grid = np.indices(self.out).reshape(ndim_sp, -1)
+            pos = stride * o_grid[:, None, :] + k_grid[:, :, None]
+            flat_sp = pos[0]
+            for d in range(1, ndim_sp):
+                flat_sp = flat_sp * padded[d] + pos[d]
+            within_item = (
+                np.arange(self.channels)[:, None, None] * prod(padded)
+                + flat_sp[None]
+            ).reshape(self.rows, self.n_positions)
+            per_item = self.channels * prod(padded)
+            index = (
+                within_item[:, :, None]
+                + np.arange(self.batch)[None, None, :] * per_item
+            )
+            self._scatter_index = np.ascontiguousarray(
+                index.reshape(-1), dtype=np.intp
+            )
+        return self._scatter_index
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ConvPlan(x_shape={self.x_shape}, kernel={self.kernel}, "
+            f"padding={self.padding}, stride={self.stride}, out={self.out}, "
+            f"overlapping={self.overlapping})"
+        )
+
+
+@lru_cache(maxsize=128)
+def _cached_plan(x_shape: tuple[int, ...], kernel: int, padding: int,
+                 stride: int) -> ConvPlan:
+    return ConvPlan(x_shape, kernel, padding, stride)
+
+
+def conv_plan(x_shape: tuple[int, ...], kernel: int, padding: int,
+              stride: int) -> ConvPlan:
+    """The memoized :class:`ConvPlan` for one geometry.
+
+    ``x_shape`` is normalized to a tuple of python ints so numpy integer
+    scalars hit the same cache entry.
+    """
+    key = tuple(int(s) for s in x_shape)
+    return _cached_plan(key, int(kernel), int(padding), int(stride))
+
+
+def plan_cache_info():
+    """Cache statistics of the plan memo (exposed for tests/benchmarks)."""
+    return _cached_plan.cache_info()
+
+
+def clear_plan_cache() -> None:
+    """Drop all memoized plans (frees the cached index arrays)."""
+    _cached_plan.cache_clear()

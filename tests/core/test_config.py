@@ -1,5 +1,6 @@
 """TableGanConfig and the paper's privacy presets."""
 
+import numpy as np
 import pytest
 
 from repro.core.config import (
@@ -63,3 +64,23 @@ class TestValidation:
         other = base.with_overrides(epochs=7)
         assert base.epochs == 25
         assert other.epochs == 7
+
+
+class TestComputeDtype:
+    def test_default_is_float32(self):
+        config = TableGanConfig()
+        assert config.dtype == "float32"
+        assert config.np_dtype == np.float32
+
+    def test_float64_accepted_and_normalized(self):
+        assert TableGanConfig(dtype="float64").dtype == "float64"
+        assert TableGanConfig(dtype=np.float64).dtype == "float64"
+        assert TableGanConfig(dtype=np.float32).np_dtype == np.float32
+
+    def test_other_dtypes_rejected(self):
+        with pytest.raises(ValueError):
+            TableGanConfig(dtype="float16")
+        with pytest.raises(ValueError):
+            TableGanConfig(dtype="int32")
+        with pytest.raises(ValueError):
+            TableGanConfig(dtype=object())

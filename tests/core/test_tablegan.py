@@ -101,3 +101,25 @@ class TestNoLabelDataset:
         gan.fit(table)
         assert gan.classifier_ is None
         assert gan.sample(10).n_rows == 10
+
+
+class TestCrossDtypePersistence:
+    def test_load_preserves_saved_dtype(self, adult_bundle, tmp_path):
+        """A float64 archive loads as float64 even under a float32 config."""
+        from repro.core.config import low_privacy
+
+        config64 = low_privacy(epochs=1, batch_size=32, base_channels=8,
+                               seed=11, dtype="float64")
+        gan64 = TableGAN(config64).fit(adult_bundle.train)
+        path = tmp_path / "model64.npz"
+        gan64.save(path)
+
+        restored = TableGAN(
+            low_privacy(epochs=1, batch_size=32, base_channels=8, seed=11)
+        ).load_generator(path, adult_bundle.train)
+        assert all(
+            p.data.dtype == np.float64 for p in restored.generator_.parameters()
+        )
+        original = gan64.sample(20, rng=np.random.default_rng(4))
+        loaded = restored.sample(20, rng=np.random.default_rng(4))
+        assert np.allclose(original.values, loaded.values)

@@ -141,3 +141,37 @@ class TestLabelHandling:
         z = trainer.sample_latent(100, rng)
         assert z.shape == (100, 10)
         assert z.min() >= -1.0 and z.max() <= 1.0
+
+
+class TestComputeDtype:
+    def test_default_float32_end_to_end(self, rng):
+        """Default config trains entirely in float32 (no silent upcasts)."""
+        config = tiny_config(epochs=1)
+        assert config.np_dtype == np.float32
+        trainer, gen, disc, clf = make_trainer(config)
+        # make_trainer builds float64 nets; rebuild at the config dtype.
+        from repro.core.networks import (
+            build_classifier, build_discriminator, build_generator,
+        )
+        gen = build_generator(4, config.latent_dim, config.base_channels,
+                              rng=0, dtype=np.float32)
+        disc = build_discriminator(4, config.base_channels, rng=1, dtype=np.float32)
+        clf = build_classifier(4, config.base_channels, rng=2, dtype=np.float32)
+        trainer = TableGanTrainer(gen, disc, clf, config, label_cell=(0, 3))
+        trainer.train(toy_matrices(rng), rng=rng)
+        for net in (gen, disc, clf):
+            for p in net.parameters():
+                assert p.data.dtype == np.float32
+                assert p.grad.dtype == np.float32
+
+    def test_latent_matches_compute_dtype(self, rng):
+        trainer, *_ = make_trainer(tiny_config())
+        assert trainer.sample_latent(4, rng).dtype == np.float32
+        trainer64, *_ = make_trainer(tiny_config(dtype="float64"))
+        assert trainer64.sample_latent(4, rng).dtype == np.float64
+
+    def test_float64_mode_reproduces_seed_numerics_shape(self, rng):
+        config = tiny_config(epochs=1, dtype="float64")
+        trainer, gen, *_ = make_trainer(config)
+        trainer.train(toy_matrices(rng), rng=rng)
+        assert all(p.data.dtype == np.float64 for p in gen.parameters())

@@ -1,0 +1,197 @@
+"""Fast conv engine vs the retained reference oracle.
+
+The contract of the engine (ISSUE 1): the stride-trick/bincount fast paths
+must match the ``_reference`` implementations bit-for-bit in float64 and to
+1e-5 in float32, across overlapping and non-overlapping geometries, in both
+2-D and 1-D, and must stay exact adjoints of each other.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.im2col import (
+    _reference_col2im,
+    _reference_col2im_1d,
+    _reference_im2col,
+    _reference_im2col_1d,
+    col2im,
+    im2col,
+    reference_ops,
+)
+from repro.nn.plan import clear_plan_cache, conv_plan, plan_cache_info
+
+# (shape, kernel, padding, stride): DCGAN overlap, unit-stride overlap,
+# exact tiling, gapped tiling (stride > kernel), and 1x1, in 2-D and 1-D.
+GEOMETRIES_2D = [
+    ((2, 3, 8, 8), 4, 1, 2),
+    ((2, 3, 6, 6), 3, 1, 1),
+    ((1, 2, 4, 4), 2, 0, 2),
+    ((2, 1, 8, 8), 2, 0, 3),
+    ((2, 2, 4, 4), 1, 0, 1),
+    ((3, 5, 12, 12), 5, 2, 1),
+]
+GEOMETRIES_1D = [
+    ((3, 2, 8), 4, 1, 2),
+    ((2, 3, 9), 3, 0, 3),
+    ((2, 4, 10), 3, 1, 1),
+    ((1, 1, 6), 2, 0, 2),
+]
+
+
+def _reference(x_or_cols, shape, kernel, padding, stride, direction):
+    if len(shape) == 4:
+        fn = _reference_im2col if direction == "fwd" else _reference_col2im
+    else:
+        fn = _reference_im2col_1d if direction == "fwd" else _reference_col2im_1d
+    if direction == "fwd":
+        return fn(x_or_cols, kernel, padding, stride)
+    return fn(x_or_cols, shape, kernel, padding, stride)
+
+
+class TestEquivalenceFloat64:
+    @pytest.mark.parametrize("shape,kernel,padding,stride",
+                             GEOMETRIES_2D + GEOMETRIES_1D)
+    def test_im2col_bit_for_bit(self, shape, kernel, padding, stride):
+        x = np.random.default_rng(hash(shape) % 2**32).standard_normal(shape)
+        fast = im2col(x, kernel, padding, stride)
+        ref = _reference(x, shape, kernel, padding, stride, "fwd")
+        assert fast.dtype == np.float64
+        assert np.array_equal(fast, ref)
+
+    @pytest.mark.parametrize("shape,kernel,padding,stride",
+                             GEOMETRIES_2D + GEOMETRIES_1D)
+    def test_col2im_bit_for_bit(self, shape, kernel, padding, stride):
+        rng = np.random.default_rng(hash(shape) % 2**32)
+        cols = rng.standard_normal(conv_plan(shape, kernel, padding, stride).cols_shape)
+        fast = col2im(cols, shape, kernel, padding, stride)
+        ref = _reference(cols, shape, kernel, padding, stride, "bwd")
+        assert fast.dtype == np.float64
+        assert fast.shape == tuple(shape)
+        assert np.array_equal(fast, ref)
+
+
+class TestEquivalenceFloat32:
+    @pytest.mark.parametrize("shape,kernel,padding,stride",
+                             GEOMETRIES_2D + GEOMETRIES_1D)
+    def test_im2col_close(self, shape, kernel, padding, stride):
+        x = np.random.default_rng(0).standard_normal(shape).astype(np.float32)
+        fast = im2col(x, kernel, padding, stride)
+        ref = _reference(x, shape, kernel, padding, stride, "fwd")
+        assert fast.dtype == np.float32
+        assert np.allclose(fast, ref, atol=1e-5)
+
+    @pytest.mark.parametrize("shape,kernel,padding,stride",
+                             GEOMETRIES_2D + GEOMETRIES_1D)
+    def test_col2im_close(self, shape, kernel, padding, stride):
+        rng = np.random.default_rng(1)
+        plan = conv_plan(shape, kernel, padding, stride)
+        cols = rng.standard_normal(plan.cols_shape).astype(np.float32)
+        fast = col2im(cols, shape, kernel, padding, stride)
+        ref = _reference(cols, shape, kernel, padding, stride, "bwd")
+        assert fast.dtype == np.float32
+        assert np.allclose(fast, ref, atol=1e-5)
+
+
+class TestAdjointness:
+    @pytest.mark.parametrize("shape,kernel,padding,stride",
+                             GEOMETRIES_2D + GEOMETRIES_1D)
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32])
+    def test_inner_products_match(self, shape, kernel, padding, stride, dtype):
+        """<im2col(x), c> == <x, col2im(c)> — the defining adjoint property."""
+        rng = np.random.default_rng(7)
+        x = rng.standard_normal(shape).astype(dtype)
+        cols = im2col(x, kernel, padding, stride)
+        c = rng.standard_normal(cols.shape).astype(dtype)
+        lhs = float(np.sum(cols.astype(np.float64) * c.astype(np.float64)))
+        back = col2im(c, shape, kernel, padding, stride)
+        rhs = float(np.sum(x.astype(np.float64) * back.astype(np.float64)))
+        tol = 1e-8 if dtype is np.float64 else 1e-3
+        assert np.isclose(lhs, rhs, rtol=tol)
+
+
+class TestRandomGeometries:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        batch=st.integers(1, 3),
+        channels=st.integers(1, 3),
+        kernel=st.integers(1, 5),
+        stride=st.integers(1, 4),
+        out=st.integers(1, 4),
+        padding=st.integers(0, 2),
+        seed=st.integers(0, 10_000),
+    )
+    def test_fast_matches_reference(self, batch, channels, kernel, stride,
+                                    out, padding, seed):
+        """Any exact geometry: fast == reference bit-for-bit in float64."""
+        size = (out - 1) * stride + kernel - 2 * padding
+        if size < 1 or kernel > size + 2 * padding:
+            return
+        shape = (batch, channels, size, size)
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal(shape)
+        fast = im2col(x, kernel, padding, stride)
+        assert np.array_equal(fast, _reference_im2col(x, kernel, padding, stride))
+        c = rng.standard_normal(fast.shape)
+        assert np.array_equal(
+            col2im(c, shape, kernel, padding, stride),
+            _reference_col2im(c, shape, kernel, padding, stride),
+        )
+
+
+class TestPlanCache:
+    def test_same_geometry_returns_same_plan(self):
+        a = conv_plan((2, 3, 8, 8), 4, 1, 2)
+        b = conv_plan((2, 3, 8, 8), 4, 1, 2)
+        assert a is b
+
+    def test_numpy_ints_hit_same_entry(self):
+        shape = tuple(np.int64(s) for s in (2, 3, 8, 8))
+        assert conv_plan(shape, 4, 1, 2) is conv_plan((2, 3, 8, 8), 4, 1, 2)
+
+    def test_distinct_geometries_get_distinct_plans(self):
+        assert conv_plan((2, 3, 8, 8), 4, 1, 2) is not conv_plan((4, 3, 8, 8), 4, 1, 2)
+
+    def test_repeated_conv_calls_hit_cache(self):
+        clear_plan_cache()
+        x = np.zeros((2, 1, 8, 8))
+        im2col(x, 4, 1, 2)
+        before = plan_cache_info().hits
+        im2col(x, 4, 1, 2)
+        im2col(x, 4, 1, 2)
+        assert plan_cache_info().hits >= before + 2
+
+    def test_overlap_classification(self):
+        assert conv_plan((1, 1, 8, 8), 4, 1, 2).overlapping
+        assert not conv_plan((1, 1, 8, 8), 2, 0, 2).overlapping
+        assert not conv_plan((1, 1, 8, 8), 2, 0, 3).overlapping
+
+    def test_rejects_bad_rank(self):
+        with pytest.raises(ValueError, match="expected"):
+            conv_plan((8, 8), 4, 1, 2)
+
+
+class TestReferenceDispatch:
+    def test_context_switches_and_restores(self):
+        import repro.nn.im2col as mod
+
+        x = np.random.default_rng(2).standard_normal((2, 2, 8, 8))
+        assert not mod._USE_REFERENCE
+        with reference_ops():
+            assert mod._USE_REFERENCE
+            inside = im2col(x, 4, 1, 2)
+        assert not mod._USE_REFERENCE
+        assert np.array_equal(inside, im2col(x, 4, 1, 2))
+
+    def test_geometry_errors_name_full_geometry(self):
+        from repro.nn.im2col import conv_output_size
+
+        with pytest.raises(ValueError, match="stride=2"):
+            conv_output_size(5, 4, 1, 2)
+        with pytest.raises(ValueError, match="stride=1"):
+            conv_output_size(2, 8, 0, 1)
+
+    def test_col2im_rejects_mismatched_cols(self):
+        with pytest.raises(ValueError, match="does not match"):
+            col2im(np.zeros((3, 3)), (1, 1, 8, 8), 4, 1, 2)
