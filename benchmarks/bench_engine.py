@@ -1,13 +1,15 @@
-"""Standalone runner for the convolution-engine benchmark.
+"""Standalone runner for the training-engine benchmark.
 
 Times the fast engine (stride-trick im2col, bincount col2im, cached index
-plans, float32) against the retained reference implementations (fancy-index
-gather, ``np.add.at`` scatter, float64) and writes ``BENCH_engine.json``.
+plans, fused BatchNorm, flat-buffer Adam, float32) against the retained
+reference implementations (fancy-index gather, ``np.add.at`` scatter,
+separate-pass BatchNorm, per-parameter optimizer loops, float64) and
+writes ``BENCH_engine.json``.  ``docs/benchmarks.md`` explains the report.
 
 Run either of::
 
-    PYTHONPATH=src python benchmarks/bench_engine.py [--out PATH] [--repeats N]
-    PYTHONPATH=src python -m repro bench [--out PATH] [--repeats N]
+    PYTHONPATH=src python benchmarks/bench_engine.py [--out PATH] [--repeats N] [--quick]
+    PYTHONPATH=src python -m repro bench [--out PATH] [--repeats N] [--quick]
 """
 
 from __future__ import annotations
@@ -33,9 +35,12 @@ def _parse_args(argv=None) -> argparse.Namespace:
                         help="timing repeats for conv micro-benchmarks")
     parser.add_argument("--fit-repeats", type=_positive_int, default=2,
                         help="timing repeats for the one-epoch fit benchmark")
+    parser.add_argument("--quick", action="store_true",
+                        help="smoke mode: scaled-down workload, single repeats")
     return parser.parse_args(argv)
 
 
 if __name__ == "__main__":
     args = _parse_args()
-    sys.exit(main(args.out, repeats=args.repeats, fit_repeats=args.fit_repeats))
+    sys.exit(main(args.out, repeats=args.repeats, fit_repeats=args.fit_repeats,
+                  quick=args.quick))

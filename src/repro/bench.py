@@ -1,18 +1,24 @@
-"""Convolution-engine benchmark (``python -m repro bench``).
+"""Training-engine benchmark (``python -m repro bench``).
 
 Times the hot paths of the compute substrate — Conv2D forward/backward,
-ConvTranspose2D forward, and one full table-GAN training epoch on a
-synthetic 16×16 workload — twice each:
+ConvTranspose2D forward, fused BatchNorm forward/backward, one fused Adam
+step over a discriminator's parameters, and one full table-GAN training
+epoch on a synthetic 16×16 workload — twice each:
 
-* **engine**: the fast im2col/col2im engine (stride-trick gather, bincount
-  scatter, memoized index plans) in the default float32 compute dtype;
-* **reference**: the retained seed idioms (fancy-index gather,
-  ``np.add.at`` scatter via :func:`repro.nn.im2col.reference_ops`) in
-  float64 — i.e. what every forward/backward cost before the engine.
+* **engine**: the fast kernels (stride-trick im2col, bincount/strided
+  col2im, memoized index plans, fused single-pass BatchNorm statistics,
+  flat-buffer Adam) in the default float32 compute dtype;
+* **reference**: the retained seed idioms (fancy-index gather +
+  ``np.add.at`` scatter, separate mean/var BatchNorm passes, per-parameter
+  optimizer loops — all forced via :func:`repro.nn.reference_kernels`) in
+  float64 — i.e. what every training step cost before the engine.
 
 Results are written as ``BENCH_engine.json`` so speedups are trackable
-across commits.  The standalone runner lives at
-``benchmarks/bench_engine.py``.
+across commits; ``docs/benchmarks.md`` explains how to read the report and
+records the trajectory.  The standalone runner lives at
+``benchmarks/bench_engine.py``.  ``--quick`` selects a scaled-down
+workload with single repeats — a smoke mode the test suite runs so the
+benchmark code paths cannot silently rot.
 """
 
 from __future__ import annotations
@@ -25,7 +31,15 @@ import numpy as np
 from repro.core.config import TableGanConfig
 from repro.core.networks import build_classifier, build_discriminator, build_generator
 from repro.core.trainer import TableGanTrainer
-from repro.nn import Conv2D, ConvTranspose2D, clear_plan_cache
+from repro.nn import (
+    Adam,
+    BatchNorm,
+    Conv2D,
+    ConvTranspose2D,
+    clear_plan_cache,
+    reference_kernels,
+)
+from repro.nn.batchnorm import reference_batchnorm
 from repro.nn.im2col import reference_ops
 
 #: The synthetic 16×16 benchmark workload (≈ the quickstart scale, but with
@@ -38,6 +52,23 @@ WORKLOAD = {
     "conv_batch": 64,
     "conv_in_channels": 16,
     "conv_out_channels": 32,
+    "bn_batch": 64,
+    "bn_channels": 64,
+    "bn_side": 8,
+}
+
+#: Scaled-down workload for ``--quick`` smoke runs (seconds, not minutes).
+QUICK_WORKLOAD = {
+    "records": 64,
+    "side": 8,
+    "batch_size": 32,
+    "base_channels": 8,
+    "conv_batch": 8,
+    "conv_in_channels": 4,
+    "conv_out_channels": 8,
+    "bn_batch": 16,
+    "bn_channels": 8,
+    "bn_side": 4,
 }
 
 
@@ -52,13 +83,14 @@ def _best_of(fn, repeats: int) -> float:
     return best
 
 
-def _conv_timings(dtype, reference: bool, repeats: int) -> dict[str, float]:
+def _conv_timings(workload: dict, dtype, reference: bool,
+                  repeats: int) -> dict[str, float]:
     """Forward/backward conv and forward deconv timings for one mode."""
     rng = np.random.default_rng(0)
-    batch = WORKLOAD["conv_batch"]
-    c_in = WORKLOAD["conv_in_channels"]
-    c_out = WORKLOAD["conv_out_channels"]
-    side = WORKLOAD["side"]
+    batch = workload["conv_batch"]
+    c_in = workload["conv_in_channels"]
+    c_out = workload["conv_out_channels"]
+    side = workload["side"]
     conv = Conv2D(c_in, c_out, rng=1, dtype=dtype)
     deconv = ConvTranspose2D(c_out, c_in, rng=1, dtype=dtype)
     x = rng.standard_normal((batch, c_in, side, side)).astype(dtype, copy=False)
@@ -79,18 +111,55 @@ def _conv_timings(dtype, reference: bool, repeats: int) -> dict[str, float]:
     return timings
 
 
-def _fit_epoch_seconds(dtype_name: str, reference: bool, repeats: int) -> float:
+def _batchnorm_timings(workload: dict, dtype, reference: bool,
+                       repeats: int) -> dict[str, float]:
+    """Training-mode BatchNorm forward/backward timings for one mode."""
+    rng = np.random.default_rng(1)
+    channels = workload["bn_channels"]
+    shape = (workload["bn_batch"], channels, workload["bn_side"],
+             workload["bn_side"])
+    bn = BatchNorm(channels, dtype=dtype)
+    x = (rng.standard_normal(shape) * 2 + 1).astype(dtype, copy=False)
+    grad = rng.standard_normal(shape).astype(dtype, copy=False)
+
+    def run(fn):
+        if reference:
+            with reference_batchnorm():
+                return _best_of(fn, repeats)
+        return _best_of(fn, repeats)
+
+    # The timed forwards leave the cache populated for the backward runs.
+    timings = {"batchnorm_forward_s": run(lambda: bn.forward(x, training=True))}
+    timings["batchnorm_backward_s"] = run(lambda: bn.backward(grad))
+    return timings
+
+
+def _adam_timings(workload: dict, dtype, reference: bool,
+                  repeats: int) -> dict[str, float]:
+    """One Adam step over a discriminator's parameters for one mode."""
+    rng = np.random.default_rng(2)
+    disc = build_discriminator(workload["side"], workload["base_channels"],
+                               rng=1, dtype=dtype)
+    params = disc.parameters()
+    for p in params:
+        p.grad += rng.standard_normal(p.shape).astype(dtype, copy=False)
+    opt = Adam(params, fused=not reference)
+    return {"adam_step_s": _best_of(opt.step, repeats)}
+
+
+def _fit_epoch_seconds(workload: dict, dtype_name: str, reference: bool,
+                       repeats: int) -> float:
     """One Algorithm 2 epoch on the synthetic workload, best of ``repeats``."""
-    side = WORKLOAD["side"]
+    side = workload["side"]
     rng = np.random.default_rng(3)
-    matrices = rng.uniform(-0.5, 0.5, (WORKLOAD["records"], 1, side, side))
+    matrices = rng.uniform(-0.5, 0.5, (workload["records"], 1, side, side))
     matrices[:, 0, 0, 3] = np.sign(matrices[:, 0, 0, 0])
 
     def one_epoch():
         config = TableGanConfig(
             epochs=1,
-            batch_size=WORKLOAD["batch_size"],
-            base_channels=WORKLOAD["base_channels"],
+            batch_size=workload["batch_size"],
+            base_channels=workload["base_channels"],
             seed=0,
             dtype=dtype_name,
         )
@@ -103,23 +172,37 @@ def _fit_epoch_seconds(dtype_name: str, reference: bool, repeats: int) -> float:
         trainer.train(matrices, rng=np.random.default_rng(0))
 
     if reference:
-        with reference_ops():
+        with reference_kernels():
             return _best_of(one_epoch, repeats)
     return _best_of(one_epoch, repeats)
 
 
-def run_benchmarks(repeats: int = 5, fit_repeats: int = 2) -> dict:
-    """Run the full engine-vs-reference comparison and return the report."""
+def run_benchmarks(repeats: int = 5, fit_repeats: int = 2,
+                   quick: bool = False) -> dict:
+    """Run the full engine-vs-reference comparison and return the report.
+
+    ``quick=True`` switches to :data:`QUICK_WORKLOAD` and caps repeats at
+    one — the smoke mode used by the test suite and ``bench --quick``.
+    """
     if repeats < 1 or fit_repeats < 1:
         raise ValueError(
             f"repeats must be >= 1, got repeats={repeats}, fit_repeats={fit_repeats}"
         )
+    workload = QUICK_WORKLOAD if quick else WORKLOAD
+    if quick:
+        repeats = fit_repeats = 1
     clear_plan_cache()
-    report = {"workload": dict(WORKLOAD)}
-    engine = _conv_timings(np.float32, reference=False, repeats=repeats)
-    reference = _conv_timings(np.float64, reference=True, repeats=repeats)
-    engine["fit_epoch_s"] = _fit_epoch_seconds("float32", False, fit_repeats)
-    reference["fit_epoch_s"] = _fit_epoch_seconds("float64", True, fit_repeats)
+    report = {"workload": dict(workload), "quick": quick}
+    engine = _conv_timings(workload, np.float32, reference=False, repeats=repeats)
+    reference = _conv_timings(workload, np.float64, reference=True, repeats=repeats)
+    engine.update(_batchnorm_timings(workload, np.float32, False, repeats))
+    reference.update(_batchnorm_timings(workload, np.float64, True, repeats))
+    engine.update(_adam_timings(workload, np.float32, False, repeats))
+    reference.update(_adam_timings(workload, np.float64, True, repeats))
+    engine["fit_epoch_s"] = _fit_epoch_seconds(workload, "float32", False,
+                                               fit_repeats)
+    reference["fit_epoch_s"] = _fit_epoch_seconds(workload, "float64", True,
+                                                  fit_repeats)
     report["engine"] = engine
     report["reference"] = reference
     report["speedup"] = {
@@ -137,21 +220,34 @@ def write_report(report: dict, path: str = "BENCH_engine.json") -> None:
         handle.write("\n")
 
 
+#: Row order of the human-readable summary (and of docs/benchmarks.md).
+REPORT_KEYS = (
+    "conv_forward_s",
+    "conv_backward_s",
+    "deconv_forward_s",
+    "batchnorm_forward_s",
+    "batchnorm_backward_s",
+    "adam_step_s",
+    "fit_epoch_s",
+)
+
+
 def format_report(report: dict) -> str:
     """Human-readable summary of a benchmark report."""
-    lines = ["metric            engine      reference   speedup"]
-    for key in ("conv_forward_s", "conv_backward_s", "deconv_forward_s",
-                "fit_epoch_s"):
+    lines = ["metric              engine      reference   speedup"]
+    for key in REPORT_KEYS:
+        if key not in report["engine"]:
+            continue
         name = key.removesuffix("_s")
         lines.append(
-            f"{name:<16}  {report['engine'][key]:>9.4f}s  "
+            f"{name:<18}  {report['engine'][key]:>9.4f}s  "
             f"{report['reference'][key]:>9.4f}s  {report['speedup'][name]:>6.1f}x"
         )
     return "\n".join(lines)
 
 
 def main(out_path: str = "BENCH_engine.json", repeats: int = 5,
-         fit_repeats: int = 2) -> int:
+         fit_repeats: int = 2, quick: bool = False) -> int:
     """Run the benchmark, print the summary, and write the JSON report."""
     try:
         # Fail on an unwritable path now, not after minutes of benchmarking.
@@ -160,7 +256,7 @@ def main(out_path: str = "BENCH_engine.json", repeats: int = 5,
     except OSError as exc:
         print(f"cannot write report to {out_path}: {exc}")
         return 1
-    report = run_benchmarks(repeats=repeats, fit_repeats=fit_repeats)
+    report = run_benchmarks(repeats=repeats, fit_repeats=fit_repeats, quick=quick)
     print(format_report(report))
     write_report(report, out_path)
     print(f"report written to {out_path}")

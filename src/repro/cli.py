@@ -163,10 +163,11 @@ def _positive_int(value: str) -> int:
 
 
 def cmd_bench(args) -> int:
-    """Run the convolution-engine benchmark and write BENCH_engine.json."""
+    """Run the training-engine benchmark and write BENCH_engine.json."""
     from repro.bench import main as bench_main
 
-    return bench_main(args.out, repeats=args.repeats, fit_repeats=args.fit_repeats)
+    return bench_main(args.out, repeats=args.repeats, fit_repeats=args.fit_repeats,
+                      quick=args.quick)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -216,6 +217,8 @@ def build_parser() -> argparse.ArgumentParser:
                          help="timing repeats for conv micro-benchmarks")
     p_bench.add_argument("--fit-repeats", type=_positive_int, default=2,
                          help="timing repeats for the one-epoch fit benchmark")
+    p_bench.add_argument("--quick", action="store_true",
+                         help="smoke mode: scaled-down workload, single repeats")
     p_bench.set_defaults(func=cmd_bench)
     return parser
 

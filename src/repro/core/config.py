@@ -6,6 +6,21 @@ stops the information loss from refining synthesis once the feature-space
 discrepancy drops below the threshold (high privacy).  §5.1.5 defines the
 presets reproduced by :func:`low_privacy` / :func:`mid_privacy` /
 :func:`high_privacy`.
+
+The dtype contract
+------------------
+
+``TableGanConfig.dtype`` is the single source of truth for the compute
+dtype of a training run.  It is threaded from here through the network
+builders (every parameter, bias, and batch-norm running statistic), the
+trainer (latent samples, shuffled batches, loss buffers), and the sampler,
+so one run never mixes precisions.  ``"float32"`` (the default) halves
+memory traffic through the convolution engine and enables the
+float32-specialized fused kernels (single-pass batch-norm statistics,
+strided col2im accumulation); ``"float64"`` selects the bit-identical
+kernel variants and therefore reproduces the seed numerics exactly — that
+is the dtype the fast-vs-reference equivalence tests pin down to the last
+bit.  See ``docs/architecture.md`` for the full dataflow.
 """
 
 from __future__ import annotations

@@ -11,6 +11,14 @@ mirror image in the generator.  The discriminator's flattened activations
 before the final dense+sigmoid are registered as the ``"features"`` layer;
 that is the vector the information loss (Eq. 2–3) statistics are computed
 from.
+
+Every builder takes the compute ``dtype`` (``TableGanConfig.np_dtype``)
+and threads it through all parameters and running statistics, so each
+network is dtype-homogeneous.  That is the property the fused optimizers
+rely on: :meth:`Sequential.flatten_parameters` can materialize a whole
+network as views into a single contiguous buffer and Adam updates it with
+whole-buffer in-place ops (see :mod:`repro.nn.flatbuf` and
+``docs/architecture.md``).
 """
 
 from __future__ import annotations

@@ -18,6 +18,15 @@ the (frozen) discriminator/classifier:
 * the classification gradient flows through C — with the label cell of the
   record zeroed on the way in (``remove``) and the direct dependence of the
   synthesized label on the generator output added back separately.
+
+All three Adam optimizers default to the fused flat-buffer path
+(:mod:`repro.nn.optim`): each network's parameters are materialized as
+views into one contiguous buffer, so every ``step()`` is a handful of
+whole-buffer in-place ops and every ``zero_grad()`` is a single memset.
+The trainer therefore zeroes gradients through the optimizers rather than
+by walking the layer tree.  Under :func:`repro.nn.reference_kernels` the
+optimizers fall back to the per-parameter reference loop — that is how the
+engine benchmark reconstructs the seed-idiom epoch cost.
 """
 
 from __future__ import annotations
@@ -151,7 +160,7 @@ class TableGanTrainer:
         (a Sequential holds one forward cache at a time); gradients
         accumulate across both halves and a single Adam step applies them.
         """
-        self.discriminator.zero_grad()
+        self.opt_d.zero_grad()
         real_logits = self.discriminator.forward(real)
         loss, grad_real, grad_fake_template = discriminator_loss(
             real_logits, np.zeros_like(real_logits)
@@ -172,38 +181,51 @@ class TableGanTrainer:
         logits = self.classifier.forward(self._remove_label(real))
         logits = logits.ravel() if labels.ndim == 1 else logits
         loss, grad_logits, _ = classification_loss(logits, labels)
-        self.classifier.zero_grad()
+        self.opt_c.zero_grad()
         self.classifier.backward(grad_logits)
         self.opt_c.step()
         return loss
 
-    def _update_generator(self, fake: np.ndarray, rng) -> tuple[float, float, float]:
+    def _update_generator(self, fake: np.ndarray, rng,
+                          d_forward_cached: bool = False) -> tuple[float, float, float]:
         """Assemble the three-part gradient at the generator output and step G.
 
         ``fake`` must be the batch produced by the most recent
         ``generator.forward`` so the generator's caches are consistent.
+        ``d_forward_cached=True`` promises the discriminator's forward
+        caches already hold this exact ``fake`` batch under the current D
+        weights (the epoch loop's statistics refresh guarantees it), so
+        the adversarial logits are read from the cache instead of paying
+        a second identical D forward.
         """
         config = self.config
         # Adversarial part (through D's logit).
-        fake_logits = self.discriminator.forward(fake)
+        if d_forward_cached:
+            fake_logits = self.discriminator.activation(len(self.discriminator) - 1)
+        else:
+            fake_logits = self.discriminator.forward(fake)
         adv_loss, grad_logits = generator_adversarial_loss(
             fake_logits, saturating=config.saturating_generator_loss
         )
-        self.discriminator.zero_grad()
-        grad_at_fake = self.discriminator.backward(grad_logits)
+        self.opt_d.zero_grad()
 
-        # Information part (injected at D's feature layer).
+        # Information part (injected at D's feature layer).  Backward rules
+        # are linear in the gradient, so the adversarial gradient is carried
+        # down to the feature layer, the information-loss gradient added
+        # there, and the sum propagated through the (expensive) conv stack
+        # once — instead of one full traversal per loss term.
         info_loss_value = 0.0
+        grad_at_features = self.discriminator.backward_to(FEATURE_LAYER, grad_logits)
         if config.use_info_loss:
             synthetic_features = self.discriminator.activation(FEATURE_LAYER)
             info_loss_value, grad_features = information_loss(
                 self.stats, synthetic_features, config.delta_mean, config.delta_sd
             )
             if np.any(grad_features):
-                self.discriminator.zero_grad()
-                grad_at_fake = grad_at_fake + self.discriminator.backward_from(
-                    FEATURE_LAYER, grad_features
-                )
+                grad_at_features = grad_at_features + grad_features
+        grad_at_fake = self.discriminator.backward_from(
+            FEATURE_LAYER, grad_at_features
+        )
 
         # Classification part (through C on label-removed records).
         class_loss_value = 0.0
@@ -214,7 +236,7 @@ class TableGanTrainer:
             class_loss_value, grad_c_logits, grad_labels = classification_loss(
                 c_logits, labels
             )
-            self.classifier.zero_grad()
+            self.opt_c.zero_grad()
             grad_via_c = self.classifier.backward(grad_c_logits)
             # The classifier never saw the label cells; no gradient there.
             # Direct dependence of the synthesized labels on G's output:
@@ -226,7 +248,7 @@ class TableGanTrainer:
                     grad_via_c[index] = grad_labels[:, j] * 0.5
             grad_at_fake = grad_at_fake + grad_via_c
 
-        self.generator.zero_grad()
+        self.opt_g.zero_grad()
         self.generator.backward(grad_at_fake)
         self.opt_g.step()
         return adv_loss, info_loss_value, class_loss_value
@@ -283,13 +305,18 @@ class TableGanTrainer:
                 # the generator update then backpropagates through.
                 self.discriminator.forward(real)
                 self.stats.update_real(self.discriminator.activation(FEATURE_LAYER))
-                # Regenerate fake through G so G's caches match the batch
-                # being backpropagated in the generator update.
-                fake = self.generator.forward(z)
+                # G's caches still hold the batch-start forward of this same
+                # z (nothing between there and here touches G or mutates
+                # fake), so the generator update below can backpropagate
+                # through them without re-running the generator.
                 self.discriminator.forward(fake)
                 self.stats.update_synthetic(self.discriminator.activation(FEATURE_LAYER))
 
-                adv, info, cls = self._update_generator(fake, rng)
+                # D's caches now hold exactly this fake batch under the
+                # current (post-update) D weights, so the first generator
+                # step reuses them instead of re-running D's forward.
+                adv, info, cls = self._update_generator(fake, rng,
+                                                        d_forward_cached=True)
                 # Extra generator steps (DCGAN convention; see config).
                 for _ in range(config.generator_updates - 1):
                     fake = self.generator.forward(z)

@@ -4,14 +4,53 @@ DCGAN applies batch norm in both generator and discriminator (except the
 generator output and discriminator input layers).  One class handles both
 dense (N, F) and convolutional (N, C, H, W) activations, normalizing per
 feature / per channel.
+
+Two kernel paths live here, mirroring the fast-engine/reference-oracle
+convention of :mod:`repro.nn.im2col`:
+
+* the **fused engine** (default) — the forward computes batch statistics
+  with a fused reduction (single-pass ``E[x²] − mean²`` in float32; a
+  centered two-pass in float64 that reuses the centering buffer as the
+  normalized-activation cache and is bit-identical to ``np.var``) and
+  writes the scale-and-shift through in-place ufuncs; the backward folds
+  the two re-reductions of the chain rule into the ``dgamma``/``dbeta``
+  sums it already computes (float32) or replays the reference reductions
+  through reused buffers (float64, bit-identical);
+* the **reference oracle** — the original forward/backward, retained
+  verbatim as ``_reference_forward``/``_reference_backward`` and selected
+  with the :func:`reference_batchnorm` context manager.  The equivalence
+  tests in ``tests/nn/test_batchnorm.py`` assert fused == reference
+  bit-for-bit in float64 and within 1e-5 in float32, and the ``batchnorm``
+  section of the engine benchmark measures speedups against it.
 """
 
 from __future__ import annotations
+
+from contextlib import contextmanager
 
 import numpy as np
 
 from repro.nn import initializers
 from repro.nn.layers import Layer, Parameter
+
+#: When True, BatchNorm.forward/backward dispatch to the reference oracle.
+_USE_REFERENCE = False
+
+
+@contextmanager
+def reference_batchnorm():
+    """Context manager forcing the reference BatchNorm forward/backward.
+
+    Used by the engine benchmark to time the seed idioms against the fused
+    kernels on identical workloads, and by the equivalence tests.
+    """
+    global _USE_REFERENCE
+    previous = _USE_REFERENCE
+    _USE_REFERENCE = True
+    try:
+        yield
+    finally:
+        _USE_REFERENCE = previous
 
 
 class BatchNorm(Layer):
@@ -79,17 +118,121 @@ class BatchNorm(Layer):
             return stat.reshape(1, -1, 1)
         return stat.reshape(1, -1, 1, 1)
 
+    def _update_running(self, mean: np.ndarray, var: np.ndarray) -> None:
+        self.running_mean = self.momentum * self.running_mean + (1 - self.momentum) * mean
+        self.running_var = self.momentum * self.running_var + (1 - self.momentum) * var
+
     def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
         axes = self._axes(x)
         if x.shape[1] != self.num_features:
             raise ValueError(
                 f"expected {self.num_features} features/channels, got {x.shape[1]}"
             )
+        if _USE_REFERENCE:
+            return self._reference_forward(x, axes, training)
+        return self._fused_forward(x, axes, training)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        if _USE_REFERENCE:
+            return self._reference_backward(grad)
+        return self._fused_backward(grad)
+
+    # ------------------------------------------------------------------
+    # Fused engine.
+    # ------------------------------------------------------------------
+    def _fused_forward(self, x: np.ndarray, axes: tuple[int, ...],
+                       training: bool) -> np.ndarray:
+        count = x.size // self.num_features
+        scratch: np.ndarray | None = None
+        if training:
+            mean = x.mean(axis=axes)
+            if x.dtype == np.float64:
+                # Two-pass over a centered buffer: the subtraction is the
+                # one the normalization needs anyway, and summing the
+                # squared centered values reproduces np.var bit for bit.
+                x_hat = x - self._bcast(mean, x.ndim)
+                scratch = np.multiply(x_hat, x_hat)
+                var = scratch.sum(axis=axes) / count
+            else:
+                # Single-pass E[x²] − mean²: one sweep for the squared sum,
+                # no centering pass.  Clamped at zero against cancellation.
+                scratch = np.multiply(x, x)
+                var = scratch.mean(axis=axes) - mean * mean
+                np.maximum(var, 0.0, out=var)
+                x_hat = np.subtract(x, self._bcast(mean, x.ndim))
+            self._update_running(mean, var)
+        else:
+            mean, var = self.running_mean, self.running_var
+            x_hat = np.subtract(x, self._bcast(mean, x.ndim))
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        np.multiply(x_hat, self._bcast(inv_std, x.ndim), out=x_hat)
+        # The squared-values buffer has served its purpose; reuse it as the
+        # output so the scale-and-shift allocates nothing new.
+        out = scratch if scratch is not None else np.empty_like(x_hat)
+        np.multiply(x_hat, self._bcast(self.gamma.data, x.ndim), out=out)
+        np.add(out, self._bcast(self.beta.data, x.ndim), out=out)
+        self._cache = (x_hat, inv_std, axes, count, x.ndim, training)
+        return out
+
+    def _fused_backward(self, grad: np.ndarray) -> np.ndarray:
+        x_hat, inv_std, axes, count, ndim, trained = self._cache
+        if x_hat.dtype == np.float64:
+            return self._fused_backward_exact(grad, x_hat, inv_std, axes, ndim,
+                                              trained)
+        # float32: fold the two chain-rule re-reductions into the
+        # dgamma/dbeta sums.  mean(gamma·grad) == gamma·dbeta/count and
+        # mean(gamma·grad·x_hat) == gamma·dgamma/count, so the whole dx is
+        # an affine map  c1·grad + c2·x_hat + c0  with per-channel
+        # coefficients — two reductions total instead of four.
+        prod = np.multiply(grad, x_hat)
+        dgamma = prod.sum(axis=axes)
+        dbeta = grad.sum(axis=axes)
+        self.gamma.grad += dgamma
+        self.beta.grad += dbeta
+        c1 = self.gamma.data * inv_std
+        if not trained:
+            # Inference mode: mean/var are constants, gradient is a plain scale.
+            return grad * self._bcast(c1, ndim)
+        c2 = -c1 * (dgamma / count)
+        c0 = -c1 * (dbeta / count)
+        dx = np.multiply(grad, self._bcast(c1, ndim))
+        np.multiply(x_hat, self._bcast(c2, ndim), out=prod)
+        np.add(dx, prod, out=dx)
+        np.add(dx, self._bcast(c0, ndim), out=dx)
+        return dx
+
+    def _fused_backward_exact(self, grad, x_hat, inv_std, axes, ndim, trained):
+        """float64 backward: the reference operation sequence replayed
+        through two reused buffers — bit-identical, no further temporaries."""
+        t = np.multiply(grad, x_hat)
+        self.gamma.grad += t.sum(axis=axes)
+        self.beta.grad += grad.sum(axis=axes)
+        g = np.multiply(grad, self._bcast(self.gamma.data, ndim))
+        if not trained:
+            np.multiply(g, self._bcast(inv_std, ndim), out=g)
+            return g
+        mean_g = g.mean(axis=axes, keepdims=True)
+        np.multiply(g, x_hat, out=t)
+        mean_gx = t.mean(axis=axes, keepdims=True)
+        np.multiply(x_hat, mean_gx, out=t)
+        np.subtract(g, mean_g, out=g)
+        np.subtract(g, t, out=g)
+        np.multiply(g, self._bcast(inv_std, ndim), out=g)
+        return g
+
+    # ------------------------------------------------------------------
+    # Reference oracle: the original implementations, kept verbatim.  They
+    # are the ground truth the fused kernels are property-tested against
+    # and the baseline the engine benchmark measures speedups from.
+    # ------------------------------------------------------------------
+    def _reference_forward(self, x: np.ndarray, axes: tuple[int, ...],
+                           training: bool) -> np.ndarray:
         if training:
             mean = x.mean(axis=axes)
             var = x.var(axis=axes)
-            self.running_mean = self.momentum * self.running_mean + (1 - self.momentum) * mean
-            self.running_var = self.momentum * self.running_var + (1 - self.momentum) * var
+            self._update_running(mean, var)
         else:
             mean, var = self.running_mean, self.running_var
         inv_std = 1.0 / np.sqrt(var + self.eps)
@@ -99,9 +242,7 @@ class BatchNorm(Layer):
         self._cache = (x_hat, inv_std, axes, count, x.ndim, training)
         return out
 
-    def backward(self, grad: np.ndarray) -> np.ndarray:
-        if self._cache is None:
-            raise RuntimeError("backward called before forward")
+    def _reference_backward(self, grad: np.ndarray) -> np.ndarray:
         x_hat, inv_std, axes, count, ndim, trained = self._cache
         self.gamma.grad += (grad * x_hat).sum(axis=axes)
         self.beta.grad += grad.sum(axis=axes)

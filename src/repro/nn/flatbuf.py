@@ -1,0 +1,147 @@
+"""Contiguous flat parameter buffers for fused optimizer updates.
+
+An optimizer that walks a python list of :class:`~repro.nn.layers.Parameter`
+objects pays the per-parameter overhead of every numpy call — ufunc
+dispatch, temporary allocation, loop setup — dozens of times per step, per
+network, per mini-batch.  table-GAN trains three Adam-driven networks, so
+that overhead is paid in triplicate.
+
+A :class:`FlatParameterBuffer` removes it structurally: all parameters of a
+network are materialized as *views* into one contiguous 1-D buffer per
+dtype (one for data, one for gradients).  Layers keep accumulating
+gradients through their usual ``param.grad += ...`` in-place ops — those
+writes land directly in the flat gradient buffer — and the optimizer
+updates every parameter of the network with a handful of whole-buffer
+in-place ufuncs instead of a python loop (see :mod:`repro.nn.optim`).
+
+Because a whole-buffer elementwise op performs exactly the same scalar
+operations as the per-parameter loop (no reductions are involved), the
+fused update is **bit-identical** to the per-parameter reference in every
+dtype; the equivalence tests in ``tests/nn/test_flatbuf.py`` and
+``tests/nn/test_optim.py`` pin that down.
+
+Networks built by :mod:`repro.core.networks` use a single compute dtype
+(``TableGanConfig.dtype``), so in practice one network means one buffer
+pair; the per-dtype grouping keeps the container correct for mixed-dtype
+parameter lists.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Parameter
+
+
+class _DtypeGroup:
+    """All parameters of one dtype, viewing one (data, grad) buffer pair."""
+
+    __slots__ = ("dtype", "data", "grad", "params", "slices")
+
+    def __init__(self, dtype: np.dtype, params: list[Parameter]):
+        self.dtype = dtype
+        self.params = params
+        total = sum(p.data.size for p in params)
+        self.data = np.empty(total, dtype=dtype)
+        self.grad = np.empty(total, dtype=dtype)
+        self.slices: list[slice] = []
+        offset = 0
+        for p in params:
+            stop = offset + p.data.size
+            view = slice(offset, stop)
+            self.slices.append(view)
+            p.bind_views(
+                self.data[view].reshape(p.data.shape),
+                self.grad[view].reshape(p.data.shape),
+            )
+            offset = stop
+
+
+class FlatParameterBuffer:
+    """Materialize parameters as views into contiguous per-dtype buffers.
+
+    Construction rebinds each parameter's ``data`` and ``grad`` (via
+    :meth:`Parameter.bind_views`) to slices of shared 1-D buffers,
+    preserving current values.  From then on the parameters and the
+    buffers alias the same memory: layer backward passes accumulate into
+    the flat gradient buffer, and whole-buffer updates applied to
+    ``group.data`` are immediately visible through every ``param.data``.
+
+    Parameters
+    ----------
+    params:
+        The parameters to flatten.  Must be non-empty and free of
+        duplicates (flattening the same parameter twice into one buffer
+        would double-count its update).
+    """
+
+    def __init__(self, params: list[Parameter]):
+        params = list(params)
+        if not params:
+            raise ValueError("cannot flatten an empty parameter list")
+        seen: set[int] = set()
+        for p in params:
+            if not isinstance(p, Parameter):
+                raise TypeError(f"expected Parameter, got {type(p).__name__}")
+            if id(p) in seen:
+                raise ValueError(f"duplicate parameter in flatten list: {p!r}")
+            if p.flat_buffer is not None:
+                # Rebinding would silently orphan the first buffer: any
+                # optimizer holding it would keep updating dead memory.
+                raise ValueError(
+                    f"parameter {p.name} is already materialized in a "
+                    f"FlatParameterBuffer; reuse that buffer (e.g. via "
+                    f"Sequential.flatten_parameters, which returns the "
+                    f"existing one) instead of flattening again"
+                )
+            seen.add(id(p))
+        self.params = params
+        by_dtype: dict[np.dtype, list[Parameter]] = {}
+        for p in params:
+            by_dtype.setdefault(p.data.dtype, []).append(p)
+        self.groups = [_DtypeGroup(dtype, ps) for dtype, ps in by_dtype.items()]
+        for p in params:
+            p.flat_buffer = self
+
+    @staticmethod
+    def owner_of(params: list[Parameter]) -> "FlatParameterBuffer | None":
+        """The buffer already holding exactly ``params``, if one exists.
+
+        Returns the shared :class:`FlatParameterBuffer` when every
+        parameter is bound to the same buffer and that buffer holds no
+        others; ``None`` when the parameters are unbound.  A partial or
+        mixed binding raises — those parameters cannot be flattened
+        together correctly.
+        """
+        params = list(params)
+        if not params or all(p.flat_buffer is None for p in params):
+            return None
+        owner = params[0].flat_buffer
+        same_owner = all(p.flat_buffer is owner for p in params)
+        if owner is None or not same_owner or set(map(id, owner.params)) != set(
+            map(id, params)
+        ):
+            raise ValueError(
+                "parameters are bound to different or partially overlapping "
+                "FlatParameterBuffers and cannot be flattened together"
+            )
+        return owner
+
+    @property
+    def n_elements(self) -> int:
+        """Total number of scalar parameters across all dtype groups."""
+        return sum(group.data.size for group in self.groups)
+
+    def zero_grad(self) -> None:
+        """Zero every gradient with one memset per dtype buffer."""
+        for group in self.groups:
+            group.grad[...] = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        per_group = ", ".join(
+            f"{group.dtype.name}:{group.data.size}" for group in self.groups
+        )
+        return (
+            f"FlatParameterBuffer({len(self.params)} params, "
+            f"{self.n_elements} elements, [{per_group}])"
+        )

@@ -28,6 +28,13 @@ Two implementations live here:
 ``(N, C, L)`` inputs, so the 1-D layers in :mod:`repro.nn.conv1d` share the
 same engine.  Shapes follow the NCHW convention used throughout
 :mod:`repro.nn`; column order is spatial-position-major, then batch.
+
+All index arithmetic is memoized per geometry in :mod:`repro.nn.plan`
+(:func:`~repro.nn.plan.conv_plan`), so the hot loop never recomputes
+gather/scatter indices.  The :func:`reference_ops` context manager flips
+the public functions onto the oracle — the engine benchmark
+(``python -m repro bench``, see ``docs/benchmarks.md``) uses it to time
+both paths on identical workloads.
 """
 
 from __future__ import annotations
@@ -73,6 +80,25 @@ def _pad_spatial(x: np.ndarray, padding: int) -> np.ndarray:
     return np.pad(x, width, mode="constant")
 
 
+def _pad_spatial_fast(x: np.ndarray, padding: int) -> np.ndarray:
+    """Zero-pad the spatial axes of ``x`` via one allocation and one copy.
+
+    Bit-identical to :func:`_pad_spatial` (``np.pad`` with constant zeros)
+    but without np.pad's per-axis python machinery — the padded buffer is
+    on the hottest path of every convolution forward.
+    """
+    if padding <= 0:
+        return x
+    out = np.zeros(
+        x.shape[:2] + tuple(s + 2 * padding for s in x.shape[2:]), dtype=x.dtype
+    )
+    core = (slice(None), slice(None)) + tuple(
+        slice(padding, padding + s) for s in x.shape[2:]
+    )
+    out[core] = x
+    return out
+
+
 def im2col(x: np.ndarray, kernel: int, padding: int, stride: int) -> np.ndarray:
     """Unfold ``x`` (N, C, H, W) or (N, C, L) into a patch matrix.
 
@@ -87,7 +113,7 @@ def im2col(x: np.ndarray, kernel: int, padding: int, stride: int) -> np.ndarray:
             return _reference_im2col(x, kernel, padding, stride)
         return _reference_im2col_1d(x, kernel, padding, stride)
     plan = conv_plan(x.shape, kernel, padding, stride)
-    x = _pad_spatial(x, padding)
+    x = _pad_spatial_fast(x, padding)
     if x.ndim == 4:
         windows = np.lib.stride_tricks.sliding_window_view(
             x, (kernel, kernel), axis=(2, 3)

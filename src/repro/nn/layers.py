@@ -20,6 +20,15 @@ class Parameter:
 
     The floating dtype of ``data`` is preserved (that is the network's
     compute dtype); non-float input is promoted to float64.
+
+    ``data`` and ``grad`` normally own their storage, but a parameter can
+    be re-homed onto externally owned memory with :meth:`bind_views` —
+    that is how :class:`~repro.nn.flatbuf.FlatParameterBuffer` turns a
+    whole network's parameters into slices of one contiguous buffer so
+    optimizers can update them with whole-buffer in-place ops.  All code
+    that mutates a parameter does so in place (``grad += ...``,
+    ``grad[...] = 0``, ``data[...] = loaded``), which is what keeps such
+    views permanently valid.
     """
 
     def __init__(self, data: np.ndarray, name: str = "param"):
@@ -29,6 +38,28 @@ class Parameter:
         self.data = data
         self.grad = np.zeros_like(self.data)
         self.name = name
+        #: The FlatParameterBuffer this parameter is a view into, if any.
+        #: Set by the buffer on construction; flattening twice is refused
+        #: there because it would orphan the first buffer.
+        self.flat_buffer = None
+
+    def bind_views(self, data: np.ndarray, grad: np.ndarray) -> None:
+        """Rebind ``data``/``grad`` to external views, preserving values.
+
+        The views must match the parameter's current shape and dtype; the
+        current data and accumulated gradient are copied into them so the
+        rebind is invisible to training code.
+        """
+        for label, view in (("data", data), ("grad", grad)):
+            if view.shape != self.data.shape or view.dtype != self.data.dtype:
+                raise ValueError(
+                    f"{label} view {view.shape}/{view.dtype} does not match "
+                    f"parameter {self.name} {self.data.shape}/{self.data.dtype}"
+                )
+        data[...] = self.data
+        grad[...] = self.grad
+        self.data = data
+        self.grad = grad
 
     def zero_grad(self) -> None:
         """Reset the accumulated gradient to zero in place."""

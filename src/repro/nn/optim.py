@@ -3,32 +3,116 @@
 table-GAN trains all three networks with Adam using DCGAN's canonical
 hyper-parameters (lr=2e-4, beta1=0.5).  Optimizers hold per-parameter
 state keyed by identity, so one optimizer instance serves one network.
+
+Two update paths live here, mirroring the fast-engine/reference-oracle
+convention of :mod:`repro.nn.im2col`:
+
+* the **fused engine** (default) — parameters are materialized as views
+  into one contiguous buffer per dtype
+  (:class:`~repro.nn.flatbuf.FlatParameterBuffer`) and ``step()`` runs a
+  handful of whole-buffer in-place ufuncs over persistent state/scratch
+  buffers: zero per-parameter temporaries, no python loop over
+  parameters.  Because every op is elementwise, the fused update is
+  bit-identical to the reference in every dtype;
+* the **per-parameter reference** — the original loop over
+  ``Parameter`` objects, retained verbatim as ``_step_per_parameter``
+  and selected with ``fused=False`` or the :func:`reference_optimizers`
+  context manager.  It is the oracle the equivalence tests in
+  ``tests/nn/test_optim.py`` compare against and the baseline the
+  ``adam`` section of the engine benchmark measures speedups from.
 """
 
 from __future__ import annotations
 
+from contextlib import contextmanager
+
 import numpy as np
 
+from repro.nn.flatbuf import FlatParameterBuffer
 from repro.nn.layers import Parameter
+
+#: When True, newly constructed optimizers default to the per-parameter
+#: reference path instead of the fused flat-buffer path.
+_USE_REFERENCE = False
+
+
+@contextmanager
+def reference_optimizers():
+    """Context manager making new optimizers default to the reference path.
+
+    Used by the engine benchmark to time the per-parameter seed idiom
+    against the fused flat-buffer update on identical workloads, and by
+    tests exercising the dispatch.  Optimizers constructed before entering
+    the context keep whichever path they were built with.
+    """
+    global _USE_REFERENCE
+    previous = _USE_REFERENCE
+    _USE_REFERENCE = True
+    try:
+        yield
+    finally:
+        _USE_REFERENCE = previous
 
 
 class Optimizer:
-    """Base optimizer over a fixed list of :class:`Parameter` objects."""
+    """Base optimizer over a fixed list of :class:`Parameter` objects.
 
-    def __init__(self, params: list[Parameter], lr: float):
+    Parameters
+    ----------
+    params:
+        The parameters to optimize — a list of :class:`Parameter` objects
+        or an already-materialized
+        :class:`~repro.nn.flatbuf.FlatParameterBuffer` (e.g. from
+        :meth:`Sequential.flatten_parameters`), which is reused instead of
+        flattening again.
+    lr:
+        Learning rate (positive).
+    fused:
+        ``True`` flattens the parameters into per-dtype buffers and uses
+        whole-buffer updates; ``False`` keeps the per-parameter reference
+        loop.  ``None`` (default) picks the fused path unless inside a
+        :func:`reference_optimizers` context.
+    """
+
+    def __init__(self, params, lr: float, fused: bool | None = None):
         if lr <= 0:
             raise ValueError(f"learning rate must be positive, got {lr}")
+        if isinstance(params, FlatParameterBuffer):
+            if fused is False:
+                raise ValueError(
+                    "cannot run per-parameter updates on a FlatParameterBuffer; "
+                    "pass the parameter list instead"
+                )
+            self.params = list(params.params)
+            self.lr = lr
+            self.fused = True
+            self._flat = params
+            return
         self.params = list(params)
         if not self.params:
             raise ValueError("optimizer needs at least one parameter")
         self.lr = lr
+        if fused is None:
+            fused = not _USE_REFERENCE
+        self.fused = bool(fused)
+        if self.fused:
+            # Reuse an existing exact-match buffer (e.g. from a prior
+            # optimizer over the same network, or an explicit
+            # Sequential.flatten_parameters) instead of refusing to rebind.
+            self._flat = FlatParameterBuffer.owner_of(self.params) or \
+                FlatParameterBuffer(self.params)
+        else:
+            self._flat = None
 
     def step(self) -> None:
         """Apply one update using the gradients accumulated in each parameter."""
         raise NotImplementedError
 
     def zero_grad(self) -> None:
-        """Zero all parameter gradients."""
+        """Zero all parameter gradients (one memset per buffer when fused)."""
+        if self._flat is not None:
+            self._flat.zero_grad()
+            return
         for p in self.params:
             p.zero_grad()
 
@@ -36,14 +120,35 @@ class Optimizer:
 class SGD(Optimizer):
     """Stochastic gradient descent with optional classical momentum."""
 
-    def __init__(self, params: list[Parameter], lr: float = 0.01, momentum: float = 0.0):
-        super().__init__(params, lr)
+    def __init__(self, params: list[Parameter], lr: float = 0.01,
+                 momentum: float = 0.0, fused: bool | None = None):
+        # Validate before super().__init__ materializes a flat buffer, so a
+        # rejected construction leaves the parameters untouched.
         if not 0.0 <= momentum < 1.0:
             raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        super().__init__(params, lr, fused=fused)
         self.momentum = momentum
-        self._velocity = [np.zeros_like(p.data) for p in self.params]
+        if self._flat is not None:
+            self._velocity = [np.zeros_like(g.data) for g in self._flat.groups]
+            self._scratch = [np.empty_like(g.data) for g in self._flat.groups]
+        else:
+            self._velocity = [np.zeros_like(p.data) for p in self.params]
 
     def step(self) -> None:
+        if self._flat is None:
+            self._step_per_parameter()
+            return
+        for group, v, scratch in zip(self._flat.groups, self._velocity, self._scratch):
+            if self.momentum > 0:
+                np.multiply(v, self.momentum, out=v)
+                np.add(v, group.grad, out=v)
+                np.multiply(v, self.lr, out=scratch)
+            else:
+                np.multiply(group.grad, self.lr, out=scratch)
+            np.subtract(group.data, scratch, out=group.data)
+
+    def _step_per_parameter(self) -> None:
+        """Reference oracle: the original per-parameter update loop."""
         for p, v in zip(self.params, self._velocity):
             if self.momentum > 0:
                 v *= self.momentum
@@ -60,21 +165,62 @@ class Adam(Optimizer):
     """
 
     def __init__(self, params: list[Parameter], lr: float = 2e-4,
-                 beta1: float = 0.5, beta2: float = 0.999, eps: float = 1e-8):
-        super().__init__(params, lr)
+                 beta1: float = 0.5, beta2: float = 0.999, eps: float = 1e-8,
+                 fused: bool | None = None):
+        # Validate before super().__init__ materializes a flat buffer, so a
+        # rejected construction leaves the parameters untouched.
         if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
             raise ValueError("betas must be in [0, 1)")
+        super().__init__(params, lr, fused=fused)
         self.beta1 = beta1
         self.beta2 = beta2
         self.eps = eps
-        self._m = [np.zeros_like(p.data) for p in self.params]
-        self._v = [np.zeros_like(p.data) for p in self.params]
+        if self._flat is not None:
+            groups = self._flat.groups
+            self._m = [np.zeros_like(g.data) for g in groups]
+            self._v = [np.zeros_like(g.data) for g in groups]
+            # Two persistent whole-buffer scratch arrays per dtype group;
+            # step() allocates nothing.
+            self._scratch = [
+                (np.empty_like(g.data), np.empty_like(g.data)) for g in groups
+            ]
+        else:
+            self._m = [np.zeros_like(p.data) for p in self.params]
+            self._v = [np.zeros_like(p.data) for p in self.params]
         self._t = 0
 
     def step(self) -> None:
         self._t += 1
         bc1 = 1.0 - self.beta1**self._t
         bc2 = 1.0 - self.beta2**self._t
+        if self._flat is None:
+            self._step_per_parameter(bc1, bc2)
+            return
+        # Whole-buffer fused update.  Each line performs the same scalar
+        # operation, in the same order, as the per-parameter reference —
+        # elementwise ops over a concatenation of the parameters — so the
+        # result is bit-identical in every dtype.
+        for group, m, v, (s1, s2) in zip(
+            self._flat.groups, self._m, self._v, self._scratch
+        ):
+            grad = group.grad
+            np.multiply(m, self.beta1, out=m)
+            np.multiply(grad, 1.0 - self.beta1, out=s1)
+            np.add(m, s1, out=m)
+            np.multiply(grad, grad, out=s1)
+            np.multiply(s1, 1.0 - self.beta2, out=s1)
+            np.multiply(v, self.beta2, out=v)
+            np.add(v, s1, out=v)
+            np.divide(v, bc2, out=s1)
+            np.sqrt(s1, out=s1)
+            np.add(s1, self.eps, out=s1)
+            np.divide(m, bc1, out=s2)
+            np.multiply(s2, self.lr, out=s2)
+            np.divide(s2, s1, out=s2)
+            np.subtract(group.data, s2, out=group.data)
+
+    def _step_per_parameter(self, bc1: float, bc2: float) -> None:
+        """Reference oracle: the original per-parameter update loop."""
         for p, m, v in zip(self.params, self._m, self._v):
             m *= self.beta1
             m += (1.0 - self.beta1) * p.grad

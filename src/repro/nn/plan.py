@@ -18,8 +18,19 @@ everything derivable from the geometry once:
 Plans are memoized per geometry with :func:`functools.lru_cache`, so the
 three conv layer families (``Conv2D``, ``ConvTranspose2D`` and the 1-D
 pair in :mod:`repro.nn.conv1d`) share index computations across layers,
-batches, and training steps.  One plan handles one or two spatial
-dimensions; ``x_shape`` is ``(N, C, L)`` or ``(N, C, H, W)``.
+batches, and training steps: a table-GAN training run touches only a
+handful of distinct geometries, so after the first mini-batch every
+``im2col``/``col2im`` call is a cache hit (``plan_cache_info`` exposes the
+counters; ``clear_plan_cache`` frees the cached index arrays, which
+benchmarks call to measure cold-start behaviour honestly).  One plan
+handles one or two spatial dimensions; ``x_shape`` is ``(N, C, L)`` or
+``(N, C, H, W)``.
+
+The plan is what the fast/reference testing contract hangs off: the fast
+kernels consume plan indices, the retained ``_reference_*`` oracles in
+:mod:`repro.nn.im2col` recompute everything from scratch, and the property
+tests in ``tests/nn/test_plan.py`` assert the two agree bit-for-bit in
+float64 and within 1e-5 in float32 (see ``docs/architecture.md``).
 """
 
 from __future__ import annotations

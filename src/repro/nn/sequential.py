@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.nn.flatbuf import FlatParameterBuffer
 from repro.nn.layers import Layer, Parameter
 
 
@@ -83,11 +84,52 @@ class Sequential(Layer):
             out_grad = layer.backward(out_grad)
         return out_grad
 
+    def backward_to(self, name_or_index, grad: np.ndarray) -> np.ndarray:
+        """Back-propagate ``grad`` from the network output down *to* a layer.
+
+        Traverses only the layers above the given one and returns the
+        gradient at that layer's **output** without propagating through it.
+        Because every backward rule is linear in the incoming gradient, a
+        gradient injected at that point (e.g. the table-GAN information
+        loss at the discriminator's feature layer) can be *added* to the
+        returned value and the sum propagated the rest of the way with
+        :meth:`backward_from` — one traversal of the lower layers instead
+        of two.
+        """
+        if self._activations is None:
+            raise RuntimeError("backward called before forward")
+        idx = name_or_index if isinstance(name_or_index, int) else self.layer_index(name_or_index)
+        out_grad = grad
+        for layer in reversed(self.layers[idx + 1 :]):
+            out_grad = layer.backward(out_grad)
+        return out_grad
+
     def parameters(self) -> list[Parameter]:
         params: list[Parameter] = []
         for layer in self.layers:
             params.extend(layer.parameters())
         return params
+
+    def flatten_parameters(self) -> FlatParameterBuffer:
+        """Materialize all parameters as views into contiguous buffers.
+
+        Rebinds every parameter's storage to slices of one buffer per
+        dtype (values preserved) and returns the
+        :class:`~repro.nn.flatbuf.FlatParameterBuffer`, which optimizers
+        accept in place of a parameter list for fused whole-buffer
+        updates.  Safe to call on a trained network: all mutation of
+        parameters is in place, so existing gradients survive and
+        subsequent forward/backward passes read and write the views.
+
+        Idempotent: if the parameters are already materialized (e.g. a
+        fused optimizer flattened them first), the existing buffer is
+        returned rather than silently orphaning it with a new one.
+        """
+        params = self.parameters()
+        existing = FlatParameterBuffer.owner_of(params)
+        if existing is not None:
+            return existing
+        return FlatParameterBuffer(params)
 
     def extra_state(self) -> dict[str, np.ndarray]:
         state: dict[str, np.ndarray] = {}

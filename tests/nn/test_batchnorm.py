@@ -1,9 +1,11 @@
-"""BatchNorm: normalization semantics, running statistics, gradients."""
+"""BatchNorm: normalization semantics, running statistics, gradients,
+and fused-kernel vs reference-oracle equivalence."""
 
 import numpy as np
 import pytest
 
 from repro.nn import BatchNorm
+from repro.nn.batchnorm import reference_batchnorm
 
 from tests.nn.gradcheck import check_input_grad, check_param_grads
 
@@ -69,6 +71,112 @@ class TestGradients:
         x = rng.standard_normal((16, 3))
         bn.forward(x, training=True)  # populate running stats
         check_input_grad(bn, rng.standard_normal((4, 3)), training=False, atol=1e-6)
+
+
+def _run_pair(shape, dtype, training=True, accumulate=False, seed=0):
+    """Forward+backward one batch through a fused and a reference layer.
+
+    Returns ``(fused, reference)`` dicts of outputs, input gradients,
+    parameter gradients, and running statistics.
+    """
+    rng = np.random.default_rng(seed)
+    features = shape[1]
+    x = (rng.standard_normal(shape) * 3 + 5).astype(dtype)
+    grad = rng.standard_normal(shape).astype(dtype)
+    results = []
+    for use_reference in (False, True):
+        bn = BatchNorm(features, dtype=dtype)
+        bn.gamma.data[...] = rng_gamma = np.linspace(0.5, 2.0, features)
+        bn.beta.data[...] = np.linspace(-1.0, 1.0, features)
+        if not training:
+            # Populate running stats with a training batch first.
+            warm = (np.random.default_rng(9).standard_normal(shape) * 2).astype(dtype)
+            if use_reference:
+                with reference_batchnorm():
+                    bn.forward(warm, training=True)
+            else:
+                bn.forward(warm, training=True)
+            bn.zero_grad()
+
+        def run():
+            out = bn.forward(x, training=training)
+            dx = bn.backward(grad)
+            if accumulate:  # second backward through the same forward cache
+                dx = dx + bn.backward(grad)
+            return out, dx
+
+        if use_reference:
+            with reference_batchnorm():
+                out, dx = run()
+        else:
+            out, dx = run()
+        results.append({
+            "out": out,
+            "dx": dx,
+            "dgamma": bn.gamma.grad.copy(),
+            "dbeta": bn.beta.grad.copy(),
+            "running_mean": bn.running_mean.copy(),
+            "running_var": bn.running_var.copy(),
+        })
+    return results
+
+
+SHAPES = [(16, 5), (8, 4, 6), (6, 3, 5, 5)]
+
+
+class TestFusedVsReference:
+    """The nn/plan.py convention: bit-for-bit in float64, 1e-5 in float32."""
+
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_float64_bit_identical_training(self, shape):
+        fused, ref = _run_pair(shape, np.float64, training=True)
+        for key in fused:
+            assert np.array_equal(fused[key], ref[key]), key
+
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_float64_bit_identical_eval(self, shape):
+        fused, ref = _run_pair(shape, np.float64, training=False)
+        for key in fused:
+            assert np.array_equal(fused[key], ref[key]), key
+
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_float32_close_training(self, shape):
+        fused, ref = _run_pair(shape, np.float32, training=True)
+        for key in fused:
+            np.testing.assert_allclose(fused[key], ref[key], atol=1e-5,
+                                       err_msg=key)
+
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_float32_close_eval(self, shape):
+        fused, ref = _run_pair(shape, np.float32, training=False)
+        for key in fused:
+            np.testing.assert_allclose(fused[key], ref[key], atol=1e-5,
+                                       err_msg=key)
+
+    def test_double_backward_through_one_forward(self):
+        """Backward must not mutate the cache (the table-GAN generator
+        update back-propagates through the discriminator twice)."""
+        fused, ref = _run_pair((6, 3, 5, 5), np.float64, accumulate=True)
+        assert np.array_equal(fused["dx"], ref["dx"])
+        assert np.array_equal(fused["dgamma"], ref["dgamma"])
+
+    def test_float32_output_dtype_preserved(self, rng):
+        bn = BatchNorm(4, dtype=np.float32)
+        x = rng.standard_normal((8, 4)).astype(np.float32)
+        out = bn.forward(x, training=True)
+        dx = bn.backward(np.ones_like(out))
+        assert out.dtype == np.float32
+        assert dx.dtype == np.float32
+
+    def test_single_pass_variance_clamped_nonnegative(self):
+        """E[x²]−mean² cancellation must never produce negative variance."""
+        bn = BatchNorm(2, dtype=np.float32)
+        # Large mean, tiny spread: worst case for the single-pass formula.
+        x = np.full((64, 2), 100.0, dtype=np.float32)
+        x[::2] += 1e-3
+        out = bn.forward(x, training=True)
+        assert np.all(np.isfinite(out))
+        assert np.all(bn.running_var >= 0.0)
 
 
 class TestRunningStats:

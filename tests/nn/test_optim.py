@@ -1,15 +1,37 @@
-"""Optimizers: convergence on known problems, state handling, validation."""
+"""Optimizers: convergence on known problems, state handling, validation,
+and fused flat-buffer vs per-parameter reference equivalence."""
 
 import numpy as np
 import pytest
 
-from repro.nn import SGD, Adam
+from repro.nn import SGD, Adam, reference_optimizers
 from repro.nn.layers import Parameter
 
 
 def quadratic_step(param, target):
     """Gradient of 0.5 * ||w - target||^2."""
     param.grad[...] = param.data - target
+
+
+def make_pair(dtype, cls, **kwargs):
+    """Two identical parameter sets with a fused and a reference optimizer."""
+    rng = np.random.default_rng(0)
+    shapes = [(4, 3), (7,), (2, 3, 2)]
+    datas = [rng.standard_normal(s).astype(dtype) for s in shapes]
+    fused_params = [Parameter(d.copy(), f"p{i}") for i, d in enumerate(datas)]
+    ref_params = [Parameter(d.copy(), f"p{i}") for i, d in enumerate(datas)]
+    return (fused_params, cls(fused_params, fused=True, **kwargs),
+            ref_params, cls(ref_params, fused=False, **kwargs))
+
+
+def drive(params, opt, steps, dtype, seed=3):
+    """Run ``steps`` updates with a deterministic synthetic gradient stream."""
+    rng = np.random.default_rng(seed)
+    for _ in range(steps):
+        opt.zero_grad()
+        for p in params:
+            p.grad += rng.standard_normal(p.shape).astype(dtype) * 10
+        opt.step()
 
 
 class TestSGD:
@@ -89,3 +111,140 @@ class TestAdam:
         p.grad += 4.0
         opt.zero_grad()
         assert np.all(p.grad == 0)
+
+
+class TestFusedEquivalence:
+    """Flat-buffer updates vs the per-parameter reference oracle."""
+
+    def test_adam_bit_identical_float64(self):
+        fp, fo, rp, ro = make_pair(np.float64, Adam, lr=1e-3)
+        drive(fp, fo, 7, np.float64)
+        drive(rp, ro, 7, np.float64)
+        for a, b in zip(fp, rp):
+            assert np.array_equal(a.data, b.data)
+
+    def test_adam_matches_float32(self):
+        fp, fo, rp, ro = make_pair(np.float32, Adam, lr=1e-3)
+        drive(fp, fo, 7, np.float32)
+        drive(rp, ro, 7, np.float32)
+        for a, b in zip(fp, rp):
+            assert a.data.dtype == np.float32
+            np.testing.assert_allclose(a.data, b.data, atol=1e-5)
+
+    def test_sgd_momentum_bit_identical_float64(self):
+        fp, fo, rp, ro = make_pair(np.float64, SGD, lr=0.01, momentum=0.9)
+        drive(fp, fo, 7, np.float64)
+        drive(rp, ro, 7, np.float64)
+        for a, b in zip(fp, rp):
+            assert np.array_equal(a.data, b.data)
+
+    def test_sgd_momentum_matches_float32(self):
+        fp, fo, rp, ro = make_pair(np.float32, SGD, lr=0.01, momentum=0.9)
+        drive(fp, fo, 7, np.float32)
+        drive(rp, ro, 7, np.float32)
+        for a, b in zip(fp, rp):
+            np.testing.assert_allclose(a.data, b.data, atol=1e-5)
+
+    def test_sgd_plain_bit_identical(self):
+        fp, fo, rp, ro = make_pair(np.float64, SGD, lr=0.05)
+        drive(fp, fo, 3, np.float64)
+        drive(rp, ro, 3, np.float64)
+        for a, b in zip(fp, rp):
+            assert np.array_equal(a.data, b.data)
+
+    def test_mixed_dtype_parameter_list(self):
+        """Per-dtype grouping keeps a mixed list correct."""
+        datas = [np.ones(4, dtype=np.float32), np.full(3, 2.0)]
+        fused = [Parameter(d.copy()) for d in datas]
+        ref = [Parameter(d.copy()) for d in datas]
+        fo = Adam(fused, lr=0.01, fused=True)
+        ro = Adam(ref, lr=0.01, fused=False)
+        for params, opt in ((fused, fo), (ref, ro)):
+            for p in params:
+                p.grad += 1.0
+            opt.step()
+        for a, b in zip(fused, ref):
+            assert a.data.dtype == b.data.dtype
+            np.testing.assert_allclose(a.data, b.data, atol=1e-6)
+
+    def test_reference_context_disables_fusion(self):
+        with reference_optimizers():
+            opt = Adam([Parameter(np.zeros(2))])
+        assert opt.fused is False
+        opt = Adam([Parameter(np.zeros(2))])
+        assert opt.fused is True
+
+
+class TestStateSurvival:
+    """Optimizer state must survive zero_grad(); only gradients reset."""
+
+    def test_adam_moments_survive_zero_grad(self):
+        p = Parameter(np.array([1.0, -2.0]))
+        opt = Adam([p], lr=0.01, fused=True)
+        p.grad += 3.0
+        opt.step()
+        m_before = [m.copy() for m in opt._m]
+        v_before = [v.copy() for v in opt._v]
+        opt.zero_grad()
+        assert np.all(p.grad == 0.0)
+        for m, mb in zip(opt._m, m_before):
+            assert np.array_equal(m, mb)
+        for v, vb in zip(opt._v, v_before):
+            assert np.array_equal(v, vb)
+        assert opt._t == 1
+
+    def test_trajectory_with_interleaved_zero_grad_matches_reference(self):
+        """zero_grad between steps must not perturb the fused trajectory."""
+        fp, fo, rp, ro = make_pair(np.float64, Adam, lr=1e-3)
+        for step in range(5):
+            for params, opt in ((fp, fo), (rp, ro)):
+                opt.zero_grad()
+                opt.zero_grad()  # double zero must be harmless
+                g_rng = np.random.default_rng(step)
+                for p in params:
+                    p.grad += g_rng.standard_normal(p.shape)
+                opt.step()
+        for a, b in zip(fp, rp):
+            assert np.array_equal(a.data, b.data)
+
+    def test_sgd_velocity_survives_zero_grad(self):
+        p = Parameter(np.array([5.0]))
+        opt = SGD([p], lr=0.1, momentum=0.9, fused=True)
+        p.grad += 1.0
+        opt.step()
+        vel = [v.copy() for v in opt._velocity]
+        opt.zero_grad()
+        for v, vb in zip(opt._velocity, vel):
+            assert np.array_equal(v, vb)
+
+
+class TestRebinding:
+    """Constructing optimizers must not permanently claim the parameters."""
+
+    def test_failed_construction_leaves_params_reusable(self):
+        p = Parameter(np.array([1.0, -2.0]))
+        with pytest.raises(ValueError):
+            Adam([p], beta1=1.5, fused=True)
+        with pytest.raises(ValueError):
+            SGD([p], momentum=-0.1, fused=True)
+        # The rejected constructors must not have bound p to a buffer that
+        # a corrected retry then trips over.
+        opt = Adam([p], beta1=0.5, fused=True)
+        p.grad += 3.0
+        opt.step()
+
+    def test_second_optimizer_over_same_params_reuses_buffer(self):
+        p = Parameter(np.array([1.0, -2.0]))
+        first = Adam([p], fused=True)
+        second = Adam([p], fused=True)
+        assert second._flat is first._flat
+        p.grad += 1.0
+        second.step()
+
+    def test_optimizer_reuses_explicitly_flattened_buffer(self):
+        from repro.nn.flatbuf import FlatParameterBuffer
+
+        p = Parameter(np.array([4.0]))
+        buf = FlatParameterBuffer([p])
+        opt = Adam([p], fused=True)
+        assert opt._flat is buf

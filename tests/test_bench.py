@@ -1,0 +1,76 @@
+"""Smoke tests for the training-engine benchmark (``repro bench --quick``).
+
+Runs the real benchmark code path on the scaled-down quick workload so the
+engine/reference dispatch, the report schema, and the CLI wiring cannot
+silently rot between releases.
+"""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    QUICK_WORKLOAD,
+    REPORT_KEYS,
+    format_report,
+    main,
+    run_benchmarks,
+    write_report,
+)
+
+
+@pytest.fixture(scope="module")
+def quick_report():
+    return run_benchmarks(quick=True)
+
+
+class TestQuickBenchmark:
+    def test_report_schema(self, quick_report):
+        assert quick_report["quick"] is True
+        assert quick_report["workload"] == QUICK_WORKLOAD
+        for section in ("engine", "reference"):
+            assert set(quick_report[section]) == set(REPORT_KEYS)
+            for key, value in quick_report[section].items():
+                assert value > 0, key
+
+    def test_speedups_computed_for_every_metric(self, quick_report):
+        expected = {key.removesuffix("_s") for key in REPORT_KEYS}
+        assert set(quick_report["speedup"]) == expected
+        for name, ratio in quick_report["speedup"].items():
+            assert ratio > 0, name
+
+    def test_format_report_lists_every_metric(self, quick_report):
+        text = format_report(quick_report)
+        for key in REPORT_KEYS:
+            assert key.removesuffix("_s") in text
+
+    def test_write_report_round_trips(self, quick_report, tmp_path):
+        path = tmp_path / "bench.json"
+        write_report(quick_report, str(path))
+        assert json.loads(path.read_text()) == quick_report
+
+    def test_rejects_bad_repeats(self):
+        with pytest.raises(ValueError):
+            run_benchmarks(repeats=0)
+
+
+class TestCliWiring:
+    def test_main_quick_writes_report(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_engine.json"
+        assert main(str(out), quick=True) == 0
+        report = json.loads(out.read_text())
+        assert report["quick"] is True
+        assert "fit_epoch_s" in report["engine"]
+        assert "report written" in capsys.readouterr().out
+
+    def test_cli_parses_quick_flag(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["bench", "--quick"])
+        assert args.quick is True
+        args = build_parser().parse_args(["bench"])
+        assert args.quick is False
+
+    def test_unwritable_path_fails_fast(self, tmp_path, capsys):
+        assert main(str(tmp_path / "missing" / "x.json"), quick=True) == 1
+        assert "cannot write" in capsys.readouterr().out
