@@ -15,7 +15,9 @@ Subpackages:
 * :mod:`repro.ml` — the scikit-learn substitute used by the evaluation;
 * :mod:`repro.baselines` — ARX/sdcMicro substitutes, condensation, DCGAN;
 * :mod:`repro.privacy` — DCR, risk models, the membership attack;
-* :mod:`repro.evaluation` — statistical similarity and model compatibility.
+* :mod:`repro.evaluation` — statistical similarity and model compatibility;
+* :mod:`repro.serve` — the synthesis serving subsystem (model registry,
+  micro-batched service, sharded parallel sampling, streaming sinks).
 """
 
 from repro.core import (
@@ -26,6 +28,13 @@ from repro.core import (
     high_privacy,
     low_privacy,
     mid_privacy,
+)
+from repro.serve import (
+    CsvSink,
+    ModelRegistry,
+    NpzSink,
+    ShardedSampler,
+    SynthesisService,
 )
 
 __version__ = "1.0.0"
@@ -38,5 +47,10 @@ __all__ = [
     "mid_privacy",
     "high_privacy",
     "dcgan_baseline",
+    "ModelRegistry",
+    "SynthesisService",
+    "ShardedSampler",
+    "CsvSink",
+    "NpzSink",
     "__version__",
 ]

@@ -13,6 +13,14 @@ epoch on a synthetic 16×16 workload — twice each:
   optimizer loops — all forced via :func:`repro.nn.reference_kernels`) in
   float64 — i.e. what every training step cost before the engine.
 
+A third section, **synthesis**, measures the serving layer's throughput
+(rows/sec) on the same generator three ways: per-request sampling (one
+tiny forward per request), the micro-batched :class:`~repro.serve.service.
+SynthesisService` (all requests coalesced into one forward), and the
+sharded :class:`~repro.serve.sharding.ShardedSampler` across a worker
+pool — which also asserts that 1-worker and N-worker outputs are
+bit-identical.
+
 Results are written as ``BENCH_engine.json`` so speedups are trackable
 across commits; ``docs/benchmarks.md`` explains how to read the report and
 records the trajectory.  The standalone runner lives at
@@ -24,13 +32,17 @@ benchmark code paths cannot silently rot.
 from __future__ import annotations
 
 import json
+import tempfile
 import time
 
 import numpy as np
 
 from repro.core.config import TableGanConfig
 from repro.core.networks import build_classifier, build_discriminator, build_generator
+from repro.core.tablegan import TableGAN, build_generator_for, matrixizer_for
 from repro.core.trainer import TableGanTrainer
+from repro.data.encoding import TableCodec
+from repro.data.schema import ColumnKind, ColumnRole, ColumnSpec, TableSchema
 from repro.nn import (
     Adam,
     BatchNorm,
@@ -41,6 +53,7 @@ from repro.nn import (
 )
 from repro.nn.batchnorm import reference_batchnorm
 from repro.nn.im2col import reference_ops
+from repro.serve import ModelRegistry, ShardedSampler, SynthesisService
 
 #: The synthetic 16×16 benchmark workload (≈ the quickstart scale, but with
 #: the deeper conv ladder a 16-sided record matrix exercises).
@@ -55,6 +68,11 @@ WORKLOAD = {
     "bn_batch": 64,
     "bn_channels": 64,
     "bn_side": 8,
+    "synth_requests": 128,
+    "synth_request_rows": 8,
+    "synth_sharded_rows": 8192,
+    "synth_shard_rows": 1024,
+    "synth_workers": 2,
 }
 
 #: Scaled-down workload for ``--quick`` smoke runs (seconds, not minutes).
@@ -69,6 +87,11 @@ QUICK_WORKLOAD = {
     "bn_batch": 16,
     "bn_channels": 8,
     "bn_side": 4,
+    "synth_requests": 16,
+    "synth_request_rows": 4,
+    "synth_sharded_rows": 256,
+    "synth_shard_rows": 64,
+    "synth_workers": 2,
 }
 
 
@@ -177,6 +200,74 @@ def _fit_epoch_seconds(workload: dict, dtype_name: str, reference: bool,
     return _best_of(one_epoch, repeats)
 
 
+def _serving_model(side: int, base_channels: int, dtype: str = "float32") -> TableGAN:
+    """A sample-ready TableGAN (untrained weights; forward cost is identical)."""
+    n_features = side * side - 3  # exercise the matrixizer's zero padding
+    schema = TableSchema([
+        ColumnSpec(f"c{i:03d}", ColumnKind.CONTINUOUS, ColumnRole.SENSITIVE)
+        for i in range(n_features)
+    ])
+    config = TableGanConfig(epochs=1, base_channels=base_channels, side=side,
+                            seed=0, dtype=dtype)
+    codec = TableCodec.from_ranges(schema, [-1.0] * n_features,
+                                   [1.0] * n_features)
+    return TableGAN.from_parts(
+        config, codec, matrixizer_for(config, n_features, side),
+        build_generator_for(config, side, rng=0),
+    )
+
+
+def _synthesis_timings(workload: dict, repeats: int) -> dict:
+    """Rows/sec: per-request sampling vs micro-batched service vs sharded pool.
+
+    All three paths produce decoded rows from the same generator; only the
+    serving strategy differs.  ``sharded_worker_invariant`` records whether
+    1-worker and N-worker sharded outputs were bit-identical (they must be:
+    the shard plan and per-shard RNGs never depend on the worker count).
+    """
+    model = _serving_model(workload["side"], workload["base_channels"])
+    requests = [workload["synth_request_rows"]] * workload["synth_requests"]
+    total = sum(requests)
+
+    def per_request():
+        sampler = model.record_sampler()
+        rng = np.random.default_rng(7)
+        for rows in requests:
+            sampler.sample_table(rows, rng=rng, batch_size=rows)
+
+    def micro_batched():
+        SynthesisService(model, seed=7).sample_many(requests)
+
+    per_request_s = _best_of(per_request, repeats)
+    micro_batched_s = _best_of(micro_batched, repeats)
+
+    sharded_rows = workload["synth_sharded_rows"]
+    workers = workload["synth_workers"]
+    with tempfile.TemporaryDirectory() as tmp:
+        registry = ModelRegistry(tmp)
+        registry.register("bench", model)
+        sharded = ShardedSampler(registry, "bench",
+                                 shard_rows=workload["synth_shard_rows"])
+        single = sharded.sample_values(sharded_rows, seed=7, workers=1)
+        fanned = sharded.sample_values(sharded_rows, seed=7, workers=workers)
+        invariant = bool(np.array_equal(single, fanned))
+        sharded_s = _best_of(
+            lambda: sharded.sample_values(sharded_rows, seed=7, workers=workers),
+            repeats,
+        )
+    return {
+        "requests": len(requests),
+        "request_rows": workload["synth_request_rows"],
+        "per_request_rows_per_s": total / per_request_s,
+        "microbatched_rows_per_s": total / micro_batched_s,
+        "microbatch_speedup": per_request_s / micro_batched_s,
+        "sharded_rows": sharded_rows,
+        "sharded_workers": workers,
+        "sharded_rows_per_s": sharded_rows / sharded_s,
+        "sharded_worker_invariant": invariant,
+    }
+
+
 def run_benchmarks(repeats: int = 5, fit_repeats: int = 2,
                    quick: bool = False) -> dict:
     """Run the full engine-vs-reference comparison and return the report.
@@ -210,6 +301,7 @@ def run_benchmarks(repeats: int = 5, fit_repeats: int = 2,
         for key in engine
         if engine[key] > 0
     }
+    report["synthesis"] = _synthesis_timings(workload, repeats)
     return report
 
 
@@ -242,6 +334,25 @@ def format_report(report: dict) -> str:
         lines.append(
             f"{name:<18}  {report['engine'][key]:>9.4f}s  "
             f"{report['reference'][key]:>9.4f}s  {report['speedup'][name]:>6.1f}x"
+        )
+    synthesis = report.get("synthesis")
+    if synthesis:
+        lines.append("")
+        lines.append(
+            f"synthesis throughput ({synthesis['requests']} requests × "
+            f"{synthesis['request_rows']} rows):"
+        )
+        lines.append(
+            f"  per-request   {synthesis['per_request_rows_per_s']:>12,.0f} rows/s"
+        )
+        lines.append(
+            f"  micro-batched {synthesis['microbatched_rows_per_s']:>12,.0f} rows/s"
+            f"  ({synthesis['microbatch_speedup']:.1f}x)"
+        )
+        lines.append(
+            f"  sharded (x{synthesis['sharded_workers']})  "
+            f"{synthesis['sharded_rows_per_s']:>12,.0f} rows/s"
+            f"  (worker-invariant: {synthesis['sharded_worker_invariant']})"
         )
     return "\n".join(lines)
 

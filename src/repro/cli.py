@@ -6,21 +6,28 @@ Examples
 
     python -m repro datasets
     python -m repro train --dataset adult --rows 1000 --epochs 15 \
-        --privacy low --model /tmp/adult.npz
+        --privacy low --model /tmp/adult.npz --register adult-low
     python -m repro sample --dataset adult --rows 1000 --model /tmp/adult.npz \
         -n 500 --out /tmp/synthetic.csv
     python -m repro evaluate --dataset lacity --rows 800 --epochs 15
     python -m repro attack --dataset adult --rows 800 --epochs 10
+    python -m repro serve-registry
+    python -m repro synth --model-name adult-low -n 1000000 --workers 4 \
+        --out /tmp/rows.csv
 
-All commands regenerate the dataset deterministically from ``--dataset``,
-``--rows`` and ``--seed``, so a saved generator can be reloaded against the
-exact table it was trained on.
+``train``/``sample``/``evaluate``/``attack`` regenerate the dataset
+deterministically from ``--dataset``, ``--rows`` and ``--seed``, so a saved
+generator can be reloaded against the exact table it was trained on.  The
+serving verbs (``serve-registry``, ``synth``) need no dataset at all: the
+model registry persists schema and codec state alongside the weights.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
 
 import numpy as np
 
@@ -31,8 +38,12 @@ from repro.evaluation import classification_compatibility, mean_area_distance
 from repro.evaluation.compatibility import classifier_suite
 from repro.evaluation.reporting import format_table
 from repro.privacy import MembershipAttack, dcr, dcr_sensitive_only
+from repro.serve import CsvSink, ModelRegistry, NpzSink, ShardedSampler
 
 _PRIVACY_PRESETS = {"low": low_privacy, "mid": mid_privacy, "high": high_privacy}
+
+#: Default registry root for the serving verbs.
+DEFAULT_REGISTRY = "model-registry"
 
 
 def _add_common_args(parser: argparse.ArgumentParser) -> None:
@@ -78,7 +89,12 @@ def cmd_datasets(args) -> int:
 
 
 def cmd_train(args) -> int:
-    """Train a table-GAN and save the generator."""
+    """Train a table-GAN, save the generator, and/or register it for serving."""
+    registry = ModelRegistry(args.registry) if args.register else None
+    if registry is not None:
+        # Validate the name now: a bad --register must fail in milliseconds,
+        # not after the whole training run.
+        registry.path_for(args.register)
     bundle = _load_bundle(args)
     print(f"training table-GAN on {args.dataset} ({bundle.train.n_rows} rows, "
           f"{args.privacy} privacy, layout={args.layout}) ...")
@@ -91,6 +107,9 @@ def cmd_train(args) -> int:
     if args.model:
         gan.save(args.model)
         print(f"generator saved to {args.model}")
+    if registry is not None:
+        registry.register(args.register, gan, overwrite=True)
+        print(f"registered as {args.register!r} in {registry.root}")
     return 0
 
 
@@ -155,6 +174,60 @@ def cmd_attack(args) -> int:
     return 0
 
 
+def cmd_serve_registry(args) -> int:
+    """List, inspect, or delete models in the serving registry."""
+    registry = ModelRegistry(args.registry)
+    if args.delete:
+        registry.delete(args.delete)
+        print(f"deleted {args.delete!r} from {registry.root}")
+        return 0
+    if args.show:
+        manifest = registry.manifest(args.show)
+        print(json.dumps(manifest, indent=2, sort_keys=True))
+        return 0
+    entries = registry.describe()
+    if not entries:
+        print(f"registry {registry.root} is empty "
+              "(train with --register NAME to add a model)")
+        return 0
+    rows = [
+        (
+            entry["name"], entry["kind"], str(entry["models"]),
+            f"{entry['n_features']}", f"{entry['side']}",
+            entry["layout"], entry["dtype"],
+            time.strftime("%Y-%m-%d %H:%M",
+                          time.localtime(entry["created_at"]))
+            if entry["created_at"] else "?",
+        )
+        for entry in entries
+    ]
+    print(format_table(
+        ["model", "kind", "models", "features", "side", "layout", "dtype",
+         "created"],
+        rows, title=f"registry {registry.root}",
+    ))
+    return 0
+
+
+def cmd_synth(args) -> int:
+    """Stream synthetic rows from a registered model to CSV or NPZ."""
+    sampler = ShardedSampler(args.registry, args.model_name,
+                             shard_rows=args.shard_rows)
+    schema = sampler.schema
+    if args.out.endswith(".npz"):
+        sink = NpzSink(args.out, columns=schema.names)
+    else:
+        sink = CsvSink(args.out, schema)
+    started = time.perf_counter()
+    with sink:
+        rows = sampler.sample_to_sink(args.n, sink, seed=args.seed,
+                                      workers=args.workers)
+    elapsed = time.perf_counter() - started
+    print(f"wrote {rows} synthetic rows to {args.out} in {elapsed:.2f}s "
+          f"({rows / elapsed:,.0f} rows/s, {args.workers} worker(s))")
+    return 0
+
+
 def _positive_int(value: str) -> int:
     count = int(value)
     if count < 1:
@@ -186,6 +259,10 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common_args(p_train)
     _add_training_args(p_train)
     p_train.add_argument("--model", default=None, help="path to save the generator (.npz)")
+    p_train.add_argument("--register", default=None, metavar="NAME",
+                         help="register the trained model for serving under NAME")
+    p_train.add_argument("--registry", default=DEFAULT_REGISTRY,
+                         help=f"registry directory (default: {DEFAULT_REGISTRY})")
     p_train.set_defaults(func=cmd_train)
 
     p_sample = sub.add_parser("sample", help="sample synthetic rows from a saved model")
@@ -207,6 +284,37 @@ def build_parser() -> argparse.ArgumentParser:
     p_attack.add_argument("--shadows", type=int, default=1,
                           help="number of shadow table-GANs")
     p_attack.set_defaults(func=cmd_attack)
+
+    p_registry = sub.add_parser(
+        "serve-registry", help="list/inspect/delete models in the serving registry"
+    )
+    p_registry.add_argument("--registry", default=DEFAULT_REGISTRY,
+                            help=f"registry directory (default: {DEFAULT_REGISTRY})")
+    p_registry.add_argument("--show", default=None, metavar="NAME",
+                            help="print one model's manifest as JSON")
+    p_registry.add_argument("--delete", default=None, metavar="NAME",
+                            help="remove a registered model")
+    p_registry.set_defaults(func=cmd_serve_registry)
+
+    p_synth = sub.add_parser(
+        "synth", help="stream synthetic rows from a registered model"
+    )
+    p_synth.add_argument("--registry", default=DEFAULT_REGISTRY,
+                         help=f"registry directory (default: {DEFAULT_REGISTRY})")
+    p_synth.add_argument("--model-name", required=True,
+                         help="model name in the registry")
+    p_synth.add_argument("-n", type=_positive_int, default=1000,
+                         help="rows to synthesize (default: 1000)")
+    p_synth.add_argument("--out", required=True,
+                         help="output path; .npz streams arrays, anything else CSV")
+    p_synth.add_argument("--seed", type=int, default=7,
+                         help="generation seed (output is a pure function of "
+                              "seed, n, and --shard-rows; never of --workers)")
+    p_synth.add_argument("--workers", type=_positive_int, default=1,
+                         help="parallel sampling processes (default: 1)")
+    p_synth.add_argument("--shard-rows", type=_positive_int, default=8192,
+                         help="rows per shard / per streamed write (default: 8192)")
+    p_synth.set_defaults(func=cmd_synth)
 
     p_bench = sub.add_parser(
         "bench", help="benchmark the conv engine vs the reference implementation"

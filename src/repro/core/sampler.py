@@ -30,20 +30,28 @@ class RecordSampler:
         The record/matrix converter used during training.
     latent_dim:
         Latent dimension the generator was built with.
+    batch_size:
+        Default rows per generator forward pass.  The serving layer raises
+        it to amortize per-call convolution overhead over large
+        micro-batches; any ``sample_*`` call may override it per call.
     """
 
     def __init__(self, generator: Sequential, codec: TableCodec,
-                 matrixizer: Matrixizer, latent_dim: int):
+                 matrixizer: Matrixizer, latent_dim: int, batch_size: int = 256):
         if latent_dim <= 0:
             raise ValueError(f"latent_dim must be positive, got {latent_dim}")
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
         self.generator = generator
         self.codec = codec
         self.matrixizer = matrixizer
         self.latent_dim = latent_dim
+        self.batch_size = batch_size
         params = generator.parameters()
         self._dtype = params[0].data.dtype if params else np.dtype(np.float64)
 
-    def sample_matrices(self, n: int, rng=None, batch_size: int = 256) -> np.ndarray:
+    def sample_matrices(self, n: int, rng=None,
+                        batch_size: int | None = None) -> np.ndarray:
         """Generate ``n`` raw record matrices (N, 1, d, d) in [-1, 1].
 
         The output is allocated once and filled batch by batch (no
@@ -53,6 +61,7 @@ class RecordSampler:
         """
         if n <= 0:
             raise ValueError(f"n must be positive, got {n}")
+        batch_size = self.batch_size if batch_size is None else batch_size
         if batch_size <= 0:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
         rng = ensure_rng(rng)
@@ -70,10 +79,14 @@ class RecordSampler:
             filled += batch
         return out
 
-    def sample_records(self, n: int, rng=None) -> np.ndarray:
+    def sample_records(self, n: int, rng=None,
+                       batch_size: int | None = None) -> np.ndarray:
         """Generate ``n`` encoded records (N, n_features) in [-1, 1]."""
-        return self.matrixizer.to_records(self.sample_matrices(n, rng))
+        return self.matrixizer.to_records(
+            self.sample_matrices(n, rng, batch_size=batch_size)
+        )
 
-    def sample_table(self, n: int, rng=None) -> Table:
+    def sample_table(self, n: int, rng=None,
+                     batch_size: int | None = None) -> Table:
         """Generate ``n`` decoded, schema-valid synthetic rows."""
-        return self.codec.decode(self.sample_records(n, rng))
+        return self.codec.decode(self.sample_records(n, rng, batch_size=batch_size))

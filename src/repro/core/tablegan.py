@@ -38,9 +38,35 @@ from repro.data.matrixizer import (
     side_for_features,
 )
 from repro.data.table import Table
-from repro.nn import load_state_dict, sigmoid, state_dict
+from repro.nn import atomic_savez, load_state_dict, sigmoid, state_dict
 from repro.utils.rng import ensure_rng
 from repro.utils.validation import check_fitted
+
+
+def build_generator_for(config: TableGanConfig, side: int, rng=None,
+                        dtype=None):
+    """A fresh generator matching ``config``'s layout at matrix side ``side``.
+
+    ``dtype`` overrides ``config.dtype`` (used when restoring weights that
+    were saved in a different precision).  Shared by :meth:`TableGAN.
+    load_generator` and the serving-layer model registry, so every path
+    that rebuilds a generator from persisted state constructs the same
+    architecture.
+    """
+    dtype = config.np_dtype if dtype is None else np.dtype(dtype)
+    rng = ensure_rng(rng if rng is not None else config.seed)
+    if config.layout == "vector":
+        return build_generator_1d(side, config.latent_dim, config.base_channels,
+                                  rng, dtype=dtype)
+    return build_generator(side, config.latent_dim, config.base_channels,
+                           rng, dtype=dtype)
+
+
+def matrixizer_for(config: TableGanConfig, n_features: int, side: int):
+    """The record/matrix converter matching ``config``'s layout."""
+    if config.layout == "vector":
+        return Vectorizer(n_features, length=side)
+    return Matrixizer(n_features, side=side)
 
 
 class TableGAN:
@@ -135,6 +161,27 @@ class TableGAN:
         self.train_seconds_ = time.perf_counter() - started
         return self
 
+    @classmethod
+    def from_parts(cls, config: TableGanConfig, codec: TableCodec,
+                   matrixizer, generator) -> "TableGAN":
+        """Assemble a sample-ready TableGAN from restored components.
+
+        This is the constructor the serving layer's model registry uses: it
+        rebuilds codec, matrixizer, and generator from persisted artifacts
+        (no training table required) and gets back an object whose
+        ``sample``/``sample_encoded`` behave exactly like the originally
+        fitted model's.
+        """
+        gan = cls(config)
+        gan.codec_ = codec
+        gan.matrixizer_ = matrixizer
+        gan.generator_ = generator
+        return gan
+
+    def record_sampler(self) -> RecordSampler:
+        """The cached :class:`RecordSampler` (public serving-layer surface)."""
+        return self._get_sampler()
+
     def _get_sampler(self) -> RecordSampler:
         """The cached :class:`RecordSampler` for the fitted generator.
 
@@ -179,7 +226,11 @@ class TableGAN:
         return sigmoid(logits.astype(np.float64))
 
     def save(self, path) -> None:
-        """Persist generator weights plus codec state to ``path`` (.npz)."""
+        """Persist generator weights plus codec state to ``path`` (.npz).
+
+        The write is atomic (temp file + ``os.replace``), so an interrupted
+        save never leaves a truncated archive behind.
+        """
         check_fitted(self, "generator_")
         payload = {f"gen.{k}": v for k, v in state_dict(self.generator_).items()}
         payload["meta.side"] = np.array([self.matrixizer_.side])
@@ -188,7 +239,7 @@ class TableGAN:
         maxs = np.array([c.data_max_ for c in self.codec_.codecs_])
         payload["meta.col_min"] = mins
         payload["meta.col_max"] = maxs
-        np.savez_compressed(path, **payload)
+        atomic_savez(path, **payload)
 
     def load_generator(self, path, table: Table) -> "TableGAN":
         """Load generator weights saved by :meth:`save`.
@@ -222,17 +273,8 @@ class TableGAN:
                 if np.issubdtype(v.dtype, np.floating)
             }
             saved_dtype = dtypes.pop() if len(dtypes) == 1 else np.dtype(np.float64)
-            if self.config.layout == "vector":
-                self.matrixizer_ = Vectorizer(n_features, length=side)
-                self.generator_ = build_generator_1d(
-                    side, self.config.latent_dim, self.config.base_channels,
-                    ensure_rng(self.config.seed), dtype=saved_dtype,
-                )
-            else:
-                self.matrixizer_ = Matrixizer(n_features, side=side)
-                self.generator_ = build_generator(
-                    side, self.config.latent_dim, self.config.base_channels,
-                    ensure_rng(self.config.seed), dtype=saved_dtype,
-                )
+            self.matrixizer_ = matrixizer_for(self.config, n_features, side)
+            self.generator_ = build_generator_for(self.config, side,
+                                                  dtype=saved_dtype)
             load_state_dict(self.generator_, gen_state)
         return self

@@ -83,6 +83,29 @@ class TableCodec:
             self.codecs_.append(codec)
         return self
 
+    @classmethod
+    def from_ranges(cls, schema: TableSchema, col_min, col_max) -> "TableCodec":
+        """A fitted codec rebuilt from persisted per-column min/max ranges.
+
+        The inverse of reading ``data_min_``/``data_max_`` off a fitted
+        codec — how the serving layer restores a codec without the
+        training table.
+        """
+        if len(col_min) != schema.n_columns or len(col_max) != schema.n_columns:
+            raise ValueError(
+                f"ranges cover {len(col_min)}/{len(col_max)} columns, "
+                f"schema has {schema.n_columns}"
+            )
+        codec = cls()
+        codec.schema_ = schema
+        codec.codecs_ = []
+        for lo, hi in zip(col_min, col_max):
+            column = MinMaxCodec(codec.feature_range)
+            column.data_min_ = float(lo)
+            column.data_max_ = float(hi)
+            codec.codecs_.append(column)
+        return codec
+
     def encode(self, table: Table) -> np.ndarray:
         """Encode ``table`` to an (n_rows, n_columns) matrix in the feature range."""
         check_fitted(self, "codecs_")

@@ -114,11 +114,21 @@ def read_csv(path, qids=(), label: str | None = None,
     return Table(np.column_stack(data), schema)
 
 
+def iter_decoded_rows(table: Table):
+    """Yield each row of ``table`` as a list with categoricals decoded.
+
+    The shared row renderer behind :func:`write_csv` and the serving
+    layer's streaming :class:`~repro.serve.sinks.CsvSink` — one place
+    defines how a row looks on disk.
+    """
+    decoded = [table.decode_column(name) for name in table.schema.names]
+    for i in range(table.n_rows):
+        yield [column[i] for column in decoded]
+
+
 def write_csv(table: Table, path) -> None:
     """Write a Table to CSV, decoding categorical codes to their strings."""
-    decoded = {name: table.decode_column(name) for name in table.schema.names}
     with open(path, "w", newline="") as handle:
         writer = csv.writer(handle)
         writer.writerow(table.schema.names)
-        for i in range(table.n_rows):
-            writer.writerow([decoded[name][i] for name in table.schema.names])
+        writer.writerows(iter_decoded_rows(table))

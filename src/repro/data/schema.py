@@ -73,6 +73,25 @@ class ColumnSpec:
         """Vocabulary size (0 for non-categorical columns)."""
         return len(self.categories)
 
+    def to_dict(self) -> dict:
+        """JSON-serializable form (used by the serving-layer model registry)."""
+        return {
+            "name": self.name,
+            "kind": self.kind.value,
+            "role": self.role.value,
+            "categories": list(self.categories),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ColumnSpec":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            name=data["name"],
+            kind=ColumnKind(data["kind"]),
+            role=ColumnRole(data["role"]),
+            categories=tuple(data.get("categories", ())),
+        )
+
 
 class TableSchema:
     """Ordered collection of :class:`ColumnSpec` plus task annotations.
@@ -134,6 +153,21 @@ class TableSchema:
     def spec(self, name: str) -> ColumnSpec:
         """The :class:`ColumnSpec` for ``name``."""
         return self.columns[self.index(name)]
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (used by the serving-layer model registry)."""
+        return {
+            "columns": [spec.to_dict() for spec in self.columns],
+            "regression_target": self.regression_target,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TableSchema":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            [ColumnSpec.from_dict(entry) for entry in data["columns"]],
+            regression_target=data.get("regression_target"),
+        )
 
     def __contains__(self, name: str) -> bool:
         return name in self._index

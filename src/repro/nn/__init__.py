@@ -27,7 +27,13 @@ from repro.nn.losses import bce_with_logits, hinge_threshold, l1, mse, sigmoid
 from repro.nn.optim import SGD, Adam, Optimizer, reference_optimizers
 from repro.nn.plan import ConvPlan, clear_plan_cache, conv_plan, plan_cache_info
 from repro.nn.sequential import Sequential
-from repro.nn.serialization import load_npz, load_state_dict, save_npz, state_dict
+from repro.nn.serialization import (
+    atomic_savez,
+    load_npz,
+    load_state_dict,
+    save_npz,
+    state_dict,
+)
 
 
 @contextmanager
@@ -80,4 +86,5 @@ __all__ = [
     "load_state_dict",
     "save_npz",
     "load_npz",
+    "atomic_savez",
 ]

@@ -30,27 +30,48 @@ class ReLU(Layer):
 
 
 class LeakyReLU(Layer):
-    """Leaky rectifier, ``x if x > 0 else alpha * x`` (default alpha 0.2)."""
+    """Leaky rectifier, ``x if x > 0 else alpha * x`` (default alpha 0.2).
+
+    The cached state is a boolean bitmask (1 byte per element) instead of a
+    full-size floating scale array; forward and backward scale everything by
+    alpha and then overwrite the positive entries in place.  The retained
+    scale-array idiom (``_reference_forward``/``_reference_backward``) is the
+    oracle the bitmask path is tested bit-identical against.
+    """
 
     def __init__(self, alpha: float = 0.2):
         super().__init__()
         if alpha < 0:
             raise ValueError(f"alpha must be non-negative, got {alpha}")
         self.alpha = alpha
-        self._scale: np.ndarray | None = None
+        self._mask: np.ndarray | None = None
+
+    def _alpha_for(self, dtype: np.dtype):
+        return dtype.type(self.alpha) if np.issubdtype(dtype, np.floating) else self.alpha
 
     def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
-        # One cached scale array (1 or alpha per element) makes forward and
-        # backward a single multiply each instead of two np.where passes.
-        one = x.dtype.type(1.0) if np.issubdtype(x.dtype, np.floating) else 1.0
-        alpha = x.dtype.type(self.alpha) if np.issubdtype(x.dtype, np.floating) else self.alpha
-        self._scale = np.where(x > 0, one, alpha)
-        return x * self._scale
+        self._mask = x > 0
+        out = np.multiply(x, self._alpha_for(x.dtype))
+        np.copyto(out, x, where=self._mask)
+        return out
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
-        if self._scale is None:
+        if self._mask is None:
             raise RuntimeError("backward called before forward")
-        return grad * self._scale
+        dx = np.multiply(grad, self._alpha_for(grad.dtype))
+        np.copyto(dx, grad, where=self._mask)
+        return dx
+
+    # Reference oracle: the full-size scale-array idiom, retained for the
+    # fast==reference equivalence tests in ``tests/nn/test_activations.py``.
+    def _reference_forward(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        one = x.dtype.type(1.0) if np.issubdtype(x.dtype, np.floating) else 1.0
+        scale = np.where(x > 0, one, self._alpha_for(x.dtype))
+        return x * scale, scale
+
+    @staticmethod
+    def _reference_backward(grad: np.ndarray, scale: np.ndarray) -> np.ndarray:
+        return grad * scale
 
 
 class Sigmoid(Layer):

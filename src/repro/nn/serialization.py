@@ -4,13 +4,52 @@ Weights are stored as flat ``.npz`` archives keyed by position so a trained
 table-GAN can be saved and reloaded without retraining.  Loading validates
 shapes so mismatched architectures fail loudly instead of silently
 corrupting a model.
+
+Saves are **atomic**: :func:`atomic_savez` writes the archive to a
+temporary file in the destination directory and commits it with a single
+``os.replace``, so an interrupted save (crash, SIGKILL, full disk) can
+never leave a truncated archive at the final path for the model registry
+to load.
 """
 
 from __future__ import annotations
 
+import os
+import tempfile
+
 import numpy as np
 
 from repro.nn.layers import Layer
+
+
+def _npz_path(path) -> str:
+    """The final archive path, mirroring numpy's ``.npz`` suffix behaviour."""
+    path = os.fspath(path)
+    return path if path.endswith(".npz") else path + ".npz"
+
+
+def atomic_savez(path, **arrays) -> str:
+    """``np.savez_compressed`` with write-temp-then-``os.replace`` semantics.
+
+    Returns the final path written (with the ``.npz`` suffix numpy would
+    have appended).  On any failure the temporary file is removed and the
+    destination is left untouched.
+    """
+    final = _npz_path(path)
+    directory = os.path.dirname(final) or "."
+    fd, tmp = tempfile.mkstemp(dir=directory, prefix=".tmp-",
+                               suffix=os.path.basename(final))
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            np.savez_compressed(handle, **arrays)
+        os.replace(tmp, final)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return final
 
 
 def state_dict(network: Layer) -> dict[str, np.ndarray]:
@@ -47,8 +86,8 @@ def load_state_dict(network: Layer, state: dict[str, np.ndarray]) -> None:
 
 
 def save_npz(path, network: Layer) -> None:
-    """Write ``network`` parameters to ``path`` as a compressed .npz archive."""
-    np.savez_compressed(path, **state_dict(network))
+    """Atomically write ``network`` parameters to ``path`` as a .npz archive."""
+    atomic_savez(path, **state_dict(network))
 
 
 def load_npz(path, network: Layer) -> None:

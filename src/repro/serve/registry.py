@@ -1,0 +1,366 @@
+"""Model registry: persist trained synthesizers for the serving layer.
+
+Training is the expensive phase; generation is cheap (§4.3).  The registry
+is the boundary between the two: a trained :class:`~repro.core.tablegan.
+TableGAN` or :class:`~repro.core.chunking.ChunkedTableGAN` is registered
+once, with everything needed to sample from it later — generator weights
+(including batch-norm running statistics), the per-column min/max codec
+ranges, the table schema, and the training configuration — and any number
+of serving processes load it by name without ever seeing the training
+table.
+
+Directory layout (one subdirectory per model)::
+
+    <root>/
+        <name>/
+            manifest.json           # metadata + per-artifact SHA-256
+            generator.npz           # TableGAN weights, or
+            chunk_0000.npz ...      # one archive per ChunkedTableGAN chunk
+
+Two guarantees:
+
+* **Atomic registration** — artifacts are staged into a hidden temporary
+  directory inside the root and committed with a single ``os.replace`` of
+  the directory, so a crash mid-register can never leave a half-written
+  model visible to :meth:`ModelRegistry.load` or :meth:`ModelRegistry.
+  names`.
+* **Corrupt-artifact detection** — every archive's SHA-256 is recorded in
+  the manifest and re-verified before deserializing; a truncated or
+  bit-flipped archive raises :class:`CorruptArtifactError` instead of
+  being served.  Architecture mismatches surface as :class:`RegistryError`
+  via the shape validation in ``load_state_dict``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import re
+import shutil
+import tempfile
+import time
+import zipfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.chunking import ChunkedTableGAN
+from repro.core.config import TableGanConfig
+from repro.core.tablegan import TableGAN, build_generator_for, matrixizer_for
+from repro.data.encoding import TableCodec
+from repro.data.schema import TableSchema
+from repro.nn import load_state_dict, state_dict
+
+#: Manifest schema version; bumped on incompatible layout changes.
+FORMAT_VERSION = 1
+
+MANIFEST_NAME = "manifest.json"
+
+_NAME_RE = re.compile(r"[A-Za-z0-9][A-Za-z0-9._-]*\Z")
+
+
+class RegistryError(RuntimeError):
+    """A registry operation failed (unknown model, name clash, bad manifest)."""
+
+
+class CorruptArtifactError(RegistryError):
+    """A persisted artifact failed checksum or deserialization validation."""
+
+
+def _check_name(name: str) -> str:
+    if not isinstance(name, str) or not _NAME_RE.fullmatch(name):
+        raise RegistryError(
+            f"invalid model name {name!r}: use letters, digits, '.', '_', '-' "
+            "(must not start with '.')"
+        )
+    return name
+
+
+def _sha256(path: Path) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for block in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(block)
+    return digest.hexdigest()
+
+
+def _config_to_dict(config: TableGanConfig) -> dict:
+    data = dataclasses.asdict(config)
+    if data.get("label_columns") is not None:
+        data["label_columns"] = list(data["label_columns"])
+    return data
+
+
+def _config_from_dict(data: dict) -> TableGanConfig:
+    data = dict(data)
+    if data.get("label_columns") is not None:
+        data["label_columns"] = tuple(data["label_columns"])
+    try:
+        return TableGanConfig(**data)
+    except (TypeError, ValueError) as exc:
+        raise RegistryError(f"manifest config is invalid: {exc}") from exc
+
+
+class ModelRegistry:
+    """Named, validated persistence for trained synthesizers.
+
+    Parameters
+    ----------
+    root:
+        Registry directory; created (with parents) on first
+        :meth:`register`.  Read operations never create it, so a mistyped
+        ``--registry`` path cannot leave stray directories behind.
+    """
+
+    def __init__(self, root):
+        self.root = Path(root)
+
+    # ------------------------------------------------------------------
+    # Introspection.
+    # ------------------------------------------------------------------
+    def path_for(self, name: str) -> Path:
+        """The directory a model named ``name`` lives in."""
+        return self.root / _check_name(name)
+
+    def __contains__(self, name: str) -> bool:
+        try:
+            path = self.path_for(name)
+        except RegistryError:
+            return False
+        return (path / MANIFEST_NAME).is_file()
+
+    def names(self) -> list[str]:
+        """Registered model names, sorted (staging/trash dirs excluded)."""
+        if not self.root.is_dir():
+            return []
+        return sorted(
+            entry.name for entry in self.root.iterdir()
+            if entry.is_dir() and not entry.name.startswith(".")
+            and (entry / MANIFEST_NAME).is_file()
+        )
+
+    def manifest(self, name: str) -> dict:
+        """The parsed manifest of model ``name``."""
+        path = self.path_for(name) / MANIFEST_NAME
+        if not path.is_file():
+            raise RegistryError(f"no model named {name!r} in {self.root}")
+        try:
+            with open(path) as handle:
+                manifest = json.load(handle)
+        except (json.JSONDecodeError, OSError) as exc:
+            raise CorruptArtifactError(f"unreadable manifest for {name!r}: {exc}") from exc
+        if not isinstance(manifest, dict):
+            raise CorruptArtifactError(f"manifest for {name!r} is not an object")
+        return manifest
+
+    # ------------------------------------------------------------------
+    # Registration.
+    # ------------------------------------------------------------------
+    def register(self, name: str, model, overwrite: bool = False) -> dict:
+        """Persist a fitted model under ``name`` and return its manifest.
+
+        ``model`` is a fitted :class:`TableGAN` or :class:`ChunkedTableGAN`.
+        A fresh registration commits with one directory rename, so a crash
+        can never expose a half-written model.  Overwriting swaps the old
+        directory aside first and restores it if the commit rename fails;
+        the one remaining hole is a SIGKILL between the two renames (POSIX
+        offers no atomic non-empty-directory exchange), in which case the
+        previous model survives under a hidden ``.trash-*`` directory
+        rather than being lost.  With ``overwrite=False`` an existing
+        model of the same name is refused.
+        """
+        final = self.path_for(name)
+        if final.exists() and not overwrite:
+            raise RegistryError(
+                f"model {name!r} already registered (use overwrite=True)"
+            )
+        self.root.mkdir(parents=True, exist_ok=True)
+        stage = Path(tempfile.mkdtemp(dir=self.root, prefix=f".stage-{name}-"))
+        try:
+            manifest = self._stage(stage, name, model)
+            with open(stage / MANIFEST_NAME, "w") as handle:
+                json.dump(manifest, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            if final.exists():
+                trash = self.root / f".trash-{name}-{os.getpid()}"
+                os.replace(final, trash)
+                try:
+                    os.replace(stage, final)
+                except BaseException:
+                    # Put the previous model back before propagating.
+                    os.replace(trash, final)
+                    raise
+                shutil.rmtree(trash, ignore_errors=True)
+            else:
+                os.replace(stage, final)
+        except BaseException:
+            shutil.rmtree(stage, ignore_errors=True)
+            raise
+        return manifest
+
+    def _stage(self, stage: Path, name: str, model) -> dict:
+        if isinstance(model, TableGAN):
+            if model.generator_ is None:
+                raise RegistryError("cannot register an unfitted TableGAN")
+            entry = self._stage_generator(stage, "generator.npz", model)
+            extra = {"kind": "tablegan", "generator": entry}
+            reference = model
+        elif isinstance(model, ChunkedTableGAN):
+            if model.models_ is None:
+                raise RegistryError("cannot register an unfitted ChunkedTableGAN")
+            chunks = []
+            for idx, (chunk, size) in enumerate(
+                zip(model.models_, model.chunk_sizes_)
+            ):
+                entry = self._stage_generator(stage, f"chunk_{idx:04d}.npz", chunk)
+                entry["size"] = int(size)
+                chunks.append(entry)
+            extra = {"kind": "chunked", "chunks": chunks}
+            reference = model.models_[0]
+        else:
+            raise RegistryError(
+                f"cannot register {type(model).__name__}; expected TableGAN "
+                "or ChunkedTableGAN"
+            )
+        params = reference.generator_.parameters()
+        dtype = params[0].data.dtype if params else np.dtype(np.float64)
+        manifest = {
+            "format_version": FORMAT_VERSION,
+            "name": name,
+            "created_at": time.time(),
+            "config": _config_to_dict(model.config),
+            "schema": reference.codec_.schema_.to_dict(),
+            "side": int(reference.matrixizer_.side),
+            "n_features": int(reference.matrixizer_.n_features),
+            "dtype": dtype.name,
+        }
+        manifest.update(extra)
+        return manifest
+
+    @staticmethod
+    def _stage_generator(stage: Path, filename: str, gan: TableGAN) -> dict:
+        path = stage / filename
+        np.savez_compressed(path, **state_dict(gan.generator_))
+        return {
+            "file": filename,
+            "sha256": _sha256(path),
+            "col_min": [c.data_min_ for c in gan.codec_.codecs_],
+            "col_max": [c.data_max_ for c in gan.codec_.codecs_],
+        }
+
+    # ------------------------------------------------------------------
+    # Loading.
+    # ------------------------------------------------------------------
+    def load(self, name: str):
+        """Rebuild a sample-ready model from its persisted artifacts.
+
+        Returns a :class:`TableGAN` or :class:`ChunkedTableGAN` whose
+        ``sample`` output is bit-identical to the originally registered
+        model's (same seed, same rows).
+        """
+        manifest = self.manifest(name)
+        version = manifest.get("format_version")
+        if version != FORMAT_VERSION:
+            raise RegistryError(
+                f"model {name!r} has format version {version}, "
+                f"this build reads {FORMAT_VERSION}"
+            )
+        try:
+            config = _config_from_dict(manifest["config"])
+            schema = TableSchema.from_dict(manifest["schema"])
+            side = int(manifest["side"])
+            n_features = int(manifest["n_features"])
+            dtype = np.dtype(manifest["dtype"])
+            kind = manifest["kind"]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CorruptArtifactError(
+                f"manifest for {name!r} is missing or malformed: {exc}"
+            ) from exc
+        if n_features != schema.n_columns:
+            raise CorruptArtifactError(
+                f"manifest for {name!r} records {n_features} features but "
+                f"its schema has {schema.n_columns} columns"
+            )
+        directory = self.path_for(name)
+        if kind == "tablegan":
+            return self._load_one(directory, manifest["generator"], config,
+                                  schema, side, dtype, name)
+        if kind == "chunked":
+            chunks = manifest["chunks"]
+            if not chunks:
+                raise CorruptArtifactError(f"model {name!r} has no chunks")
+            chunked = ChunkedTableGAN(config, n_chunks=len(chunks))
+            chunked.models_ = [
+                self._load_one(directory, entry, config, schema, side, dtype,
+                               name)
+                for entry in chunks
+            ]
+            chunked.chunk_sizes_ = [int(entry["size"]) for entry in chunks]
+            return chunked
+        raise CorruptArtifactError(f"model {name!r} has unknown kind {kind!r}")
+
+    def _load_one(self, directory: Path, entry: dict, config: TableGanConfig,
+                  schema: TableSchema, side: int, dtype, name: str) -> TableGAN:
+        try:
+            filename = entry["file"]
+            expected = entry["sha256"]
+            col_min, col_max = entry["col_min"], entry["col_max"]
+        except (KeyError, TypeError) as exc:
+            raise CorruptArtifactError(
+                f"artifact entry for {name!r} is malformed: {exc}"
+            ) from exc
+        path = directory / filename
+        if not path.is_file():
+            raise CorruptArtifactError(f"model {name!r} is missing {filename}")
+        actual = _sha256(path)
+        if actual != expected:
+            raise CorruptArtifactError(
+                f"checksum mismatch for {name!r}/{filename}: "
+                f"manifest {expected[:12]}…, file {actual[:12]}…"
+            )
+        try:
+            codec = TableCodec.from_ranges(schema, col_min, col_max)
+            matrixizer = matrixizer_for(config, schema.n_columns, side)
+            generator = build_generator_for(config, side, dtype=dtype)
+            with np.load(path) as archive:
+                load_state_dict(generator, dict(archive.items()))
+        except (ValueError, KeyError, OSError, zipfile.BadZipFile) as exc:
+            raise CorruptArtifactError(
+                f"cannot restore {name!r}/{filename}: {exc}"
+            ) from exc
+        return TableGAN.from_parts(config, codec, matrixizer, generator)
+
+    # ------------------------------------------------------------------
+    # Maintenance.
+    # ------------------------------------------------------------------
+    def delete(self, name: str) -> None:
+        """Remove a registered model (atomic: rename out, then delete)."""
+        path = self.path_for(name)
+        if not path.exists():
+            raise RegistryError(f"no model named {name!r} in {self.root}")
+        trash = self.root / f".trash-{name}-{os.getpid()}"
+        os.replace(path, trash)
+        shutil.rmtree(trash, ignore_errors=True)
+
+    def describe(self) -> list[dict]:
+        """One summary dict per registered model (for listings)."""
+        rows = []
+        for name in self.names():
+            manifest = self.manifest(name)
+            n_models = (
+                len(manifest.get("chunks", []))
+                if manifest.get("kind") == "chunked" else 1
+            )
+            rows.append({
+                "name": name,
+                "kind": manifest.get("kind", "?"),
+                "models": n_models,
+                "side": manifest.get("side"),
+                "n_features": manifest.get("n_features"),
+                "dtype": manifest.get("dtype", "?"),
+                "layout": manifest.get("config", {}).get("layout", "?"),
+                "created_at": manifest.get("created_at"),
+            })
+        return rows

@@ -1,0 +1,176 @@
+"""Sharded parallel sampling: fan generation across a worker pool.
+
+Chunked/trained generators are embarrassingly parallel to *sample* from
+(§4.4): rows are i.i.d. draws, so a large request can be split into shards
+and generated on several processes at once.  The one thing parallelism
+must never change is the output, so determinism is built into the plan,
+not the scheduling:
+
+* :func:`plan_shards` splits ``n`` rows into fixed-size shards and gives
+  each shard its own child of one ``np.random.SeedSequence`` — the spawn
+  tree depends only on ``(n, shard_rows, seed)``, never on the worker
+  count;
+* each worker loads the model from the :class:`~repro.serve.registry.
+  ModelRegistry` (once per process) and samples its shards with the
+  shard-local RNG;
+* results are assembled in shard order.
+
+Hence ``--workers 1`` and ``--workers 8`` produce **bit-identical**
+output; the pool only decides which process computes which shard.  Workers
+re-load from the registry instead of inheriting live objects, so the same
+code path works under both ``fork`` and ``spawn`` start methods.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.table import Table
+from repro.serve.registry import ModelRegistry
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One unit of the generation plan: ``rows`` rows under ``seed``."""
+
+    index: int
+    rows: int
+    seed: np.random.SeedSequence
+
+
+def plan_shards(n: int, shard_rows: int, seed=None) -> list[Shard]:
+    """Deterministic shard plan for ``n`` rows, independent of workers.
+
+    Every shard holds ``shard_rows`` rows except a short final remainder,
+    and carries its own spawned :class:`~numpy.random.SeedSequence` child,
+    so the plan — and therefore the sampled output — is a pure function of
+    ``(n, shard_rows, seed)``.
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    if shard_rows <= 0:
+        raise ValueError(f"shard_rows must be positive, got {shard_rows}")
+    n_shards = -(-n // shard_rows)
+    children = np.random.SeedSequence(seed).spawn(n_shards)
+    return [
+        Shard(index=i, rows=min(shard_rows, n - i * shard_rows), seed=child)
+        for i, child in enumerate(children)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Worker-side machinery.  Module-level (picklable) so both fork and spawn
+# start methods can run it; each worker process loads the model from the
+# registry exactly once and caches it.
+# ----------------------------------------------------------------------
+_WORKER_MODEL: dict = {}
+
+
+def _worker_init(root: str, name: str) -> None:
+    _WORKER_MODEL["model"] = ModelRegistry(root).load(name)
+
+
+def _sample_shard(shard: Shard) -> np.ndarray:
+    model = _WORKER_MODEL["model"]
+    table = model.sample(shard.rows, rng=np.random.default_rng(shard.seed))
+    return table.values
+
+
+def _default_start_method() -> str:
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+class ShardedSampler:
+    """Sample a registered model across a ``multiprocessing`` pool.
+
+    Parameters
+    ----------
+    registry:
+        :class:`ModelRegistry` or a registry root path.
+    name:
+        Registered model name (``TableGAN`` or ``ChunkedTableGAN``).
+    shard_rows:
+        Rows per shard.  Also the unit of streaming: sinks receive one
+        shard at a time, so peak memory is ``O(shard_rows)``, not ``O(n)``.
+    start_method:
+        ``multiprocessing`` start method; default ``fork`` where available
+        (cheap on POSIX), else ``spawn``.
+    """
+
+    def __init__(self, registry, name: str, shard_rows: int = 8192,
+                 start_method: str | None = None):
+        if shard_rows <= 0:
+            raise ValueError(f"shard_rows must be positive, got {shard_rows}")
+        registry = (
+            registry if isinstance(registry, ModelRegistry)
+            else ModelRegistry(registry)
+        )
+        if name not in registry:
+            raise ValueError(f"no model named {name!r} in {registry.root}")
+        self.registry = registry
+        self.name = name
+        self.shard_rows = shard_rows
+        self.start_method = start_method or _default_start_method()
+        self._model = None
+
+    def model(self):
+        """The registry model, loaded lazily in this process."""
+        if self._model is None:
+            self._model = self.registry.load(self.name)
+        return self._model
+
+    @property
+    def schema(self):
+        """Schema of the sampled table."""
+        model = self.model()
+        reference = model if hasattr(model, "codec_") else model.models_[0]
+        return reference.codec_.schema_
+
+    def _shard_values(self, shards, workers: int):
+        """Yield each shard's decoded values, in shard order."""
+        workers = min(int(workers), len(shards))
+        if workers <= 1:
+            model = self.model()
+            for shard in shards:
+                yield model.sample(
+                    shard.rows, rng=np.random.default_rng(shard.seed)
+                ).values
+            return
+        ctx = multiprocessing.get_context(self.start_method)
+        with ctx.Pool(
+            workers, initializer=_worker_init,
+            initargs=(os.fspath(self.registry.root), self.name),
+        ) as pool:
+            # imap preserves shard order while shards compute out of order,
+            # so results stream to the caller as their turn comes up.
+            yield from pool.imap(_sample_shard, shards)
+
+    def sample_values(self, n: int, seed=None, workers: int = 1) -> np.ndarray:
+        """``n`` decoded rows as a value matrix, invariant to ``workers``."""
+        shards = plan_shards(n, self.shard_rows, seed)
+        return np.concatenate(list(self._shard_values(shards, workers)), axis=0)
+
+    def sample_table(self, n: int, seed=None, workers: int = 1) -> Table:
+        """``n`` decoded rows as a schema-valid :class:`Table`."""
+        return Table(self.sample_values(n, seed=seed, workers=workers),
+                     self.schema)
+
+    def sample_to_sink(self, n: int, sink, seed=None, workers: int = 1) -> int:
+        """Stream ``n`` rows into ``sink`` shard by shard; returns rows written.
+
+        Combined with the streaming sinks this generates multi-million-row
+        outputs in bounded memory: no more than one shard per worker is in
+        flight, and each shard is written and dropped as soon as its turn
+        in the output order arrives.
+        """
+        shards = plan_shards(n, self.shard_rows, seed)
+        written = 0
+        for values in self._shard_values(shards, workers):
+            sink.write(values)
+            written += values.shape[0]
+        return written

@@ -1,0 +1,173 @@
+"""Streaming output sinks: multi-million-row synthesis in bounded memory.
+
+A sink accepts decoded table values chunk by chunk (each chunk typically
+one shard from :class:`~repro.serve.sharding.ShardedSampler`) and writes
+them to disk immediately, so peak memory is one chunk regardless of total
+output size.  Both sinks are **atomic**: content goes to a temporary file
+next to the destination and is committed with ``os.replace`` on a clean
+close; on error (or ``close(commit=False)``) the temporary file is removed
+and the destination is never touched — a crashed million-row export leaves
+no half-written file behind.
+
+* :class:`CsvSink` — schema-aware CSV with categorical codes decoded to
+  their vocabulary strings, row format shared with
+  :func:`repro.data.io.write_csv` via ``iter_decoded_rows``.
+* :class:`NpzSink` — a ``np.load``-compatible ``.npz`` archive written
+  incrementally: each chunk becomes one ``chunk_NNNNN`` member (plus a
+  ``columns`` member), so neither writer nor reader ever needs the full
+  matrix in memory at once.  :func:`read_npz_chunks` reassembles it.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+import zipfile
+
+import numpy as np
+
+from repro.data.io import iter_decoded_rows
+from repro.data.schema import TableSchema
+from repro.data.table import Table
+
+
+class _AtomicSink:
+    """Shared temp-file lifecycle: write to ``.tmp``, commit via replace."""
+
+    def __init__(self, path):
+        self.path = os.fspath(path)
+        self._tmp = f"{self.path}.tmp-{os.getpid()}"
+        self.rows_written = 0
+        self._closed = False
+
+    def _commit_payload(self) -> None:
+        """Hook: flush and close the underlying writer."""
+        raise NotImplementedError
+
+    def close(self, commit: bool = True) -> None:
+        """Finish the sink; commit moves the temp file to the final path."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._commit_payload()
+        except BaseException:
+            commit = False
+            raise
+        finally:
+            if commit:
+                os.replace(self._tmp, self.path)
+            else:
+                try:
+                    os.unlink(self._tmp)
+                except OSError:
+                    pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close(commit=exc_type is None)
+        return False
+
+
+class CsvSink(_AtomicSink):
+    """Append decoded table rows to a CSV file, chunk by chunk.
+
+    Parameters
+    ----------
+    path:
+        Final CSV path (written atomically on close).
+    schema:
+        Table schema; drives the header and categorical decoding.
+    """
+
+    def __init__(self, path, schema: TableSchema):
+        super().__init__(path)
+        self.schema = schema
+        self._handle = open(self._tmp, "w", newline="")
+        self._writer = csv.writer(self._handle)
+        self._writer.writerow(schema.names)
+
+    def write(self, values) -> int:
+        """Write one chunk (a value matrix or a Table); returns its row count."""
+        if self._closed:
+            raise ValueError("sink is closed")
+        table = values if isinstance(values, Table) else Table(
+            np.asarray(values), self.schema
+        )
+        if table.schema is not self.schema and table.schema != self.schema:
+            raise ValueError("chunk schema does not match the sink schema")
+        self._writer.writerows(iter_decoded_rows(table))
+        self.rows_written += table.n_rows
+        return table.n_rows
+
+    def _commit_payload(self) -> None:
+        self._handle.close()
+
+
+class NpzSink(_AtomicSink):
+    """Stream value chunks into a ``np.load``-compatible ``.npz`` archive.
+
+    Each :meth:`write` call appends one ``chunk_NNNNN`` member; close adds
+    a ``columns`` member naming the columns.  Compression is per member,
+    so memory stays bounded by the largest single chunk.
+    """
+
+    def __init__(self, path, columns=None):
+        super().__init__(path)
+        self.columns = tuple(columns) if columns is not None else None
+        self._zip = zipfile.ZipFile(self._tmp, "w", zipfile.ZIP_DEFLATED,
+                                    allowZip64=True)
+        self._n_chunks = 0
+
+    def _write_member(self, name: str, values: np.ndarray) -> None:
+        with self._zip.open(f"{name}.npy", "w") as handle:
+            np.lib.format.write_array(handle, values, allow_pickle=False)
+
+    def write(self, values) -> int:
+        """Write one chunk of rows; returns its row count."""
+        if self._closed:
+            raise ValueError("sink is closed")
+        values = values.values if isinstance(values, Table) else values
+        values = np.ascontiguousarray(values)
+        if values.ndim != 2:
+            raise ValueError(f"chunks must be 2-D, got shape {values.shape}")
+        if self.columns is not None and values.shape[1] != len(self.columns):
+            raise ValueError(
+                f"chunk has {values.shape[1]} columns, sink expects "
+                f"{len(self.columns)}"
+            )
+        self._write_member(f"chunk_{self._n_chunks:05d}", values)
+        self._n_chunks += 1
+        self.rows_written += values.shape[0]
+        return values.shape[0]
+
+    def _commit_payload(self) -> None:
+        try:
+            if self.columns is not None:
+                self._write_member("columns", np.array(self.columns))
+        finally:
+            self._zip.close()
+
+
+def read_npz_chunks(path) -> tuple[np.ndarray, tuple[str, ...] | None]:
+    """Reassemble an :class:`NpzSink` archive into ``(values, columns)``.
+
+    ``columns`` is ``None`` when the sink was written without column names.
+    """
+    with np.load(path) as archive:
+        # Numeric sort: lexicographic order would misplace chunk_100000
+        # (6 digits) before chunk_99999 once the zero padding overflows.
+        keys = sorted(
+            (k for k in archive.files if k.startswith("chunk_")),
+            key=lambda k: int(k.rsplit("_", 1)[1]),
+        )
+        if not keys:
+            raise ValueError(f"{path} holds no chunk members")
+        values = np.concatenate([archive[k] for k in keys], axis=0)
+        columns = (
+            tuple(str(c) for c in archive["columns"])
+            if "columns" in archive.files else None
+        )
+    return values, columns

@@ -47,3 +47,57 @@ class TestSampling:
                 trained_gan.generator_, trained_gan.codec_,
                 trained_gan.matrixizer_, 0,
             )
+
+    def test_constructor_batch_size_is_the_default(self, trained_gan):
+        small = RecordSampler(
+            trained_gan.generator_, trained_gan.codec_,
+            trained_gan.matrixizer_, trained_gan.config.latent_dim,
+            batch_size=4,
+        )
+        a = small.sample_records(10, rng=np.random.default_rng(5))
+        b = small.sample_records(10, rng=np.random.default_rng(5), batch_size=256)
+        assert np.allclose(a, b)
+        with pytest.raises(ValueError):
+            RecordSampler(
+                trained_gan.generator_, trained_gan.codec_,
+                trained_gan.matrixizer_, trained_gan.config.latent_dim,
+                batch_size=0,
+            )
+
+
+class TestInferenceMode:
+    """Sampling must run the generator in eval mode (BatchNorm running stats)."""
+
+    def _batchnorms(self, generator):
+        from repro.nn import BatchNorm
+
+        return [layer for layer in generator if isinstance(layer, BatchNorm)]
+
+    def test_sampling_does_not_perturb_running_stats(self, sampler):
+        bns = self._batchnorms(sampler.generator)
+        assert bns, "generator should contain BatchNorm layers"
+        before = [(bn.running_mean.copy(), bn.running_var.copy()) for bn in bns]
+        sampler.sample_matrices(32, rng=np.random.default_rng(0))
+        for bn, (mean, var) in zip(bns, before):
+            assert np.array_equal(bn.running_mean, mean)
+            assert np.array_equal(bn.running_var, var)
+
+    def test_sampling_reads_running_stats(self, sampler):
+        """Perturbing the running statistics must change sampled output."""
+        baseline = sampler.sample_matrices(8, rng=np.random.default_rng(2))
+        bn = self._batchnorms(sampler.generator)[0]
+        saved = bn.running_mean.copy()
+        try:
+            bn.running_mean = bn.running_mean + 0.5
+            shifted = sampler.sample_matrices(8, rng=np.random.default_rng(2))
+        finally:
+            bn.running_mean = saved
+        assert not np.allclose(baseline, shifted)
+
+    def test_repeat_sampling_is_deterministic(self, sampler):
+        """Eval-mode forward has no batch-statistics feedback: same seed,
+        same rows, regardless of what was sampled in between."""
+        first = sampler.sample_records(12, rng=np.random.default_rng(9))
+        sampler.sample_records(33, rng=np.random.default_rng(1))
+        again = sampler.sample_records(12, rng=np.random.default_rng(9))
+        assert np.array_equal(first, again)

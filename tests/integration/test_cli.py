@@ -19,6 +19,17 @@ class TestParser:
             parsed = parser.parse_args([command, *sub_args])
             assert parsed.command == command
 
+    def test_serving_subcommands_registered(self):
+        parser = build_parser()
+        assert parser.parse_args(["serve-registry"]).command == "serve-registry"
+        args = parser.parse_args([
+            "synth", "--model-name", "m", "-n", "50", "--out", "o.csv",
+            "--workers", "2",
+        ])
+        assert args.command == "synth"
+        assert args.workers == 2
+        assert args.shard_rows == 8192
+
     def test_unknown_dataset_rejected(self):
         parser = build_parser()
         with pytest.raises(SystemExit):
@@ -52,6 +63,58 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "DCR" in out
         assert "model compatibility" in out
+
+
+class TestServingCommands:
+    def test_bad_register_name_fails_before_training(self, tmp_path):
+        from repro.serve import RegistryError
+
+        registry = str(tmp_path / "registry")
+        with pytest.raises(RegistryError, match="invalid model name"):
+            main(["train", "--dataset", "adult", "--rows", "300",
+                  "--epochs", "1", "--base-channels", "8",
+                  "--register", "bad/name", "--registry", registry])
+        assert not (tmp_path / "registry").exists()
+
+    def test_train_register_list_synth_round_trip(self, tmp_path, capsys):
+        registry = str(tmp_path / "registry")
+        common = ["--dataset", "adult", "--rows", "300", "--seed", "5",
+                  "--epochs", "1", "--base-channels", "8"]
+        assert main(["train", *common, "--register", "adult-tiny",
+                     "--registry", registry]) == 0
+        assert main(["serve-registry", "--registry", registry]) == 0
+        out = capsys.readouterr().out
+        assert "adult-tiny" in out
+        assert "tablegan" in out
+
+        assert main(["serve-registry", "--registry", registry,
+                     "--show", "adult-tiny"]) == 0
+        assert '"format_version"' in capsys.readouterr().out
+
+        # synth output is a pure function of the seed, never of --workers.
+        out_a = str(tmp_path / "a.csv")
+        out_b = str(tmp_path / "b.csv")
+        base = ["synth", "--registry", registry, "--model-name", "adult-tiny",
+                "-n", "60", "--seed", "3", "--shard-rows", "25"]
+        assert main([*base, "--out", out_a, "--workers", "1"]) == 0
+        assert main([*base, "--out", out_b, "--workers", "2"]) == 0
+        with open(out_a) as handle:
+            rows = list(csv.reader(handle))
+        assert len(rows) == 61  # header + 60 samples
+        assert open(out_a).read() == open(out_b).read()
+
+        out_npz = str(tmp_path / "c.npz")
+        assert main([*base, "--out", out_npz, "--workers", "2"]) == 0
+        from repro.serve import read_npz_chunks
+
+        values, columns = read_npz_chunks(out_npz)
+        assert values.shape == (60, len(rows[0]))
+        assert columns[0] == "age"
+
+        assert main(["serve-registry", "--registry", registry,
+                     "--delete", "adult-tiny"]) == 0
+        assert main(["serve-registry", "--registry", registry]) == 0
+        assert "empty" in capsys.readouterr().out
 
 
 class TestWriteCsv:

@@ -58,6 +58,33 @@ class TestLeakyReLU:
         assert np.allclose(out[pos], x[pos])
         assert np.all(out[~pos] <= 0)
 
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_bitmask_matches_reference_bit_for_bit(self, rng, dtype):
+        """The bitmask path equals the retained scale-array oracle exactly.
+
+        Zeros are included deliberately: the two idioms must agree on the
+        x == 0 branch as well.
+        """
+        layer = LeakyReLU(0.2)
+        x = rng.standard_normal((16, 32)).astype(dtype)
+        x[::3, ::4] = 0.0
+        grad = rng.standard_normal((16, 32)).astype(dtype)
+
+        out = layer.forward(x)
+        dx = layer.backward(grad)
+        ref_out, scale = layer._reference_forward(x)
+        ref_dx = layer._reference_backward(grad, scale)
+
+        assert out.dtype == dtype and dx.dtype == dtype
+        assert np.array_equal(out, ref_out)
+        assert np.array_equal(dx, ref_dx)
+
+    def test_cached_state_is_a_bitmask(self, rng):
+        """The forward cache is one bool per element, not a float array."""
+        layer = LeakyReLU(0.2)
+        layer.forward(rng.standard_normal((4, 4)))
+        assert layer._mask.dtype == np.bool_
+
 
 class TestSigmoid:
     def test_range_and_midpoint(self):

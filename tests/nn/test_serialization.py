@@ -1,4 +1,6 @@
-"""Weight persistence: round trips and mismatch detection."""
+"""Weight persistence: round trips, mismatch detection, atomic writes."""
+
+import os
 
 import numpy as np
 import pytest
@@ -7,6 +9,7 @@ from repro.nn import (
     Dense,
     LeakyReLU,
     Sequential,
+    atomic_savez,
     load_npz,
     load_state_dict,
     save_npz,
@@ -56,3 +59,45 @@ class TestNpz:
         load_npz(path, target)
         x = rng.standard_normal((2, 4))
         assert np.allclose(source.forward(x), target.forward(x))
+
+
+class TestAtomicSavez:
+    def test_appends_npz_suffix_like_numpy(self, tmp_path):
+        final = atomic_savez(tmp_path / "weights", a=np.arange(3))
+        assert final.endswith("weights.npz")
+        with np.load(final) as archive:
+            assert np.array_equal(archive["a"], np.arange(3))
+
+    def test_leaves_no_temp_files(self, tmp_path):
+        atomic_savez(tmp_path / "weights.npz", a=np.arange(3))
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["weights.npz"]
+
+    def test_interrupted_save_preserves_previous_archive(self, tmp_path,
+                                                         monkeypatch):
+        """A crash mid-write must not clobber or truncate the existing file."""
+        path = tmp_path / "weights.npz"
+        atomic_savez(path, a=np.arange(3))
+        before = path.read_bytes()
+
+        def exploding_savez(handle, **arrays):
+            handle.write(b"partial garbage")
+            raise OSError("disk full")
+
+        monkeypatch.setattr(np, "savez_compressed", exploding_savez)
+        with pytest.raises(OSError, match="disk full"):
+            atomic_savez(path, a=np.arange(5))
+        assert path.read_bytes() == before
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["weights.npz"]
+
+    def test_save_npz_is_atomic(self, tmp_path, monkeypatch):
+        net = make_net()
+        path = tmp_path / "net.npz"
+
+        def exploding_savez(handle, **arrays):
+            raise OSError("interrupted")
+
+        monkeypatch.setattr(np, "savez_compressed", exploding_savez)
+        with pytest.raises(OSError):
+            save_npz(path, net)
+        assert not os.path.exists(path)
+        assert list(tmp_path.iterdir()) == []

@@ -1,0 +1,20 @@
+"""Shared serving-layer fixtures.
+
+The registry fixture persists the session's trained tiny GAN once; tests
+treat the registered artifact as read-only and register under fresh names
+when they need to mutate registry state.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import ModelRegistry
+
+
+@pytest.fixture(scope="session")
+def populated_registry(tmp_path_factory, trained_gan):
+    """A registry on disk holding the trained tiny GAN as ``tiny`` (read-only)."""
+    registry = ModelRegistry(tmp_path_factory.mktemp("registry"))
+    registry.register("tiny", trained_gan)
+    return registry

@@ -1,0 +1,108 @@
+"""SynthesisService: micro-batching, pooling, and stream determinism."""
+
+import numpy as np
+import pytest
+
+from repro.serve import SynthesisService
+
+
+class TestRequests:
+    def test_sample_table_shape_and_schema(self, trained_gan, adult_bundle):
+        service = SynthesisService(trained_gan, seed=0)
+        table = service.sample(9)
+        assert table.n_rows == 9
+        assert table.schema == adult_bundle.train.schema
+
+    def test_responses_continue_one_stream(self, trained_gan):
+        """Concatenated responses == one direct sampler call: request
+        batching must never change the record stream."""
+        service = SynthesisService(trained_gan, pool_size=32, seed=5)
+        parts = [service.sample_records(n) for n in (3, 5, 7)]
+        direct = trained_gan.record_sampler().sample_records(
+            15, rng=np.random.default_rng(5)
+        )
+        assert np.array_equal(np.concatenate(parts), direct)
+
+    def test_decoded_matches_encoded_stream(self, trained_gan):
+        service = SynthesisService(trained_gan, seed=5)
+        table = service.sample(10)
+        direct = trained_gan.record_sampler().sample_table(
+            10, rng=np.random.default_rng(5)
+        )
+        assert np.array_equal(table.values, direct.values)
+
+    def test_rejects_bad_requests(self, trained_gan):
+        service = SynthesisService(trained_gan, seed=0)
+        with pytest.raises(ValueError):
+            service.sample_records(0)
+        with pytest.raises(ValueError):
+            service.sample_many([4, 0])
+        with pytest.raises(TypeError):
+            SynthesisService(object())
+        with pytest.raises(ValueError):
+            SynthesisService(trained_gan, pool_size=-1)
+        with pytest.raises(ValueError):
+            SynthesisService(trained_gan, batch_rows=0)
+
+
+class TestMicroBatching:
+    def test_sample_many_slices_one_block(self, trained_gan):
+        service = SynthesisService(trained_gan, seed=7)
+        counts = [4, 1, 6, 3]
+        tables = service.sample_many(counts)
+        assert [t.n_rows for t in tables] == counts
+        direct = trained_gan.record_sampler().sample_table(
+            sum(counts), rng=np.random.default_rng(7)
+        )
+        stacked = np.concatenate([t.values for t in tables])
+        assert np.array_equal(stacked, direct.values)
+
+    def test_sample_many_is_one_generator_call(self, trained_gan):
+        service = SynthesisService(trained_gan, seed=0, batch_rows=1024)
+        service.sample_many_records([8] * 16)
+        assert service.stats.generator_calls == 1
+        assert service.stats.requests == 16
+        assert service.stats.rows_served == 128
+
+    def test_empty_request_list(self, trained_gan):
+        service = SynthesisService(trained_gan, seed=0)
+        assert service.sample_many([]) == []
+        assert service.stats.requests == 0
+
+
+class TestPool:
+    def test_pool_replenishes_in_blocks(self, trained_gan):
+        service = SynthesisService(trained_gan, pool_size=64, seed=1)
+        service.sample_records(5)
+        assert service.stats.rows_generated == 64
+        assert service.pooled_rows == 59
+
+    def test_sub_batch_requests_hit_the_pool(self, trained_gan):
+        service = SynthesisService(trained_gan, pool_size=64, seed=1)
+        service.sample_records(5)
+        calls = service.stats.generator_calls
+        for n in (7, 9, 11):
+            service.sample_records(n)
+        assert service.stats.generator_calls == calls
+        assert service.stats.pool_hits == 3
+
+    def test_pool_disabled_generates_exactly_what_is_needed(self, trained_gan):
+        service = SynthesisService(trained_gan, pool_size=0, seed=1)
+        service.sample_records(5)
+        assert service.stats.rows_generated == 5
+        assert service.pooled_rows == 0
+
+
+class TestInferenceMode:
+    def test_serving_does_not_perturb_batchnorm(self, trained_gan):
+        from repro.nn import BatchNorm
+
+        bns = [
+            layer for layer in trained_gan.generator_
+            if isinstance(layer, BatchNorm)
+        ]
+        before = [(bn.running_mean.copy(), bn.running_var.copy()) for bn in bns]
+        SynthesisService(trained_gan, pool_size=32, seed=2).sample(48)
+        for bn, (mean, var) in zip(bns, before):
+            assert np.array_equal(bn.running_mean, mean)
+            assert np.array_equal(bn.running_var, var)

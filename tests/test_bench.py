@@ -39,10 +39,20 @@ class TestQuickBenchmark:
         for name, ratio in quick_report["speedup"].items():
             assert ratio > 0, name
 
+    def test_synthesis_section(self, quick_report):
+        synthesis = quick_report["synthesis"]
+        for key in ("per_request_rows_per_s", "microbatched_rows_per_s",
+                    "sharded_rows_per_s", "microbatch_speedup"):
+            assert synthesis[key] > 0, key
+        assert synthesis["requests"] == QUICK_WORKLOAD["synth_requests"]
+        assert synthesis["sharded_worker_invariant"] is True
+
     def test_format_report_lists_every_metric(self, quick_report):
         text = format_report(quick_report)
         for key in REPORT_KEYS:
             assert key.removesuffix("_s") in text
+        assert "synthesis throughput" in text
+        assert "micro-batched" in text
 
     def test_write_report_round_trips(self, quick_report, tmp_path):
         path = tmp_path / "bench.json"
