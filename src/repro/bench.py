@@ -5,13 +5,15 @@ ConvTranspose2D forward, fused BatchNorm forward/backward, one fused Adam
 step over a discriminator's parameters, and one full table-GAN training
 epoch on a synthetic 16×16 workload — twice each:
 
-* **engine**: the fast kernels (stride-trick im2col, bincount/strided
-  col2im, memoized index plans, fused single-pass BatchNorm statistics,
-  flat-buffer Adam) in the default float32 compute dtype;
+* **engine**: the fast kernels (blocked batch-major stride-trick
+  im2col/col2im over batch-free memoized plans, fused single-pass
+  BatchNorm statistics with GEMV channel reductions, flat-buffer Adam)
+  in the default float32 compute dtype;
 * **reference**: the retained seed idioms (fancy-index gather +
-  ``np.add.at`` scatter, separate mean/var BatchNorm passes, per-parameter
-  optimizer loops — all forced via :func:`repro.nn.reference_kernels`) in
-  float64 — i.e. what every training step cost before the engine.
+  ``np.add.at`` scatter in the seed's position-major column layout,
+  separate mean/var BatchNorm passes, per-parameter optimizer loops — all
+  forced via :func:`repro.nn.reference_kernels`) in float64 — i.e. what
+  every training step cost before the engine.
 
 A third section, **synthesis**, measures the serving layer's throughput
 (rows/sec) on the same generator three ways: per-request sampling (one
@@ -19,14 +21,17 @@ tiny forward per request), the micro-batched :class:`~repro.serve.service.
 SynthesisService` (all requests coalesced into one forward), and the
 sharded :class:`~repro.serve.sharding.ShardedSampler` across a worker
 pool — which also asserts that 1-worker and N-worker outputs are
-bit-identical.
+bit-identical.  A fourth, **large_batch**, sweeps generator-forward
+throughput over batch sizes on the streamed serving path — the curve the
+blocked engine keeps flat (``flat_beyond_256``).
 
 Results are written as ``BENCH_engine.json`` so speedups are trackable
 across commits; ``docs/benchmarks.md`` explains how to read the report and
 records the trajectory.  The standalone runner lives at
 ``benchmarks/bench_engine.py``.  ``--quick`` selects a scaled-down
-workload with single repeats — a smoke mode the test suite runs so the
-benchmark code paths cannot silently rot.
+workload with few repeats — a smoke mode the test suite runs so the
+benchmark code paths cannot silently rot — and ``--check`` turns the run
+into the CI regression tripwire (:func:`check_report`).
 """
 
 from __future__ import annotations
@@ -52,7 +57,7 @@ from repro.nn import (
     reference_kernels,
 )
 from repro.nn.batchnorm import reference_batchnorm
-from repro.nn.im2col import reference_ops
+from repro.nn.im2col import clear_workspaces, reference_ops
 from repro.serve import ModelRegistry, ShardedSampler, SynthesisService
 
 #: The synthetic 16×16 benchmark workload (≈ the quickstart scale, but with
@@ -73,6 +78,7 @@ WORKLOAD = {
     "synth_sharded_rows": 8192,
     "synth_shard_rows": 1024,
     "synth_workers": 2,
+    "large_batch_rows": [64, 256, 1024, 4096, 8192],
 }
 
 #: Scaled-down workload for ``--quick`` smoke runs (seconds, not minutes).
@@ -92,6 +98,7 @@ QUICK_WORKLOAD = {
     "synth_sharded_rows": 256,
     "synth_shard_rows": 64,
     "synth_workers": 2,
+    "large_batch_rows": [16, 64, 256],
 }
 
 
@@ -268,6 +275,40 @@ def _synthesis_timings(workload: dict, repeats: int) -> dict:
     }
 
 
+def _large_batch_timings(workload: dict, repeats: int) -> dict:
+    """Generator-forward throughput sweep over batch sizes (rows/sec).
+
+    This is the curve the blocked/streamed im2col mode exists for: before
+    ISSUE 4, monolithic patch-matrix workspaces fell out of cache past a
+    few hundred rows and throughput at 4096-row batches was under half the
+    256-row peak; the blocked engine holds it flat.
+    ``flat_beyond_256`` records whether the largest batch is at least 80%
+    of the smallest-batch-above-256 throughput (a cheap regression bit).
+    """
+    model = _serving_model(workload["side"], workload["base_channels"])
+    generator = model.generator_
+    latent = model.config.latent_dim
+    rng = np.random.default_rng(11)
+    rows_per_s = {}
+    for rows in workload["large_batch_rows"]:
+        z = rng.uniform(-1.0, 1.0, (rows, latent)).astype(np.float32)
+        # The serving path: Sequential.stream_forward (row-chunked
+        # inference over the blocked conv engine).
+        seconds = _best_of(lambda: generator.stream_forward(z), repeats)
+        rows_per_s[str(rows)] = rows / seconds
+    sizes = [int(s) for s in rows_per_s]
+    big = max(sizes)
+    anchors = [s for s in sizes if 256 <= s < big] or [min(sizes)]
+    anchor = min(anchors)
+    return {
+        "rows_per_s": rows_per_s,
+        "anchor_rows": anchor,
+        "flat_beyond_256": bool(
+            rows_per_s[str(big)] >= 0.8 * rows_per_s[str(anchor)]
+        ),
+    }
+
+
 def run_benchmarks(repeats: int = 5, fit_repeats: int = 2,
                    quick: bool = False) -> dict:
     """Run the full engine-vs-reference comparison and return the report.
@@ -281,8 +322,16 @@ def run_benchmarks(repeats: int = 5, fit_repeats: int = 2,
         )
     workload = QUICK_WORKLOAD if quick else WORKLOAD
     if quick:
-        repeats = fit_repeats = 1
+        # Kernel sections keep a few repeats even in quick mode: they are
+        # microsecond-scale and feed the --check tripwire, where a
+        # single-shot timing would flake; the epoch is the expensive part
+        # and runs once.
+        repeats = min(repeats, 5)
+        fit_repeats = 1
+    # Honest cold start: drop both the memoized index plans and the
+    # engine's shared scratch pool before timing.
     clear_plan_cache()
+    clear_workspaces()
     report = {"workload": dict(workload), "quick": quick}
     engine = _conv_timings(workload, np.float32, reference=False, repeats=repeats)
     reference = _conv_timings(workload, np.float64, reference=True, repeats=repeats)
@@ -302,7 +351,46 @@ def run_benchmarks(repeats: int = 5, fit_repeats: int = 2,
         if engine[key] > 0
     }
     report["synthesis"] = _synthesis_timings(workload, repeats)
+    report["large_batch"] = _large_batch_timings(workload, repeats)
     return report
+
+
+#: Per-kernel sections the --check tripwire gates on (fit_epoch is a whole
+#: training epoch, not a kernel, and single-repeat quick timings of it are
+#: too noisy for a hard gate).
+KERNEL_CHECK_KEYS = (
+    "conv_forward_s",
+    "conv_backward_s",
+    "deconv_forward_s",
+    "batchnorm_forward_s",
+    "batchnorm_backward_s",
+    "adam_step_s",
+)
+
+
+def check_report(report: dict, min_speedup: float = 0.8) -> list[str]:
+    """Regression tripwire: the fast engine must never lose to the oracle.
+
+    Returns a list of failure descriptions — one per kernel section where
+    the engine timed slower than the reference implementation.  The engine
+    is typically 1.5–5× faster per kernel and a real regression (a fast
+    path silently falling back, a layout pessimization) shows up as an
+    integer-factor slowdown, so ``min_speedup`` keeps a small margin below
+    1.0 against scheduler noise on the microsecond-scale quick kernels.
+    CI runs ``bench --quick --check`` and fails the workflow on any
+    finding.
+    """
+    failures = []
+    for key in KERNEL_CHECK_KEYS:
+        name = key.removesuffix("_s")
+        speedup = report.get("speedup", {}).get(name)
+        if speedup is not None and speedup < min_speedup:
+            failures.append(
+                f"{name}: engine {report['engine'][key]:.6f}s slower than "
+                f"reference {report['reference'][key]:.6f}s "
+                f"(speedup {speedup:.2f}x < {min_speedup:.2f}x)"
+            )
+    return failures
 
 
 def write_report(report: dict, path: str = "BENCH_engine.json") -> None:
@@ -335,6 +423,15 @@ def format_report(report: dict) -> str:
             f"{name:<18}  {report['engine'][key]:>9.4f}s  "
             f"{report['reference'][key]:>9.4f}s  {report['speedup'][name]:>6.1f}x"
         )
+    large_batch = report.get("large_batch")
+    if large_batch:
+        lines.append("")
+        lines.append("generator forward throughput by batch size:")
+        for rows, value in large_batch["rows_per_s"].items():
+            lines.append(f"  {int(rows):>6,} rows {value:>12,.0f} rows/s")
+        lines.append(
+            f"  flat beyond 256 rows: {large_batch['flat_beyond_256']}"
+        )
     synthesis = report.get("synthesis")
     if synthesis:
         lines.append("")
@@ -358,8 +455,13 @@ def format_report(report: dict) -> str:
 
 
 def main(out_path: str = "BENCH_engine.json", repeats: int = 5,
-         fit_repeats: int = 2, quick: bool = False) -> int:
-    """Run the benchmark, print the summary, and write the JSON report."""
+         fit_repeats: int = 2, quick: bool = False, check: bool = False) -> int:
+    """Run the benchmark, print the summary, and write the JSON report.
+
+    With ``check=True`` the exit code is non-zero when any kernel section
+    reports the fast engine slower than the reference oracle — the cheap
+    regression tripwire CI runs on every push.
+    """
     try:
         # Fail on an unwritable path now, not after minutes of benchmarking.
         with open(out_path, "a"):
@@ -371,4 +473,12 @@ def main(out_path: str = "BENCH_engine.json", repeats: int = 5,
     print(format_report(report))
     write_report(report, out_path)
     print(f"report written to {out_path}")
+    if check:
+        failures = check_report(report)
+        if failures:
+            print("engine-vs-reference check FAILED:")
+            for failure in failures:
+                print(f"  {failure}")
+            return 1
+        print("engine-vs-reference check passed (all kernel sections faster)")
     return 0

@@ -240,7 +240,7 @@ def cmd_bench(args) -> int:
     from repro.bench import main as bench_main
 
     return bench_main(args.out, repeats=args.repeats, fit_repeats=args.fit_repeats,
-                      quick=args.quick)
+                      quick=args.quick, check=args.check)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -326,7 +326,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--fit-repeats", type=_positive_int, default=2,
                          help="timing repeats for the one-epoch fit benchmark")
     p_bench.add_argument("--quick", action="store_true",
-                         help="smoke mode: scaled-down workload, single repeats")
+                         help="smoke mode: scaled-down workload, few repeats")
+    p_bench.add_argument("--check", action="store_true",
+                         help="exit non-zero if any kernel section reports the "
+                              "fast engine slower than the reference oracle")
     p_bench.set_defaults(func=cmd_bench)
     return parser
 

@@ -67,12 +67,18 @@ class RecordSampler:
         rng = ensure_rng(rng)
         out: np.ndarray | None = None
         filled = 0
+        stream = getattr(self.generator, "stream_forward", None)
         while filled < n:
             batch = min(batch_size, n - filled)
             z = rng.uniform(-1.0, 1.0, size=(batch, self.latent_dim))
-            matrices = self.generator.forward(
-                z.astype(self._dtype, copy=False), training=False
-            )
+            z = z.astype(self._dtype, copy=False)
+            # Streamed inference keeps inter-layer activations cache-hot
+            # on bulk batches; chunking is a pure function of the batch
+            # size, so the record stream stays batch-size invariant.
+            if stream is not None:
+                matrices = stream(z)
+            else:
+                matrices = self.generator.forward(z, training=False)
             if out is None:
                 out = np.empty((n, *matrices.shape[1:]), dtype=matrices.dtype)
             out[filled : filled + batch] = matrices

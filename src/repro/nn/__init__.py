@@ -21,11 +21,18 @@ from repro.nn.batchnorm import BatchNorm, reference_batchnorm
 from repro.nn.conv import Conv2D, ConvTranspose2D
 from repro.nn.conv1d import Conv1D, ConvTranspose1D
 from repro.nn.flatbuf import FlatParameterBuffer
-from repro.nn.im2col import reference_ops
+from repro.nn.im2col import cols_from_reference, cols_to_reference, reference_ops
 from repro.nn.layers import Dense, Flatten, Layer, Parameter, Reshape
 from repro.nn.losses import bce_with_logits, hinge_threshold, l1, mse, sigmoid
 from repro.nn.optim import SGD, Adam, Optimizer, reference_optimizers
-from repro.nn.plan import ConvPlan, clear_plan_cache, conv_plan, plan_cache_info
+from repro.nn.plan import (
+    ConvPlan,
+    clear_plan_cache,
+    conv_plan,
+    plan_cache_info,
+    set_workspace_budget,
+    workspace_budget,
+)
 from repro.nn.sequential import Sequential
 from repro.nn.serialization import (
     atomic_savez,
@@ -54,6 +61,10 @@ __all__ = [
     "conv_plan",
     "plan_cache_info",
     "clear_plan_cache",
+    "workspace_budget",
+    "set_workspace_budget",
+    "cols_to_reference",
+    "cols_from_reference",
     "Layer",
     "Parameter",
     "FlatParameterBuffer",

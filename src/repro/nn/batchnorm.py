@@ -9,9 +9,13 @@ Two kernel paths live here, mirroring the fast-engine/reference-oracle
 convention of :mod:`repro.nn.im2col`:
 
 * the **fused engine** (default) — the forward computes batch statistics
-  with a fused reduction (single-pass ``E[x²] − mean²`` in float32; a
-  centered two-pass in float64 that reuses the centering buffer as the
-  normalized-activation cache and is bit-identical to ``np.var``) and
+  with a fused reduction (single-pass ``E[x²] − mean²`` in float32,
+  routed through the GEMV-backed
+  :func:`~repro.nn.layers.channel_sum`, which is several times faster
+  than ``np.sum`` over the conv layers' contiguous batch-major
+  activations; a centered two-pass in float64 that reuses the centering
+  buffer as the normalized-activation cache and is bit-identical to
+  ``np.var``) and
   writes the scale-and-shift through in-place ufuncs; the backward folds
   the two re-reductions of the chain rule into the ``dgamma``/``dbeta``
   sums it already computes (float32) or replays the reference reductions
@@ -31,7 +35,7 @@ from contextlib import contextmanager
 import numpy as np
 
 from repro.nn import initializers
-from repro.nn.layers import Layer, Parameter
+from repro.nn.layers import Layer, Parameter, channel_sum
 
 #: When True, BatchNorm.forward/backward dispatch to the reference oracle.
 _USE_REFERENCE = False
@@ -147,7 +151,10 @@ class BatchNorm(Layer):
         count = x.size // self.num_features
         scratch: np.ndarray | None = None
         if training:
-            mean = x.mean(axis=axes)
+            # float64 keeps np.mean (its contract is bit-identity with the
+            # oracle); float32 may reorder the sum for speed.
+            mean = (x.mean(axis=axes) if x.dtype == np.float64
+                    else channel_sum(x) / x.dtype.type(count))
             if x.dtype == np.float64:
                 # Two-pass over a centered buffer: the subtraction is the
                 # one the normalization needs anyway, and summing the
@@ -158,8 +165,11 @@ class BatchNorm(Layer):
             else:
                 # Single-pass E[x²] − mean²: one sweep for the squared sum,
                 # no centering pass.  Clamped at zero against cancellation.
+                # Reductions route through the GEMV-backed channel_sum,
+                # which is several times faster than np.sum on the conv
+                # layers' contiguous batch-major activations.
                 scratch = np.multiply(x, x)
-                var = scratch.mean(axis=axes) - mean * mean
+                var = channel_sum(scratch) / count - mean * mean
                 np.maximum(var, 0.0, out=var)
                 x_hat = np.subtract(x, self._bcast(mean, x.ndim))
             self._update_running(mean, var)
@@ -187,8 +197,8 @@ class BatchNorm(Layer):
         # an affine map  c1·grad + c2·x_hat + c0  with per-channel
         # coefficients — two reductions total instead of four.
         prod = np.multiply(grad, x_hat)
-        dgamma = prod.sum(axis=axes)
-        dbeta = grad.sum(axis=axes)
+        dgamma = channel_sum(prod)
+        dbeta = channel_sum(grad)
         self.gamma.grad += dgamma
         self.beta.grad += dbeta
         c1 = self.gamma.data * inv_std

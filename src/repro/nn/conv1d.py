@@ -4,8 +4,11 @@
 vector format" and processed with 1-D convolutions, but the authors found
 that layout's synthesis performance sub-optimal.  These layers make that
 comparison reproducible: :class:`Conv1D` / :class:`ConvTranspose1D` mirror
-the 2-D pair over (N, C, L) tensors, and share the fast im2col/col2im
-engine (and its memoized index plans) with the 2-D layers.
+the 2-D pair over (N, C, L) tensors, and share the blocked batch-major
+im2col/col2im engine (and its memoized, batch-free index plans) with the
+2-D layers — including the view-not-copy matricizations and the retained
+seed ``_reference_*`` paths selected under
+:func:`repro.nn.im2col.reference_ops`.
 """
 
 from __future__ import annotations
@@ -13,24 +16,23 @@ from __future__ import annotations
 import numpy as np
 
 from repro.nn import initializers
-from repro.nn.im2col import col2im, conv_output_size, im2col
-from repro.nn.layers import Layer, Parameter
+from repro.nn.im2col import (
+    _reference_col2im_1d,
+    _reference_im2col_1d,
+    conv_gemm_backward,
+    conv_gemm_forward,
+    conv_output_size,
+    fold_gemm_forward,
+    is_reference,
+    unfold_gemm_backward,
+)
+from repro.nn.layers import Layer, Parameter, channel_sum
+from repro.nn.plan import conv_plan
 
 
 def conv1d_output_size(size: int, kernel: int, padding: int, stride: int) -> int:
     """Output length of a 1-D convolution; geometry must divide exactly."""
     return conv_output_size(size, kernel, padding, stride)
-
-
-def _im2col_1d(x: np.ndarray, kernel: int, padding: int, stride: int) -> np.ndarray:
-    """Unfold (N, C, L) into (C*kernel, L_out*N) patch columns."""
-    return im2col(x, kernel, padding, stride)
-
-
-def _col2im_1d(cols: np.ndarray, x_shape: tuple[int, int, int],
-               kernel: int, padding: int, stride: int) -> np.ndarray:
-    """Adjoint of :func:`_im2col_1d`: fold columns back, accumulating overlaps."""
-    return col2im(cols, x_shape, kernel, padding, stride)
 
 
 class Conv1D(Layer):
@@ -58,22 +60,60 @@ class Conv1D(Layer):
         self.params = [self.weight] + ([self.bias] if bias else [])
         self._cols: np.ndarray | None = None
         self._x_shape: tuple[int, int, int] | None = None
+        self._grad_mat: np.ndarray | None = None
+        self._ref_mode = False
+        #: Persistent backing buffer for the cached patch-matrix blocks.
+        self._cache_ws: dict = {}
 
     def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
         if x.ndim != 3 or x.shape[1] != self.in_channels:
             raise ValueError(f"expected (N, {self.in_channels}, L) input, got {x.shape}")
+        self._ref_mode = is_reference()
+        if self._ref_mode:
+            return self._reference_forward(x)
+        plan = conv_plan(x.shape, self.kernel, self.padding, self.stride)
+        w_mat = self.weight.data.reshape(self.out_channels, -1)
+        out, cols = conv_gemm_forward(
+            x, w_mat, plan, None, cache_cols=training,
+            bias=None if self.bias is None else self.bias.data,
+            cache_ws=self._cache_ws,
+        )
+        self._cols = cols
+        self._x_shape = x.shape if training else None
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._ref_mode:
+            return self._reference_backward(grad)
+        if self._cols is None or self._x_shape is None:
+            raise RuntimeError("backward called before a training-mode forward")
+        if self.bias is not None:
+            self.bias.grad += channel_sum(grad)
+        plan = conv_plan(self._x_shape, self.kernel, self.padding, self.stride)
+        # Batch-major matricization: a view of the (N, C_out, L_out) grad.
+        grad_mat = grad.reshape(grad.shape[0], self.out_channels, -1)
+        self._grad_mat = grad_mat
+        w_mat = self.weight.data.reshape(self.out_channels, -1)
+        wgrad, dx = conv_gemm_backward(grad_mat, self._cols, w_mat,
+                                       self._x_shape, plan, None)
+        self.weight.grad += wgrad.reshape(self.weight.shape)
+        return dx
+
+    # -- retained seed path (selected under reference_ops) ---------------
+    def _reference_forward(self, x: np.ndarray) -> np.ndarray:
         batch = x.shape[0]
-        out_len = conv1d_output_size(x.shape[2], self.kernel, self.padding, self.stride)
-        cols = _im2col_1d(x, self.kernel, self.padding, self.stride)
+        out_len = conv1d_output_size(x.shape[2], self.kernel, self.padding,
+                                     self.stride)
+        cols = _reference_im2col_1d(x, self.kernel, self.padding, self.stride)
         self._cols = cols
         self._x_shape = x.shape
         w_mat = self.weight.data.reshape(self.out_channels, -1)
-        out = w_mat @ cols  # (C_out, L_out*N) in im2col column order
+        out = w_mat @ cols  # (C_out, L_out*N) in seed column order
         if self.bias is not None:
             out += self.bias.data[:, None]
         return out.reshape(self.out_channels, out_len, batch).transpose(2, 0, 1)
 
-    def backward(self, grad: np.ndarray) -> np.ndarray:
+    def _reference_backward(self, grad: np.ndarray) -> np.ndarray:
         if self._cols is None or self._x_shape is None:
             raise RuntimeError("backward called before forward")
         if self.bias is not None:
@@ -82,7 +122,8 @@ class Conv1D(Layer):
         self.weight.grad += (grad_mat @ self._cols.T).reshape(self.weight.shape)
         w_mat = self.weight.data.reshape(self.out_channels, -1)
         dcols = w_mat.T @ grad_mat
-        return _col2im_1d(dcols, self._x_shape, self.kernel, self.padding, self.stride)
+        return _reference_col2im_1d(dcols, self._x_shape, self.kernel,
+                                    self.padding, self.stride)
 
 
 class ConvTranspose1D(Layer):
@@ -109,7 +150,9 @@ class ConvTranspose1D(Layer):
         )
         self.params = [self.weight] + ([self.bias] if bias else [])
         self._x: np.ndarray | None = None
+        self._x_mat: np.ndarray | None = None
         self._out_shape: tuple[int, int, int] | None = None
+        self._ref_mode = False
 
     def output_length(self, length: int) -> int:
         """Output length for an input of ``length``."""
@@ -119,24 +162,55 @@ class ConvTranspose1D(Layer):
         if x.ndim != 3 or x.shape[1] != self.in_channels:
             raise ValueError(f"expected (N, {self.in_channels}, L) input, got {x.shape}")
         batch, _, in_len = x.shape
-        out_len = self.output_length(in_len)
+        self._out_shape = (batch, self.out_channels, self.output_length(in_len))
+        self._ref_mode = is_reference()
+        if self._ref_mode:
+            return self._reference_forward(x)
         self._x = x
-        self._out_shape = (batch, self.out_channels, out_len)
+        # Input matricization: a reshape view, never a copy.
+        x_mat = x.reshape(batch, self.in_channels, -1)
+        self._x_mat = x_mat
+        plan = conv_plan(self._out_shape, self.kernel, self.padding, self.stride)
+        w_mat = self.weight.data.reshape(self.in_channels, -1)
+        return fold_gemm_forward(
+            x_mat, w_mat, self._out_shape, plan, None,
+            bias=None if self.bias is None else self.bias.data,
+        )
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._ref_mode:
+            return self._reference_backward(grad)
+        if self._x_mat is None or self._out_shape is None:
+            raise RuntimeError("backward called before forward")
+        if self.bias is not None:
+            self.bias.grad += channel_sum(grad)
+        plan = conv_plan(self._out_shape, self.kernel, self.padding, self.stride)
+        w_mat = self.weight.data.reshape(self.in_channels, -1)
+        wgrad, dx = unfold_gemm_backward(grad, self._x_mat, w_mat, plan, None)
+        self.weight.grad += wgrad.reshape(self.weight.shape)
+        return dx
+
+    # -- retained seed path (selected under reference_ops) ---------------
+    def _reference_forward(self, x: np.ndarray) -> np.ndarray:
+        self._x = x
+        self._x_mat = None
         w_mat = self.weight.data.reshape(self.in_channels, -1)
         x_mat = x.transpose(1, 2, 0).reshape(self.in_channels, -1)
         cols = w_mat.T @ x_mat
-        out = _col2im_1d(cols, self._out_shape, self.kernel, self.padding, self.stride)
+        out = _reference_col2im_1d(cols, self._out_shape, self.kernel,
+                                   self.padding, self.stride)
         if self.bias is not None:
             out += self.bias.data.reshape(1, -1, 1)
         return out
 
-    def backward(self, grad: np.ndarray) -> np.ndarray:
+    def _reference_backward(self, grad: np.ndarray) -> np.ndarray:
         if self._x is None or self._out_shape is None:
             raise RuntimeError("backward called before forward")
         if self.bias is not None:
             self.bias.grad += grad.sum(axis=(0, 2))
         batch, _, in_len = self._x.shape
-        grad_cols = _im2col_1d(grad, self.kernel, self.padding, self.stride)
+        grad_cols = _reference_im2col_1d(grad, self.kernel, self.padding,
+                                        self.stride)
         w_mat = self.weight.data.reshape(self.in_channels, -1)
         dx = (w_mat @ grad_cols).reshape(self.in_channels, in_len, batch).transpose(2, 0, 1)
         x_mat = self._x.transpose(1, 2, 0).reshape(self.in_channels, -1)

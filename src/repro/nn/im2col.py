@@ -1,47 +1,83 @@
 """im2col / col2im patch machinery for convolution layers.
 
-Convolutions are implemented as matrix multiplications over patch matrices
-("columns").  ``im2col`` unfolds sliding windows of the input into a 2-D
-matrix; ``col2im`` folds a column matrix back into an image, accumulating
-overlapping contributions — exactly the adjoint of ``im2col``, which is what
-back-propagation (and transposed convolution) needs.
+Convolutions are implemented as matrix multiplications over patch
+matrices.  ``im2col`` unfolds sliding windows of the input into a 2-D
+matrix; ``col2im`` folds a patch matrix back into an image, accumulating
+overlapping contributions — exactly the adjoint of ``im2col``, which is
+what back-propagation (and transposed convolution) needs.
+
+**Column-layout contract (batch-major, ISSUE 4).**  The fast engine's
+patch matrix for a batch of ``N`` records is ``(N * P, rows)`` where
+``P = prod(out_spatial)`` and ``rows = C * kernel**S``: patch ``(n, p)``
+is row ``n * P + p`` and its elements are ordered channel-major
+``(c, *k_off)``.  Because the batch axis is outermost, the batch-major
+matricization of any NCHW activation or gradient tensor —
+``t.reshape(N, C, P)`` — is a *view*, so the weight-gradient GEMM in
+``Conv2D.backward`` and the input projection in
+``ConvTranspose2D.forward`` never copy a full batch (the seed layout,
+position-major-then-batch, forced a whole-gradient ``transpose(...)
+.reshape`` copy before every weight GEMM).  The retained reference
+oracles still speak the seed layout ``(rows, P * N)``; the explicit
+adapters :func:`cols_to_reference` / :func:`cols_from_reference` convert
+between the two by pure relabeling (bit-exact), and are what the
+equivalence tests and the dispatch wrapper use.
+
+**Blocked/streamed execution.**  All engine entry points loop over batch
+blocks of :meth:`ConvPlan.batch_block` records — sized so one block's
+patch matrix fits the workspace budget
+(:func:`repro.nn.plan.workspace_budget`) — through one shared, persistent
+scratch pool (gather/pack/GEMM/scatter buffers, reused across blocks,
+calls, and layers).  Large-batch generator forwards therefore no longer
+fall out of cache: throughput at 4096-row batches matches the few-hundred
+row sweet spot of the monolithic engine.  Inside a block the engine
+stores the patch matrix *transposed*, ``(rows, P*b)`` with
+position-major-within-block columns — the orientation whose gather copy,
+GEMM operands, and scatter slices all vectorize best (chosen by
+measurement in ISSUE 4 against batch-major-within-block and stacked
+alternatives); the GEMM *pack* buffers are block-sized, cache-resident
+transposes of the batch-major views (the only data movement between them
+and BLAS), so no full-batch repack ever happens.
 
 Two implementations live here:
 
 * the **fast engine** — gather through
-  ``np.lib.stride_tricks.sliding_window_view`` (one strided copy, no index
-  arrays) and a three-way scatter over the memoized
-  :class:`~repro.nn.plan.ConvPlan`: a single fancy-index assignment when
-  ``stride >= kernel`` makes the windows non-overlapping; ``np.bincount``
-  over the plan's precomputed flat indices for overlapping float64 columns
-  (bincount accumulates in float64 natively); and a per-kernel-offset
-  strided accumulation for overlapping float32 columns, which stays in
-  dtype instead of paying bincount's float64 round trip.  All three
-  accumulate each output cell in ascending kernel-offset order — the same
-  per-cell order as the reference ``np.add.at`` — so results are
+  ``np.lib.stride_tricks.sliding_window_view`` (one strided copy per
+  block, no index arrays) and a two-way scatter over the memoized
+  :class:`~repro.nn.plan.ConvPlan`: a single fancy-index assignment per
+  block when ``stride >= kernel`` makes the windows non-overlapping, and
+  a per-kernel-offset strided accumulation for overlapping windows whose
+  reads are fully contiguous in the transposed block.  The plan's
+  **parity groups** (offsets ``m*stride + rho``, grouped by ``m``, have
+  pairwise disjoint targets within a group) let group 0 *assign* the
+  leading ``stride*out`` subgrid instead of read-modify-writing it, so
+  only a trailing border of the padded buffer is ever zeroed.  Offsets
+  are visited in ascending order, so every output cell accumulates its
+  overlapping contributions in ascending kernel-offset order — the same
+  per-cell order as the reference ``np.add.at`` — making results
   bit-identical to the oracle in every dtype;
 * the **reference oracle** — the original fancy-index gather and
-  ``np.add.at`` scatter, retained as ``_reference_*`` functions and used by
-  the equivalence tests and the engine benchmark.
+  ``np.add.at`` scatter, retained verbatim as ``_reference_*`` functions
+  in the seed's position-major column order, used by the equivalence
+  tests and the engine benchmark.
 
 ``im2col``/``col2im`` accept both 4-D ``(N, C, H, W)`` and 3-D
-``(N, C, L)`` inputs, so the 1-D layers in :mod:`repro.nn.conv1d` share the
-same engine.  Shapes follow the NCHW convention used throughout
-:mod:`repro.nn`; column order is spatial-position-major, then batch.
-
-All index arithmetic is memoized per geometry in :mod:`repro.nn.plan`
-(:func:`~repro.nn.plan.conv_plan`), so the hot loop never recomputes
-gather/scatter indices.  The :func:`reference_ops` context manager flips
-the public functions onto the oracle — the engine benchmark
-(``python -m repro bench``, see ``docs/benchmarks.md``) uses it to time
-both paths on identical workloads.
+``(N, C, L)`` inputs, so the 1-D layers in :mod:`repro.nn.conv1d` share
+the same engine.  All index arithmetic is memoized per record geometry in
+:mod:`repro.nn.plan` (:func:`~repro.nn.plan.conv_plan`), so the hot loop
+never recomputes gather/scatter indices.  The :func:`reference_ops`
+context manager flips the public functions (and the conv layers) onto the
+oracle — the engine benchmark (``python -m repro bench``, see
+``docs/benchmarks.md``) uses it to time both paths on identical
+workloads.
 """
 
 from __future__ import annotations
 
 from contextlib import contextmanager
+from math import prod
 
 import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
 
 from repro.nn.plan import ConvPlan, conv_output_size, conv_plan
 
@@ -50,10 +86,14 @@ __all__ = [
     "im2col",
     "col2im",
     "im2col_indices",
+    "cols_to_reference",
+    "cols_from_reference",
     "reference_ops",
+    "is_reference",
 ]
 
-#: When True, the public im2col/col2im dispatch to the reference oracle.
+#: When True, the public im2col/col2im (and the conv layers) dispatch to
+#: the reference oracle.
 _USE_REFERENCE = False
 
 
@@ -71,6 +111,79 @@ def reference_ops():
         yield
     finally:
         _USE_REFERENCE = previous
+
+
+def is_reference() -> bool:
+    """Whether the reference oracle is currently forced (see above)."""
+    return _USE_REFERENCE
+
+
+# ----------------------------------------------------------------------
+# Layout adapters: batch-major engine layout <-> seed reference layout.
+# ----------------------------------------------------------------------
+
+def cols_to_reference(cols: np.ndarray, batch: int) -> np.ndarray:
+    """Batch-major ``(N*P, rows)`` -> reference ``(rows, P*N)`` patch matrix.
+
+    A pure relabeling (one permutation copy, bit-exact): patch ``(n, p)``
+    moves from row ``n*P + p`` to column ``p*N + n``.  Used by the
+    equivalence tests and by the dispatch wrapper under
+    :func:`reference_ops`.
+    """
+    n_p, rows = cols.shape
+    if batch <= 0 or n_p % batch:
+        raise ValueError(f"cols of shape {cols.shape} cannot hold batch {batch}")
+    positions = n_p // batch
+    return np.ascontiguousarray(
+        cols.reshape(batch, positions, rows).transpose(2, 1, 0)
+    ).reshape(rows, n_p)
+
+
+def cols_from_reference(ref_cols: np.ndarray, batch: int) -> np.ndarray:
+    """Reference ``(rows, P*N)`` -> batch-major ``(N*P, rows)`` patch matrix."""
+    rows, p_n = ref_cols.shape
+    if batch <= 0 or p_n % batch:
+        raise ValueError(
+            f"reference cols of shape {ref_cols.shape} cannot hold batch {batch}"
+        )
+    positions = p_n // batch
+    return np.ascontiguousarray(
+        ref_cols.reshape(rows, positions, batch).transpose(2, 1, 0)
+    ).reshape(p_n, rows)
+
+
+# ----------------------------------------------------------------------
+# Workspaces and padding.
+# ----------------------------------------------------------------------
+
+#: Shared scratch pool for the blocked engine.  One set of block-sized
+#: buffers serves every conv layer (they run one at a time), so the hot
+#: working set stays a few cache-resident arrays instead of one persistent
+#: workspace per layer.  Single-threaded by design, like the layers' own
+#: forward caches.
+_WORKSPACES: dict = {}
+
+
+def clear_workspaces() -> None:
+    """Drop the engine's shared scratch buffers (benchmark cold starts)."""
+    _WORKSPACES.clear()
+
+
+def _ws(ws: dict | None, name: str, shape: tuple[int, ...], dtype) -> np.ndarray:
+    """A reusable named scratch array of ``shape``/``dtype``.
+
+    Buffers are kept flat and sliced, so one buffer serves both full and
+    partial (tail) blocks; they persist across blocks, calls, and layers
+    (``ws=None`` selects the shared module pool).
+    """
+    if ws is None:
+        ws = _WORKSPACES
+    size = prod(shape)
+    buf = ws.get(name)
+    if buf is None or buf.dtype != dtype or buf.size < size:
+        buf = np.empty(max(size, 1), dtype)
+        ws[name] = buf
+    return buf[:size].reshape(shape)
 
 
 def _pad_spatial(x: np.ndarray, padding: int) -> np.ndarray:
@@ -99,33 +212,207 @@ def _pad_spatial_fast(x: np.ndarray, padding: int) -> np.ndarray:
     return out
 
 
-def im2col(x: np.ndarray, kernel: int, padding: int, stride: int) -> np.ndarray:
-    """Unfold ``x`` (N, C, H, W) or (N, C, L) into a patch matrix.
+# ----------------------------------------------------------------------
+# Blocked gather / scatter primitives (rank-generic).
+# ----------------------------------------------------------------------
 
-    Returns ``(C*kernel*kernel, N*H_out*W_out)`` for 4-D input and
-    ``(C*kernel, N*L_out)`` for 3-D input; columns are flattened receptive
-    fields.  The input dtype is preserved.
+def _gather_block(x: np.ndarray, plan: ConvPlan, start: int, stop: int,
+                  out2: np.ndarray, ws: dict) -> None:
+    """Unfold items ``[start, stop)`` of ``x`` into ``out2`` ((b*P, rows)).
+
+    The single data copy per block is the strided write of the
+    window view into ``out2``; padding goes through a reused workspace
+    buffer so no full-batch padded copy is ever materialized.
+    """
+    windows = _windows_block(x, plan, start, stop, ws)
+    b = stop - start
+    kernel = plan.kernel
+    if x.ndim == 4:
+        view = out2.reshape(b, *plan.out, plan.channels, kernel, kernel)
+        np.copyto(view, windows.transpose(0, 2, 3, 1, 4, 5))
+    else:
+        view = out2.reshape(b, plan.out[0], plan.channels, kernel)
+        np.copyto(view, windows.transpose(0, 2, 1, 3))
+
+
+def _windows_block(x: np.ndarray, plan: ConvPlan, start: int, stop: int,
+                   ws: dict):
+    """Strided window view over items ``[start, stop)`` of ``x``.
+
+    Returns ``(b, C, *out, k[, k])``.  Padding goes through a reused
+    workspace buffer, so no full-batch padded copy is ever materialized.
+    """
+    xb = x[start:stop]
+    if plan.padding:
+        pad = _ws(ws, "pad",
+                  (stop - start, plan.channels, *plan.padded_spatial), x.dtype)
+        # Zero only the padding ring; the core is overwritten right after.
+        p = plan.padding
+        if len(plan.spatial) == 2:
+            pad[:, :, :p, :] = 0
+            pad[:, :, p + plan.spatial[0]:, :] = 0
+            pad[:, :, p: p + plan.spatial[0], :p] = 0
+            pad[:, :, p: p + plan.spatial[0], p + plan.spatial[1]:] = 0
+        else:
+            pad[:, :, :p] = 0
+            pad[:, :, p + plan.spatial[0]:] = 0
+        core = (slice(None), slice(None)) + tuple(
+            slice(p, p + s) for s in plan.spatial
+        )
+        pad[core] = xb
+        xb = pad
+    kernel, stride = plan.kernel, plan.stride
+    if x.ndim == 4:
+        return sliding_window_view(
+            xb, (kernel, kernel), axis=(2, 3)
+        )[:, :, ::stride, ::stride]  # (b, C, out_h, out_w, k, k)
+    return sliding_window_view(xb, kernel, axis=2)[:, :, ::stride]
+
+
+def _gather_block_t(x: np.ndarray, plan: ConvPlan, start: int, stop: int,
+                    cols_t: np.ndarray, ws: dict) -> None:
+    """Unfold items ``[start, stop)`` of ``x`` into ``cols_t`` ((rows, P*b)).
+
+    The engine-internal transposed block layout: column index ``(p, n)``,
+    position-major within the block — the orientation whose gather copy
+    and scatter slices vectorize best (long batch-contiguous runs), and
+    the one the blocked GEMMs consume/produce without reordering.
+    """
+    windows = _windows_block(x, plan, start, stop, ws)
+    b = stop - start
+    kernel = plan.kernel
+    if x.ndim == 4:
+        view = cols_t.reshape(plan.channels, kernel, kernel, *plan.out, b)
+        np.copyto(view, windows.transpose(1, 4, 5, 2, 3, 0))
+    else:
+        view = cols_t.reshape(plan.channels, kernel, plan.out[0], b)
+        np.copyto(view, windows.transpose(1, 3, 2, 0))
+
+
+def _scatter_overlapping(cols_t: np.ndarray, plan: ConvPlan,
+                         acc: np.ndarray) -> None:
+    """Per-offset strided accumulation of a block's transposed patch matrix.
+
+    ``cols_t`` is ``(rows, P*b)`` — column index ``(p, n)``,
+    position-major *within the block* — and ``acc`` the batch-innermost
+    accumulator ``(C, *padded, b)``: slicing one kernel offset out of
+    ``cols_t`` is then a fully contiguous read, and each ``+=`` writes
+    stride-``s`` slabs whose innermost axis is the contiguous batch run
+    (the layout both sides vectorize on — measured against batch-major
+    column orders, channel-major accumulators, fused parity-group passes,
+    and residue-subgrid accumulators in ISSUE 4).  The kernel offsets of
+    each parity group (``plan.offset_groups``) write to pairwise disjoint
+    cells; group 0 (offsets below ``stride``) jointly tiles the leading
+    ``stride*out`` subgrid, so its passes *assign* instead of
+    read-modify-write — the caller only zeroes the trailing border no
+    group-0 offset reaches.  Offsets are visited in ascending order,
+    which accumulates every cell's overlapping contributions in ascending
+    kernel-offset order: the per-cell order of the reference
+    ``np.add.at``, keeping float sums bit-identical to the oracle in
+    every dtype.
+    """
+    kernel, stride = plan.kernel, plan.stride
+    b = acc.shape[-1]
+    out = plan.out
+    view = cols_t.reshape(plan.channels,
+                          *((kernel,) * len(plan.spatial)), *out, b)
+    if len(plan.spatial) == 2:
+        oh, ow = out
+        for ki in range(kernel):
+            rows = slice(ki, ki + stride * oh, stride)
+            for kj in range(kernel):
+                if ki < stride and kj < stride:
+                    # Parity group 0 (offsets < stride) has pairwise
+                    # disjoint targets that jointly tile the leading
+                    # [0, stride*out) subgrid: plain assignment, no
+                    # read-modify-write, no prior zeroing needed there.
+                    acc[:, rows, kj: kj + stride * ow: stride, :] = view[:, ki, kj]
+                else:
+                    acc[:, rows, kj: kj + stride * ow: stride, :] += view[:, ki, kj]
+    else:
+        (ol,) = out
+        for ki in range(kernel):
+            if ki < stride:
+                acc[:, ki: ki + stride * ol: stride, :] = view[:, ki]
+            else:
+                acc[:, ki: ki + stride * ol: stride, :] += view[:, ki]
+
+
+def _scatter_block(cols_t: np.ndarray, plan: ConvPlan, out: np.ndarray,
+                   start: int, stop: int, ws: dict) -> None:
+    """Fold a block's transposed patch matrix into ``out[start:stop]``.
+
+    ``cols_t`` is ``(rows, P*b)`` with position-major-within-block
+    columns — the layout the blocked GEMMs produce directly, and the one
+    whose per-offset slices are contiguous reads.  Writes every cell of
+    the target slice, so ``out`` may be uninitialized.
+    """
+    b = stop - start
+    positions = plan.n_positions
+    if not plan.overlapping:
+        # stride >= kernel: scatter targets are disjoint, no accumulation
+        # needed — one fancy-index assignment per block, staying in dtype.
+        if plan.padding:
+            buf = _ws(ws, "scatter", (b, plan.channels, *plan.padded_spatial),
+                      cols_t.dtype)
+        else:
+            buf = out[start:stop]
+        buf[...] = 0
+        flat = buf.reshape(b, plan.padded_item_size)
+        flat[:, plan.scatter_index] = cols_t.reshape(
+            plan.rows, positions, b
+        ).transpose(2, 1, 0)
+        if plan.padding:
+            out[start:stop] = buf[plan.unpad_slices]
+        return
+    acc = _ws(ws, "scatter", (plan.channels, *plan.padded_spatial, b),
+              cols_t.dtype)
+    # Parity group 0 assigns the leading [0, stride*out) subgrid, so only
+    # the trailing border (cells no group-0 offset reaches) needs zeroing.
+    stride = plan.stride
+    if len(plan.spatial) == 2:
+        acc[:, stride * plan.out[0]:, :, :] = 0
+        acc[:, : stride * plan.out[0], stride * plan.out[1]:, :] = 0
+    else:
+        acc[:, stride * plan.out[0]:, :] = 0
+    _scatter_overlapping(cols_t, plan, acc)
+    core = acc[(slice(None),) + plan.unpad_slices[2:] + (slice(None),)]
+    out[start:stop] = np.moveaxis(core, -1, 0)
+
+
+# ----------------------------------------------------------------------
+# Public im2col / col2im (batch-major layout; oracle dispatch adapts).
+# ----------------------------------------------------------------------
+
+def im2col(x: np.ndarray, kernel: int, padding: int, stride: int) -> np.ndarray:
+    """Unfold ``x`` (N, C, H, W) or (N, C, L) into a batch-major patch matrix.
+
+    Returns ``(N*H_out*W_out, C*kernel*kernel)`` for 4-D input and
+    ``(N*L_out, C*kernel)`` for 3-D input; rows are flattened receptive
+    fields ordered batch-major (patch ``(n, p)`` is row ``n*P + p``).  The
+    input dtype is preserved.  Under :func:`reference_ops` the oracle
+    computes in the seed layout and the result is adapted back, so the
+    public layout is mode-independent.
     """
     if x.ndim not in (3, 4):
         raise ValueError(f"expected (N, C, L) or (N, C, H, W) input, got {x.shape}")
     if _USE_REFERENCE:
         if x.ndim == 4:
-            return _reference_im2col(x, kernel, padding, stride)
-        return _reference_im2col_1d(x, kernel, padding, stride)
+            ref = _reference_im2col(x, kernel, padding, stride)
+        else:
+            ref = _reference_im2col_1d(x, kernel, padding, stride)
+        return cols_from_reference(ref, x.shape[0])
     plan = conv_plan(x.shape, kernel, padding, stride)
-    x = _pad_spatial_fast(x, padding)
-    if x.ndim == 4:
-        windows = np.lib.stride_tricks.sliding_window_view(
-            x, (kernel, kernel), axis=(2, 3)
-        )[:, :, ::stride, ::stride]  # (N, C, out_h, out_w, k, k)
-        cols = windows.transpose(1, 4, 5, 2, 3, 0)  # (C, k, k, out_h, out_w, N)
-    else:
-        windows = np.lib.stride_tricks.sliding_window_view(
-            x, kernel, axis=2
-        )[:, :, ::stride]  # (N, C, out_len, k)
-        cols = windows.transpose(1, 3, 2, 0)  # (C, k, out_len, N)
-    # The reshape of the transposed view is the single data copy.
-    return cols.reshape(plan.cols_shape)
+    batch = x.shape[0]
+    cols = np.empty(plan.cols_shape(batch), dtype=x.dtype)
+    block = plan.batch_block(x.dtype.itemsize)
+    ws = None
+    positions = plan.n_positions
+    for start in range(0, batch, block):
+        stop = min(start + block, batch)
+        _gather_block(x, plan, start, stop,
+                      cols[start * positions: stop * positions], ws)
+    return cols
 
 
 def col2im(
@@ -135,7 +422,7 @@ def col2im(
     padding: int,
     stride: int,
 ) -> np.ndarray:
-    """Fold a patch matrix back into an image, accumulating overlaps.
+    """Fold a batch-major patch matrix back into an image, accumulating overlaps.
 
     ``cols`` has the shape produced by :func:`im2col` for ``x_shape`` and
     the result has shape ``x_shape``.  This is the exact adjoint of
@@ -144,69 +431,198 @@ def col2im(
     """
     if len(x_shape) not in (3, 4):
         raise ValueError(f"expected (N, C, L) or (N, C, H, W) shape, got {x_shape}")
+    batch = int(x_shape[0])
     if _USE_REFERENCE:
+        ref_cols = cols_to_reference(cols, batch)
         if len(x_shape) == 4:
-            return _reference_col2im(cols, x_shape, kernel, padding, stride)
-        return _reference_col2im_1d(cols, x_shape, kernel, padding, stride)
+            return _reference_col2im(ref_cols, x_shape, kernel, padding, stride)
+        return _reference_col2im_1d(ref_cols, x_shape, kernel, padding, stride)
     plan = conv_plan(x_shape, kernel, padding, stride)
-    if cols.shape != plan.cols_shape:
+    if cols.shape != plan.cols_shape(batch):
         raise ValueError(
-            f"cols shape {cols.shape} does not match plan {plan.cols_shape} "
-            f"for x_shape={tuple(x_shape)}"
+            f"cols shape {cols.shape} does not match plan "
+            f"{plan.cols_shape(batch)} for x_shape={tuple(x_shape)}"
         )
-    if not plan.overlapping:
-        # stride >= kernel: scatter targets are disjoint, no accumulation
-        # needed — one fancy-index assignment, staying in dtype throughout.
-        flat = np.zeros(plan.padded_size, dtype=cols.dtype)
-        flat[plan.scatter_index] = cols.ravel()
-        return flat.reshape(plan.padded_shape)[plan.unpad_slices]
-    if cols.dtype == np.float64:
-        # scatter_index is laid out in cols.ravel() order; each target cell
-        # accumulates its overlaps in ascending kernel-offset order, the
-        # same per-cell order as the reference np.add.at, so sums are
-        # bit-identical.
-        flat = np.bincount(
-            plan.scatter_index, weights=cols.ravel(), minlength=plan.padded_size
+    out = np.empty(x_shape, dtype=cols.dtype)
+    block = plan.batch_block(cols.dtype.itemsize)
+    ws = None
+    positions = plan.n_positions
+    for start in range(0, batch, block):
+        stop = min(start + block, batch)
+        b = stop - start
+        # The scatter consumes the transposed block (rows, P*b); the
+        # blocked GEMM callers produce that layout directly, the public
+        # API pays one block-local (cache-resident) transpose.
+        cols_t = _ws(ws, "cols_t", (plan.rows, positions * b), cols.dtype)
+        cols_t.reshape(plan.rows, positions, b)[...] = (
+            cols[start * positions: stop * positions]
+            .reshape(b, positions, plan.rows).transpose(2, 1, 0)
         )
-        return flat.reshape(plan.padded_shape)[plan.unpad_slices]
-    return _offset_col2im(cols, plan)
-
-
-def _offset_col2im(cols: np.ndarray, plan: ConvPlan) -> np.ndarray:
-    """Overlapping scatter as ``kernel**S`` strided-slice accumulations.
-
-    Accumulates in a channel-major ``(C, *padded, N)`` buffer so both the
-    reads (contiguous column blocks) and the writes (stride-``s`` slices
-    with contiguous inner runs of N) stay cache-friendly, then transposes
-    back to NCHW once.  The kernel offsets are visited in ascending order,
-    matching the reference per-cell accumulation order bit for bit.
-    """
-    kernel, stride = plan.kernel, plan.stride
-    padded = plan.padded_shape[2:]
-    out = plan.out
-    acc = np.zeros((plan.channels, *padded, plan.batch), dtype=cols.dtype)
-    spatial_core = plan.unpad_slices[2:]
-    if len(padded) == 2:
-        view = cols.reshape(
-            plan.channels, kernel, kernel, out[0], out[1], plan.batch
-        )
-        for ki in range(kernel):
-            rows = slice(ki, ki + stride * out[0], stride)
-            for kj in range(kernel):
-                acc[:, rows, kj : kj + stride * out[1] : stride, :] += view[:, ki, kj]
-        core = acc[:, spatial_core[0], spatial_core[1], :]
-        return np.ascontiguousarray(core.transpose(3, 0, 1, 2))
-    view = cols.reshape(plan.channels, kernel, out[0], plan.batch)
-    for ki in range(kernel):
-        acc[:, ki : ki + stride * out[0] : stride, :] += view[:, ki]
-    core = acc[:, spatial_core[0], :]
-    return np.ascontiguousarray(core.transpose(2, 0, 1))
+        _scatter_block(cols_t, plan, out, start, stop, ws)
+    return out
 
 
 # ----------------------------------------------------------------------
-# Reference oracle: the original implementations, kept verbatim.  They are
-# the ground truth the fast engine is property-tested against and the
-# baseline the engine benchmark measures speedups from.
+# Blocked GEMM entry points for the conv layers.  Each loops over batch
+# blocks, reusing the caller-owned workspace dict across blocks and calls.
+# ----------------------------------------------------------------------
+
+def conv_gemm_forward(x: np.ndarray, w_mat: np.ndarray, plan: ConvPlan,
+                      ws: dict, cache_cols: bool, bias: np.ndarray | None = None,
+                      cache_ws: dict | None = None):
+    """Blocked convolution forward: gather + GEMM per batch block.
+
+    ``w_mat`` is ``(C_out, rows)``; ``bias`` (per output channel) is added
+    to each cache-hot GEMM block instead of in a full-tensor pass.
+    Returns ``(out, blocks)`` where
+    ``out`` is the **contiguous** ``(N, C_out, *out_spatial)`` activation
+    (written block-wise through a cache-resident unpack, so ``Flatten``
+    downstream is a view) and ``blocks`` is the list of gathered
+    ``(start, stop, cols_t)`` patch-matrix blocks when ``cache_cols``
+    (training replays exactly these blocks in the weight-gradient GEMM),
+    else ``None`` — inference streams blocks through one reused workspace
+    and never materializes the full patch matrix.  The cached blocks are
+    carved out of one persistent buffer in ``cache_ws`` (the layer owns
+    it), so steady-state training epochs stop paying a multi-megabyte
+    allocate/page-zero cycle per forward.
+    """
+    batch = x.shape[0]
+    c_out = w_mat.shape[0]
+    positions = plan.n_positions
+    blocks: list | None = None
+    if cache_cols:
+        blocks = []
+        cache_flat = _ws(cache_ws if cache_ws is not None else ws,
+                         "cols_cache", (plan.rows * positions * batch,),
+                         x.dtype)
+    block = min(plan.batch_block(x.dtype.itemsize), max(batch, 1))
+    out = np.empty((batch, c_out, *plan.out), dtype=x.dtype)
+    out3 = out.reshape(batch, c_out, positions)
+    for start in range(0, batch, block):
+        stop = min(start + block, batch)
+        b = stop - start
+        if cache_cols:
+            cols_t = cache_flat[
+                plan.rows * positions * start: plan.rows * positions * stop
+            ].reshape(plan.rows, positions * b)
+            blocks.append((start, stop, cols_t))
+        else:
+            cols_t = _ws(ws, "cols_t", (plan.rows, positions * b), x.dtype)
+        _gather_block_t(x, plan, start, stop, cols_t, ws)
+        t = _ws(ws, "gemm_out", (c_out, positions * b), x.dtype)
+        np.matmul(w_mat, cols_t, out=t)
+        if bias is not None:
+            t += bias[:, None]
+        # Unpack (C_out, (p, n)) -> (n, C_out, p): block-local, cache-hot.
+        out3[start:stop] = t.reshape(c_out, positions, b).transpose(2, 0, 1)
+    return out, blocks
+
+
+def conv_gemm_backward(grad_mat: np.ndarray, blocks: list,
+                       w_mat: np.ndarray, x_shape: tuple[int, ...],
+                       plan: ConvPlan, ws: dict):
+    """Blocked convolution backward: weight-gradient and input-gradient.
+
+    ``grad_mat`` is the batch-major matricization ``(N, C_out, P)`` of the
+    output gradient — a *view* of the NCHW gradient, never a copy; the
+    only reordering is one block-sized, cache-resident pack per block
+    (the seed layout transposed the *whole* gradient batch-last here).
+    ``blocks`` is the ``(start, stop, cols_t)`` list the forward cached.
+    Returns ``(wgrad, dx)`` with ``wgrad`` of shape ``(C_out, rows)`` and
+    ``dx`` of shape ``x_shape``.
+    """
+    batch, c_out, positions = grad_mat.shape
+    dtype = grad_mat.dtype
+    wgrad = np.zeros((c_out, plan.rows), dtype=dtype)
+    dx = np.empty(x_shape, dtype=dtype)
+    for start, stop, cols_t in blocks:
+        b = stop - start
+        # One scatter-ordered pack of the gradient block, (C_out, (p, n)),
+        # shared by the weight GEMM (against the cached block, whose
+        # columns are in the same order) and the input-gradient GEMM
+        # (whose output feeds the scatter with no further reordering).
+        pk = _ws(ws, "pack", (c_out, positions * b), dtype)
+        pk.reshape(c_out, positions, b)[...] = (
+            grad_mat[start:stop].transpose(1, 2, 0)
+        )
+        wgrad += pk @ cols_t.T
+        dcols_t = _ws(ws, "dcols_t", (plan.rows, positions * b), dtype)
+        np.matmul(w_mat.T, pk, out=dcols_t)
+        _scatter_block(dcols_t, plan, dx, start, stop, ws)
+    return wgrad, dx
+
+
+def fold_gemm_forward(x_mat: np.ndarray, w_mat: np.ndarray,
+                      out_shape: tuple[int, ...], plan: ConvPlan,
+                      ws: dict, bias: np.ndarray | None = None) -> np.ndarray:
+    """Blocked transposed-convolution forward: GEMM + scatter per block.
+
+    ``x_mat`` is the batch-major matricization ``(N, C_in, P)`` of the
+    layer input — a *view* (the generator-input matricization of ISSUE 4);
+    ``w_mat`` is ``(C_in, rows)``; ``plan`` describes ``out_shape`` (whose
+    conv output positions are exactly the input's spatial grid).  Streams
+    blocks through one reused workspace — the full patch matrix is never
+    materialized, which is what keeps large-batch generator forwards in
+    cache.
+    """
+    batch, c_in, positions = x_mat.shape
+    dtype = x_mat.dtype
+    out = np.empty(out_shape, dtype=dtype)
+    block = min(plan.batch_block(dtype.itemsize), max(batch, 1))
+    for start in range(0, batch, block):
+        stop = min(start + block, batch)
+        b = stop - start
+        # Pack the input block scatter-ordered, (C_in, (p, n)), so the
+        # GEMM output feeds the scatter with no further reordering.
+        pk = _ws(ws, "pack", (c_in, positions * b), dtype)
+        pk.reshape(c_in, positions, b)[...] = x_mat[start:stop].transpose(1, 2, 0)
+        cols_t = _ws(ws, "cols_t", (plan.rows, positions * b), dtype)
+        np.matmul(w_mat.T, pk, out=cols_t)
+        _scatter_block(cols_t, plan, out, start, stop, ws)
+        if bias is not None:
+            # Per-block add while the freshly scattered slice is cache-hot.
+            out[start:stop] += bias.reshape(
+                (1, -1) + (1,) * (len(out_shape) - 2)
+            )
+    return out
+
+
+def unfold_gemm_backward(grad: np.ndarray, x_mat: np.ndarray,
+                         w_mat: np.ndarray, plan: ConvPlan, ws: dict):
+    """Blocked transposed-convolution backward.
+
+    ``grad`` is the NCHW output gradient (the image side of the plan),
+    ``x_mat`` the cached batch-major input matricization ``(N, C_in, P)``.
+    Gathers ``grad`` patches block-wise (streamed), computes the input
+    gradient ``dx = (N, C_in, *in_spatial)`` and the weight gradient
+    ``(C_in, rows)``, reusing one gather per block for both GEMMs.
+    """
+    batch, c_in, positions = x_mat.shape
+    dtype = x_mat.dtype
+    wgrad = np.zeros((c_in, plan.rows), dtype=dtype)
+    block = min(plan.batch_block(dtype.itemsize), max(batch, 1))
+    dx = np.empty((batch, c_in, *plan.out), dtype=dtype)
+    dx3 = dx.reshape(batch, c_in, positions)
+    for start in range(0, batch, block):
+        stop = min(start + block, batch)
+        b = stop - start
+        cols_t = _ws(ws, "cols_t", (plan.rows, positions * b), dtype)
+        _gather_block_t(grad, plan, start, stop, cols_t, ws)
+        t = _ws(ws, "gemm_out", (c_in, positions * b), dtype)
+        np.matmul(w_mat, cols_t, out=t)
+        dx3[start:stop] = t.reshape(c_in, positions, b).transpose(2, 0, 1)
+        pk = _ws(ws, "pack", (c_in, positions * b), dtype)
+        pk.reshape(c_in, positions, b)[...] = x_mat[start:stop].transpose(1, 2, 0)
+        wgrad += pk @ cols_t.T
+    return wgrad, dx
+
+
+# ----------------------------------------------------------------------
+# Reference oracle: the original implementations, kept verbatim (seed
+# column layout: position-major, then batch).  They are the ground truth
+# the fast engine is property-tested against — through the layout
+# adapters above — and the baseline the engine benchmark measures
+# speedups from.
 # ----------------------------------------------------------------------
 
 def im2col_indices(

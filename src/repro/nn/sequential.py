@@ -58,6 +58,50 @@ class Sequential(Layer):
         self._activations = activations
         return out
 
+    #: Rows per chunk of :meth:`stream_forward` — sized so one chunk's
+    #: inter-layer activations stay cache-resident (measured sweet spot of
+    #: the blocked conv engine's serving workloads).
+    STREAM_CHUNK_ROWS = 256
+
+    def stream_forward(self, x: np.ndarray,
+                       chunk_rows: int | None = None) -> np.ndarray:
+        """Inference forward in row chunks; returns only the final output.
+
+        Evaluation-mode layers are row-independent (BatchNorm serves its
+        running statistics), so pushing ``chunk_rows``-row slices through
+        the whole stack is numerically identical to one monolithic pass —
+        but the inter-layer activation tensors stay cache-resident instead
+        of streaming through DRAM, which keeps bulk-synthesis throughput
+        flat in the batch size (the serving half of ISSUE 4; see
+        ``docs/benchmarks.md``).  The chunking is a pure function of the
+        input size, so for a given input the result is deterministic; it
+        also makes bulk sampling *less* batch-size sensitive than the
+        monolithic pass, since most rows go through identical
+        ``chunk_rows``-row GEMMs regardless of the caller's batching.
+
+        Unlike :meth:`forward`, no per-layer activations are recorded
+        (``activation()`` still reports the last recorded pass); like any
+        forward, it clobbers the layers' backward caches.
+        """
+        chunk = self.STREAM_CHUNK_ROWS if chunk_rows is None else int(chunk_rows)
+        if chunk <= 0:
+            raise ValueError(f"chunk_rows must be positive, got {chunk_rows}")
+        n = x.shape[0]
+        if n <= chunk:
+            out = x
+            for layer in self.layers:
+                out = layer.forward(out, training=False)
+            return out
+        final: np.ndarray | None = None
+        for start in range(0, n, chunk):
+            out = x[start: min(start + chunk, n)]
+            for layer in self.layers:
+                out = layer.forward(out, training=False)
+            if final is None:
+                final = np.empty((n,) + out.shape[1:], dtype=out.dtype)
+            final[start: start + out.shape[0]] = out
+        return final
+
     def activation(self, name_or_index) -> np.ndarray:
         """Cached output of a layer from the most recent forward pass."""
         if self._activations is None:

@@ -9,9 +9,10 @@ amortizes **both** by serving many small ``n``-row requests out of one
 record stream:
 
 * generation happens in blocks of at least ``pool_size`` rows, cut into
-  ``batch_rows``-row generator forwards (``batch_rows`` defaults to the
-  forward-throughput sweet spot, a few hundred rows — larger is *not*
-  faster once im2col buffers fall out of cache);
+  ``batch_rows``-row generator forwards (the blocked/streamed im2col
+  engine keeps large-batch throughput flat — conv workspaces are tiled to
+  a cache budget internally — so ``batch_rows`` now defaults to a few
+  thousand rows and mainly bounds per-replenishment latency and memory);
 * each generated block is decoded **once**, and requests are served as
   slices of the pooled encoded/decoded pair — a sub-batch request touches
   neither the generator nor the column codecs;
@@ -101,15 +102,17 @@ class SynthesisService:
         (each shortfall generates exactly what is missing, still coalesced
         per request batch).
     batch_rows:
-        Rows per generator forward pass inside a replenishment.  The
-        default sits near the conv engine's forward-throughput sweet spot;
-        raising it further is counter-productive once im2col buffers
-        exceed cache.
+        Rows per generator forward pass inside a replenishment.  Since the
+        blocked/streamed im2col engine (ISSUE 4), generator throughput no
+        longer degrades past a few hundred rows — the conv workspaces are
+        tiled to the cache budget internally — so the default is sized to
+        amortize per-forward layer dispatch on bulk requests while keeping
+        per-replenishment latency and buffer memory moderate.
     seed:
         Seed of the service's record stream.
     """
 
-    def __init__(self, model, pool_size: int = 0, batch_rows: int = 256,
+    def __init__(self, model, pool_size: int = 0, batch_rows: int = 2048,
                  seed=None):
         if isinstance(model, TableGAN):
             sampler = model.record_sampler()

@@ -28,22 +28,23 @@ class TestConvOutputSize:
 
 class TestIm2col:
     def test_shape(self):
+        # Batch-major patch matrix: (N * positions, C * kernel * kernel).
         x = np.arange(2 * 3 * 8 * 8, dtype=float).reshape(2, 3, 8, 8)
         cols = im2col(x, kernel=4, padding=1, stride=2)
-        assert cols.shape == (3 * 16, 4 * 4 * 2)
+        assert cols.shape == (2 * 4 * 4, 3 * 16)
 
     def test_identity_kernel_1x1(self):
         x = np.random.default_rng(0).standard_normal((2, 2, 4, 4))
         cols = im2col(x, kernel=1, padding=0, stride=1)
         # 1x1 kernel at stride 1 just flattens the spatial grid.
-        assert cols.shape == (2, 32)
+        assert cols.shape == (32, 2)
         assert np.allclose(np.sort(cols.ravel()), np.sort(x.ravel()))
 
     def test_known_patch_values(self):
         x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
         cols = im2col(x, kernel=2, padding=0, stride=2)
-        # First column = top-left 2x2 patch [0, 1, 4, 5].
-        assert np.allclose(cols[:, 0], [0, 1, 4, 5])
+        # First patch row = top-left 2x2 patch [0, 1, 4, 5].
+        assert np.allclose(cols[0], [0, 1, 4, 5])
 
     def test_padding_adds_zero_border(self):
         x = np.ones((1, 1, 2, 2))

@@ -1,9 +1,13 @@
 """Fast conv engine vs the retained reference oracle.
 
-The contract of the engine (ISSUE 1): the stride-trick/bincount fast paths
-must match the ``_reference`` implementations bit-for-bit in float64 and to
-1e-5 in float32, across overlapping and non-overlapping geometries, in both
-2-D and 1-D, and must stay exact adjoints of each other.
+The contract of the engine (ISSUE 1, re-cut batch-major in ISSUE 4): the
+blocked stride-trick/parity-scatter fast paths must match the
+``_reference`` implementations — through the explicit layout adapters
+``cols_to_reference``/``cols_from_reference`` — bit-for-bit in float64
+and to 1e-5 in float32, across overlapping and non-overlapping
+geometries, in both 2-D and 1-D, across batch block sizes (single-item,
+partial, and full-batch blocks), and must stay exact adjoints of each
+other.
 """
 
 import numpy as np
@@ -17,10 +21,18 @@ from repro.nn.im2col import (
     _reference_im2col,
     _reference_im2col_1d,
     col2im,
+    cols_from_reference,
+    cols_to_reference,
     im2col,
     reference_ops,
 )
-from repro.nn.plan import clear_plan_cache, conv_plan, plan_cache_info
+from repro.nn.plan import (
+    clear_plan_cache,
+    conv_plan,
+    plan_cache_info,
+    set_workspace_budget,
+    workspace_budget,
+)
 
 # (shape, kernel, padding, stride): DCGAN overlap, unit-stride overlap,
 # exact tiling, gapped tiling (stride > kernel), and 1x1, in 2-D and 1-D.
@@ -39,6 +51,19 @@ GEOMETRIES_1D = [
     ((1, 1, 6), 2, 0, 2),
 ]
 
+#: Workspace budgets forcing different batch blockings: 1 byte => one
+#: record per block (with partial tail coverage from odd batch sizes),
+#: one-item-sized => exercises the boundary, default => full batch.
+BLOCK_BUDGETS = [1, None]
+
+
+@pytest.fixture(params=BLOCK_BUDGETS, ids=["block1", "default"])
+def block_budget(request):
+    previous = workspace_budget()
+    set_workspace_budget(request.param)
+    yield request.param
+    set_workspace_budget(previous)
+
 
 def _reference(x_or_cols, shape, kernel, padding, stride, direction):
     if len(shape) == 4:
@@ -53,20 +78,25 @@ def _reference(x_or_cols, shape, kernel, padding, stride, direction):
 class TestEquivalenceFloat64:
     @pytest.mark.parametrize("shape,kernel,padding,stride",
                              GEOMETRIES_2D + GEOMETRIES_1D)
-    def test_im2col_bit_for_bit(self, shape, kernel, padding, stride):
+    def test_im2col_bit_for_bit(self, shape, kernel, padding, stride,
+                                block_budget):
         x = np.random.default_rng(hash(shape) % 2**32).standard_normal(shape)
         fast = im2col(x, kernel, padding, stride)
         ref = _reference(x, shape, kernel, padding, stride, "fwd")
         assert fast.dtype == np.float64
-        assert np.array_equal(fast, ref)
+        assert fast.shape == conv_plan(shape, kernel, padding, stride).cols_shape(shape[0])
+        assert np.array_equal(cols_to_reference(fast, shape[0]), ref)
 
     @pytest.mark.parametrize("shape,kernel,padding,stride",
                              GEOMETRIES_2D + GEOMETRIES_1D)
-    def test_col2im_bit_for_bit(self, shape, kernel, padding, stride):
+    def test_col2im_bit_for_bit(self, shape, kernel, padding, stride,
+                                block_budget):
         rng = np.random.default_rng(hash(shape) % 2**32)
-        cols = rng.standard_normal(conv_plan(shape, kernel, padding, stride).cols_shape)
-        fast = col2im(cols, shape, kernel, padding, stride)
-        ref = _reference(cols, shape, kernel, padding, stride, "bwd")
+        plan = conv_plan(shape, kernel, padding, stride)
+        ref_cols = rng.standard_normal((plan.rows, plan.n_positions * shape[0]))
+        fast = col2im(cols_from_reference(ref_cols, shape[0]), shape,
+                      kernel, padding, stride)
+        ref = _reference(ref_cols, shape, kernel, padding, stride, "bwd")
         assert fast.dtype == np.float64
         assert fast.shape == tuple(shape)
         assert np.array_equal(fast, ref)
@@ -75,23 +105,42 @@ class TestEquivalenceFloat64:
 class TestEquivalenceFloat32:
     @pytest.mark.parametrize("shape,kernel,padding,stride",
                              GEOMETRIES_2D + GEOMETRIES_1D)
-    def test_im2col_close(self, shape, kernel, padding, stride):
+    def test_im2col_close(self, shape, kernel, padding, stride, block_budget):
         x = np.random.default_rng(0).standard_normal(shape).astype(np.float32)
         fast = im2col(x, kernel, padding, stride)
         ref = _reference(x, shape, kernel, padding, stride, "fwd")
         assert fast.dtype == np.float32
-        assert np.allclose(fast, ref, atol=1e-5)
+        assert np.allclose(cols_to_reference(fast, shape[0]), ref, atol=1e-5)
 
     @pytest.mark.parametrize("shape,kernel,padding,stride",
                              GEOMETRIES_2D + GEOMETRIES_1D)
-    def test_col2im_close(self, shape, kernel, padding, stride):
+    def test_col2im_close(self, shape, kernel, padding, stride, block_budget):
         rng = np.random.default_rng(1)
         plan = conv_plan(shape, kernel, padding, stride)
-        cols = rng.standard_normal(plan.cols_shape).astype(np.float32)
+        cols = rng.standard_normal(plan.cols_shape(shape[0])).astype(np.float32)
         fast = col2im(cols, shape, kernel, padding, stride)
-        ref = _reference(cols, shape, kernel, padding, stride, "bwd")
+        ref = _reference(cols_to_reference(cols, shape[0]), shape, kernel,
+                         padding, stride, "bwd")
         assert fast.dtype == np.float32
         assert np.allclose(fast, ref, atol=1e-5)
+
+
+class TestLayoutAdapters:
+    @pytest.mark.parametrize("shape,kernel,padding,stride",
+                             GEOMETRIES_2D + GEOMETRIES_1D)
+    def test_adapters_are_mutual_inverses(self, shape, kernel, padding, stride):
+        plan = conv_plan(shape, kernel, padding, stride)
+        cols = np.arange(np.prod(plan.cols_shape(shape[0])), dtype=np.float64)
+        cols = cols.reshape(plan.cols_shape(shape[0]))
+        ref = cols_to_reference(cols, shape[0])
+        assert ref.shape == (plan.rows, plan.n_positions * shape[0])
+        assert np.array_equal(cols_from_reference(ref, shape[0]), cols)
+
+    def test_adapters_reject_impossible_batch(self):
+        with pytest.raises(ValueError, match="cannot hold batch"):
+            cols_to_reference(np.zeros((9, 4)), 2)
+        with pytest.raises(ValueError, match="cannot hold batch"):
+            cols_from_reference(np.zeros((4, 9)), 2)
 
 
 class TestAdjointness:
@@ -132,12 +181,44 @@ class TestRandomGeometries:
         rng = np.random.default_rng(seed)
         x = rng.standard_normal(shape)
         fast = im2col(x, kernel, padding, stride)
-        assert np.array_equal(fast, _reference_im2col(x, kernel, padding, stride))
+        assert np.array_equal(cols_to_reference(fast, batch),
+                              _reference_im2col(x, kernel, padding, stride))
         c = rng.standard_normal(fast.shape)
         assert np.array_equal(
             col2im(c, shape, kernel, padding, stride),
-            _reference_col2im(c, shape, kernel, padding, stride),
+            _reference_col2im(cols_to_reference(c, batch), shape, kernel,
+                              padding, stride),
         )
+
+
+class TestBlockInvariance:
+    @pytest.mark.parametrize("shape,kernel,padding,stride",
+                             [((5, 2, 8, 8), 4, 1, 2), ((7, 3, 9), 3, 1, 1)])
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32])
+    def test_every_blocking_is_bit_identical(self, shape, kernel, padding,
+                                             stride, dtype):
+        """Block size never changes a single bit of gather or scatter.
+
+        Budgets are chosen so blocks of one record, a partial tail, and
+        the whole batch all occur (batch sizes 5 and 7 are not multiples
+        of the intermediate block counts).
+        """
+        rng = np.random.default_rng(3)
+        x = rng.standard_normal(shape).astype(dtype)
+        plan = conv_plan(shape, kernel, padding, stride)
+        item_bytes = plan.n_positions * plan.rows * x.dtype.itemsize
+        cols = rng.standard_normal(plan.cols_shape(shape[0])).astype(dtype)
+        results = []
+        for budget in (1, 2 * item_bytes, 3 * item_bytes, None):
+            previous = set_workspace_budget(budget)
+            try:
+                results.append((im2col(x, kernel, padding, stride),
+                                col2im(cols, shape, kernel, padding, stride)))
+            finally:
+                set_workspace_budget(previous)
+        for gathered, scattered in results[1:]:
+            assert np.array_equal(gathered, results[0][0])
+            assert np.array_equal(scattered, results[0][1])
 
 
 class TestPlanCache:
@@ -150,8 +231,13 @@ class TestPlanCache:
         shape = tuple(np.int64(s) for s in (2, 3, 8, 8))
         assert conv_plan(shape, 4, 1, 2) is conv_plan((2, 3, 8, 8), 4, 1, 2)
 
+    def test_plans_are_batch_free(self):
+        """Every batch size of one record geometry shares one plan."""
+        assert conv_plan((2, 3, 8, 8), 4, 1, 2) is conv_plan((4, 3, 8, 8), 4, 1, 2)
+        assert conv_plan((1, 3, 8, 8), 4, 1, 2).cols_shape(4) == (4 * 16, 48)
+
     def test_distinct_geometries_get_distinct_plans(self):
-        assert conv_plan((2, 3, 8, 8), 4, 1, 2) is not conv_plan((4, 3, 8, 8), 4, 1, 2)
+        assert conv_plan((2, 3, 8, 8), 4, 1, 2) is not conv_plan((2, 4, 8, 8), 4, 1, 2)
 
     def test_repeated_conv_calls_hit_cache(self):
         clear_plan_cache()
@@ -166,6 +252,32 @@ class TestPlanCache:
         assert conv_plan((1, 1, 8, 8), 4, 1, 2).overlapping
         assert not conv_plan((1, 1, 8, 8), 2, 0, 2).overlapping
         assert not conv_plan((1, 1, 8, 8), 2, 0, 3).overlapping
+
+    def test_offset_groups_cover_each_offset_once(self):
+        """Parity groups partition [0, kernel) for any overlapping geometry."""
+        for kernel, stride in [(4, 2), (3, 2), (5, 3), (3, 1), (5, 2)]:
+            size = 2 * stride + kernel  # any exact geometry
+            plan = conv_plan((1, 1, size), kernel, 0, stride)
+            offsets = sorted(
+                m * stride + rho
+                for m, cnt in plan.offset_groups
+                for rho in range(cnt)
+            )
+            assert offsets == list(range(kernel))
+
+    def test_batch_block_respects_budget(self):
+        plan = conv_plan((1, 2, 8, 8), 4, 1, 2)
+        per_item = plan.n_positions * plan.rows * 8
+        previous = set_workspace_budget(3 * per_item)
+        try:
+            assert plan.batch_block(8) == 3
+        finally:
+            set_workspace_budget(previous)
+        assert plan.batch_block(8) >= 1
+
+    def test_workspace_budget_validation(self):
+        with pytest.raises(ValueError, match="positive"):
+            set_workspace_budget(0)
 
     def test_rejects_bad_rank(self):
         with pytest.raises(ValueError, match="expected"):
@@ -182,7 +294,17 @@ class TestReferenceDispatch:
             assert mod._USE_REFERENCE
             inside = im2col(x, 4, 1, 2)
         assert not mod._USE_REFERENCE
+        # The dispatch adapts the oracle to the batch-major public layout,
+        # so results are mode-independent.
         assert np.array_equal(inside, im2col(x, 4, 1, 2))
+
+    def test_reference_col2im_round_trips_through_adapter(self):
+        shape = (2, 2, 8, 8)
+        rng = np.random.default_rng(5)
+        cols = rng.standard_normal(conv_plan(shape, 4, 1, 2).cols_shape(2))
+        with reference_ops():
+            inside = col2im(cols, shape, 4, 1, 2)
+        assert np.array_equal(inside, col2im(cols, shape, 4, 1, 2))
 
     def test_geometry_errors_name_full_geometry(self):
         from repro.nn.im2col import conv_output_size

@@ -10,8 +10,10 @@ import json
 import pytest
 
 from repro.bench import (
+    KERNEL_CHECK_KEYS,
     QUICK_WORKLOAD,
     REPORT_KEYS,
+    check_report,
     format_report,
     main,
     run_benchmarks,
@@ -47,6 +49,14 @@ class TestQuickBenchmark:
         assert synthesis["requests"] == QUICK_WORKLOAD["synth_requests"]
         assert synthesis["sharded_worker_invariant"] is True
 
+    def test_large_batch_section(self, quick_report):
+        large_batch = quick_report["large_batch"]
+        expected = [str(r) for r in QUICK_WORKLOAD["large_batch_rows"]]
+        assert list(large_batch["rows_per_s"]) == expected
+        for rows, value in large_batch["rows_per_s"].items():
+            assert value > 0, rows
+        assert isinstance(large_batch["flat_beyond_256"], bool)
+
     def test_format_report_lists_every_metric(self, quick_report):
         text = format_report(quick_report)
         for key in REPORT_KEYS:
@@ -62,6 +72,51 @@ class TestQuickBenchmark:
     def test_rejects_bad_repeats(self):
         with pytest.raises(ValueError):
             run_benchmarks(repeats=0)
+
+
+class TestCheckTripwire:
+    def test_passing_report_has_no_failures(self):
+        report = {
+            "engine": {key: 1.0 for key in KERNEL_CHECK_KEYS},
+            "reference": {key: 2.0 for key in KERNEL_CHECK_KEYS},
+            "speedup": {key.removesuffix("_s"): 2.0
+                        for key in KERNEL_CHECK_KEYS},
+        }
+        assert check_report(report) == []
+
+    def test_slower_kernel_is_reported(self):
+        report = {
+            "engine": {key: 1.0 for key in KERNEL_CHECK_KEYS},
+            "reference": {key: 2.0 for key in KERNEL_CHECK_KEYS},
+            "speedup": {key.removesuffix("_s"): 2.0
+                        for key in KERNEL_CHECK_KEYS},
+        }
+        report["speedup"]["conv_backward"] = 0.7
+        report["engine"]["conv_backward_s"] = 2.0
+        failures = check_report(report)
+        assert len(failures) == 1
+        assert "conv_backward" in failures[0]
+
+    def test_noise_margin_tolerates_dead_heats(self):
+        """A 0.95x dead heat on a microsecond kernel is noise, not a
+        regression; real fallbacks show integer-factor slowdowns."""
+        report = {
+            "engine": {key: 1.0 for key in KERNEL_CHECK_KEYS},
+            "reference": {key: 0.95 for key in KERNEL_CHECK_KEYS},
+            "speedup": {key.removesuffix("_s"): 0.95
+                        for key in KERNEL_CHECK_KEYS},
+        }
+        assert check_report(report) == []
+        assert len(check_report(report, min_speedup=1.0)) == len(KERNEL_CHECK_KEYS)
+
+    def test_fit_epoch_is_not_gated(self):
+        """fit_epoch is an epoch, not a kernel: noise must not fail CI."""
+        assert "fit_epoch_s" not in KERNEL_CHECK_KEYS
+
+    def test_real_quick_report_passes(self, quick_report):
+        # The engine is typically 1.5-5x faster per kernel; the tripwire
+        # must not fire on a healthy run.
+        assert check_report(quick_report) == []
 
 
 class TestCliWiring:
@@ -80,6 +135,13 @@ class TestCliWiring:
         assert args.quick is True
         args = build_parser().parse_args(["bench"])
         assert args.quick is False
+
+    def test_cli_parses_check_flag(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["bench", "--quick", "--check"])
+        assert args.check is True
+        assert build_parser().parse_args(["bench"]).check is False
 
     def test_unwritable_path_fails_fast(self, tmp_path, capsys):
         assert main(str(tmp_path / "missing" / "x.json"), quick=True) == 1
