@@ -1,0 +1,103 @@
+"""CI smoke test for the long-lived synthesis server.
+
+End to end through the real process boundary: train a tiny model,
+register it, boot ``python -m repro serve`` as a subprocess on a free
+port, hit ``/healthz`` and one ``/sample`` with the client library, then
+SIGTERM the server and assert it drains and exits cleanly (code 0).
+
+Every wait is bounded, so a wedged server fails the job instead of
+hanging it.  Run from the repository root::
+
+    PYTHONPATH=src python scripts/serve_smoke.py
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+TIMEOUT_S = 120
+
+
+def fail(message: str) -> None:
+    print(f"SMOKE FAILED: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def train_and_register(registry_dir: str) -> None:
+    from repro import TableGAN, low_privacy
+    from repro.data.datasets import load_dataset
+    from repro.serve import ModelRegistry
+
+    bundle = load_dataset("adult", rows=64, seed=0)
+    gan = TableGAN(low_privacy(epochs=1, batch_size=16, base_channels=4,
+                               seed=0))
+    gan.fit(bundle.train)
+    ModelRegistry(registry_dir).register("smoke", gan, version="1")
+    print("registered tiny model 'smoke@1'")
+
+
+def read_port(proc: subprocess.Popen) -> int:
+    """Parse the bound port from the server's boot line (bounded wait)."""
+    result = {}
+
+    def reader():
+        for line in proc.stdout:
+            print(f"[serve] {line.rstrip()}")
+            if " at http://" in line and "port" not in result:
+                result["port"] = int(line.rsplit(":", 1)[1])
+                return
+
+    thread = threading.Thread(target=reader, daemon=True)
+    thread.start()
+    thread.join(timeout=TIMEOUT_S)
+    if "port" not in result:
+        fail("server did not print its address in time")
+    return result["port"]
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        registry_dir = os.path.join(tmp, "registry")
+        train_and_register(registry_dir)
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--registry",
+             registry_dir, "--host", "127.0.0.1", "--port", "0"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        )
+        try:
+            port = read_port(proc)
+            from repro.serve import SynthesisClient
+
+            with SynthesisClient(port=port, timeout=TIMEOUT_S) as client:
+                health = client.health()
+                if health["status"] != "ok":
+                    fail(f"unexpected /healthz reply: {health}")
+                print(f"healthz ok (uptime {health['uptime_s']:.2f}s)")
+                reply = client.sample("smoke", 32)
+                if len(reply["rows"]) != 32 or reply["offset"] != 0:
+                    fail(f"bad sample reply: n={len(reply['rows'])} "
+                         f"offset={reply['offset']}")
+                print(f"sampled {len(reply['rows'])} rows x "
+                      f"{len(reply['columns'])} columns from 'smoke'")
+
+            proc.send_signal(signal.SIGTERM)
+            code = proc.wait(timeout=TIMEOUT_S)
+            if code != 0:
+                fail(f"server exited with code {code} after SIGTERM")
+            print("server drained and exited cleanly")
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)
+                fail("server had to be killed")
+    print("SMOKE PASSED")
+
+
+if __name__ == "__main__":
+    start = time.monotonic()
+    main()
+    print(f"total {time.monotonic() - start:.1f}s")

@@ -14,19 +14,24 @@ Examples
     python -m repro serve-registry
     python -m repro synth --model-name adult-low -n 1000000 --workers 4 \
         --out /tmp/rows.csv
+    python -m repro serve --registry model-registry --port 8000
 
 ``train``/``sample``/``evaluate``/``attack`` regenerate the dataset
 deterministically from ``--dataset``, ``--rows`` and ``--seed``, so a saved
 generator can be reloaded against the exact table it was trained on.  The
-serving verbs (``serve-registry``, ``synth``) need no dataset at all: the
-model registry persists schema and codec state alongside the weights.
+serving verbs (``serve-registry``, ``synth``, ``serve``) need no dataset at
+all: the model registry persists schema and codec state alongside the
+weights.  ``serve`` runs the long-lived HTTP server until SIGTERM/SIGINT,
+then drains in-flight requests before exiting.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import signal
 import sys
+import threading
 import time
 
 import numpy as np
@@ -38,7 +43,14 @@ from repro.evaluation import classification_compatibility, mean_area_distance
 from repro.evaluation.compatibility import classifier_suite
 from repro.evaluation.reporting import format_table
 from repro.privacy import MembershipAttack, dcr, dcr_sensitive_only
-from repro.serve import CsvSink, ModelRegistry, NpzSink, ShardedSampler
+from repro.serve import (
+    CsvSink,
+    ModelRegistry,
+    NpzSink,
+    ShardedSampler,
+    SynthesisServer,
+    split_ref,
+)
 
 _PRIVACY_PRESETS = {"low": low_privacy, "mid": mid_privacy, "high": high_privacy}
 
@@ -92,9 +104,15 @@ def cmd_train(args) -> int:
     """Train a table-GAN, save the generator, and/or register it for serving."""
     registry = ModelRegistry(args.registry) if args.register else None
     if registry is not None:
-        # Validate the name now: a bad --register must fail in milliseconds,
-        # not after the whole training run.
-        registry.path_for(args.register)
+        # Validate the reference now: a bad --register must fail in
+        # milliseconds, not after the whole training run.
+        register_name, register_version = split_ref(args.register)
+        if (register_version is not None
+                and registry.path_for(args.register).exists()):
+            print(f"model {args.register!r} is already registered in "
+                  f"{registry.root}; versions are immutable — pick a new "
+                  "version or `serve-registry --delete` the old one first")
+            return 1
     bundle = _load_bundle(args)
     print(f"training table-GAN on {args.dataset} ({bundle.train.n_rows} rows, "
           f"{args.privacy} privacy, layout={args.layout}) ...")
@@ -108,7 +126,13 @@ def cmd_train(args) -> int:
         gan.save(args.model)
         print(f"generator saved to {args.model}")
     if registry is not None:
-        registry.register(args.register, gan, overwrite=True)
+        # Unversioned names behave like a mutable "current model" slot;
+        # explicit versions are immutable — re-registering one is refused
+        # (the registry raises) so a pinned rollback can never be
+        # silently clobbered by a re-run.
+        registry.register(register_name, gan,
+                          overwrite=register_version is None,
+                          version=register_version)
         print(f"registered as {args.register!r} in {registry.root}")
     return 0
 
@@ -228,6 +252,40 @@ def cmd_synth(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Run the long-lived synthesis HTTP server until SIGTERM/SIGINT."""
+    registry = ModelRegistry(args.registry)
+    names = registry.names()
+    budget = (args.memory_budget_mb * (1 << 20)
+              if args.memory_budget_mb else None)
+    server = SynthesisServer(
+        registry, host=args.host, port=args.port,
+        pool_size=args.pool_size, batch_rows=args.batch_rows, seed=args.seed,
+        coalesce=not args.no_coalesce, max_queue_depth=args.max_queue,
+        max_request_rows=args.max_request_rows,
+        stream_threshold_rows=args.stream_threshold,
+        stream_chunk_rows=args.stream_rows, max_models=args.max_models,
+        memory_budget_bytes=budget, quiet=not args.verbose,
+    )
+    stop = threading.Event()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        signal.signal(signum, lambda *_: stop.set())
+    server.start()
+    # The port line is load-bearing: with --port 0 it is how scripts (CI
+    # smoke, the benchmark) learn the bound address.
+    print(f"serving {len(names)} model(s) from {registry.root} "
+          f"at http://{server.host}:{server.port}", flush=True)
+    try:
+        stop.wait()
+    finally:
+        print("draining in-flight requests ...", flush=True)
+        server.shutdown()
+        responses = server.metrics()["responses"]
+        print(f"server stopped after {sum(responses.values())} response(s)",
+              flush=True)
+    return 0
+
+
 def _positive_int(value: str) -> int:
     count = int(value)
     if count < 1:
@@ -259,8 +317,10 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common_args(p_train)
     _add_training_args(p_train)
     p_train.add_argument("--model", default=None, help="path to save the generator (.npz)")
-    p_train.add_argument("--register", default=None, metavar="NAME",
-                         help="register the trained model for serving under NAME")
+    p_train.add_argument("--register", default=None, metavar="NAME[@VERSION]",
+                         help="register the trained model for serving under "
+                              "NAME (optionally as one immutable VERSION; "
+                              "prior versions stay loadable)")
     p_train.add_argument("--registry", default=DEFAULT_REGISTRY,
                          help=f"registry directory (default: {DEFAULT_REGISTRY})")
     p_train.set_defaults(func=cmd_train)
@@ -290,10 +350,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_registry.add_argument("--registry", default=DEFAULT_REGISTRY,
                             help=f"registry directory (default: {DEFAULT_REGISTRY})")
-    p_registry.add_argument("--show", default=None, metavar="NAME",
-                            help="print one model's manifest as JSON")
-    p_registry.add_argument("--delete", default=None, metavar="NAME",
-                            help="remove a registered model")
+    p_registry.add_argument("--show", default=None, metavar="NAME[@VERSION]",
+                            help="print one model's manifest as JSON (a bare "
+                                 "NAME resolves to its newest registration)")
+    p_registry.add_argument("--delete", default=None, metavar="NAME[@VERSION]",
+                            help="remove one exact registration")
     p_registry.set_defaults(func=cmd_serve_registry)
 
     p_synth = sub.add_parser(
@@ -315,6 +376,52 @@ def build_parser() -> argparse.ArgumentParser:
     p_synth.add_argument("--shard-rows", type=_positive_int, default=8192,
                          help="rows per shard / per streamed write (default: 8192)")
     p_synth.set_defaults(func=cmd_synth)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the long-lived synthesis HTTP server"
+    )
+    p_serve.add_argument("--registry", default=DEFAULT_REGISTRY,
+                         help=f"registry directory (default: {DEFAULT_REGISTRY})")
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default: 127.0.0.1)")
+    p_serve.add_argument("--port", type=int, default=8000,
+                         help="bind port; 0 picks a free one and prints it "
+                              "(default: 8000)")
+    p_serve.add_argument("--seed", type=int, default=7,
+                         help="per-model record-stream seed (default: 7)")
+    p_serve.add_argument("--pool-size", type=int, default=1024,
+                         help="rows pre-generated per model replenishment "
+                              "(sub-batch requests serve from memory); 0 "
+                              "generates per drain tick only (default: 1024)")
+    p_serve.add_argument("--batch-rows", type=_positive_int, default=2048,
+                         help="rows per generator forward pass (default: 2048)")
+    p_serve.add_argument("--max-queue", type=_positive_int, default=64,
+                         help="per-model admission bound; saturated requests "
+                              "get 429 + Retry-After (default: 64)")
+    p_serve.add_argument("--max-models", type=_positive_int, default=8,
+                         help="resident-model cap; LRU eviction beyond it "
+                              "(default: 8)")
+    p_serve.add_argument("--memory-budget-mb", type=_positive_int, default=None,
+                         help="estimated resident-model memory budget in MiB "
+                              "(default: unlimited; LRU evicts idle models "
+                              "over budget)")
+    p_serve.add_argument("--max-request-rows", type=_positive_int,
+                         default=1_000_000,
+                         help="absolute per-request row cap; beyond it the "
+                              "server answers 413 (default: 1000000)")
+    p_serve.add_argument("--stream-threshold", type=_positive_int,
+                         default=10_000,
+                         help="rows above which a response streams as chunked "
+                              "CSV/NDJSON (default: 10000)")
+    p_serve.add_argument("--stream-rows", type=_positive_int, default=2048,
+                         help="rows per streamed chunk (default: 2048)")
+    p_serve.add_argument("--no-coalesce", action="store_true",
+                         help="disable cross-request batch coalescing (one "
+                              "generator pass per request; the benchmark "
+                              "baseline)")
+    p_serve.add_argument("--verbose", action="store_true",
+                         help="per-request access log on stderr")
+    p_serve.set_defaults(func=cmd_serve)
 
     p_bench = sub.add_parser(
         "bench", help="benchmark the conv engine vs the reference implementation"

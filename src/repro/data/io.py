@@ -126,6 +126,21 @@ def iter_decoded_rows(table: Table):
         yield [column[i] for column in decoded]
 
 
+def decoded_rows(table: Table) -> list[list]:
+    """All rows of ``table`` decoded at once — same rendering as
+    :func:`iter_decoded_rows`, buffered.
+
+    All-continuous tables take a single C-level ``tolist`` instead of the
+    per-cell python loop (continuous columns decode to plain floats, so
+    the rendering is identical); that loop is the dominant cost on the
+    synthesis server's response path, where every request re-renders its
+    rows.
+    """
+    if all(spec.kind is ColumnKind.CONTINUOUS for spec in table.schema.columns):
+        return table.values.tolist()
+    return list(iter_decoded_rows(table))
+
+
 def write_csv(table: Table, path) -> None:
     """Write a Table to CSV, decoding categorical codes to their strings."""
     with open(path, "w", newline="") as handle:

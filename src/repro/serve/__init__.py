@@ -15,18 +15,31 @@ It turns a trained synthesizer into a queryable service surface:
   output is bit-identical for every worker count;
 * :mod:`repro.serve.sinks` — :class:`CsvSink` / :class:`NpzSink`:
   streaming, atomic writers so multi-million-row outputs need bounded
-  memory.
+  memory;
+* :mod:`repro.serve.server` — :class:`SynthesisServer` /
+  :class:`SynthesisClient`: the long-lived HTTP front end (multi-model
+  LRU router, cross-request batch coalescing, admission control, chunked
+  streaming of large exports) and its stdlib client library.
 
 CLI surface: ``python -m repro train --register NAME``, ``python -m repro
 serve-registry``, ``python -m repro synth --model-name NAME -n 1000000
---workers 4 --out rows.csv``.  See ``docs/architecture.md`` for the
-dataflow.
+--workers 4 --out rows.csv``, ``python -m repro serve --port 8000``.  See
+``docs/architecture.md`` for the dataflow.
 """
 
 from repro.serve.registry import (
     CorruptArtifactError,
     ModelRegistry,
     RegistryError,
+    split_ref,
+)
+from repro.serve.server import (
+    CoalescingBatcher,
+    ModelRouter,
+    QueueSaturated,
+    ServerError,
+    SynthesisClient,
+    SynthesisServer,
 )
 from repro.serve.service import ServiceStats, SynthesisService
 from repro.serve.sharding import Shard, ShardedSampler, plan_shards
@@ -36,8 +49,15 @@ __all__ = [
     "ModelRegistry",
     "RegistryError",
     "CorruptArtifactError",
+    "split_ref",
     "SynthesisService",
     "ServiceStats",
+    "SynthesisServer",
+    "SynthesisClient",
+    "ServerError",
+    "CoalescingBatcher",
+    "QueueSaturated",
+    "ModelRouter",
     "ShardedSampler",
     "Shard",
     "plan_shards",

@@ -9,13 +9,21 @@ ranges, the table schema, and the training configuration — and any number
 of serving processes load it by name without ever seeing the training
 table.
 
-Directory layout (one subdirectory per model)::
+Directory layout (one subdirectory per registration)::
 
     <root>/
-        <name>/
+        <name>/                     # unversioned registration, and/or
+        <name>@<version>/           # one directory per registered version
             manifest.json           # metadata + per-artifact SHA-256
             generator.npz           # TableGAN weights, or
             chunk_0000.npz ...      # one archive per ChunkedTableGAN chunk
+
+Models are addressed by **reference**: ``name`` alone (or the explicit
+alias ``name@latest``) resolves to the newest registration of that name —
+by manifest ``created_at`` across the unversioned entry and every
+version — while ``name@<version>`` pins one exactly.  Registering a new
+version never touches the prior ones, so rollback is
+``load("name@previous")``.
 
 Two guarantees:
 
@@ -60,6 +68,9 @@ MANIFEST_NAME = "manifest.json"
 
 _NAME_RE = re.compile(r"[A-Za-z0-9][A-Za-z0-9._-]*\Z")
 
+#: Version alias that always resolves to the newest registration of a name.
+LATEST_VERSION = "latest"
+
 
 class RegistryError(RuntimeError):
     """A registry operation failed (unknown model, name clash, bad manifest)."""
@@ -76,6 +87,41 @@ def _check_name(name: str) -> str:
             "(must not start with '.')"
         )
     return name
+
+
+def _check_version(version: str) -> str:
+    if not isinstance(version, str) or not _NAME_RE.fullmatch(version):
+        raise RegistryError(
+            f"invalid model version {version!r}: use letters, digits, '.', "
+            "'_', '-' (must not start with '.')"
+        )
+    if version == LATEST_VERSION:
+        raise RegistryError(
+            f"version {LATEST_VERSION!r} is a reserved alias for the newest "
+            "registration and cannot be registered directly"
+        )
+    return version
+
+
+def split_ref(ref: str) -> tuple[str, str | None]:
+    """Split a model reference into ``(name, version)``.
+
+    ``"name"`` and the explicit alias ``"name@latest"`` return a ``None``
+    version (resolve to the newest registration); ``"name@<version>"``
+    pins one.  Both components are validated, so a reference can always be
+    joined into a path-safe directory name.
+    """
+    if not isinstance(ref, str):
+        raise RegistryError(f"invalid model reference {ref!r}: not a string")
+    name, sep, version = ref.partition("@")
+    _check_name(name)
+    if not sep or version == LATEST_VERSION:
+        return name, None
+    return name, _check_version(version)
+
+
+def _dirname(name: str, version: str | None) -> str:
+    return name if version is None else f"{name}@{version}"
 
 
 def _sha256(path: Path) -> str:
@@ -120,19 +166,24 @@ class ModelRegistry:
     # ------------------------------------------------------------------
     # Introspection.
     # ------------------------------------------------------------------
-    def path_for(self, name: str) -> Path:
-        """The directory a model named ``name`` lives in."""
-        return self.root / _check_name(name)
+    def path_for(self, ref: str) -> Path:
+        """The directory a model reference denotes (no ``latest`` resolution)."""
+        name, version = split_ref(ref)
+        return self.root / _dirname(name, version)
 
-    def __contains__(self, name: str) -> bool:
+    def __contains__(self, ref: str) -> bool:
         try:
-            path = self.path_for(name)
+            self.resolve(ref)
         except RegistryError:
             return False
-        return (path / MANIFEST_NAME).is_file()
+        return True
 
     def names(self) -> list[str]:
-        """Registered model names, sorted (staging/trash dirs excluded)."""
+        """Registered references, sorted (staging/trash dirs excluded).
+
+        Versioned registrations appear as ``name@version`` entries, one per
+        version kept on disk.
+        """
         if not self.root.is_dir():
             return []
         return sorted(
@@ -141,50 +192,110 @@ class ModelRegistry:
             and (entry / MANIFEST_NAME).is_file()
         )
 
-    def manifest(self, name: str) -> dict:
-        """The parsed manifest of model ``name``."""
-        path = self.path_for(name) / MANIFEST_NAME
-        if not path.is_file():
+    def versions(self, name: str) -> list[str]:
+        """Registered versions of ``name``, sorted (unversioned entry excluded)."""
+        _check_name(name)
+        if not self.root.is_dir():
+            return []
+        prefix = f"{name}@"
+        return sorted(
+            entry.name[len(prefix):] for entry in self.root.iterdir()
+            if entry.is_dir() and entry.name.startswith(prefix)
+            and (entry / MANIFEST_NAME).is_file()
+        )
+
+    def resolve(self, ref: str) -> str:
+        """Resolve a reference to the directory name of one registration.
+
+        ``name@<version>`` must exist exactly; a bare ``name`` (or
+        ``name@latest``) picks the newest registration — by manifest
+        ``created_at``, directory name breaking ties — among the
+        unversioned entry and every version of ``name``.
+        """
+        name, version = split_ref(ref)
+        if version is not None:
+            dirname = _dirname(name, version)
+            if (self.root / dirname / MANIFEST_NAME).is_file():
+                return dirname
+            raise RegistryError(f"no model named {ref!r} in {self.root}")
+        candidates = []
+        if (self.root / name / MANIFEST_NAME).is_file():
+            candidates.append(name)
+        candidates += [_dirname(name, v) for v in self.versions(name)]
+        if not candidates:
             raise RegistryError(f"no model named {name!r} in {self.root}")
+        if len(candidates) == 1:
+            return candidates[0]
+
+        def created_at(dirname: str) -> float:
+            try:
+                stamp = self._manifest_of(dirname).get("created_at")
+                return float(stamp) if stamp is not None else 0.0
+            except (RegistryError, TypeError, ValueError):
+                return 0.0
+
+        return max(candidates, key=lambda d: (created_at(d), d))
+
+    def _manifest_of(self, dirname: str) -> dict:
+        """The parsed manifest inside one resolved registry directory."""
+        path = self.root / dirname / MANIFEST_NAME
+        if not path.is_file():
+            raise RegistryError(f"no model named {dirname!r} in {self.root}")
         try:
             with open(path) as handle:
                 manifest = json.load(handle)
         except (json.JSONDecodeError, OSError) as exc:
-            raise CorruptArtifactError(f"unreadable manifest for {name!r}: {exc}") from exc
+            raise CorruptArtifactError(
+                f"unreadable manifest for {dirname!r}: {exc}"
+            ) from exc
         if not isinstance(manifest, dict):
-            raise CorruptArtifactError(f"manifest for {name!r} is not an object")
+            raise CorruptArtifactError(f"manifest for {dirname!r} is not an object")
         return manifest
+
+    def manifest(self, ref: str) -> dict:
+        """The parsed manifest of the registration ``ref`` resolves to."""
+        return self._manifest_of(self.resolve(ref))
 
     # ------------------------------------------------------------------
     # Registration.
     # ------------------------------------------------------------------
-    def register(self, name: str, model, overwrite: bool = False) -> dict:
+    def register(self, name: str, model, overwrite: bool = False,
+                 version: str | None = None) -> dict:
         """Persist a fitted model under ``name`` and return its manifest.
 
         ``model`` is a fitted :class:`TableGAN` or :class:`ChunkedTableGAN`.
-        A fresh registration commits with one directory rename, so a crash
-        can never expose a half-written model.  Overwriting swaps the old
+        With ``version`` the registration lands in its own
+        ``<name>@<version>`` directory and prior versions stay on disk
+        untouched — ``load(name)`` then resolves to the newest
+        registration, ``load(f"{name}@{version}")`` pins this one.  A fresh
+        registration commits with one directory rename, so a crash can
+        never expose a half-written model.  Overwriting swaps the old
         directory aside first and restores it if the commit rename fails;
         the one remaining hole is a SIGKILL between the two renames (POSIX
         offers no atomic non-empty-directory exchange), in which case the
         previous model survives under a hidden ``.trash-*`` directory
         rather than being lost.  With ``overwrite=False`` an existing
-        model of the same name is refused.
+        registration of the same name (and version) is refused.
         """
-        final = self.path_for(name)
+        _check_name(name)
+        if version is not None:
+            _check_version(version)
+        dirname = _dirname(name, version)
+        final = self.root / dirname
         if final.exists() and not overwrite:
             raise RegistryError(
-                f"model {name!r} already registered (use overwrite=True)"
+                f"model {dirname!r} already registered (use overwrite=True)"
             )
         self.root.mkdir(parents=True, exist_ok=True)
-        stage = Path(tempfile.mkdtemp(dir=self.root, prefix=f".stage-{name}-"))
+        stage = Path(tempfile.mkdtemp(dir=self.root, prefix=f".stage-{dirname}-"))
         try:
             manifest = self._stage(stage, name, model)
+            manifest["version"] = version
             with open(stage / MANIFEST_NAME, "w") as handle:
                 json.dump(manifest, handle, indent=2, sort_keys=True)
                 handle.write("\n")
             if final.exists():
-                trash = self.root / f".trash-{name}-{os.getpid()}"
+                trash = self.root / f".trash-{dirname}-{os.getpid()}"
                 os.replace(final, trash)
                 try:
                     os.replace(stage, final)
@@ -256,11 +367,14 @@ class ModelRegistry:
     def load(self, name: str):
         """Rebuild a sample-ready model from its persisted artifacts.
 
-        Returns a :class:`TableGAN` or :class:`ChunkedTableGAN` whose
-        ``sample`` output is bit-identical to the originally registered
-        model's (same seed, same rows).
+        ``name`` is a reference: a bare name (or ``name@latest``) loads the
+        newest registration, ``name@<version>`` pins one.  Returns a
+        :class:`TableGAN` or :class:`ChunkedTableGAN` whose ``sample``
+        output is bit-identical to the originally registered model's (same
+        seed, same rows).
         """
-        manifest = self.manifest(name)
+        dirname = self.resolve(name)
+        manifest = self._manifest_of(dirname)
         version = manifest.get("format_version")
         if version != FORMAT_VERSION:
             raise RegistryError(
@@ -283,7 +397,7 @@ class ModelRegistry:
                 f"manifest for {name!r} records {n_features} features but "
                 f"its schema has {schema.n_columns} columns"
             )
-        directory = self.path_for(name)
+        directory = self.root / dirname
         if kind == "tablegan":
             return self._load_one(directory, manifest["generator"], config,
                                   schema, side, dtype, name)
@@ -335,26 +449,42 @@ class ModelRegistry:
     # ------------------------------------------------------------------
     # Maintenance.
     # ------------------------------------------------------------------
-    def delete(self, name: str) -> None:
-        """Remove a registered model (atomic: rename out, then delete)."""
-        path = self.path_for(name)
+    def delete(self, ref: str) -> None:
+        """Remove one registration (atomic: rename out, then delete).
+
+        ``ref`` names an exact registration — ``name`` removes only the
+        unversioned entry, ``name@<version>`` only that version.  The
+        ``latest`` alias is deliberately not resolved here: deleting
+        whatever happens to be newest is a foot-gun.
+        """
+        name, version = split_ref(ref)
+        dirname = _dirname(name, version)
+        path = self.root / dirname
         if not path.exists():
-            raise RegistryError(f"no model named {name!r} in {self.root}")
-        trash = self.root / f".trash-{name}-{os.getpid()}"
+            versions = self.versions(name)
+            if version is None and versions:
+                raise RegistryError(
+                    f"no unversioned model {name!r} in {self.root}; "
+                    f"name one of its versions explicitly: "
+                    + ", ".join(f"{name}@{v}" for v in versions)
+                )
+            raise RegistryError(f"no model named {ref!r} in {self.root}")
+        trash = self.root / f".trash-{dirname}-{os.getpid()}"
         os.replace(path, trash)
         shutil.rmtree(trash, ignore_errors=True)
 
     def describe(self) -> list[dict]:
-        """One summary dict per registered model (for listings)."""
+        """One summary dict per registration (for listings)."""
         rows = []
         for name in self.names():
-            manifest = self.manifest(name)
+            manifest = self._manifest_of(name)
             n_models = (
                 len(manifest.get("chunks", []))
                 if manifest.get("kind") == "chunked" else 1
             )
             rows.append({
                 "name": name,
+                "version": manifest.get("version"),
                 "kind": manifest.get("kind", "?"),
                 "models": n_models,
                 "side": manifest.get("side"),

@@ -1,0 +1,53 @@
+"""Long-lived synthesis server: network front end with batch coalescing.
+
+The in-process serving layer (:mod:`repro.serve`) made synthesis cheap
+for one consumer; this package makes it shared infrastructure.  A single
+long-lived process loads models from a
+:class:`~repro.serve.registry.ModelRegistry` on demand and serves every
+client over HTTP/1.1 — stdlib only, so it runs anywhere the library does:
+
+* :mod:`~repro.serve.server.http` — :class:`SynthesisServer`: the
+  threaded socket front end (endpoints, admission control, chunked
+  streaming of large exports, graceful drain);
+* :mod:`~repro.serve.server.batcher` — :class:`CoalescingBatcher`:
+  concurrent small requests for one model drain through a single
+  coalesced generator pass per tick, preserving per-request determinism
+  (every response is a contiguous, offset-tagged slice of the model's
+  one seeded record stream);
+* :mod:`~repro.serve.server.router` — :class:`ModelRouter`: lazy
+  per-model services with LRU eviction under a memory budget;
+* :mod:`~repro.serve.server.client` — :class:`SynthesisClient`: the
+  stdlib client library (and the benchmark's load-generator transport);
+* :mod:`~repro.serve.server.metrics` — :class:`LatencyHistogram` behind
+  ``GET /metrics``.
+
+CLI: ``python -m repro serve --registry model-registry --port 8000``
+(graceful drain on SIGTERM/SIGINT).
+"""
+
+from repro.serve.server.batcher import (
+    BatcherClosed,
+    CoalescingBatcher,
+    QueueSaturated,
+)
+from repro.serve.server.client import ServerError, SynthesisClient
+from repro.serve.server.http import SynthesisServer
+from repro.serve.server.metrics import LatencyHistogram
+from repro.serve.server.router import (
+    ModelRouter,
+    RouterClosed,
+    UnservableModelError,
+)
+
+__all__ = [
+    "SynthesisServer",
+    "SynthesisClient",
+    "ServerError",
+    "CoalescingBatcher",
+    "QueueSaturated",
+    "BatcherClosed",
+    "ModelRouter",
+    "RouterClosed",
+    "UnservableModelError",
+    "LatencyHistogram",
+]

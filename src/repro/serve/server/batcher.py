@@ -1,0 +1,360 @@
+"""Cross-request batch coalescing: one generator pass for N waiting clients.
+
+The HTTP front end handles each connection on its own thread, but small
+synthesis requests must not each pay a generator forward.  The batcher
+closes that gap: handler threads **submit** requests into a bounded FIFO
+queue and block; a single worker thread owns the model's
+:class:`~repro.serve.service.SynthesisService` and repeatedly drains
+*everything* queued into one :meth:`~repro.serve.service.SynthesisService.
+take_block` call — one replenishment tick, one coalesced generator
+forward, one block decode — then hands each handler its slice.  N clients
+asking for 100 rows each cost one 100·N-row forward instead of N small
+ones.
+
+Determinism is preserved because admission order is serve order: the
+queue is FIFO, the worker is the only consumer, and ``take_block`` claims
+contiguous stream rows — so every response is a contiguous slice of the
+model's single seeded record stream, tagged with its offset.
+
+Three request shapes flow through the same queue:
+
+* **coalesced** (default) — consecutive queued requests drain as one tick;
+* **per-request** (``coalesce=False``) — one tick per request, retained as
+  the measurable baseline the benchmark's ``serving`` section compares
+  against;
+* **streamed** — a large export (:meth:`CoalescingBatcher.submit_stream`)
+  drains alone, chunk by chunk, through a small bounded hand-off queue:
+  the response needs bounded memory, but its rows are still one
+  contiguous, atomically-reserved stream slice because the worker serves
+  nothing else until the stream completes.
+
+Admission control is the queue bound: when ``max_queue_depth`` requests
+are already waiting or in flight, :meth:`~CoalescingBatcher.submit`
+raises :class:`QueueSaturated` and the HTTP layer turns that into
+``429 Retry-After`` instead of letting latency grow without bound.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from collections import deque
+
+import numpy as np
+
+
+class BatcherClosed(RuntimeError):
+    """The batcher is shut down and no longer accepts requests."""
+
+
+class QueueSaturated(RuntimeError):
+    """Admission control: the request queue is at ``max_queue_depth``.
+
+    ``retry_after_s`` is the backpressure hint surfaced to clients as the
+    HTTP ``Retry-After`` header.
+    """
+
+    def __init__(self, depth: int, retry_after_s: float = 1.0):
+        super().__init__(
+            f"request queue is saturated ({depth} requests queued or in flight)"
+        )
+        self.depth = depth
+        self.retry_after_s = retry_after_s
+
+
+class _PendingSlice:
+    """One queued small request; the handler thread blocks on ``event``."""
+
+    __slots__ = ("n", "event", "values", "offset", "error")
+
+    def __init__(self, n: int):
+        self.n = n
+        self.event = threading.Event()
+        self.values: np.ndarray | None = None
+        self.offset: int | None = None
+        self.error: BaseException | None = None
+
+
+class _PendingStream:
+    """One queued large export, handed over chunk by chunk.
+
+    The chunk queue is small and bounded: the worker generates at most
+    ``maxsize`` chunks ahead of the consumer, so a slow client throttles
+    generation instead of buffering the whole export.  ``cancel()`` (e.g.
+    on client disconnect) makes the worker abandon the remaining rows.
+    """
+
+    __slots__ = ("n", "chunk_rows", "chunks", "cancelled")
+
+    def __init__(self, n: int, chunk_rows: int, maxsize: int = 2):
+        self.n = n
+        self.chunk_rows = chunk_rows
+        self.chunks: queue.Queue = queue.Queue(maxsize=maxsize)
+        self.cancelled = threading.Event()
+
+    def cancel(self) -> None:
+        """Tell the worker to stop generating rows for this stream."""
+        self.cancelled.set()
+        # Drain anything buffered so a blocked worker put() wakes up.
+        try:
+            while True:
+                self.chunks.get_nowait()
+        except queue.Empty:
+            pass
+
+    def __iter__(self):
+        """Yield ``(values, offset)`` chunks; re-raises worker errors."""
+        while True:
+            kind, payload, offset = self.chunks.get()
+            if kind == "chunk":
+                yield payload, offset
+            elif kind == "end":
+                return
+            else:  # "error"
+                raise payload
+
+
+class CoalescingBatcher:
+    """Single-consumer request queue in front of one ``SynthesisService``.
+
+    Parameters
+    ----------
+    service:
+        The (thread-safe) service this batcher owns.  Nothing else should
+        sample from it while the batcher lives, or stream slices stop
+        being contiguous per response.
+    max_queue_depth:
+        Admission bound: maximum requests queued or in flight before
+        :meth:`submit` raises :class:`QueueSaturated`.
+    coalesce:
+        ``True`` drains every queued request per tick (the point of this
+        class); ``False`` serves one request per tick — the per-request
+        baseline path the serving benchmark quantifies coalescing against.
+    name:
+        Worker thread name suffix (diagnostics only).
+    """
+
+    def __init__(self, service, max_queue_depth: int = 64,
+                 coalesce: bool = True, name: str = "model"):
+        if max_queue_depth < 0:
+            raise ValueError(
+                f"max_queue_depth must be non-negative, got {max_queue_depth}"
+            )
+        self.service = service
+        self.max_queue_depth = max_queue_depth
+        self.coalesce = coalesce
+        self._queue: deque = deque()
+        self._cond = threading.Condition()
+        self._in_flight = 0
+        self._streams_outstanding = 0
+        self._closed = False
+        self._ticks = 0
+        self._replenish_ok = True
+        self._worker = threading.Thread(
+            target=self._drain_forever, name=f"synthesis-batcher-{name}",
+            daemon=True,
+        )
+        self._worker.start()
+
+    # ------------------------------------------------------------------
+    # Producer side (handler threads).
+    # ------------------------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        """Requests waiting plus requests currently being served."""
+        with self._cond:
+            return len(self._queue) + self._in_flight
+
+    @property
+    def ticks(self) -> int:
+        """Drain ticks completed so far (each is ≤ 1 replenishment)."""
+        with self._cond:
+            return self._ticks
+
+    def _admit(self, pending) -> None:
+        with self._cond:
+            if self._closed:
+                raise BatcherClosed("batcher is shut down")
+            depth = len(self._queue) + self._in_flight
+            if depth >= self.max_queue_depth:
+                raise QueueSaturated(depth)
+            self._queue.append(pending)
+            if isinstance(pending, _PendingStream):
+                # From admission until the worker finishes this stream the
+                # pool-hit fast path stands down: a pool take between two
+                # of its chunks would break the stream's contiguity.
+                self._streams_outstanding += 1
+            self._cond.notify()
+
+    def submit(self, n: int) -> tuple[np.ndarray, int]:
+        """Queue a request for ``n`` rows; block until served.
+
+        Returns ``(values, offset)``: the decoded rows and their offset in
+        the service's record stream.  Raises :class:`QueueSaturated` when
+        admission control rejects the request and :class:`BatcherClosed`
+        after shutdown.
+
+        Pool-hit fast path: when the service's pool already holds the
+        rows, the request is served in the caller's thread — there is no
+        generator work to coalesce, so the two thread handoffs through
+        the worker would be pure overhead.  Slice claims serialize on the
+        service lock either way, so responses stay contiguous, disjoint
+        slices in claim order.  The one case that must queue is while a
+        *stream* is outstanding: a streamed export claims its span chunk
+        by chunk, and a pool take between two of its chunks would break
+        the stream's contiguity — the check runs under the queue
+        condition, so no stream can be admitted or started concurrently.
+        """
+        if n <= 0:
+            raise ValueError(f"n must be positive, got {n}")
+        with self._cond:
+            if self._closed:
+                raise BatcherClosed("batcher is shut down")
+            # Admission control applies to the fast path too: a saturated
+            # server must shed load with 429, not let pool-hit requests
+            # jump a full queue.
+            depth = len(self._queue) + self._in_flight
+            if depth >= self.max_queue_depth:
+                raise QueueSaturated(depth)
+            if self.coalesce and not self._streams_outstanding:
+                hit = self.service.take_pooled(n)
+                if hit is not None:
+                    if self.service.pooled_rows * 2 < self.service.pool_size:
+                        # Pool running low: wake the idle worker so it
+                        # replenishes ahead of the next miss.
+                        self._cond.notify()
+                    return hit
+        pending = _PendingSlice(n)
+        self._admit(pending)
+        pending.event.wait()
+        if pending.error is not None:
+            raise pending.error
+        return pending.values, pending.offset
+
+    def submit_stream(self, n: int, chunk_rows: int) -> _PendingStream:
+        """Queue a large export served as bounded-memory chunks.
+
+        Returns the pending stream; iterate it for ``(values, offset)``
+        chunks (it re-raises worker-side errors).  The export occupies the
+        worker until it completes, so its rows form one contiguous stream
+        slice exactly like a small response.
+        """
+        if n <= 0:
+            raise ValueError(f"n must be positive, got {n}")
+        if chunk_rows <= 0:
+            raise ValueError(f"chunk_rows must be positive, got {chunk_rows}")
+        pending = _PendingStream(n, chunk_rows)
+        self._admit(pending)
+        return pending
+
+    def close(self, timeout: float | None = 10.0) -> None:
+        """Shut down: drain everything already admitted, then stop.
+
+        Idempotent.  Requests submitted after close are rejected; requests
+        admitted before it are still served (graceful drain).
+        """
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+        self._worker.join(timeout=timeout)
+
+    # ------------------------------------------------------------------
+    # Consumer side (the one worker thread).
+    # ------------------------------------------------------------------
+    #: Sentinel action: the worker is idle and the pool is low — generate
+    #: ahead of demand instead of sleeping.
+    _REPLENISH = object()
+
+    def _replenish_ahead_needed(self) -> bool:
+        return (self.coalesce and self._replenish_ok
+                and self.service.pool_size > 0
+                and self.service.pooled_rows * 2 < self.service.pool_size)
+
+    def _next_action(self):
+        """The worker's next unit of work (None = closed and drained)."""
+        with self._cond:
+            while True:
+                if self._queue:
+                    batch = [self._queue.popleft()]
+                    if self.coalesce and isinstance(batch[0], _PendingSlice):
+                        while (self._queue
+                               and isinstance(self._queue[0], _PendingSlice)):
+                            batch.append(self._queue.popleft())
+                    self._in_flight = len(batch)
+                    return batch
+                if self._closed:
+                    return None
+                if self._replenish_ahead_needed():
+                    return self._REPLENISH
+                self._cond.wait()
+
+    def _drain_forever(self) -> None:
+        while True:
+            batch = self._next_action()
+            if batch is None:
+                return
+            if batch is self._REPLENISH:
+                # Idle read-ahead: generation overlaps request serving
+                # (the service's pool lock stays free), so pool misses —
+                # and their latency bubbles — happen off the request path.
+                try:
+                    self.service.replenish()
+                except Exception:  # noqa: BLE001
+                    # Don't spin on a persistently failing generator; the
+                    # next queued take surfaces the error to a client.
+                    self._replenish_ok = False
+                continue
+            try:
+                if isinstance(batch[0], _PendingStream):
+                    self._serve_stream(batch[0])
+                else:
+                    self._serve_slices(batch)
+            finally:
+                with self._cond:
+                    self._in_flight = 0
+                    if isinstance(batch[0], _PendingStream):
+                        self._streams_outstanding -= 1
+                    self._ticks += 1
+
+    def _serve_slices(self, batch: list) -> None:
+        counts = [pending.n for pending in batch]
+        try:
+            values, base = self.service.take_block(counts)
+        except BaseException as exc:
+            for pending in batch:
+                pending.error = exc
+                pending.event.set()
+            return
+        # A successful take proves the generator healthy again, so a
+        # transient replenish failure doesn't disable read-ahead forever.
+        self._replenish_ok = True
+        offset = base
+        for pending, block in zip(batch, values):
+            pending.values = block
+            pending.offset = offset
+            offset += pending.n
+            pending.event.set()
+
+    def _serve_stream(self, stream: _PendingStream) -> None:
+        def hand_over(item) -> bool:
+            """Put with cancellation checks; False = consumer gave up."""
+            while True:
+                if stream.cancelled.is_set():
+                    return False
+                try:
+                    stream.chunks.put(item, timeout=0.1)
+                    return True
+                except queue.Full:
+                    continue
+
+        remaining = stream.n
+        try:
+            while remaining:
+                rows = min(stream.chunk_rows, remaining)
+                values, base = self.service.take_block([rows])
+                remaining -= rows
+                if not hand_over(("chunk", values[0], base)):
+                    return
+            hand_over(("end", None, None))
+        except BaseException as exc:
+            hand_over(("error", exc, None))

@@ -1,0 +1,218 @@
+"""SynthesisClient: a stdlib ``http.client`` client for the synthesis server.
+
+The inverse of :mod:`repro.serve.server.http`: a thin, dependency-free
+library (and the transport behind the serving benchmark's load generator)
+that speaks the server's JSON/CSV protocol, keeps one persistent HTTP/1.1
+connection per client, and understands the backpressure contract — 429
+and 503 responses carry ``Retry-After``, which :meth:`SynthesisClient.
+sample` honours for up to ``retries`` attempts before surfacing
+:class:`ServerError`.
+
+A client instance is **not** thread-safe (it owns one socket); give each
+thread its own — they are cheap.
+
+Example::
+
+    client = SynthesisClient(port=8000)
+    client.health()                      # {"status": "ok", ...}
+    reply = client.sample("adult-low", n=500)
+    reply["columns"], reply["rows"]      # decoded synthetic rows
+    reply["offset"]                      # slice position in the model stream
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import time
+
+
+class ServerError(RuntimeError):
+    """A non-2xx server response, with its status and decoded message."""
+
+    def __init__(self, status: int, message: str,
+                 retry_after_s: float | None = None):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+        self.retry_after_s = retry_after_s
+
+
+class SynthesisClient:
+    """Client for a running :class:`~repro.serve.server.http.SynthesisServer`.
+
+    Parameters
+    ----------
+    host, port:
+        Server address.
+    timeout:
+        Socket timeout in seconds for connect and each read.
+    retries:
+        How many times 429/503 responses are retried (sleeping per the
+        server's ``Retry-After`` hint, capped at ``max_backoff_s``) before
+        :class:`ServerError` propagates.  0 disables retrying.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8000, *,
+                 timeout: float = 60.0, retries: int = 0,
+                 max_backoff_s: float = 2.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.retries = retries
+        self.max_backoff_s = max_backoff_s
+        self._conn: http.client.HTTPConnection | None = None
+
+    # ------------------------------------------------------------------
+    # Transport.
+    # ------------------------------------------------------------------
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+            self._conn.connect()
+            # Request = one small segment; without TCP_NODELAY it can sit
+            # behind the server's delayed ACK and add ~40 ms per call.
+            self._conn.sock.setsockopt(
+                socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
+            )
+        return self._conn
+
+    def close(self) -> None:
+        """Close the persistent connection (reopened on next use)."""
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "SynthesisClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    def _roundtrip(self, method: str, path: str, body: bytes | None,
+                   headers: dict) -> tuple[int, dict, bytes]:
+        """One request/response; reconnects once on a dead kept-alive socket.
+
+        The automatic resend is deliberately narrow: only when a *reused*
+        connection turns out to be dead at the protocol level (the server
+        closed an idle keep-alive socket), which means the request cannot
+        have been processed.  Timeouts and errors on fresh connections are
+        raised — a sample request is not idempotent (it consumes a slice
+        of the model's record stream), so blindly re-sending one that may
+        already be executing would run it twice and skip a slice.
+        """
+        for attempt in (0, 1):
+            reused = self._conn is not None
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=body, headers=headers)
+                response = conn.getresponse()
+                payload = response.read()  # drains chunked bodies too
+                if getattr(response, "will_close", False):
+                    self.close()
+                return response.status, dict(response.headers), payload
+            except socket.timeout:
+                self.close()
+                raise
+            except (http.client.RemoteDisconnected, BrokenPipeError,
+                    ConnectionResetError, http.client.CannotSendRequest):
+                self.close()
+                if attempt or not reused:
+                    raise
+            except (http.client.HTTPException, OSError):
+                self.close()
+                raise
+        raise AssertionError("unreachable")
+
+    def _request(self, method: str, path: str, payload=None,
+                 accept: str = "application/json") -> tuple[dict, bytes]:
+        body = None
+        headers = {"Accept": accept}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        attempts = 0
+        while True:
+            status, resp_headers, raw = self._roundtrip(
+                method, path, body, headers
+            )
+            if status < 400:
+                return resp_headers, raw
+            message = self._error_message(raw)
+            retry_after = resp_headers.get("Retry-After")
+            retry_after_s = float(retry_after) if retry_after else None
+            if status in (429, 503) and attempts < self.retries:
+                attempts += 1
+                time.sleep(min(retry_after_s or 0.1, self.max_backoff_s))
+                continue
+            raise ServerError(status, message, retry_after_s)
+
+    @staticmethod
+    def _error_message(raw: bytes) -> str:
+        try:
+            return json.loads(raw.decode("utf-8"))["error"]
+        except (json.JSONDecodeError, UnicodeDecodeError, KeyError, TypeError):
+            return raw.decode("utf-8", errors="replace").strip() or "(no body)"
+
+    # ------------------------------------------------------------------
+    # Endpoints.
+    # ------------------------------------------------------------------
+    def health(self) -> dict:
+        """``GET /healthz``."""
+        _, raw = self._request("GET", "/healthz")
+        return json.loads(raw)
+
+    def metrics(self) -> dict:
+        """``GET /metrics``."""
+        _, raw = self._request("GET", "/metrics")
+        return json.loads(raw)
+
+    def models(self) -> list[dict]:
+        """``GET /models`` — every registration in the server's registry."""
+        _, raw = self._request("GET", "/models")
+        return json.loads(raw)["models"]
+
+    def manifest(self, ref: str) -> dict:
+        """``GET /models/{ref}`` — one model's manifest."""
+        _, raw = self._request("GET", f"/models/{ref}")
+        return json.loads(raw)
+
+    def sample(self, ref: str, n: int) -> dict:
+        """``POST /models/{ref}/sample`` for JSON rows.
+
+        Returns the decoded reply dict — ``columns``, ``rows``, ``offset``
+        (the response's slice position in the model's seeded record
+        stream), ``n``, ``model``.  Large requests (over the server's
+        stream threshold) arrive as NDJSON chunks and are reassembled here
+        into the same shape.
+        """
+        headers, raw = self._request(
+            "POST", f"/models/{ref}/sample", payload={"n": n, "format": "json"}
+        )
+        if "ndjson" in headers.get("Content-Type", ""):
+            rows = [json.loads(line) for line in raw.splitlines() if line]
+            columns = headers.get("X-Columns")
+            return {
+                "model": ref,
+                "n": n,
+                "offset": int(headers["X-Stream-Offset"]),
+                "columns": json.loads(columns) if columns else None,
+                "rows": rows,
+            }
+        return json.loads(raw)
+
+    def sample_csv(self, ref: str, n: int) -> str:
+        """``POST /models/{ref}/sample`` for CSV text (header row included).
+
+        Transparently handles both small (buffered) and large (chunked
+        streaming) responses — ``http.client`` reassembles the chunks.
+        """
+        _, raw = self._request(
+            "POST", f"/models/{ref}/sample", payload={"n": n, "format": "csv"},
+            accept="text/csv",
+        )
+        return raw.decode("utf-8")

@@ -1,0 +1,273 @@
+"""Multi-model router: lazy per-model services with LRU eviction.
+
+The server fronts a whole :class:`~repro.serve.registry.ModelRegistry`,
+but a loaded model is not free — generator weights plus the service's
+sample pool occupy real memory.  The router therefore instantiates one
+:class:`~repro.serve.service.SynthesisService` (wrapped in its
+:class:`~repro.serve.server.batcher.CoalescingBatcher`) per model **on
+first request**, keeps the working set in an LRU map, and evicts the
+least-recently-used idle model once the estimated resident footprint
+exceeds ``memory_budget_bytes`` (or the entry count exceeds
+``max_models``).  Busy models — anything with queued or in-flight
+requests — are never evicted; if every resident model is busy the budget
+is temporarily exceeded rather than serving a 500.
+
+References resolve through the registry (``name`` → newest registration,
+``name@version`` pinned), so two references to the same registration
+share one service, one record stream, and one batcher.
+
+Eviction ends that service's record stream: a model loaded again later
+starts a fresh stream from the configured seed.  Offsets reported to
+clients are therefore per *service instantiation* — the price of bounding
+memory across many models.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import OrderedDict
+
+from repro.core.tablegan import TableGAN
+from repro.serve.registry import ModelRegistry
+from repro.serve.server.batcher import CoalescingBatcher
+from repro.serve.server.metrics import LatencyHistogram
+from repro.serve.service import SynthesisService
+
+
+class RouterClosed(RuntimeError):
+    """The router is shut down (server draining) and routes no requests."""
+
+
+class UnservableModelError(RuntimeError):
+    """The registration exists but this server cannot sample from it."""
+
+
+class ModelEntry:
+    """One resident model: service + batcher + per-model metrics.
+
+    ``ref_json``/``columns_json`` are the request-invariant fragments of
+    every sample response, rendered once here so the handler's hot path
+    only serializes the rows.
+    """
+
+    __slots__ = ("ref", "service", "batcher", "latency", "est_bytes",
+                 "loaded_at", "ref_json", "columns_json")
+
+    def __init__(self, ref: str, service: SynthesisService,
+                 batcher: CoalescingBatcher, est_bytes: int):
+        self.ref = ref
+        self.service = service
+        self.batcher = batcher
+        self.latency = LatencyHistogram()
+        self.est_bytes = est_bytes
+        self.loaded_at = time.time()
+        self.ref_json = json.dumps(ref)
+        self.columns_json = json.dumps(list(service.schema.names),
+                                       separators=(",", ":"))
+
+    def metrics(self) -> dict:
+        return {
+            "stats": self.service.stats.as_dict(),
+            "queue_depth": self.batcher.queue_depth,
+            "batch_ticks": self.batcher.ticks,
+            "pooled_rows": self.service.pooled_rows,
+            "stream_position": self.service.stream_position,
+            "est_bytes": self.est_bytes,
+            "loaded_at": self.loaded_at,
+            "latency": self.latency.summary(),
+        }
+
+
+def _estimate_bytes(service: SynthesisService, pool_size: int) -> int:
+    """Rough resident footprint: generator parameters + pool high-water."""
+    generator = service.sampler.generator
+    param_bytes = sum(p.data.nbytes for p in generator.parameters())
+    n_features = len(service.schema.names)
+    # The pool holds (encoded, decoded) pairs; decoded is float64.
+    row_bytes = n_features * (service.sampler._dtype.itemsize + 8)
+    return int(param_bytes + pool_size * row_bytes)
+
+
+class ModelRouter:
+    """Resolve model references to live, batched synthesis services.
+
+    Parameters
+    ----------
+    registry:
+        A :class:`ModelRegistry` or a path to one.
+    pool_size, batch_rows, seed:
+        Forwarded to every :class:`SynthesisService` the router creates
+        (each model gets its own independent seeded stream).
+    coalesce, max_queue_depth:
+        Forwarded to every :class:`CoalescingBatcher`.
+    max_models:
+        Hard cap on resident models (LRU beyond it).
+    memory_budget_bytes:
+        Estimated-footprint budget across resident models; ``None``
+        disables the byte-based trigger and leaves only ``max_models``.
+    resolve_ttl_s:
+        How long a reference → registration resolution is cached.
+        Resolution scans the registry directory (it is what makes
+        ``name`` mean "newest version"), which would otherwise put
+        filesystem syscalls on every request's hot path; the TTL bounds
+        how stale a bare-name alias can be after a new version is
+        registered mid-flight.
+    """
+
+    def __init__(self, registry, *, pool_size: int = 0, batch_rows: int = 2048,
+                 seed=0, coalesce: bool = True, max_queue_depth: int = 64,
+                 max_models: int = 8, memory_budget_bytes: int | None = None,
+                 resolve_ttl_s: float = 5.0):
+        if max_models < 1:
+            raise ValueError(f"max_models must be >= 1, got {max_models}")
+        self.registry = (registry if isinstance(registry, ModelRegistry)
+                         else ModelRegistry(registry))
+        self.pool_size = pool_size
+        self.batch_rows = batch_rows
+        self.seed = seed
+        self.coalesce = coalesce
+        self.max_queue_depth = max_queue_depth
+        self.max_models = max_models
+        self.memory_budget_bytes = memory_budget_bytes
+        self.resolve_ttl_s = resolve_ttl_s
+        self._entries: OrderedDict[str, ModelEntry] = OrderedDict()
+        self._resolved: dict[str, tuple[str, float]] = {}
+        self._lock = threading.Lock()
+        self._loading: dict[str, threading.Event] = {}
+        self._closed = False
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    # Lookup.
+    # ------------------------------------------------------------------
+    def get(self, ref: str) -> ModelEntry:
+        """The live entry for ``ref``, loading the model on first use.
+
+        Raises :class:`~repro.serve.registry.RegistryError` for unknown
+        references and :class:`RouterClosed` while draining.  Loading
+        happens *outside* the router lock — a cold model must not stall
+        requests for resident ones — with a per-registration guard so
+        concurrent first requests for the same model wait for one load
+        instead of racing two.
+        """
+        now = time.monotonic()
+        cached = self._resolved.get(ref)
+        if cached is not None and now - cached[1] < self.resolve_ttl_s:
+            canonical = cached[0]
+        else:
+            canonical = self.registry.resolve(ref)
+            self._resolved[ref] = (canonical, now)
+        while True:
+            with self._lock:
+                if self._closed:
+                    raise RouterClosed("router is shut down")
+                entry = self._entries.get(canonical)
+                if entry is not None:
+                    self._entries.move_to_end(canonical)
+                    return entry
+                loading = self._loading.get(canonical)
+                if loading is None:
+                    loading = threading.Event()
+                    self._loading[canonical] = loading
+                    break
+            # Another thread is loading this model; wait, then re-check
+            # (its load may also have failed — then we try ourselves).
+            loading.wait()
+        try:
+            entry = self._load_entry(canonical)
+        finally:
+            with self._lock:
+                self._loading.pop(canonical, None)
+            loading.set()
+        return entry
+
+    def _load_entry(self, canonical: str) -> ModelEntry:
+        """Load + wire one model (no router lock held during the load)."""
+        model = self.registry.load(canonical)
+        if not isinstance(model, TableGAN):
+            # ChunkedTableGAN has no single record stream to slice;
+            # surface a clear "not servable here" instead of a 500.
+            raise UnservableModelError(
+                f"model {canonical!r} is a {type(model).__name__}; only "
+                "single-generator TableGAN registrations are servable "
+                "over HTTP (use `repro synth` for chunked models)"
+            )
+        service = SynthesisService(
+            model, pool_size=self.pool_size, batch_rows=self.batch_rows,
+            seed=self.seed,
+        )
+        batcher = CoalescingBatcher(
+            service, max_queue_depth=self.max_queue_depth,
+            coalesce=self.coalesce, name=canonical,
+        )
+        entry = ModelEntry(canonical, service, batcher,
+                           _estimate_bytes(service, self.pool_size))
+        with self._lock:
+            if self._closed:
+                batcher.close()
+                raise RouterClosed("router is shut down")
+            self._entries[canonical] = entry
+            victims = self._evict_over_budget(keep=canonical)
+        # Closing a batcher joins its worker (possibly mid-replenish, i.e.
+        # a generator forward) — never under the router lock, or one
+        # eviction would stall requests for every resident model.
+        for victim in victims:
+            victim.batcher.close()
+        return entry
+
+    def _evict_over_budget(self, keep: str) -> list[ModelEntry]:
+        """Pop idle LRU entries until inside budget (lock held).
+
+        Returns the evicted entries; the caller closes their batchers
+        after releasing the lock.
+        """
+        def over() -> bool:
+            if len(self._entries) > self.max_models:
+                return True
+            if self.memory_budget_bytes is None:
+                return False
+            total = sum(e.est_bytes for e in self._entries.values())
+            return total > self.memory_budget_bytes
+
+        victims = []
+        while over():
+            victim = next(
+                (ref for ref, entry in self._entries.items()
+                 if ref != keep and entry.batcher.queue_depth == 0),
+                None,
+            )
+            if victim is None:
+                break  # everything else is busy; exceed budget for now
+            victims.append(self._entries.pop(victim))
+            self.evictions += 1
+        return victims
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle.
+    # ------------------------------------------------------------------
+    def resident(self) -> list[str]:
+        """Currently loaded references, least recently used first."""
+        with self._lock:
+            return list(self._entries)
+
+    def metrics(self) -> dict:
+        """Per-model serving metrics for every resident model."""
+        with self._lock:
+            entries = list(self._entries.items())
+            evictions = self.evictions
+        return {
+            "resident_models": [ref for ref, _ in entries],
+            "evictions": evictions,
+            "models": {ref: entry.metrics() for ref, entry in entries},
+        }
+
+    def close(self) -> None:
+        """Drain and stop every resident batcher (graceful; idempotent)."""
+        with self._lock:
+            self._closed = True
+            entries = list(self._entries.values())
+            self._entries.clear()
+        for entry in entries:
+            entry.batcher.close()

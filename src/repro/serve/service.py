@@ -26,10 +26,30 @@ batching is a pure performance decision, never a numerics one.  The
 generator runs in inference mode (``training=False`` threaded through
 ``Sequential``), so BatchNorm serves its running statistics and sampling
 never perturbs model state.
+
+The service is **thread-safe**, with two locks split so that generation
+never blocks serving:
+
+* the **pool lock** serializes every claim (pool take + stats + stream
+  position) — held only for slice bookkeeping, microseconds;
+* the **generation lock** serializes generator access, so rows always
+  enter the pool in the single seeded stream's order — but it is held
+  *outside* the pool lock, so pooled rows keep being served while a
+  replenishment runs.
+
+That split is what makes replenish-ahead possible: the server's batcher
+worker calls :meth:`SynthesisService.replenish` whenever it is idle and
+the pool runs low, so generation overlaps request handling instead of
+being a stop-the-world bubble.  Each call is atomic — it owns a
+contiguous slice of the record stream, claimed in pool-lock order — and
+:meth:`SynthesisService.take_block` additionally reports each slice's
+offset in that stream, which is how the server proves response
+determinism to its clients.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -132,34 +152,102 @@ class SynthesisService:
         self._rng = ensure_rng(seed)
         self._pool = _Pool()
         self.stats = ServiceStats()
+        # Pool lock: claims (take + stats + stream position) — held for
+        # microseconds, so concurrent callers each get a contiguous,
+        # disjoint stream slice without ever waiting on the generator.
+        self._lock = threading.RLock()
+        # Generation lock: serializes generator/RNG access so rows enter
+        # the pool in stream order; held OUTSIDE the pool lock so pooled
+        # rows keep being served while a replenishment runs.
+        self._gen_lock = threading.Lock()
+        self._stream_pos = 0
 
     @property
     def pooled_rows(self) -> int:
         """Rows currently pre-generated and waiting in memory."""
-        return self._pool.available
+        with self._lock:
+            return self._pool.available
+
+    @property
+    def stream_position(self) -> int:
+        """Rows handed out so far — the stream offset of the next row."""
+        with self._lock:
+            return self._stream_pos
 
     @property
     def schema(self):
         """Schema of the served table."""
         return self.sampler.codec.schema_
 
-    def _take(self, n: int) -> tuple[np.ndarray, np.ndarray]:
-        """The next ``n`` stream rows as an (encoded, decoded) pair."""
-        shortfall = n - self._pool.available
-        if shortfall > 0:
-            rows = max(shortfall, self.pool_size)
-            encoded = self.sampler.sample_records(
-                rows, rng=self._rng, batch_size=self.batch_rows
-            )
-            # One decode for the whole block: the per-column codec cost is
-            # paid once per replenishment, not once per request.
-            decoded = self.sampler.codec.decode(encoded).values
+    def _generate_into_pool(self, rows: int) -> None:
+        """Generate ``rows`` stream rows and push them into the pool.
+
+        Callers must hold ``self._gen_lock`` (stream order) and must NOT
+        hold ``self._lock`` (the whole point: pooled rows stay servable
+        while the generator runs).
+        """
+        encoded = self.sampler.sample_records(
+            rows, rng=self._rng, batch_size=self.batch_rows
+        )
+        # One decode for the whole block: the per-column codec cost is
+        # paid once per replenishment, not once per request.
+        decoded = self.sampler.codec.decode(encoded).values
+        with self._lock:
             self._pool.push(encoded, decoded)
             self.stats.rows_generated += rows
             self.stats.generator_calls += -(-rows // self.batch_rows)
-        else:
-            self.stats.pool_hits += 1
-        return self._pool.take(n)
+
+    def _generate_for(self, total: int) -> None:
+        """Grow the pool toward ``total`` available rows."""
+        with self._gen_lock:
+            with self._lock:
+                shortfall = total - self._pool.available
+            if shortfall <= 0:
+                return  # another generator covered us while we waited
+            self._generate_into_pool(max(shortfall, self.pool_size))
+
+    def _acquire(self, total: int,
+                 requests: int) -> tuple[np.ndarray, np.ndarray, int]:
+        """Claim the next ``total`` stream rows (generating if needed).
+
+        Returns ``(encoded, decoded, base_offset)``.  The claim itself is
+        atomic under the pool lock; generation, when required, happens
+        outside it.
+        """
+        pool_hit = True
+        while True:
+            with self._lock:
+                if self._pool.available >= total:
+                    if pool_hit:
+                        self.stats.pool_hits += 1
+                    self.stats.requests += requests
+                    self.stats.rows_served += total
+                    base = self._stream_pos
+                    self._stream_pos += total
+                    encoded, decoded = self._pool.take(total)
+                    return encoded, decoded, base
+            pool_hit = False
+            self._generate_for(total)
+
+    def replenish(self, target: int | None = None) -> int:
+        """Pre-generate so the pool holds at least ``target`` rows.
+
+        The read-ahead entry point (default target: ``pool_size``): the
+        server's batcher worker calls this while idle, so pool misses —
+        and their stop-the-world latency bubbles — happen off the request
+        path.  Returns the number of rows generated (0 when the pool was
+        already full enough, or when the target is 0).
+        """
+        target = self.pool_size if target is None else target
+        if target <= 0:
+            return 0
+        with self._gen_lock:
+            with self._lock:
+                missing = target - self._pool.available
+            if missing <= 0:
+                return 0
+            self._generate_into_pool(missing)
+            return missing
 
     # ------------------------------------------------------------------
     # Single requests.
@@ -168,31 +256,27 @@ class SynthesisService:
         """``n`` encoded records in [-1, 1] (served from the pool if possible)."""
         if n <= 0:
             raise ValueError(f"n must be positive, got {n}")
-        encoded, _ = self._take(n)
-        self.stats.requests += 1
-        self.stats.rows_served += n
+        encoded, _, _ = self._acquire(n, requests=1)
         return encoded.copy()
 
     def sample(self, n: int) -> Table:
         """``n`` decoded, schema-valid synthetic rows."""
         if n <= 0:
             raise ValueError(f"n must be positive, got {n}")
-        _, decoded = self._take(n)
-        self.stats.requests += 1
-        self.stats.rows_served += n
+        _, decoded, _ = self._acquire(n, requests=1)
         return Table(decoded.copy(), self.schema)
 
     # ------------------------------------------------------------------
     # Micro-batched request lists.
     # ------------------------------------------------------------------
-    def _take_many(self, counts) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    def _acquire_many(self, counts) -> tuple[np.ndarray, np.ndarray,
+                                             np.ndarray, int]:
         counts = [int(c) for c in counts]
         if any(c <= 0 for c in counts):
             raise ValueError(f"every request must be positive, got {counts}")
-        encoded, decoded = self._take(sum(counts))
-        self.stats.requests += len(counts)
-        self.stats.rows_served += sum(counts)
-        return encoded, decoded, np.cumsum(counts[:-1])
+        encoded, decoded, base = self._acquire(sum(counts),
+                                               requests=len(counts))
+        return encoded, decoded, np.cumsum(counts[:-1]), base
 
     def sample_many_records(self, counts) -> list[np.ndarray]:
         """Serve a batch of requests from one coalesced generator pass.
@@ -204,7 +288,7 @@ class SynthesisService:
         """
         if not len(counts):
             return []
-        encoded, _, offsets = self._take_many(counts)
+        encoded, _, offsets, _ = self._acquire_many(counts)
         return [part.copy() for part in np.split(encoded, offsets, axis=0)]
 
     def sample_many(self, counts) -> list[Table]:
@@ -215,9 +299,48 @@ class SynthesisService:
         """
         if not len(counts):
             return []
-        _, decoded, offsets = self._take_many(counts)
+        _, decoded, offsets, _ = self._acquire_many(counts)
         schema = self.schema
         return [
             Table(part.copy(), schema)
             for part in np.split(decoded, offsets, axis=0)
         ]
+
+    def take_pooled(self, n: int) -> tuple[np.ndarray, int] | None:
+        """The next ``n`` decoded rows IF the pool already holds them.
+
+        Returns ``(values, offset)`` like a one-request
+        :meth:`take_block`, or ``None`` when serving would require
+        generating — this method never touches the generator.  It exists
+        for the server's pool-hit fast path: a request that needs no
+        generator work has nothing to coalesce, so the handler thread can
+        claim its slice directly instead of paying two thread handoffs
+        through the batcher's worker.
+        """
+        if n <= 0:
+            raise ValueError(f"n must be positive, got {n}")
+        with self._lock:
+            if n > self._pool.available:
+                return None
+            base = self._stream_pos
+            self.stats.pool_hits += 1
+            self.stats.requests += 1
+            self.stats.rows_served += n
+            self._stream_pos += n
+            _, decoded = self._pool.take(n)
+        return decoded.copy(), base
+
+    def take_block(self, counts) -> tuple[list[np.ndarray], int]:
+        """Decoded value blocks for a request batch, plus their stream offset.
+
+        Like :meth:`sample_many` but returning raw value matrices and the
+        stream offset of the block's first row, so a caller can prove where
+        each response sits in the service's single seeded record stream
+        (response ``i`` starts at ``offset + sum(counts[:i])``).  This is
+        the entry point the server's coalescing batcher drains through.
+        """
+        if not len(counts):
+            with self._lock:
+                return [], self._stream_pos
+        _, decoded, offsets, base = self._acquire_many(counts)
+        return [part.copy() for part in np.split(decoded, offsets, axis=0)], base

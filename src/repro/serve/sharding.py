@@ -30,7 +30,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.data.table import Table
-from repro.serve.registry import ModelRegistry
+from repro.serve.registry import ModelRegistry, RegistryError
 
 
 @dataclass(frozen=True)
@@ -110,10 +110,17 @@ class ShardedSampler:
             registry if isinstance(registry, ModelRegistry)
             else ModelRegistry(registry)
         )
-        if name not in registry:
-            raise ValueError(f"no model named {name!r} in {registry.root}")
         self.registry = registry
-        self.name = name
+        # Pin the registration NOW: a bare name means "newest version", and
+        # resolving it once here (rather than independently in the parent
+        # and in every worker) keeps the output worker-invariant even if a
+        # new version is registered mid-run.
+        try:
+            self.name = registry.resolve(name)
+        except RegistryError as exc:
+            raise ValueError(
+                f"no model named {name!r} in {registry.root}"
+            ) from exc
         self.shard_rows = shard_rows
         self.start_method = start_method or _default_start_method()
         self._model = None

@@ -1,0 +1,229 @@
+"""CoalescingBatcher: coalescing, admission order, saturation, drain."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.serve import SynthesisService
+from repro.serve.server import BatcherClosed, CoalescingBatcher, QueueSaturated
+
+
+@pytest.fixture()
+def service(trained_gan):
+    return SynthesisService(trained_gan, seed=3)
+
+
+def _blocked_stream(batcher, chunk_rows=4, chunks_ahead=8):
+    """Occupy the worker: an unconsumed stream blocks it after 2 chunks."""
+    return batcher.submit_stream(chunk_rows * chunks_ahead, chunk_rows)
+
+
+class TestSubmit:
+    def test_responses_are_offset_tagged_stream_slices(self, service,
+                                                       trained_gan):
+        batcher = CoalescingBatcher(service)
+        first, offset_1 = batcher.submit(4)
+        second, offset_2 = batcher.submit(6)
+        batcher.close()
+        direct = trained_gan.record_sampler().sample_table(
+            10, rng=np.random.default_rng(3)
+        )
+        assert (offset_1, offset_2) == (0, 4)
+        assert np.array_equal(np.concatenate([first, second]), direct.values)
+
+    def test_rejects_bad_requests(self, service):
+        batcher = CoalescingBatcher(service)
+        with pytest.raises(ValueError):
+            batcher.submit(0)
+        with pytest.raises(ValueError):
+            batcher.submit_stream(10, chunk_rows=0)
+        with pytest.raises(ValueError):
+            batcher.submit_stream(0, chunk_rows=4)
+        batcher.close()
+        with pytest.raises(ValueError):
+            CoalescingBatcher(service, max_queue_depth=-1)
+
+    def test_concurrent_submits_partition_the_stream(self, trained_gan):
+        """The thread-safety invariant: responses are contiguous, disjoint
+        slices that exactly tile one seeded record stream."""
+        service = SynthesisService(trained_gan, pool_size=32, seed=5)
+        batcher = CoalescingBatcher(service)
+        results = []
+        results_lock = threading.Lock()
+        per_thread = [(1, 4, 2), (3, 5, 1), (2, 2, 6), (7, 1, 3)]
+
+        def worker(counts):
+            for n in counts:
+                values, offset = batcher.submit(n)
+                with results_lock:
+                    results.append((offset, n, values))
+
+        threads = [threading.Thread(target=worker, args=(c,))
+                   for c in per_thread]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        batcher.close()
+
+        total = sum(sum(c) for c in per_thread)
+        results.sort(key=lambda item: item[0])
+        offsets = [offset for offset, _, _ in results]
+        lengths = [n for _, n, _ in results]
+        assert offsets[0] == 0
+        assert offsets == [sum(lengths[:i]) for i in range(len(lengths))]
+        direct = trained_gan.record_sampler().sample_table(
+            total, rng=np.random.default_rng(5)
+        )
+        stacked = np.concatenate([values for _, _, values in results])
+        assert np.array_equal(stacked, direct.values)
+        assert service.stats.rows_served == total
+        assert service.stats.requests == sum(len(c) for c in per_thread)
+
+
+class TestCoalescing:
+    def test_queued_requests_drain_in_one_tick(self, service):
+        """Requests that pile up behind a busy worker coalesce into one
+        take_block call (one replenishment, one generator pass)."""
+        batcher = CoalescingBatcher(service)
+        stream = _blocked_stream(batcher)
+        results = []
+        results_lock = threading.Lock()
+
+        def worker(n):
+            values, offset = batcher.submit(n)
+            with results_lock:
+                results.append((offset, values))
+
+        threads = [threading.Thread(target=worker, args=(n,))
+                   for n in (2, 3, 4, 5)]
+        for thread in threads:
+            thread.start()
+        # Wait until every small request is queued behind the stream.
+        pause = threading.Event()
+        for _ in range(500):
+            if batcher.queue_depth >= 5:
+                break
+            pause.wait(0.01)
+        assert batcher.queue_depth >= 5
+        chunks = list(stream)  # unblock the worker; stream completes first
+        for thread in threads:
+            thread.join()
+        batcher.close()
+        # The stream's 8 chunks cost one generator call each (pool_size=0);
+        # the four queued small requests drain in ONE coalesced tick — one
+        # further generator call for all of them together.
+        assert service.stats.generator_calls == 9
+        assert len(results) == 4
+        # Stream chunks are contiguous and precede the small requests.
+        assert [offset for _, offset in chunks] == list(range(0, 32, 4))
+        # The small responses tile [32, 46) contiguously in admission
+        # order (whatever order the threads won admission in).
+        results.sort(key=lambda item: item[0])
+        position = 32
+        for offset, values in results:
+            assert offset == position
+            position += values.shape[0]
+        assert position == 32 + 14
+
+    def test_per_request_mode_serves_one_request_per_tick(self, service):
+        batcher = CoalescingBatcher(service, coalesce=False)
+        for n in (2, 3, 4):
+            batcher.submit(n)
+        assert batcher.ticks == 3
+        batcher.close()
+
+
+class TestAdmissionControl:
+    def test_saturated_queue_raises(self, service):
+        batcher = CoalescingBatcher(service, max_queue_depth=1)
+        stream = _blocked_stream(batcher)
+        for _ in range(200):
+            if batcher.queue_depth == 1:
+                break
+            threading.Event().wait(0.01)
+        with pytest.raises(QueueSaturated) as excinfo:
+            batcher.submit(1)
+        assert excinfo.value.retry_after_s > 0
+        list(stream)
+        batcher.close()
+
+    def test_zero_depth_rejects_everything(self, service):
+        batcher = CoalescingBatcher(service, max_queue_depth=0)
+        with pytest.raises(QueueSaturated):
+            batcher.submit(1)
+        batcher.close()
+
+    def test_closed_batcher_rejects(self, service):
+        batcher = CoalescingBatcher(service)
+        batcher.close()
+        with pytest.raises(BatcherClosed):
+            batcher.submit(1)
+        with pytest.raises(BatcherClosed):
+            batcher.submit_stream(10, 4)
+        batcher.close()  # idempotent
+
+
+class TestReplenishAhead:
+    def test_idle_worker_pre_generates_the_pool(self, trained_gan):
+        """An idle worker fills the pool ahead of demand, and serving from
+        that read-ahead never perturbs the stream contract."""
+        service = SynthesisService(trained_gan, pool_size=64, seed=8)
+        batcher = CoalescingBatcher(service)
+        pause = threading.Event()
+        for _ in range(500):
+            if service.pooled_rows >= 64:
+                break
+            pause.wait(0.01)
+        assert service.pooled_rows >= 64
+        assert service.stream_position == 0
+        values, offset = batcher.submit(10)  # pure pool hit, handler-side
+        assert offset == 0
+        assert service.stats.pool_hits >= 1
+        batcher.close()
+        direct = trained_gan.record_sampler().sample_table(
+            10, rng=np.random.default_rng(8)
+        )
+        assert np.array_equal(values, direct.values)
+
+    def test_no_read_ahead_without_pool_or_coalescing(self, trained_gan):
+        for kwargs in ({"pool_size": 0}, ):
+            service = SynthesisService(trained_gan, seed=8, **kwargs)
+            batcher = CoalescingBatcher(service)
+            pause = threading.Event()
+            pause.wait(0.05)
+            assert service.stats.rows_generated == 0
+            batcher.close()
+        service = SynthesisService(trained_gan, pool_size=64, seed=8)
+        batcher = CoalescingBatcher(service, coalesce=False)
+        pause = threading.Event()
+        pause.wait(0.05)
+        assert service.stats.rows_generated == 0
+        batcher.close()
+
+
+class TestStreams:
+    def test_stream_chunks_reassemble_exactly(self, service, trained_gan):
+        batcher = CoalescingBatcher(service)
+        stream = batcher.submit_stream(23, chunk_rows=5)
+        chunks = list(stream)
+        batcher.close()
+        assert [values.shape[0] for values, _ in chunks] == [5, 5, 5, 5, 3]
+        assert [offset for _, offset in chunks] == [0, 5, 10, 15, 20]
+        direct = trained_gan.record_sampler().sample_table(
+            23, rng=np.random.default_rng(3)
+        )
+        stacked = np.concatenate([values for values, _ in chunks])
+        assert np.array_equal(stacked, direct.values)
+
+    def test_cancelled_stream_stops_generating(self, service):
+        batcher = CoalescingBatcher(service)
+        stream = batcher.submit_stream(10_000, chunk_rows=2)
+        stream.cancel()
+        # The worker must come back to life for other requests.
+        values, _ = batcher.submit(3)
+        assert values.shape[0] == 3
+        generated = service.stats.rows_generated
+        batcher.close()
+        assert generated < 10_000

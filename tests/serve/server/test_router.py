@@ -1,0 +1,115 @@
+"""ModelRouter: lazy loading, LRU eviction, version routing, shutdown."""
+
+import numpy as np
+import pytest
+
+from repro.serve import ModelRegistry, RegistryError
+from repro.serve.server import ModelRouter, RouterClosed
+from repro.serve.server.router import _estimate_bytes
+
+
+class TestLookup:
+    def test_lazy_load_and_reuse(self, populated_registry):
+        router = ModelRouter(populated_registry)
+        assert router.resident() == []
+        entry = router.get("tiny")
+        assert router.get("tiny") is entry
+        assert router.resident() == ["tiny"]
+
+    def test_latest_alias_shares_the_pinned_entry(self, tmp_path, trained_gan):
+        registry = ModelRegistry(tmp_path)
+        registry.register("m", trained_gan, version="1")
+        registry.register("m", trained_gan, version="2")
+        router = ModelRouter(registry)
+        assert router.get("m") is router.get("m@2")
+        assert router.get("m@latest") is router.get("m@2")
+        assert router.get("m@1") is not router.get("m@2")
+        assert sorted(router.resident()) == ["m@1", "m@2"]
+
+    def test_unknown_reference_raises(self, populated_registry):
+        router = ModelRouter(populated_registry)
+        with pytest.raises(RegistryError, match="no model named"):
+            router.get("missing")
+
+    def test_entries_serve_independent_streams(self, tmp_path, trained_gan):
+        registry = ModelRegistry(tmp_path)
+        registry.register("m", trained_gan, version="1")
+        registry.register("m", trained_gan, version="2")
+        router = ModelRouter(registry, seed=4)
+        one, offset_one = router.get("m@1").batcher.submit(5)
+        two, offset_two = router.get("m@2").batcher.submit(5)
+        assert offset_one == 0 and offset_two == 0
+        # Same weights, same per-model seed: independent identical streams.
+        assert np.array_equal(one, two)
+        router.close()
+
+
+class TestEviction:
+    def test_lru_eviction_over_max_models(self, tmp_path, trained_gan):
+        registry = ModelRegistry(tmp_path)
+        registry.register("a", trained_gan)
+        registry.register("b", trained_gan)
+        router = ModelRouter(registry, max_models=1)
+        router.get("a")
+        router.get("b")
+        assert router.resident() == ["b"]
+        assert router.evictions == 1
+        # The reloaded model starts a fresh stream.
+        _, offset = router.get("a").batcher.submit(3)
+        assert offset == 0
+        router.close()
+
+    def test_memory_budget_eviction(self, tmp_path, trained_gan):
+        registry = ModelRegistry(tmp_path)
+        registry.register("a", trained_gan)
+        registry.register("b", trained_gan)
+        router = ModelRouter(registry, max_models=8)
+        one_model = _estimate_bytes(
+            router.get("a").service, router.pool_size
+        )
+        router.close()
+        router = ModelRouter(registry, max_models=8,
+                             memory_budget_bytes=int(one_model * 1.5))
+        router.get("a")
+        router.get("b")
+        assert router.resident() == ["b"]
+        router.close()
+
+    def test_busy_entries_are_not_evicted(self, tmp_path, trained_gan):
+        registry = ModelRegistry(tmp_path)
+        registry.register("a", trained_gan)
+        registry.register("b", trained_gan)
+        router = ModelRouter(registry, max_models=1)
+        entry_a = router.get("a")
+        # An unconsumed stream keeps the worker busy (queue depth > 0).
+        stream = entry_a.batcher.submit_stream(64, chunk_rows=4)
+        router.get("b")
+        assert sorted(router.resident()) == ["a", "b"]
+        list(stream)
+        router.close()
+
+
+class TestLifecycle:
+    def test_closed_router_rejects(self, populated_registry):
+        router = ModelRouter(populated_registry)
+        router.get("tiny")
+        router.close()
+        with pytest.raises(RouterClosed):
+            router.get("tiny")
+        router.close()  # idempotent
+
+    def test_metrics_shape(self, populated_registry):
+        router = ModelRouter(populated_registry)
+        router.get("tiny").batcher.submit(4)
+        metrics = router.metrics()
+        assert metrics["resident_models"] == ["tiny"]
+        model = metrics["models"]["tiny"]
+        assert model["stats"]["rows_served"] == 4
+        assert model["stream_position"] == 4
+        assert model["queue_depth"] == 0
+        assert model["est_bytes"] > 0
+        router.close()
+
+    def test_rejects_bad_max_models(self, populated_registry):
+        with pytest.raises(ValueError):
+            ModelRouter(populated_registry, max_models=0)

@@ -1,4 +1,4 @@
-"""Model registry: round trips, atomicity, and corrupt-artifact detection."""
+"""Model registry: round trips, atomicity, corruption, and versioning."""
 
 import json
 import os
@@ -7,7 +7,7 @@ import numpy as np
 import pytest
 
 from repro import ChunkedTableGAN, ModelRegistry, TableGAN
-from repro.serve import CorruptArtifactError, RegistryError
+from repro.serve import CorruptArtifactError, RegistryError, split_ref
 from repro.serve.registry import MANIFEST_NAME
 
 
@@ -100,6 +100,103 @@ class TestRegistration:
         assert registry.names() == []
         with pytest.raises(RegistryError):
             registry.delete("m")
+
+
+class TestVersioning:
+    @pytest.fixture()
+    def versioned(self, tmp_path, trained_gan):
+        registry = ModelRegistry(tmp_path)
+        registry.register("m", trained_gan, version="1")
+        registry.register("m", trained_gan, version="2")
+        return registry
+
+    def test_split_ref(self):
+        assert split_ref("m") == ("m", None)
+        assert split_ref("m@latest") == ("m", None)
+        assert split_ref("m@2") == ("m", "2")
+        for bad in ("@2", "m@", "m@a@b", "m@.hidden", 7):
+            with pytest.raises(RegistryError):
+                split_ref(bad)
+
+    def test_versions_stay_on_disk(self, versioned):
+        assert versioned.names() == ["m@1", "m@2"]
+        assert versioned.versions("m") == ["1", "2"]
+        assert "m@1" in versioned and "m@2" in versioned and "m" in versioned
+        assert "m@3" not in versioned
+
+    def test_latest_resolution(self, versioned):
+        assert versioned.resolve("m") == "m@2"
+        assert versioned.resolve("m@latest") == "m@2"
+        assert versioned.resolve("m@1") == "m@1"
+        assert versioned.manifest("m")["version"] == "2"
+        assert versioned.manifest("m@1")["version"] == "1"
+
+    def test_load_resolves_latest_and_pinned(self, versioned, trained_gan):
+        want = trained_gan.sample(6, rng=np.random.default_rng(4))
+        for ref in ("m", "m@latest", "m@1", "m@2"):
+            got = versioned.load(ref).sample(6, rng=np.random.default_rng(4))
+            assert np.array_equal(want.values, got.values)
+
+    def test_registering_a_version_keeps_prior_ones(self, versioned,
+                                                    trained_gan):
+        versioned.register("m", trained_gan, version="3")
+        assert versioned.versions("m") == ["1", "2", "3"]
+        assert versioned.resolve("m") == "m@3"
+
+    def test_unversioned_and_versioned_coexist(self, tmp_path, trained_gan):
+        registry = ModelRegistry(tmp_path)
+        registry.register("m", trained_gan)
+        registry.register("m", trained_gan, version="2")
+        assert registry.names() == ["m", "m@2"]
+        # The newest registration wins the alias, whichever shape it has.
+        assert registry.resolve("m") == "m@2"
+
+    def test_duplicate_version_needs_overwrite(self, versioned, trained_gan):
+        with pytest.raises(RegistryError, match="already registered"):
+            versioned.register("m", trained_gan, version="2")
+        versioned.register("m", trained_gan, version="2", overwrite=True)
+
+    def test_reserved_and_invalid_versions_rejected(self, tmp_path,
+                                                    trained_gan):
+        registry = ModelRegistry(tmp_path)
+        with pytest.raises(RegistryError, match="reserved alias"):
+            registry.register("m", trained_gan, version="latest")
+        with pytest.raises(RegistryError, match="invalid model version"):
+            registry.register("m", trained_gan, version=".bad")
+        with pytest.raises(RegistryError, match="invalid model name"):
+            registry.register("m@2", trained_gan)
+
+    def test_delete_is_exact(self, versioned):
+        versioned.delete("m@1")
+        assert versioned.names() == ["m@2"]
+        # A bare name never deletes "whatever is newest".
+        with pytest.raises(RegistryError, match="m@2"):
+            versioned.delete("m")
+        with pytest.raises(RegistryError, match="no model named"):
+            versioned.delete("m@1")
+
+    def test_describe_reports_versions(self, versioned):
+        rows = versioned.describe()
+        assert [(row["name"], row["version"]) for row in rows] == [
+            ("m@1", "1"), ("m@2", "2"),
+        ]
+
+    def test_sharded_sampler_pins_resolution_at_construction(self, versioned,
+                                                             trained_gan):
+        """A bare name is resolved ONCE when the sampler is built, so a
+        version registered mid-run can never mix into the output (the
+        parent and every worker would otherwise resolve independently)."""
+        from repro.serve import ShardedSampler
+
+        sampler = ShardedSampler(versioned, "m", shard_rows=16)
+        assert sampler.name == "m@2"
+        versioned.register("m", trained_gan, version="3")
+        assert versioned.resolve("m") == "m@3"
+        assert sampler.name == "m@2"  # still pinned
+        want = versioned.load("m@2").sample(8, rng=np.random.default_rng(0))
+        assert sampler.sample_values(8, seed=None, workers=1).shape == (
+            8, want.values.shape[1],
+        )
 
 
 class TestRoundTrip:

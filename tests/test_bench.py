@@ -13,6 +13,8 @@ from repro.bench import (
     KERNEL_CHECK_KEYS,
     QUICK_WORKLOAD,
     REPORT_KEYS,
+    WORKLOAD,
+    _serving_load_timings,
     check_report,
     format_report,
     main,
@@ -49,6 +51,14 @@ class TestQuickBenchmark:
         assert synthesis["requests"] == QUICK_WORKLOAD["synth_requests"]
         assert synthesis["sharded_worker_invariant"] is True
 
+    def test_quick_mode_skips_serving_load_gen_with_a_note(self, quick_report):
+        """Quick mode must stay a smoke test — no sockets, no client
+        fleet — but the dropped section has to be explicit in the JSON."""
+        serving = quick_report["serving"]
+        assert serving["skipped"] is True
+        assert "serving load generator" in serving["log"]
+        assert "rows_per_s" not in str(serving)
+
     def test_large_batch_section(self, quick_report):
         large_batch = quick_report["large_batch"]
         expected = [str(r) for r in QUICK_WORKLOAD["large_batch_rows"]]
@@ -63,6 +73,7 @@ class TestQuickBenchmark:
             assert key.removesuffix("_s") in text
         assert "synthesis throughput" in text
         assert "micro-batched" in text
+        assert "serving load test skipped" in text
 
     def test_write_report_round_trips(self, quick_report, tmp_path):
         path = tmp_path / "bench.json"
@@ -72,6 +83,35 @@ class TestQuickBenchmark:
     def test_rejects_bad_repeats(self):
         with pytest.raises(ValueError):
             run_benchmarks(repeats=0)
+
+
+class TestServingLoadGen:
+    def test_scaled_down_load_test_reports_both_modes(self):
+        """The real server + multi-process client fleet on a tiny
+        workload: the section's schema and both serving modes must work
+        end to end (speedup magnitude is only meaningful at full scale)."""
+        workload = dict(
+            WORKLOAD,
+            serving_clients=2,
+            serving_requests_per_client=2,
+            serving_request_rows=4,
+            serving_side=8,
+            serving_base_channels=8,
+            serving_pool_rows=32,
+            serving_passes=1,
+        )
+        report = _serving_load_timings(workload)
+        assert report["clients"] == 2
+        for mode in ("per_request", "coalesce_only", "coalesced"):
+            assert report[mode]["rows_per_s"] > 0
+            assert report[mode]["p99_ms"] >= report[mode]["p50_ms"]
+            assert report[mode]["requests"] == 4
+        assert report["coalesce_speedup"] > 0
+        assert report["pure_coalesce_speedup"] > 0
+        text = format_report({"engine": {}, "speedup": {},
+                              "serving": report})
+        assert "HTTP serving load test" in text
+        assert "coalescing speedup" in text
 
 
 class TestCheckTripwire:
