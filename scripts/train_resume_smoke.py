@@ -1,0 +1,132 @@
+"""CI smoke test for crash-safe training: SIGTERM, resume, identical weights.
+
+Three real ``python -m repro train`` subprocesses:
+
+1. an **uninterrupted baseline** run that saves its generator;
+2. the **same run with checkpointing**, SIGTERM'd mid-training — it must
+   checkpoint, print the resume hint, and exit 0 (not die on the signal);
+3. a ``--resume`` run that continues from the snapshot and saves its
+   generator.
+
+The acceptance check loads both saved generators and compares every
+array with ``np.array_equal`` — bit-identical weights, not merely close.
+(Comparing the ``.npz`` files byte-for-byte would be wrong: zip archives
+embed timestamps; the *arrays* are the contract.)
+
+Every wait is bounded, so a wedged run fails the job instead of hanging
+it.  Run from the repository root::
+
+    PYTHONPATH=src python scripts/train_resume_smoke.py
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+
+TIMEOUT_S = 180
+
+TRAIN_ARGS = [
+    "--dataset", "adult", "--rows", "64", "--seed", "0",
+    "--epochs", "12", "--batch-size", "16", "--base-channels", "4",
+]
+
+
+def fail(message: str) -> None:
+    print(f"SMOKE FAILED: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def run_train(extra, label):
+    command = [sys.executable, "-m", "repro", "train", *TRAIN_ARGS, *extra]
+    print(f"[{label}] {' '.join(command)}")
+    result = subprocess.run(command, capture_output=True, text=True,
+                            timeout=TIMEOUT_S)
+    sys.stdout.write(result.stdout)
+    if result.returncode != 0:
+        sys.stderr.write(result.stderr)
+        fail(f"{label} run exited {result.returncode}")
+    return result.stdout
+
+
+def run_train_and_sigterm(extra, label):
+    """Start a training run, SIGTERM it after its first epoch completes."""
+    command = [sys.executable, "-m", "repro", "train", *TRAIN_ARGS, *extra]
+    print(f"[{label}] {' '.join(command)}")
+    proc = subprocess.Popen(command, stdout=subprocess.PIPE,
+                            stderr=subprocess.STDOUT, text=True)
+    lines = []
+
+    def reader():
+        for line in proc.stdout:
+            print(f"[{label}] {line.rstrip()}")
+            lines.append(line)
+            # The first per-epoch loss line proves the loop (and the
+            # SIGTERM handler) is live, with 11 epochs still to go.
+            if line.lstrip().startswith("epoch   1:"):
+                proc.send_signal(signal.SIGTERM)
+
+    thread = threading.Thread(target=reader, daemon=True)
+    thread.start()
+    try:
+        code = proc.wait(timeout=TIMEOUT_S)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        fail(f"{label} run did not exit after SIGTERM")
+    thread.join(timeout=10)
+    output = "".join(lines)
+    if code != 0:
+        fail(f"{label} run exited {code} on SIGTERM instead of "
+             "checkpoint-and-exit")
+    if "interrupted: checkpoint saved" not in output:
+        fail(f"{label} run exited 0 but never acknowledged the checkpoint")
+    if "trained in" in output:
+        fail(f"{label} run finished before SIGTERM landed; nothing resumed")
+    return output
+
+
+def compare_generators(baseline_path, resumed_path):
+    import numpy as np
+
+    with np.load(baseline_path) as baseline, np.load(resumed_path) as resumed:
+        if set(baseline.files) != set(resumed.files):
+            fail("saved generators hold different array sets: "
+                 f"{sorted(set(baseline.files) ^ set(resumed.files))}")
+        for key in baseline.files:
+            if not np.array_equal(baseline[key], resumed[key]):
+                fail(f"array {key!r} differs between the uninterrupted and "
+                     "resumed runs — resume is not bit-exact")
+        print(f"all {len(baseline.files)} arrays bit-identical")
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        baseline_model = os.path.join(tmp, "baseline.npz")
+        resumed_model = os.path.join(tmp, "resumed.npz")
+        checkpoint_dir = os.path.join(tmp, "checkpoints")
+
+        run_train(["--model", baseline_model], "baseline")
+
+        run_train_and_sigterm(
+            ["--checkpoint-dir", checkpoint_dir, "--checkpoint-every", "1"],
+            "interrupted",
+        )
+        latest = os.path.join(checkpoint_dir, "checkpoint-latest.npz")
+        if not os.path.exists(latest):
+            fail(f"no checkpoint at {latest} after SIGTERM")
+
+        resume_out = run_train(
+            ["--checkpoint-dir", checkpoint_dir, "--resume",
+             "--model", resumed_model], "resumed",
+        )
+        if "trained in" not in resume_out:
+            fail("resumed run never reported completion")
+
+        compare_generators(baseline_model, resumed_model)
+    print("TRAIN-RESUME SMOKE PASSED")
+
+
+if __name__ == "__main__":
+    main()

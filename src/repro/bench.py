@@ -34,7 +34,12 @@ config vs baseline) is the headline number,
 ``pure_coalesce_speedup`` isolates the batcher.  Quick mode *skips* the
 serving load generator (it boots real sockets and threads — not smoke
 material) and says so in the report's ``serving.log`` field, so the
-truncation is explicit rather than silent.
+truncation is explicit rather than silent.  A sixth, **resilience**,
+prices the fault-tolerance layer: the disarmed fault-hook traversal
+(nanoseconds), worker-crash recovery time under an injected
+``batcher.tick`` fault, throughput degraded by crash/restart cycles
+versus healthy, and the per-snapshot cost of crash-safe training
+checkpoints.
 
 Results are written as ``BENCH_engine.json`` so speedups are trackable
 across commits; ``docs/benchmarks.md`` explains how to read the report and
@@ -103,6 +108,9 @@ WORKLOAD = {
     "serving_base_channels": 64,
     "serving_pool_rows": 512,
     "serving_passes": 3,
+    "resilience_requests": 64,
+    "resilience_request_rows": 8,
+    "resilience_crashes": 4,
 }
 
 #: Scaled-down workload for ``--quick`` smoke runs (seconds, not minutes).
@@ -123,6 +131,9 @@ QUICK_WORKLOAD = {
     "synth_shard_rows": 64,
     "synth_workers": 2,
     "large_batch_rows": [16, 64, 256],
+    "resilience_requests": 16,
+    "resilience_request_rows": 4,
+    "resilience_crashes": 2,
 }
 
 
@@ -465,6 +476,131 @@ def _serving_load_timings(workload: dict) -> dict:
     return report
 
 
+def _resilience_timings(workload: dict, repeats: int) -> dict:
+    """The cost of fault tolerance: hooks, crash recovery, checkpoints.
+
+    Four numbers back the robustness layer's "zero overhead until it
+    fires" claims with measurements instead of assertions:
+
+    * ``fault_hook_disarmed_ns`` — one disarmed :func:`~repro.utils.
+      faults.fault_point` traversal (a module-global load plus an
+      ``is None`` test; nanoseconds, the price every hot path pays);
+    * ``worker_crash_recovery_s`` — extra wall-clock a request pays when
+      an injected crash kills the batcher worker mid-tick and the
+      supervisor restarts it (production backoff policy) and retries the
+      slice transparently;
+    * ``degraded_vs_healthy`` — sequential-request throughput with
+      ``resilience_crashes`` injected worker crashes spread across the
+      run, as a fraction of the crash-free run (each crash costs one
+      restart backoff plus one redone tick);
+    * ``checkpoint_overhead`` — one training epoch with per-batch
+      crash-safe snapshots (:class:`~repro.core.checkpoint.
+      TrainerCheckpointer`, the heaviest setting) relative to the same
+      epoch without, plus the mean per-snapshot write time.
+    """
+    from repro.core.checkpoint import TrainerCheckpointer
+    from repro.serve.server import CoalescingBatcher
+    from repro.utils.faults import FaultPlan, fault_point
+
+    report: dict = {}
+
+    # -- disarmed hook cost ------------------------------------------------
+    hook_calls = 100_000
+
+    def hook_loop():
+        for _ in range(hook_calls):
+            fault_point("batcher.tick")
+
+    report["fault_hook_disarmed_ns"] = (
+        _best_of(hook_loop, repeats) / hook_calls * 1e9
+    )
+
+    # -- crash recovery and degraded throughput ----------------------------
+    model = _serving_model(workload["side"], workload["base_channels"])
+    rows = workload["resilience_request_rows"]
+    requests = workload["resilience_requests"]
+    crashes = workload["resilience_crashes"]
+    service = SynthesisService(model, seed=7)  # pool_size=0: every submit ticks
+    batcher = CoalescingBatcher(service, name="resilience")
+    try:
+        batcher.submit(rows)  # warm the path (first generator forward)
+        healthy = []
+        for _ in range(max(repeats, 3)):
+            begin = time.perf_counter()
+            batcher.submit(rows)
+            healthy.append(time.perf_counter() - begin)
+        healthy_submit_s = float(np.median(healthy))
+
+        with FaultPlan().arm("batcher.tick", times=1):
+            begin = time.perf_counter()
+            batcher.submit(rows)  # crashes once, restarts, retried slice
+            crashed_submit_s = time.perf_counter() - begin
+        report["healthy_submit_s"] = healthy_submit_s
+        report["crashed_submit_s"] = crashed_submit_s
+        report["worker_crash_recovery_s"] = max(
+            crashed_submit_s - healthy_submit_s, 0.0
+        )
+
+        begin = time.perf_counter()
+        for _ in range(requests):
+            batcher.submit(rows)
+        healthy_s = time.perf_counter() - begin
+
+        per_group = max(requests // crashes, 1)
+        begin = time.perf_counter()
+        for _ in range(crashes):
+            with FaultPlan().arm("batcher.tick", times=1):
+                for _ in range(per_group):
+                    batcher.submit(rows)
+        degraded_s = time.perf_counter() - begin
+        assert batcher.supervision()["crashes"] >= crashes + 1
+    finally:
+        batcher.close()
+    report["requests"] = requests
+    report["request_rows"] = rows
+    report["injected_crashes"] = crashes
+    report["healthy_rows_per_s"] = requests * rows / healthy_s
+    report["degraded_rows_per_s"] = crashes * per_group * rows / degraded_s
+    report["degraded_vs_healthy"] = (
+        report["degraded_rows_per_s"] / report["healthy_rows_per_s"]
+    )
+
+    # -- checkpoint write overhead -----------------------------------------
+    side = workload["side"]
+    rng = np.random.default_rng(13)
+    matrices = rng.uniform(-0.5, 0.5,
+                           (workload["records"], 1, side, side))
+    config = TableGanConfig(
+        epochs=1, batch_size=workload["batch_size"],
+        base_channels=workload["base_channels"], seed=0,
+        use_classifier=False,
+    )
+
+    def one_epoch(checkpointer=None):
+        gen = build_generator(side, config.latent_dim, config.base_channels,
+                              rng=0, dtype=config.np_dtype)
+        disc = build_discriminator(side, config.base_channels, rng=1,
+                                   dtype=config.np_dtype)
+        trainer = TableGanTrainer(gen, disc, None, config)
+        trainer.train(matrices, rng=np.random.default_rng(0),
+                      checkpointer=checkpointer)
+
+    plain_s = _best_of(one_epoch, repeats)
+    with tempfile.TemporaryDirectory() as tmp:
+        checkpointer = TrainerCheckpointer(tmp, every_batches=1)
+        begin = time.perf_counter()
+        one_epoch(checkpointer)
+        checkpointed_s = time.perf_counter() - begin
+        report["checkpoint_saves"] = checkpointer.saves
+        report["checkpoint_mean_save_ms"] = (
+            checkpointer.total_save_s / checkpointer.saves * 1e3
+        )
+    report["epoch_s"] = plain_s
+    report["checkpointed_epoch_s"] = checkpointed_s
+    report["checkpoint_overhead"] = checkpointed_s / plain_s
+    return report
+
+
 def run_benchmarks(repeats: int = 5, fit_repeats: int = 2,
                    quick: bool = False) -> dict:
     """Run the full engine-vs-reference comparison and return the report.
@@ -508,6 +644,7 @@ def run_benchmarks(repeats: int = 5, fit_repeats: int = 2,
     }
     report["synthesis"] = _synthesis_timings(workload, repeats)
     report["large_batch"] = _large_batch_timings(workload, repeats)
+    report["resilience"] = _resilience_timings(workload, repeats)
     if quick:
         # Quick mode must stay a smoke test: the serving load generator
         # boots real servers, sockets, and client threads.  Record the
@@ -618,6 +755,30 @@ def format_report(report: dict) -> str:
             f"  sharded (x{synthesis['sharded_workers']})  "
             f"{synthesis['sharded_rows_per_s']:>12,.0f} rows/s"
             f"  (worker-invariant: {synthesis['sharded_worker_invariant']})"
+        )
+    resilience = report.get("resilience")
+    if resilience:
+        lines.append("")
+        lines.append("resilience (the cost of fault tolerance):")
+        lines.append(
+            f"  disarmed fault hook      "
+            f"{resilience['fault_hook_disarmed_ns']:>8.0f} ns/traversal"
+        )
+        lines.append(
+            f"  worker crash recovery    "
+            f"{resilience['worker_crash_recovery_s'] * 1e3:>8.1f} ms/crash"
+        )
+        lines.append(
+            f"  degraded vs healthy      "
+            f"{resilience['degraded_vs_healthy'] * 100:>8.1f} % throughput "
+            f"({resilience['injected_crashes']} crashes / "
+            f"{resilience['requests']} requests)"
+        )
+        lines.append(
+            f"  checkpoint write         "
+            f"{resilience['checkpoint_mean_save_ms']:>8.1f} ms/snapshot "
+            f"({resilience['checkpoint_overhead']:.2f}x epoch at "
+            "every_batches=1)"
         )
     serving = report.get("serving")
     if serving:

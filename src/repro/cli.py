@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import signal
 import sys
 import threading
@@ -37,6 +38,7 @@ import time
 import numpy as np
 
 from repro import TableGAN, TableGanConfig, high_privacy, low_privacy, mid_privacy
+from repro.core.checkpoint import TrainerCheckpointer, TrainingInterrupted
 from repro.data.datasets import DATASET_NAMES, DEFAULT_ROWS, PAPER_ROWS, load_dataset
 from repro.data.io import write_csv
 from repro.evaluation import classification_compatibility, mean_area_distance
@@ -113,14 +115,47 @@ def cmd_train(args) -> int:
                   f"{registry.root}; versions are immutable — pick a new "
                   "version or `serve-registry --delete` the old one first")
             return 1
+    if args.resume and not args.checkpoint_dir:
+        print("--resume requires --checkpoint-dir (where the snapshots live)")
+        return 1
     bundle = _load_bundle(args)
     print(f"training table-GAN on {args.dataset} ({bundle.train.n_rows} rows, "
           f"{args.privacy} privacy, layout={args.layout}) ...")
     gan = TableGAN(_config_from_args(args))
-    gan.fit(bundle.train, on_epoch_end=lambda i, l: print(
-        f"  epoch {i + 1:3d}: D={l.d_loss:.3f} G_adv={l.g_adv_loss:.3f} "
-        f"G_info={l.g_info_loss:.3f} G_class={l.g_class_loss:.3f}"
-    ))
+
+    checkpointer = None
+    previous_handlers: dict[int, object] = {}
+    if args.checkpoint_dir:
+        checkpointer = TrainerCheckpointer(args.checkpoint_dir,
+                                           every_batches=args.checkpoint_every)
+        if not args.resume:
+            # A fresh run must not silently continue a stale snapshot left
+            # by an earlier run in the same directory.
+            for path in (checkpointer.latest_path, checkpointer.prev_path):
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
+        if threading.current_thread() is threading.main_thread():
+            # SIGTERM/SIGINT become checkpoint-and-exit: the loop finishes
+            # its current batch, saves, and raises TrainingInterrupted.
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                previous_handlers[signum] = signal.signal(
+                    signum, lambda *_: checkpointer.request_stop()
+                )
+    try:
+        gan.fit(bundle.train, on_epoch_end=lambda i, l: print(
+            f"  epoch {i + 1:3d}: D={l.d_loss:.3f} G_adv={l.g_adv_loss:.3f} "
+            f"G_info={l.g_info_loss:.3f} G_class={l.g_class_loss:.3f}"
+        ), checkpointer=checkpointer)
+    except TrainingInterrupted as stop:
+        print(f"interrupted: checkpoint saved to {stop.path} "
+              f"(epoch {stop.epoch}, batch offset {stop.batch_start}); "
+              "rerun with --resume to continue", flush=True)
+        return 0
+    finally:
+        for signum, handler in previous_handlers.items():
+            signal.signal(signum, handler)
     print(f"trained in {gan.train_seconds_:.1f}s")
     if args.model:
         gan.save(args.model)
@@ -323,6 +358,17 @@ def build_parser() -> argparse.ArgumentParser:
                               "prior versions stay loadable)")
     p_train.add_argument("--registry", default=DEFAULT_REGISTRY,
                          help=f"registry directory (default: {DEFAULT_REGISTRY})")
+    p_train.add_argument("--checkpoint-dir", default=None,
+                         help="directory for crash-safe training checkpoints; "
+                              "SIGTERM saves one and exits cleanly")
+    p_train.add_argument("--checkpoint-every", type=int, default=0,
+                         metavar="BATCHES",
+                         help="also checkpoint every N mini-batches "
+                              "(default: 0 = epoch boundaries only)")
+    p_train.add_argument("--resume", action="store_true",
+                         help="continue from the newest checkpoint in "
+                              "--checkpoint-dir (bit-identical to an "
+                              "uninterrupted run)")
     p_train.set_defaults(func=cmd_train)
 
     p_sample = sub.add_parser("sample", help="sample synthetic rows from a saved model")

@@ -1,5 +1,10 @@
 """table-GAN core: the paper's primary contribution."""
 
+from repro.core.checkpoint import (
+    CheckpointError,
+    TrainerCheckpointer,
+    TrainingInterrupted,
+)
 from repro.core.chunking import ChunkedTableGAN
 from repro.core.config import (
     TableGanConfig,
@@ -38,6 +43,9 @@ __all__ = [
     "dcgan_baseline",
     "ChunkedTableGAN",
     "TableGanTrainer",
+    "TrainerCheckpointer",
+    "TrainingInterrupted",
+    "CheckpointError",
     "TrainingHistory",
     "EpochLosses",
     "RecordSampler",

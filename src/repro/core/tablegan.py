@@ -90,7 +90,8 @@ class TableGAN:
         self.train_seconds_: float | None = None
         self._sampler: RecordSampler | None = None
 
-    def fit(self, table: Table, rng=None, on_epoch_end=None) -> "TableGAN":
+    def fit(self, table: Table, rng=None, on_epoch_end=None,
+            checkpointer=None) -> "TableGAN":
         """Train on ``table`` and return self.
 
         Parameters
@@ -101,6 +102,10 @@ class TableGAN:
             Seed or generator (falls back to ``config.seed``).
         on_epoch_end:
             Optional per-epoch callback forwarded to the trainer.
+        checkpointer:
+            Optional :class:`~repro.core.checkpoint.TrainerCheckpointer`
+            forwarded to the trainer: restores the newest snapshot before
+            training and saves periodically (crash-safe ``--resume``).
         """
         config = self.config
         rng = ensure_rng(rng if rng is not None else config.seed)
@@ -157,7 +162,9 @@ class TableGAN:
             self.generator_, self.discriminator_, self.classifier_,
             effective, label_cell=label_cell,
         )
-        self.history_ = trainer.train(matrices, rng=rng, on_epoch_end=on_epoch_end)
+        self.history_ = trainer.train(matrices, rng=rng,
+                                      on_epoch_end=on_epoch_end,
+                                      checkpointer=checkpointer)
         self.train_seconds_ = time.perf_counter() - started
         return self
 

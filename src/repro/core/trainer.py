@@ -255,7 +255,7 @@ class TableGanTrainer:
 
     # ------------------------------------------------------------------
     def train(self, matrices: np.ndarray, rng=None,
-              on_epoch_end=None) -> TrainingHistory:
+              on_epoch_end=None, checkpointer=None) -> TrainingHistory:
         """Run Algorithm 2 on encoded record matrices of shape (N, 1, d, d).
 
         Parameters
@@ -266,6 +266,13 @@ class TableGanTrainer:
             Seed or generator (falls back to ``config.seed``).
         on_epoch_end:
             Optional callback ``(epoch_index, EpochLosses) -> None``.
+        checkpointer:
+            Optional :class:`~repro.core.checkpoint.TrainerCheckpointer`.
+            When given, the loop first restores the newest snapshot (if
+            one exists) and continues from its epoch/batch cursor, then
+            saves per its policy after each batch and epoch.  All
+            randomness flows through the one restored generator, so a
+            resumed run is bit-identical to an uninterrupted one.
         """
         config = self.config
         matrices = np.ascontiguousarray(matrices, dtype=self._dtype)
@@ -285,13 +292,31 @@ class TableGanTrainer:
 
         history = TrainingHistory()
         batch = min(config.batch_size, n)
-        for epoch in range(config.epochs):
-            # One shuffled gather per epoch; every mini-batch below is a
-            # zero-copy contiguous view into it.
-            shuffled = matrices[rng.permutation(n)]
-            sums = np.zeros(5)
-            n_batches = 0
-            for start in range(0, n - batch + 1, batch):
+        cursor = None
+        start_epoch = 0
+        if checkpointer is not None:
+            cursor = checkpointer.restore(self, rng, history, n_rows=n)
+            if cursor is not None:
+                start_epoch = cursor.epoch
+        for epoch in range(start_epoch, config.epochs):
+            if cursor is not None and cursor.perm is not None:
+                # Mid-epoch resume: replay this epoch's shuffle and pick
+                # up at the saved batch offset with the saved loss sums.
+                perm = cursor.perm
+                shuffled = matrices[perm]
+                sums = cursor.sums
+                n_batches = cursor.n_batches
+                first_start = cursor.batch_start
+            else:
+                # One shuffled gather per epoch; every mini-batch below is
+                # a zero-copy contiguous view into it.
+                perm = rng.permutation(n)
+                shuffled = matrices[perm]
+                sums = np.zeros(5)
+                n_batches = 0
+                first_start = 0
+            cursor = None
+            for start in range(first_start, n - batch + 1, batch):
                 real = shuffled[start : start + batch]
                 z = self.sample_latent(real.shape[0], rng)
                 fake = self.generator.forward(z)
@@ -323,6 +348,12 @@ class TableGanTrainer:
                     adv, info, cls = self._update_generator(fake, rng)
                 sums += (d_loss, adv, info, cls, c_loss)
                 n_batches += 1
+                if checkpointer is not None:
+                    checkpointer.on_batch(
+                        self, rng, epoch=epoch, next_start=start + batch,
+                        perm=perm, sums=sums, n_batches=n_batches,
+                        history=history, n_rows=n,
+                    )
 
             if n_batches == 0:
                 raise RuntimeError(
@@ -333,6 +364,9 @@ class TableGanTrainer:
             history.append(losses)
             if on_epoch_end is not None:
                 on_epoch_end(epoch, losses)
+            if checkpointer is not None:
+                checkpointer.on_epoch(self, rng, epoch=epoch,
+                                      history=history, n_rows=n)
 
         history.final_l_mean = self.stats.l_mean
         history.final_l_sd = self.stats.l_sd

@@ -229,3 +229,41 @@ class Adam(Optimizer):
             m_hat = m / bc1
             v_hat = v / bc2
             p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Snapshot the moment buffers and step count (for checkpointing).
+
+        Buffer layout depends on the update path: fused optimizers hold
+        one (m, v) pair per dtype group, the reference path one pair per
+        parameter.  A checkpoint therefore restores only into an
+        optimizer built on the same path (both are deterministic per
+        construction mode, so matching runs always agree).
+        """
+        state = {f"m{i:03d}": m.copy() for i, m in enumerate(self._m)}
+        state.update({f"v{i:03d}": v.copy() for i, v in enumerate(self._v)})
+        state["t"] = np.array([self._t], dtype=np.int64)
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Restore moment buffers saved by :meth:`state_dict` in place.
+
+        Raises ``ValueError`` on buffer-count or shape mismatches (e.g. a
+        checkpoint from a different network or update path).
+        """
+        saved_pairs = sum(1 for k in state if k.startswith("m"))
+        if saved_pairs != len(self._m):
+            raise ValueError(
+                f"checkpoint has {saved_pairs} moment buffers but this "
+                f"optimizer holds {len(self._m)} (different update path "
+                "or network?)"
+            )
+        for i, (m, v) in enumerate(zip(self._m, self._v)):
+            for current, key in ((m, f"m{i:03d}"), (v, f"v{i:03d}")):
+                saved = state[key]
+                if saved.shape != current.shape:
+                    raise ValueError(
+                        f"shape mismatch for {key}: saved {saved.shape}, "
+                        f"optimizer {current.shape}"
+                    )
+                np.copyto(current, saved.astype(current.dtype, copy=False))
+        self._t = int(np.asarray(state["t"]).ravel()[0])

@@ -34,8 +34,11 @@ from repro.serve.registry import (
     split_ref,
 )
 from repro.serve.server import (
+    CircuitOpenError,
+    ClientError,
     CoalescingBatcher,
     ModelRouter,
+    ProtocolError,
     QueueSaturated,
     ServerError,
     SynthesisClient,
@@ -55,6 +58,9 @@ __all__ = [
     "SynthesisServer",
     "SynthesisClient",
     "ServerError",
+    "ClientError",
+    "ProtocolError",
+    "CircuitOpenError",
     "CoalescingBatcher",
     "QueueSaturated",
     "ModelRouter",

@@ -60,6 +60,7 @@ from repro.core.tablegan import TableGAN, build_generator_for, matrixizer_for
 from repro.data.encoding import TableCodec
 from repro.data.schema import TableSchema
 from repro.nn import load_state_dict, state_dict
+from repro.utils.faults import fault_point
 
 #: Manifest schema version; bumped on incompatible layout changes.
 FORMAT_VERSION = 1
@@ -204,20 +205,65 @@ class ModelRegistry:
             and (entry / MANIFEST_NAME).is_file()
         )
 
+    def _recover_trashed(self, name: str) -> bool:
+        """Restore registrations of ``name`` stranded by an interrupted swap.
+
+        An overwrite re-registration commits in two renames — the old
+        directory moves to ``.trash-<dirname>-<pid>``, then the staged one
+        moves into place.  A SIGKILL between them leaves the only good
+        copy of the model in the trash directory (the stage is incomplete
+        by definition).  This detects that state — trash present, final
+        absent — and puts the survivor back, so the model resolves again
+        instead of reporting missing.  Trash directories whose final
+        registration exists are the *other* interruption (a crash during
+        post-commit cleanup) and are left for cleanup; ``delete`` uses the
+        distinct ``.delete-`` prefix precisely so a half-deleted model is
+        never resurrected here.  Returns True if anything was restored.
+        """
+        if not self.root.is_dir():
+            return False
+        restored = False
+        for entry in self.root.iterdir():
+            if not entry.name.startswith(".trash-"):
+                continue
+            # ".trash-<dirname>-<pid>": the pid tail never contains "-".
+            stem = entry.name[len(".trash-"):]
+            dirname, sep, _pid = stem.rpartition("-")
+            if not sep or (dirname != name
+                           and not dirname.startswith(f"{name}@")):
+                continue
+            if not (entry / MANIFEST_NAME).is_file():
+                continue
+            final = self.root / dirname
+            if (final / MANIFEST_NAME).is_file():
+                continue  # the swap completed; this trash is stale cleanup
+            try:
+                os.replace(entry, final)
+            except OSError:
+                continue  # e.g. another process restored it concurrently
+            restored = True
+        return restored
+
     def resolve(self, ref: str) -> str:
         """Resolve a reference to the directory name of one registration.
 
         ``name@<version>`` must exist exactly; a bare ``name`` (or
         ``name@latest``) picks the newest registration — by manifest
         ``created_at``, directory name breaking ties — among the
-        unversioned entry and every version of ``name``.
+        unversioned entry and every version of ``name``.  Either lookup
+        first restores any copy of ``name`` stranded mid-swap by an
+        interrupted re-registration (see :meth:`_recover_trashed`).
         """
         name, version = split_ref(ref)
         if version is not None:
             dirname = _dirname(name, version)
             if (self.root / dirname / MANIFEST_NAME).is_file():
                 return dirname
+            if (self._recover_trashed(name)
+                    and (self.root / dirname / MANIFEST_NAME).is_file()):
+                return dirname
             raise RegistryError(f"no model named {ref!r} in {self.root}")
+        self._recover_trashed(name)
         candidates = []
         if (self.root / name / MANIFEST_NAME).is_file():
             candidates.append(name)
@@ -298,6 +344,11 @@ class ModelRegistry:
                 trash = self.root / f".trash-{dirname}-{os.getpid()}"
                 os.replace(final, trash)
                 try:
+                    # Injection seam for the swap's crash window: a raise
+                    # here exercises the restore path below, and the
+                    # SIGKILL variant (no cleanup at all) is what
+                    # resolve()'s trash recovery exists for.
+                    fault_point("registry.commit")
                     os.replace(stage, final)
                 except BaseException:
                     # Put the previous model back before propagating.
@@ -428,6 +479,9 @@ class ModelRegistry:
         path = directory / filename
         if not path.is_file():
             raise CorruptArtifactError(f"model {name!r} is missing {filename}")
+        # Injection seam: arm with exc=CorruptArtifactError(...) to model
+        # an artifact corrupted between router resolve and load.
+        fault_point("registry.read")
         actual = _sha256(path)
         if actual != expected:
             raise CorruptArtifactError(
@@ -469,7 +523,10 @@ class ModelRegistry:
                     + ", ".join(f"{name}@{v}" for v in versions)
                 )
             raise RegistryError(f"no model named {ref!r} in {self.root}")
-        trash = self.root / f".trash-{dirname}-{os.getpid()}"
+        # ".delete-", not ".trash-": resolve()'s crash recovery restores
+        # ".trash-" survivors of an interrupted re-registration swap, and
+        # a model the user deleted must never come back that way.
+        trash = self.root / f".delete-{dirname}-{os.getpid()}"
         os.replace(path, trash)
         shutil.rmtree(trash, ignore_errors=True)
 

@@ -27,10 +27,21 @@ CLI: ``python -m repro serve --registry model-registry --port 8000``
 
 from repro.serve.server.batcher import (
     BatcherClosed,
+    BatcherDead,
     CoalescingBatcher,
+    DeadlineExceeded,
     QueueSaturated,
+    WorkerCrashed,
 )
-from repro.serve.server.client import ServerError, SynthesisClient
+from repro.serve.server.client import (
+    CircuitBreaker,
+    CircuitOpenError,
+    ClientError,
+    DeadlineExpired,
+    ProtocolError,
+    ServerError,
+    SynthesisClient,
+)
 from repro.serve.server.http import SynthesisServer
 from repro.serve.server.metrics import LatencyHistogram
 from repro.serve.server.router import (
@@ -43,9 +54,17 @@ __all__ = [
     "SynthesisServer",
     "SynthesisClient",
     "ServerError",
+    "ClientError",
+    "ProtocolError",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "DeadlineExpired",
     "CoalescingBatcher",
     "QueueSaturated",
     "BatcherClosed",
+    "BatcherDead",
+    "WorkerCrashed",
+    "DeadlineExceeded",
     "ModelRouter",
     "RouterClosed",
     "UnservableModelError",

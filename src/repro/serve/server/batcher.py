@@ -32,19 +32,69 @@ Admission control is the queue bound: when ``max_queue_depth`` requests
 are already waiting or in flight, :meth:`~CoalescingBatcher.submit`
 raises :class:`QueueSaturated` and the HTTP layer turns that into
 ``429 Retry-After`` instead of letting latency grow without bound.
+
+Supervision
+-----------
+The worker thread runs under a supervisor loop: any exception escaping a
+drain tick (including faults armed at the ``batcher.tick`` injection
+seam) is treated as a **worker crash**, not a process failure.
+
+* The crashed tick's streams fail immediately — some chunks may already
+  be with the consumer, so a retry could never be transparent; the HTTP
+  layer turns that into a truncated chunked body.
+* The crashed tick's small slices are requeued **at the front** once for
+  a transparent retry: the failed tick claimed no stream rows, so the
+  retry returns bit-identical values at the same offsets.  A request
+  whose tick crashes ``poison_strikes`` times is quarantined — failed
+  with :class:`WorkerCrashed` (an HTTP 500) instead of retry-looping.
+* The worker restarts after an exponential backoff
+  (``restart_backoff_s`` doubling up to ``max_backoff_s``).  After
+  ``max_restarts`` *consecutive* crashes (a clean tick resets the count)
+  the batcher declares itself **dead**: everything queued fails with
+  :class:`BatcherDead` and the router evicts/reloads the model on the
+  next request.
+* :attr:`~CoalescingBatcher.health` summarises the state machine:
+  ``ok`` → ``degraded`` (crashed since the last clean tick) → ``dead``.
+
+Deadlines: ``submit``/``submit_stream`` accept an absolute
+``time.monotonic()`` deadline.  Expired work is dropped *before* it
+reaches the generator — at admission, when the worker pops it, and (for
+streams) before each chunk — raising :class:`DeadlineExceeded` (HTTP
+504) instead of spending a generator forward on an answer nobody is
+waiting for.
 """
 
 from __future__ import annotations
 
 import queue
 import threading
+import time
 from collections import deque
 
 import numpy as np
 
+from repro.utils.faults import fault_point
+
 
 class BatcherClosed(RuntimeError):
     """The batcher is shut down and no longer accepts requests."""
+
+
+class BatcherDead(BatcherClosed):
+    """The worker exhausted its restart budget; the model needs a reload.
+
+    Subclasses :class:`BatcherClosed` so existing shutdown handling
+    applies, but the router additionally treats a dead batcher as
+    evict-and-reload rather than drain-and-retry.
+    """
+
+
+class WorkerCrashed(RuntimeError):
+    """The worker crashed while serving this request (HTTP 500)."""
+
+
+class DeadlineExceeded(RuntimeError):
+    """The request's deadline passed before it was served (HTTP 504)."""
 
 
 class QueueSaturated(RuntimeError):
@@ -63,16 +113,23 @@ class QueueSaturated(RuntimeError):
 
 
 class _PendingSlice:
-    """One queued small request; the handler thread blocks on ``event``."""
+    """One queued small request; the handler thread blocks on ``event``.
 
-    __slots__ = ("n", "event", "values", "offset", "error")
+    ``strikes`` counts worker crashes while this request was in flight;
+    at ``poison_strikes`` the request is quarantined instead of retried.
+    """
 
-    def __init__(self, n: int):
+    __slots__ = ("n", "event", "values", "offset", "error", "deadline",
+                 "strikes")
+
+    def __init__(self, n: int, deadline: float | None = None):
         self.n = n
         self.event = threading.Event()
         self.values: np.ndarray | None = None
         self.offset: int | None = None
         self.error: BaseException | None = None
+        self.deadline = deadline
+        self.strikes = 0
 
 
 class _PendingStream:
@@ -84,13 +141,15 @@ class _PendingStream:
     on client disconnect) makes the worker abandon the remaining rows.
     """
 
-    __slots__ = ("n", "chunk_rows", "chunks", "cancelled")
+    __slots__ = ("n", "chunk_rows", "chunks", "cancelled", "deadline")
 
-    def __init__(self, n: int, chunk_rows: int, maxsize: int = 2):
+    def __init__(self, n: int, chunk_rows: int, maxsize: int = 2,
+                 deadline: float | None = None):
         self.n = n
         self.chunk_rows = chunk_rows
         self.chunks: queue.Queue = queue.Queue(maxsize=maxsize)
         self.cancelled = threading.Event()
+        self.deadline = deadline
 
     def cancel(self) -> None:
         """Tell the worker to stop generating rows for this stream."""
@@ -132,26 +191,58 @@ class CoalescingBatcher:
         baseline path the serving benchmark quantifies coalescing against.
     name:
         Worker thread name suffix (diagnostics only).
+    max_restarts:
+        Consecutive worker crashes tolerated before the batcher declares
+        itself dead (a clean tick resets the count).
+    restart_backoff_s / max_backoff_s:
+        Exponential backoff between worker restarts: the k-th consecutive
+        crash waits ``restart_backoff_s * 2**(k-1)`` capped at
+        ``max_backoff_s``.  ``close()`` interrupts the wait.
+    poison_strikes:
+        Worker crashes a single request may survive before it is
+        quarantined (failed with :class:`WorkerCrashed`) instead of
+        retried.
     """
 
     def __init__(self, service, max_queue_depth: int = 64,
-                 coalesce: bool = True, name: str = "model"):
+                 coalesce: bool = True, name: str = "model",
+                 max_restarts: int = 5, restart_backoff_s: float = 0.05,
+                 max_backoff_s: float = 2.0, poison_strikes: int = 2):
         if max_queue_depth < 0:
             raise ValueError(
                 f"max_queue_depth must be non-negative, got {max_queue_depth}"
             )
+        if max_restarts < 0:
+            raise ValueError(f"max_restarts must be non-negative, got {max_restarts}")
+        if poison_strikes < 1:
+            raise ValueError(f"poison_strikes must be positive, got {poison_strikes}")
         self.service = service
         self.max_queue_depth = max_queue_depth
         self.coalesce = coalesce
+        self.max_restarts = max_restarts
+        self.restart_backoff_s = restart_backoff_s
+        self.max_backoff_s = max_backoff_s
+        self.poison_strikes = poison_strikes
         self._queue: deque = deque()
         self._cond = threading.Condition()
         self._in_flight = 0
         self._streams_outstanding = 0
         self._closed = False
+        self._dead = False
         self._ticks = 0
         self._replenish_ok = True
+        # Supervision state.  _current_batch is touched only by the worker
+        # thread (bound before a tick, read back by the supervisor after a
+        # crash); the counters are read under _cond.
+        self._current_batch: list | None = None
+        self._consecutive_crashes = 0
+        self._crashes = 0
+        self._restarts = 0
+        self._poisoned = 0
+        self._deadline_drops = 0
+        self._wake = threading.Event()
         self._worker = threading.Thread(
-            target=self._drain_forever, name=f"synthesis-batcher-{name}",
+            target=self._run, name=f"synthesis-batcher-{name}",
             daemon=True,
         )
         self._worker.start()
@@ -171,10 +262,42 @@ class CoalescingBatcher:
         with self._cond:
             return self._ticks
 
+    @property
+    def health(self) -> str:
+        """``ok`` | ``degraded`` (crashed, recovering) | ``dead``."""
+        with self._cond:
+            return self._health_locked()
+
+    def _health_locked(self) -> str:
+        if self._dead:
+            return "dead"
+        if self._consecutive_crashes > 0:
+            return "degraded"
+        return "ok"
+
+    def supervision(self) -> dict:
+        """Health plus crash/restart/quarantine/deadline counters."""
+        with self._cond:
+            return {
+                "health": self._health_locked(),
+                "crashes": self._crashes,
+                "restarts": self._restarts,
+                "poisoned": self._poisoned,
+                "deadline_drops": self._deadline_drops,
+            }
+
+    def _check_accepting(self) -> None:
+        if self._dead:
+            raise BatcherDead(
+                "batcher worker is dead (restart budget exhausted); "
+                "the model must be reloaded"
+            )
+        if self._closed:
+            raise BatcherClosed("batcher is shut down")
+
     def _admit(self, pending) -> None:
         with self._cond:
-            if self._closed:
-                raise BatcherClosed("batcher is shut down")
+            self._check_accepting()
             depth = len(self._queue) + self._in_flight
             if depth >= self.max_queue_depth:
                 raise QueueSaturated(depth)
@@ -186,13 +309,17 @@ class CoalescingBatcher:
                 self._streams_outstanding += 1
             self._cond.notify()
 
-    def submit(self, n: int) -> tuple[np.ndarray, int]:
+    def submit(self, n: int,
+               deadline: float | None = None) -> tuple[np.ndarray, int]:
         """Queue a request for ``n`` rows; block until served.
 
         Returns ``(values, offset)``: the decoded rows and their offset in
         the service's record stream.  Raises :class:`QueueSaturated` when
-        admission control rejects the request and :class:`BatcherClosed`
-        after shutdown.
+        admission control rejects the request, :class:`BatcherClosed`
+        after shutdown, :class:`BatcherDead` once the worker's restart
+        budget is exhausted, and :class:`DeadlineExceeded` when
+        ``deadline`` (absolute ``time.monotonic()`` seconds) passes
+        before the request is served.
 
         Pool-hit fast path: when the service's pool already holds the
         rows, the request is served in the caller's thread — there is no
@@ -208,8 +335,11 @@ class CoalescingBatcher:
         if n <= 0:
             raise ValueError(f"n must be positive, got {n}")
         with self._cond:
-            if self._closed:
-                raise BatcherClosed("batcher is shut down")
+            self._check_accepting()
+            if deadline is not None and time.monotonic() >= deadline:
+                raise DeadlineExceeded(
+                    "request deadline expired before admission"
+                )
             # Admission control applies to the fast path too: a saturated
             # server must shed load with 429, not let pool-hit requests
             # jump a full queue.
@@ -224,26 +354,31 @@ class CoalescingBatcher:
                         # replenishes ahead of the next miss.
                         self._cond.notify()
                     return hit
-        pending = _PendingSlice(n)
+        pending = _PendingSlice(n, deadline)
         self._admit(pending)
         pending.event.wait()
         if pending.error is not None:
             raise pending.error
         return pending.values, pending.offset
 
-    def submit_stream(self, n: int, chunk_rows: int) -> _PendingStream:
+    def submit_stream(self, n: int, chunk_rows: int,
+                      deadline: float | None = None) -> _PendingStream:
         """Queue a large export served as bounded-memory chunks.
 
         Returns the pending stream; iterate it for ``(values, offset)``
         chunks (it re-raises worker-side errors).  The export occupies the
         worker until it completes, so its rows form one contiguous stream
-        slice exactly like a small response.
+        slice exactly like a small response.  ``deadline`` is checked
+        before every chunk: an expired stream fails mid-body rather than
+        generating rows nobody will read.
         """
         if n <= 0:
             raise ValueError(f"n must be positive, got {n}")
         if chunk_rows <= 0:
             raise ValueError(f"chunk_rows must be positive, got {chunk_rows}")
-        pending = _PendingStream(n, chunk_rows)
+        if deadline is not None and time.monotonic() >= deadline:
+            raise DeadlineExceeded("request deadline expired before admission")
+        pending = _PendingStream(n, chunk_rows, deadline=deadline)
         self._admit(pending)
         return pending
 
@@ -251,38 +386,153 @@ class CoalescingBatcher:
         """Shut down: drain everything already admitted, then stop.
 
         Idempotent.  Requests submitted after close are rejected; requests
-        admitted before it are still served (graceful drain).
+        admitted before it are still served (graceful drain).  A worker
+        sleeping in restart backoff is woken immediately.
         """
         with self._cond:
             self._closed = True
             self._cond.notify_all()
+        self._wake.set()
         self._worker.join(timeout=timeout)
 
     # ------------------------------------------------------------------
-    # Consumer side (the one worker thread).
+    # Consumer side (the one worker thread, under supervision).
     # ------------------------------------------------------------------
     #: Sentinel action: the worker is idle and the pool is low — generate
     #: ahead of demand instead of sleeping.
     _REPLENISH = object()
+
+    def _run(self) -> None:
+        """Supervisor: restart the drain loop after crashes, with backoff."""
+        while True:
+            try:
+                self._drain_forever()
+                return
+            except BaseException as exc:  # noqa: BLE001 — supervision seam
+                if not self._on_crash(exc):
+                    return
+
+    def _on_crash(self, exc: BaseException) -> bool:
+        """Settle a crashed tick's requests; True = restart the worker."""
+        batch = self._current_batch or []
+        self._current_batch = None
+        failed_streams: list[tuple[_PendingStream, BaseException]] = []
+        wrapped = WorkerCrashed(f"batcher worker crashed: {exc!r}")
+        wrapped.__cause__ = exc
+        with self._cond:
+            self._crashes += 1
+            self._consecutive_crashes += 1
+            dead = self._consecutive_crashes > self.max_restarts
+            retry: list[_PendingSlice] = []
+            for pending in batch:
+                if isinstance(pending, _PendingStream):
+                    # Chunks may already be with the consumer, so a retry
+                    # could never be transparent: streams always fail.
+                    failed_streams.append((pending, wrapped))
+                    continue
+                if pending.event.is_set():
+                    continue  # served (or failed) before the crash
+                pending.strikes += 1
+                if dead or pending.strikes >= self.poison_strikes:
+                    if pending.strikes >= self.poison_strikes:
+                        self._poisoned += 1
+                    pending.error = wrapped
+                    pending.event.set()
+                else:
+                    retry.append(pending)
+            # Front-requeue in original order: the crashed tick claimed no
+            # stream rows, so the retried take is bit-identical.
+            for pending in reversed(retry):
+                self._queue.appendleft(pending)
+            if dead:
+                self._dead = True
+                while self._queue:
+                    queued = self._queue.popleft()
+                    err = BatcherDead(
+                        "batcher worker is dead (restart budget exhausted)"
+                    )
+                    err.__cause__ = exc
+                    if isinstance(queued, _PendingStream):
+                        self._streams_outstanding -= 1
+                        failed_streams.append((queued, err))
+                    else:
+                        queued.error = err
+                        queued.event.set()
+            else:
+                self._restarts += 1
+            backoff = min(
+                self.restart_backoff_s * (2 ** (self._consecutive_crashes - 1)),
+                self.max_backoff_s,
+            )
+            self._cond.notify_all()
+        for stream, err in failed_streams:
+            self._fail_stream(stream, err)
+        if dead:
+            return False
+        # Interruptible backoff: close() sets _wake so shutdown is prompt.
+        self._wake.wait(backoff)
+        return True
+
+    @staticmethod
+    def _fail_stream(stream: _PendingStream, exc: BaseException) -> None:
+        """Deliver a terminal error without blocking the supervisor forever."""
+        give_up = time.monotonic() + 5.0
+        while not stream.cancelled.is_set() and time.monotonic() < give_up:
+            try:
+                stream.chunks.put(("error", exc, None), timeout=0.05)
+                return
+            except queue.Full:
+                continue
 
     def _replenish_ahead_needed(self) -> bool:
         return (self.coalesce and self._replenish_ok
                 and self.service.pool_size > 0
                 and self.service.pooled_rows * 2 < self.service.pool_size)
 
+    def _expire(self, pending, now: float) -> bool:
+        """Fail ``pending`` with 504 when its deadline passed (under _cond)."""
+        if pending.deadline is None or now < pending.deadline:
+            return False
+        self._deadline_drops += 1
+        err = DeadlineExceeded(
+            "request deadline expired while queued; dropped unserved"
+        )
+        if isinstance(pending, _PendingStream):
+            self._streams_outstanding -= 1
+            try:
+                pending.chunks.put_nowait(("error", err, None))
+            except queue.Full:  # consumer stalled; it will see cancel
+                pending.cancel()
+        else:
+            pending.error = err
+            pending.event.set()
+        return True
+
     def _next_action(self):
         """The worker's next unit of work (None = closed and drained)."""
         with self._cond:
             while True:
-                if self._queue:
-                    batch = [self._queue.popleft()]
-                    if self.coalesce and isinstance(batch[0], _PendingSlice):
-                        while (self._queue
-                               and isinstance(self._queue[0], _PendingSlice)):
-                            batch.append(self._queue.popleft())
+                now = time.monotonic()
+                batch: list = []
+                while self._queue:
+                    head = self._queue[0]
+                    if self._expire(head, now):
+                        self._queue.popleft()
+                        continue
+                    if not batch:
+                        batch.append(self._queue.popleft())
+                        if not (self.coalesce
+                                and isinstance(head, _PendingSlice)):
+                            break
+                        continue
+                    if isinstance(head, _PendingSlice):
+                        batch.append(self._queue.popleft())
+                        continue
+                    break
+                if batch:
                     self._in_flight = len(batch)
                     return batch
-                if self._closed:
+                if self._closed or self._dead:
                     return None
                 if self._replenish_ahead_needed():
                     return self._REPLENISH
@@ -304,11 +554,19 @@ class CoalescingBatcher:
                     # next queued take surfaces the error to a client.
                     self._replenish_ok = False
                 continue
+            self._current_batch = batch
             try:
                 if isinstance(batch[0], _PendingStream):
                     self._serve_stream(batch[0])
                 else:
+                    # Crash seam: a fault armed at ``batcher.tick`` escapes
+                    # to the supervisor and kills this worker.
+                    fault_point("batcher.tick")
                     self._serve_slices(batch)
+                self._current_batch = None
+                with self._cond:
+                    # A clean tick proves the worker healthy again.
+                    self._consecutive_crashes = 0
             finally:
                 with self._cond:
                     self._in_flight = 0
@@ -320,7 +578,7 @@ class CoalescingBatcher:
         counts = [pending.n for pending in batch]
         try:
             values, base = self.service.take_block(counts)
-        except BaseException as exc:
+        except Exception as exc:  # noqa: BLE001 — per-request error path
             for pending in batch:
                 pending.error = exc
                 pending.event.set()
@@ -348,13 +606,27 @@ class CoalescingBatcher:
                     continue
 
         remaining = stream.n
-        try:
-            while remaining:
+        while remaining:
+            # Crash seam: armed faults escape here, killing the worker
+            # *mid-stream* — the consumer sees a truncated chunked body.
+            fault_point("batcher.tick")
+            if (stream.deadline is not None
+                    and time.monotonic() >= stream.deadline):
+                with self._cond:
+                    self._deadline_drops += 1
+                hand_over((
+                    "error",
+                    DeadlineExceeded("stream deadline expired mid-export"),
+                    None,
+                ))
+                return
+            try:
                 rows = min(stream.chunk_rows, remaining)
                 values, base = self.service.take_block([rows])
-                remaining -= rows
-                if not hand_over(("chunk", values[0], base)):
-                    return
-            hand_over(("end", None, None))
-        except BaseException as exc:
-            hand_over(("error", exc, None))
+            except Exception as exc:  # noqa: BLE001 — per-request error path
+                hand_over(("error", exc, None))
+                return
+            remaining -= rows
+            if not hand_over(("chunk", values[0], base)):
+                return
+        hand_over(("end", None, None))

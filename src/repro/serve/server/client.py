@@ -5,17 +5,40 @@ library (and the transport behind the serving benchmark's load generator)
 that speaks the server's JSON/CSV protocol, keeps one persistent HTTP/1.1
 connection per client, and understands the backpressure contract — 429
 and 503 responses carry ``Retry-After``, which :meth:`SynthesisClient.
-sample` honours for up to ``retries`` attempts before surfacing
-:class:`ServerError`.
+sample` honours for up to ``retries`` attempts (with jittered backoff)
+before surfacing :class:`ServerError`.
 
-A client instance is **not** thread-safe (it owns one socket); give each
-thread its own — they are cheap.
+Failure handling is typed and budgeted:
+
+* :class:`ServerError` — a non-2xx response (status + decoded message).
+* :class:`ProtocolError` — the server broke the wire protocol: truncated
+  chunked body, non-JSON payload where JSON was promised.
+* :class:`CircuitOpenError` — the client's circuit breaker is open; the
+  request was *not* sent.
+* :class:`DeadlineExpired` — the caller's deadline ran out client-side
+  before (or between) attempts.
+
+Connect failures, timeouts, 5xx responses, and protocol violations all
+count toward one :class:`CircuitBreaker`: after ``failure_threshold``
+consecutive failures the breaker opens and requests fail fast with
+:class:`CircuitOpenError` instead of hammering a struggling server.
+After ``breaker_reset_s`` it half-opens — exactly one probe request goes
+through; success closes the breaker, failure re-opens it.
+
+Deadlines: pass ``deadline_ms`` to :meth:`~SynthesisClient.sample` /
+:meth:`~SynthesisClient.sample_csv` and the client sends the *remaining*
+budget as ``X-Deadline-Ms`` on each attempt (the server drops expired
+queued work with 504), caps retry backoff by the remaining budget, and
+raises :class:`DeadlineExpired` rather than sleeping past it.
+
+A client instance is **not** thread-safe (it owns one socket and one
+breaker); give each thread its own — they are cheap.
 
 Example::
 
-    client = SynthesisClient(port=8000)
+    client = SynthesisClient(port=8000, retries=2)
     client.health()                      # {"status": "ok", ...}
-    reply = client.sample("adult-low", n=500)
+    reply = client.sample("adult-low", n=500, deadline_ms=2000)
     reply["columns"], reply["rows"]      # decoded synthetic rows
     reply["offset"]                      # slice position in the model stream
 """
@@ -24,6 +47,7 @@ from __future__ import annotations
 
 import http.client
 import json
+import random
 import socket
 import time
 
@@ -39,6 +63,86 @@ class ServerError(RuntimeError):
         self.retry_after_s = retry_after_s
 
 
+class ClientError(RuntimeError):
+    """Base for client-side failures (no usable server response)."""
+
+
+class ProtocolError(ClientError):
+    """The server violated the wire protocol (truncated/garbled response)."""
+
+
+class CircuitOpenError(ClientError):
+    """The circuit breaker is open; the request was not attempted."""
+
+
+class DeadlineExpired(ClientError):
+    """The caller's deadline ran out before the request could complete."""
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker: closed → open → half-open → closed.
+
+    Not thread-safe (it belongs to a single-threaded client).
+
+    Parameters
+    ----------
+    failure_threshold:
+        Consecutive failures that trip the breaker open.
+    reset_after_s:
+        How long an open breaker waits before letting one probe through
+        (half-open).  The probe's success closes the breaker; its failure
+        re-opens it for another full window.
+    """
+
+    def __init__(self, failure_threshold: int = 5, reset_after_s: float = 1.0):
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be positive, got {failure_threshold}"
+            )
+        self.failure_threshold = failure_threshold
+        self.reset_after_s = reset_after_s
+        self.consecutive_failures = 0
+        self.opened_count = 0
+        self._opened_at: float | None = None
+        self._probing = False
+
+    @property
+    def state(self) -> str:
+        """``closed`` | ``open`` | ``half_open``."""
+        if self._opened_at is None:
+            return "closed"
+        if (self._probing
+                or time.monotonic() - self._opened_at >= self.reset_after_s):
+            return "half_open"
+        return "open"
+
+    def allow(self) -> bool:
+        """May a request go out right now?  (Half-open admits one probe.)"""
+        if self._opened_at is None:
+            return True
+        if self._probing:
+            return False
+        if time.monotonic() - self._opened_at >= self.reset_after_s:
+            self._probing = True
+            return True
+        return False
+
+    def record_success(self) -> None:
+        self.consecutive_failures = 0
+        self._opened_at = None
+        self._probing = False
+
+    def record_failure(self) -> None:
+        self.consecutive_failures += 1
+        was_open = self._opened_at is not None
+        self._probing = False
+        if self.consecutive_failures >= self.failure_threshold or was_open:
+            if not was_open:
+                self.opened_count += 1
+            # A failed half-open probe re-opens for another full window.
+            self._opened_at = time.monotonic()
+
+
 class SynthesisClient:
     """Client for a running :class:`~repro.serve.server.http.SynthesisServer`.
 
@@ -50,19 +154,27 @@ class SynthesisClient:
         Socket timeout in seconds for connect and each read.
     retries:
         How many times 429/503 responses are retried (sleeping per the
-        server's ``Retry-After`` hint, capped at ``max_backoff_s``) before
+        server's ``Retry-After`` hint with ±50% jitter, capped at
+        ``max_backoff_s`` and by the caller's remaining deadline) before
         :class:`ServerError` propagates.  0 disables retrying.
+    failure_threshold, breaker_reset_s:
+        Circuit breaker policy (see :class:`CircuitBreaker`).
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8000, *,
                  timeout: float = 60.0, retries: int = 0,
-                 max_backoff_s: float = 2.0):
+                 max_backoff_s: float = 2.0,
+                 failure_threshold: int = 5, breaker_reset_s: float = 1.0):
         self.host = host
         self.port = port
         self.timeout = timeout
         self.retries = retries
         self.max_backoff_s = max_backoff_s
+        self.breaker = CircuitBreaker(failure_threshold, breaker_reset_s)
         self._conn: http.client.HTTPConnection | None = None
+        # Deterministic per-instance jitter stream: reproducible runs
+        # without synchronizing backoff across a fleet of clients.
+        self._rng = random.Random(hash((host, port)) & 0xFFFF_FFFF)
 
     # ------------------------------------------------------------------
     # Transport.
@@ -118,6 +230,13 @@ class SynthesisClient:
             except socket.timeout:
                 self.close()
                 raise
+            except http.client.IncompleteRead as exc:
+                # The server died (or was killed) mid-body: the chunked
+                # stream ended without its terminating 0-length chunk.
+                self.close()
+                raise ProtocolError(
+                    f"response body truncated mid-stream: {exc!r}"
+                ) from exc
             except (http.client.RemoteDisconnected, BrokenPipeError,
                     ConnectionResetError, http.client.CannotSendRequest):
                 self.close()
@@ -128,26 +247,80 @@ class SynthesisClient:
                 raise
         raise AssertionError("unreachable")
 
+    @staticmethod
+    def _retry_after_s(headers: dict) -> float | None:
+        """Parse ``Retry-After``; a malformed hint is ignored, not fatal."""
+        raw = headers.get("Retry-After")
+        if raw is None:
+            return None
+        try:
+            value = float(raw)
+        except (TypeError, ValueError):
+            return None
+        return value if value >= 0 else None
+
     def _request(self, method: str, path: str, payload=None,
-                 accept: str = "application/json") -> tuple[dict, bytes]:
+                 accept: str = "application/json",
+                 deadline_ms: float | None = None) -> tuple[dict, bytes]:
         body = None
         headers = {"Accept": accept}
         if payload is not None:
             body = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
+        deadline = (time.monotonic() + deadline_ms / 1000.0
+                    if deadline_ms is not None else None)
         attempts = 0
         while True:
-            status, resp_headers, raw = self._roundtrip(
-                method, path, body, headers
-            )
+            remaining = (None if deadline is None
+                         else deadline - time.monotonic())
+            if remaining is not None and remaining <= 0:
+                raise DeadlineExpired(
+                    f"deadline expired after {attempts} attempt(s)"
+                )
+            if not self.breaker.allow():
+                raise CircuitOpenError(
+                    "circuit breaker is open after "
+                    f"{self.breaker.consecutive_failures} consecutive "
+                    "failures; not sending"
+                )
+            if remaining is not None:
+                # Propagate the *remaining* budget so the server can drop
+                # our request from its queue once it cannot answer in time.
+                headers["X-Deadline-Ms"] = str(max(1, int(remaining * 1000)))
+            try:
+                status, resp_headers, raw = self._roundtrip(
+                    method, path, body, headers
+                )
+            except ProtocolError:
+                self.breaker.record_failure()
+                raise
+            except socket.timeout as exc:
+                self.breaker.record_failure()
+                raise ClientError(f"request timed out: {exc!r}") from exc
+            except (http.client.HTTPException, OSError) as exc:
+                self.breaker.record_failure()
+                raise ClientError(f"transport failure: {exc!r}") from exc
+            if status >= 500:
+                # 5xx counts toward the breaker; 4xx (our own bad request)
+                # and 429 (healthy backpressure) do not.
+                self.breaker.record_failure()
+            else:
+                self.breaker.record_success()
             if status < 400:
                 return resp_headers, raw
             message = self._error_message(raw)
-            retry_after = resp_headers.get("Retry-After")
-            retry_after_s = float(retry_after) if retry_after else None
+            retry_after_s = self._retry_after_s(resp_headers)
             if status in (429, 503) and attempts < self.retries:
                 attempts += 1
-                time.sleep(min(retry_after_s or 0.1, self.max_backoff_s))
+                backoff = min(retry_after_s or 0.1, self.max_backoff_s)
+                backoff *= 0.5 + self._rng.random()  # jitter: ±50%
+                if remaining is not None:
+                    budget = deadline - time.monotonic()
+                    if budget <= backoff:
+                        # No room to sleep and retry: surface the last
+                        # server answer rather than blowing the deadline.
+                        raise ServerError(status, message, retry_after_s)
+                time.sleep(backoff)
                 continue
             raise ServerError(status, message, retry_after_s)
 
@@ -158,43 +331,62 @@ class SynthesisClient:
         except (json.JSONDecodeError, UnicodeDecodeError, KeyError, TypeError):
             return raw.decode("utf-8", errors="replace").strip() or "(no body)"
 
+    def _json_body(self, raw: bytes):
+        """Decode a 2xx JSON body; garbage counts toward the breaker."""
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            self.breaker.record_failure()
+            raise ProtocolError(
+                f"server sent invalid JSON where JSON was promised: {exc}"
+            ) from exc
+
     # ------------------------------------------------------------------
     # Endpoints.
     # ------------------------------------------------------------------
     def health(self) -> dict:
-        """``GET /healthz``."""
+        """``GET /healthz`` (includes per-model worker health)."""
         _, raw = self._request("GET", "/healthz")
-        return json.loads(raw)
+        return self._json_body(raw)
 
     def metrics(self) -> dict:
         """``GET /metrics``."""
         _, raw = self._request("GET", "/metrics")
-        return json.loads(raw)
+        return self._json_body(raw)
 
     def models(self) -> list[dict]:
         """``GET /models`` — every registration in the server's registry."""
         _, raw = self._request("GET", "/models")
-        return json.loads(raw)["models"]
+        return self._json_body(raw)["models"]
 
     def manifest(self, ref: str) -> dict:
         """``GET /models/{ref}`` — one model's manifest."""
         _, raw = self._request("GET", f"/models/{ref}")
-        return json.loads(raw)
+        return self._json_body(raw)
 
-    def sample(self, ref: str, n: int) -> dict:
+    def sample(self, ref: str, n: int,
+               deadline_ms: float | None = None) -> dict:
         """``POST /models/{ref}/sample`` for JSON rows.
 
         Returns the decoded reply dict — ``columns``, ``rows``, ``offset``
         (the response's slice position in the model's seeded record
         stream), ``n``, ``model``.  Large requests (over the server's
         stream threshold) arrive as NDJSON chunks and are reassembled here
-        into the same shape.
+        into the same shape.  ``deadline_ms`` bounds the whole call
+        (including retries) and is propagated to the server.
         """
         headers, raw = self._request(
-            "POST", f"/models/{ref}/sample", payload={"n": n, "format": "json"}
+            "POST", f"/models/{ref}/sample",
+            payload={"n": n, "format": "json"}, deadline_ms=deadline_ms,
         )
         if "ndjson" in headers.get("Content-Type", ""):
-            rows = [json.loads(line) for line in raw.splitlines() if line]
+            try:
+                rows = [json.loads(line) for line in raw.splitlines() if line]
+            except json.JSONDecodeError as exc:
+                self.breaker.record_failure()
+                raise ProtocolError(
+                    f"malformed NDJSON stream line: {exc}"
+                ) from exc
             columns = headers.get("X-Columns")
             return {
                 "model": ref,
@@ -203,9 +395,10 @@ class SynthesisClient:
                 "columns": json.loads(columns) if columns else None,
                 "rows": rows,
             }
-        return json.loads(raw)
+        return self._json_body(raw)
 
-    def sample_csv(self, ref: str, n: int) -> str:
+    def sample_csv(self, ref: str, n: int,
+                   deadline_ms: float | None = None) -> str:
         """``POST /models/{ref}/sample`` for CSV text (header row included).
 
         Transparently handles both small (buffered) and large (chunked
@@ -213,6 +406,6 @@ class SynthesisClient:
         """
         _, raw = self._request(
             "POST", f"/models/{ref}/sample", payload={"n": n, "format": "csv"},
-            accept="text/csv",
+            accept="text/csv", deadline_ms=deadline_ms,
         )
         return raw.decode("utf-8")

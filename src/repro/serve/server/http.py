@@ -11,13 +11,29 @@ generator forward per tick).
 Endpoints::
 
     GET  /healthz                   liveness (+ "draining" once shutdown starts)
-    GET  /metrics                   ServiceStats, queue depths, latency histograms
+                                    and per-model worker health — "degraded"
+                                    while any model's worker is between a
+                                    crash and its next clean tick, "dead"
+                                    models force status "degraded" too
+    GET  /metrics                   ServiceStats, queue depths, latency
+                                    histograms, per-model supervision counters
+                                    (crashes/restarts/poisoned/deadline_drops)
     GET  /models                    every registration in the registry
     GET  /models/{ref}              one manifest; ref is name[@version|@latest]
     POST /models/{ref}/sample       {"n": rows, "format": "json"|"csv"}
                                     (or Accept: text/csv); responses over
                                     stream_threshold_rows arrive as chunked
-                                    CSV / NDJSON in bounded memory
+                                    CSV / NDJSON in bounded memory; an
+                                    ``X-Deadline-Ms`` request header bounds
+                                    queue wait — expired work is dropped with
+                                    504 before it reaches the generator
+
+Failure handling: each model's batcher worker is supervised (crash →
+restart with backoff, poison quarantine, dead models evicted and
+reloaded by the router on the next request), a corrupt artifact is 503 +
+``Retry-After`` (retryable: re-registration repairs it) rather than 500,
+and the whole surface is driven by the deterministic fault-injection
+points documented in :mod:`repro.utils.faults`.
 
 Every sample response carries ``X-Stream-Offset`` and ``X-Row-Count``:
 the slice of the model's single seeded record stream it holds.  Slices
@@ -52,12 +68,18 @@ import numpy as np
 from repro.data.io import decoded_rows
 from repro.data.table import Table
 from repro.serve.registry import CorruptArtifactError, RegistryError
-from repro.serve.server.batcher import BatcherClosed, QueueSaturated
+from repro.serve.server.batcher import (
+    BatcherClosed,
+    DeadlineExceeded,
+    QueueSaturated,
+    WorkerCrashed,
+)
 from repro.serve.server.router import (
     ModelRouter,
     RouterClosed,
     UnservableModelError,
 )
+from repro.utils.faults import fault_bytes
 
 
 class _HttpError(Exception):
@@ -169,6 +191,11 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _send_body(self, status: int, body: bytes, content_type: str,
                    headers: dict | None = None) -> None:
+        # Wire seam: a fault armed at ``socket.send`` may truncate or
+        # corrupt the bytes actually written; Content-Length still
+        # describes the intended body, so clients see a broken response —
+        # exactly what a mid-write connection cut looks like.
+        sent = fault_bytes("socket.send", body)
         self.app.record_status(status)
         self.send_response(status)
         self.send_header("Content-Type", content_type)
@@ -179,7 +206,9 @@ class _Handler(BaseHTTPRequestHandler):
             self.send_header("Connection", "close")
             self.close_connection = True
         self.end_headers()
-        self.wfile.write(body)
+        self.wfile.write(sent)
+        if len(sent) != len(body):
+            self.close_connection = True
 
     def _send_json(self, status: int, payload, headers: dict | None = None) -> None:
         self._send_body(status, _json_bytes(payload),
@@ -236,11 +265,18 @@ class _Handler(BaseHTTPRequestHandler):
     # Read-only endpoints.
     # ------------------------------------------------------------------
     def _handle_healthz(self) -> None:
-        status = "draining" if self.app.draining else "ok"
+        model_health = self.app.router.health()
+        if self.app.draining:
+            status = "draining"
+        elif any(h != "ok" for h in model_health.values()):
+            status = "degraded"
+        else:
+            status = "ok"
         self._send_json(200, {
             "status": status,
             "uptime_s": self.app.uptime_s,
             "resident_models": self.app.router.resident(),
+            "models": model_health,
         })
 
     def _handle_metrics(self) -> None:
@@ -261,7 +297,7 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             manifest = self.app.router.registry.manifest(ref)
         except CorruptArtifactError as exc:
-            raise _HttpError(500, str(exc)) from exc
+            raise _HttpError(503, str(exc), {"Retry-After": "1"}) from exc
         except RegistryError as exc:
             raise _HttpError(404, str(exc)) from exc
         self._send_json(200, manifest)
@@ -307,25 +343,49 @@ class _Handler(BaseHTTPRequestHandler):
         except UnservableModelError as exc:
             raise _HttpError(501, str(exc)) from exc
         except CorruptArtifactError as exc:
-            raise _HttpError(500, str(exc)) from exc
+            # The artifact is broken *on disk*; nothing was cached, so the
+            # model serves again as soon as the file is repaired — 503,
+            # not 500: the request may succeed on retry.
+            raise _HttpError(503, str(exc), {"Retry-After": "1"}) from exc
         except RegistryError as exc:
             raise _HttpError(404, str(exc)) from exc
+
+    def _read_deadline(self) -> float | None:
+        """``X-Deadline-Ms`` (relative ms) → absolute monotonic deadline."""
+        raw = self.headers.get("X-Deadline-Ms")
+        if raw is None:
+            return None
+        try:
+            ms = float(raw)
+        except ValueError as exc:
+            raise _HttpError(
+                400, f"malformed X-Deadline-Ms header: {raw!r}"
+            ) from exc
+        if ms <= 0:
+            raise _HttpError(
+                400, f"X-Deadline-Ms must be positive, got {raw!r}"
+            )
+        return time.monotonic() + ms / 1000.0
 
     def _handle_sample(self, ref: str) -> None:
         if self.app.draining:
             raise _HttpError(503, "server is draining", {"Retry-After": "1"})
         n, fmt = self._read_request()
+        deadline = self._read_deadline()
         started = time.perf_counter()
         if n > self.app.stream_threshold_rows:
-            entry = self._stream_sample(ref, n, fmt)
+            entry = self._stream_sample(ref, n, fmt, deadline)
         else:
-            entry = self._small_sample(ref, n, fmt)
+            entry = self._small_sample(ref, n, fmt, deadline)
         entry.latency.record(time.perf_counter() - started)
 
     def _submit(self, ref: str, method: str, *args):
         """Route + submit with one retry if LRU eviction closed the batcher
         between the router lookup and the submit (the entry is reloaded and
-        the request really is served; 503 is reserved for actual drains)."""
+        the request really is served; 503 is reserved for actual drains).
+        A dead batcher takes the same retry: ``router.get`` evicts it and
+        loads a fresh service, so the retried submit lands on a live
+        worker."""
         for attempt in (0, 1):
             entry = self._entry_for(ref)
             try:
@@ -334,14 +394,19 @@ class _Handler(BaseHTTPRequestHandler):
                 raise _HttpError(429, str(exc), {
                     "Retry-After": f"{exc.retry_after_s:g}",
                 }) from exc
+            except DeadlineExceeded as exc:
+                raise _HttpError(504, str(exc)) from exc
+            except WorkerCrashed as exc:
+                raise _HttpError(500, str(exc)) from exc
             except BatcherClosed as exc:
                 if self.app.draining or attempt:
                     raise _HttpError(503, "server is draining",
                                      {"Retry-After": "1"}) from exc
         raise AssertionError("unreachable")
 
-    def _small_sample(self, ref: str, n: int, fmt: str):
-        entry, (values, offset) = self._submit(ref, "submit", n)
+    def _small_sample(self, ref: str, n: int, fmt: str,
+                      deadline: float | None = None):
+        entry, (values, offset) = self._submit(ref, "submit", n, deadline)
         schema = entry.service.schema
         table = Table(values, schema)
         headers = {"X-Stream-Offset": offset, "X-Row-Count": n}
@@ -364,7 +429,8 @@ class _Handler(BaseHTTPRequestHandler):
                             headers)
         return entry
 
-    def _stream_sample(self, ref: str, n: int, fmt: str):
+    def _stream_sample(self, ref: str, n: int, fmt: str,
+                       deadline: float | None = None):
         """Serve a large export as chunked transfer in bounded memory.
 
         The stream is admitted like any other request — it owns one
@@ -373,7 +439,7 @@ class _Handler(BaseHTTPRequestHandler):
         the full export.
         """
         entry, stream = self._submit(ref, "submit_stream", n,
-                                     self.app.stream_chunk_rows)
+                                     self.app.stream_chunk_rows, deadline)
         schema = entry.service.schema
         chunks = iter(stream)
         try:
@@ -381,6 +447,8 @@ class _Handler(BaseHTTPRequestHandler):
                 first_values, base_offset = next(chunks)
             except StopIteration:  # pragma: no cover - n > 0 yields >= 1 chunk
                 raise _HttpError(500, "empty stream") from None
+            except DeadlineExceeded as exc:
+                raise _HttpError(504, str(exc)) from exc
             except Exception as exc:
                 raise _HttpError(500, f"stream failed: {exc}") from exc
 
@@ -434,10 +502,19 @@ class _Handler(BaseHTTPRequestHandler):
         self._write_chunk(data)
 
     def _write_chunk(self, data: bytes) -> None:
-        if data:
-            self.wfile.write(f"{len(data):X}\r\n".encode("ascii"))
-            self.wfile.write(data)
-            self.wfile.write(b"\r\n")
+        if not data:
+            return
+        # Wire seam: a raise here aborts mid-body (the client sees a
+        # truncated chunked read); a truncate writes fewer bytes than the
+        # chunk header promised, then cuts the connection.
+        sent = fault_bytes("socket.send", data)
+        self.wfile.write(f"{len(data):X}\r\n".encode("ascii"))
+        self.wfile.write(sent)
+        if len(sent) != len(data):
+            raise ConnectionResetError(
+                "socket.send fault truncated the chunk"
+            )
+        self.wfile.write(b"\r\n")
 
 
 class SynthesisServer:

@@ -70,6 +70,7 @@ class ModelEntry:
     def metrics(self) -> dict:
         return {
             "stats": self.service.stats.as_dict(),
+            "supervision": self.batcher.supervision(),
             "queue_depth": self.batcher.queue_depth,
             "batch_ticks": self.batcher.ticks,
             "pooled_rows": self.service.pooled_rows,
@@ -138,6 +139,7 @@ class ModelRouter:
         self._loading: dict[str, threading.Event] = {}
         self._closed = False
         self.evictions = 0
+        self.dead_evictions = 0
 
     # ------------------------------------------------------------------
     # Lookup.
@@ -151,6 +153,10 @@ class ModelRouter:
         requests for resident ones — with a per-registration guard so
         concurrent first requests for the same model wait for one load
         instead of racing two.
+
+        A resident entry whose batcher worker is **dead** (restart budget
+        exhausted) is evicted here and reloaded fresh: the new service
+        starts a new record stream, exactly like any other eviction.
         """
         now = time.monotonic()
         cached = self._resolved.get(ref)
@@ -160,10 +166,18 @@ class ModelRouter:
             canonical = self.registry.resolve(ref)
             self._resolved[ref] = (canonical, now)
         while True:
+            wait_for = None
+            evicted = None
             with self._lock:
                 if self._closed:
                     raise RouterClosed("router is shut down")
                 entry = self._entries.get(canonical)
+                if entry is not None and entry.batcher.health == "dead":
+                    self._entries.pop(canonical, None)
+                    self.evictions += 1
+                    self.dead_evictions += 1
+                    evicted = entry
+                    entry = None
                 if entry is not None:
                     self._entries.move_to_end(canonical)
                     return entry
@@ -171,10 +185,17 @@ class ModelRouter:
                 if loading is None:
                     loading = threading.Event()
                     self._loading[canonical] = loading
-                    break
+                else:
+                    wait_for = loading
+            if evicted is not None:
+                # Join the dead worker outside the router lock (it exited
+                # already, so this is cheap bookkeeping, not a drain).
+                evicted.batcher.close()
+            if wait_for is None:
+                break
             # Another thread is loading this model; wait, then re-check
             # (its load may also have failed — then we try ourselves).
-            loading.wait()
+            wait_for.wait()
         try:
             entry = self._load_entry(canonical)
         finally:
@@ -252,14 +273,22 @@ class ModelRouter:
         with self._lock:
             return list(self._entries)
 
+    def health(self) -> dict:
+        """Per-resident-model worker health (``ok``/``degraded``/``dead``)."""
+        with self._lock:
+            entries = list(self._entries.items())
+        return {ref: entry.batcher.health for ref, entry in entries}
+
     def metrics(self) -> dict:
         """Per-model serving metrics for every resident model."""
         with self._lock:
             entries = list(self._entries.items())
             evictions = self.evictions
+            dead_evictions = self.dead_evictions
         return {
             "resident_models": [ref for ref, _ in entries],
             "evictions": evictions,
+            "dead_evictions": dead_evictions,
             "models": {ref: entry.metrics() for ref, entry in entries},
         }
 

@@ -57,6 +57,7 @@ import numpy as np
 from repro.core.sampler import RecordSampler
 from repro.core.tablegan import TableGAN
 from repro.data.table import Table
+from repro.utils.faults import fault_point
 from repro.utils.rng import ensure_rng
 
 
@@ -186,6 +187,9 @@ class SynthesisService:
         hold ``self._lock`` (the whole point: pooled rows stay servable
         while the generator runs).
         """
+        # Injection seam: a raise here models a generator failure before
+        # any stream rows are claimed, so a retried request is bit-exact.
+        fault_point("service.generate")
         encoded = self.sampler.sample_records(
             rows, rng=self._rng, batch_size=self.batch_rows
         )

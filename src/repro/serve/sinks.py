@@ -29,6 +29,7 @@ import numpy as np
 from repro.data.io import iter_decoded_rows
 from repro.data.schema import TableSchema
 from repro.data.table import Table
+from repro.utils.faults import fault_point
 
 
 class _AtomicSink:
@@ -93,6 +94,9 @@ class CsvSink(_AtomicSink):
         """Write one chunk (a value matrix or a Table); returns its row count."""
         if self._closed:
             raise ValueError("sink is closed")
+        # Injection seam: a raise mid-export must abort the temp file and
+        # leave the destination untouched (the atomicity contract).
+        fault_point("sink.write")
         table = values if isinstance(values, Table) else Table(
             np.asarray(values), self.schema
         )
@@ -129,6 +133,7 @@ class NpzSink(_AtomicSink):
         """Write one chunk of rows; returns its row count."""
         if self._closed:
             raise ValueError("sink is closed")
+        fault_point("sink.write")
         values = values.values if isinstance(values, Table) else values
         values = np.ascontiguousarray(values)
         if values.ndim != 2:

@@ -1,5 +1,6 @@
-"""Shared utilities: seeded random number generation and argument validation."""
+"""Shared utilities: seeded RNG, argument validation, and fault injection."""
 
+from repro.utils.faults import FaultError, FaultPlan, fault_bytes, fault_point, inject
 from repro.utils.rng import ensure_rng, spawn_rng
 from repro.utils.validation import (
     check_array,
@@ -15,4 +16,9 @@ __all__ = [
     "check_fitted",
     "check_positive",
     "check_probability",
+    "FaultError",
+    "FaultPlan",
+    "fault_bytes",
+    "fault_point",
+    "inject",
 ]

@@ -1,0 +1,266 @@
+"""Deterministic, seeded fault injection for the serving and training stack.
+
+Fault tolerance that is not *tested by injecting the faults* is a comment,
+not a property.  This module provides the injection layer the chaos suite
+drives: production code marks its failure-prone seams with **named
+injection points**, and a test arms a :class:`FaultPlan` that makes the
+Nth traversal of a point raise, delay, truncate, or corrupt — always
+deterministically, so a chaos test replays bit-for-bit.
+
+Injection points in the stack (one name per seam)::
+
+    registry.read       verifying/deserializing a persisted artifact
+    registry.commit     between the two renames of a re-registration swap
+    batcher.tick        the batcher worker starting one drain tick
+    service.generate    a synthesis-service generator replenishment
+    sink.write          one chunk written to a streaming export sink
+    socket.send         one payload written to (or read from) an HTTP socket
+
+Production call sites use two entry points:
+
+* :func:`fault_point` — control-flow seams; may raise or delay;
+* :func:`fault_bytes` — payload seams; returns the (possibly truncated or
+  corrupted) bytes, and may also raise or delay.
+
+**Zero overhead when disarmed** is a hard requirement: both functions
+reduce to one module-global load and an ``is None`` test when no plan is
+installed, and the engine benchmark's ``resilience`` section records the
+disarmed cost so a regression is measurable, not asserted.
+
+Usage::
+
+    plan = FaultPlan(seed=7)
+    plan.arm("batcher.tick", "raise", after=2)        # 3rd tick crashes
+    plan.arm("socket.send", "truncate", fraction=0.5)
+    with plan:
+        ...exercise the system...
+    assert plan.fired("batcher.tick") == 1
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+
+import numpy as np
+
+#: Every injection point compiled into the stack.  ``FaultPlan.arm``
+#: validates against this set so a typo'd point name fails the test
+#: loudly instead of silently never firing.
+POINTS = frozenset({
+    "registry.read",
+    "registry.commit",
+    "batcher.tick",
+    "service.generate",
+    "sink.write",
+    "socket.send",
+})
+
+ACTIONS = frozenset({"raise", "delay", "truncate", "corrupt"})
+
+#: The installed plan; ``None`` (the steady state) makes every injection
+#: point a no-op costing one global load and an identity test.
+_PLAN: "FaultPlan | None" = None
+
+
+class FaultError(RuntimeError):
+    """The default exception an armed ``raise`` action throws."""
+
+    def __init__(self, point: str):
+        super().__init__(f"injected fault at {point!r}")
+        self.point = point
+
+
+class _Rule:
+    """One armed behaviour: fire ``times`` times after ``after`` free hits."""
+
+    __slots__ = ("action", "after", "times", "exc", "delay_s", "fraction",
+                 "hits", "fired")
+
+    def __init__(self, action: str, after: int, times: int, exc, delay_s: float,
+                 fraction: float):
+        self.action = action
+        self.after = after
+        self.times = times
+        self.exc = exc
+        self.delay_s = delay_s
+        self.fraction = fraction
+        self.hits = 0
+        self.fired = 0
+
+    def due(self) -> bool:
+        return (self.hits > self.after
+                and (self.times is None or self.fired < self.times))
+
+
+class FaultPlan:
+    """A seeded, deterministic set of armed injection rules.
+
+    Parameters
+    ----------
+    seed:
+        Seeds the corruption stream: which byte a ``corrupt`` action flips
+        is a pure function of ``(seed, firing index)``, so a failing chaos
+        test replays exactly.
+
+    A plan is also a context manager: ``with plan: ...`` installs it for
+    the block (see :func:`inject`).  Arming is chainable::
+
+        FaultPlan().arm("service.generate", "raise", times=2)
+    """
+
+    def __init__(self, seed: int = 0):
+        self._rules: dict[str, _Rule] = {}
+        self._rng = np.random.default_rng(seed)
+        self._lock = threading.Lock()
+
+    def arm(self, point: str, action: str = "raise", *, after: int = 0,
+            times: int | None = 1, exc: BaseException | None = None,
+            delay_s: float = 0.0, fraction: float = 0.5) -> "FaultPlan":
+        """Arm ``point`` to perform ``action`` on its next traversals.
+
+        Parameters
+        ----------
+        point:
+            One of :data:`POINTS`.
+        action:
+            ``"raise"`` throws ``exc`` (default :class:`FaultError`);
+            ``"delay"`` sleeps ``delay_s`` then continues; ``"truncate"``
+            cuts a payload to ``fraction`` of its length; ``"corrupt"``
+            flips one deterministic byte of a payload.  Truncate/corrupt
+            apply only at :func:`fault_bytes` sites (payload seams) and
+            pass control seams through untouched.
+        after:
+            Free traversals before the first firing (``after=2`` arms the
+            3rd hit).
+        times:
+            Firings before the rule disarms itself; ``None`` fires forever.
+        """
+        if point not in POINTS:
+            raise ValueError(
+                f"unknown injection point {point!r}; compiled points: "
+                + ", ".join(sorted(POINTS))
+            )
+        if action not in ACTIONS:
+            raise ValueError(
+                f"unknown action {action!r}; one of: " + ", ".join(sorted(ACTIONS))
+            )
+        if after < 0:
+            raise ValueError(f"after must be non-negative, got {after}")
+        if times is not None and times < 1:
+            raise ValueError(f"times must be positive or None, got {times}")
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+        self._rules[point] = _Rule(action, after, times, exc, delay_s, fraction)
+        return self
+
+    # ------------------------------------------------------------------
+    # Introspection (what actually happened).
+    # ------------------------------------------------------------------
+    def hits(self, point: str) -> int:
+        """Traversals of ``point`` observed while this plan was installed."""
+        rule = self._rules.get(point)
+        return rule.hits if rule is not None else 0
+
+    def fired(self, point: str) -> int:
+        """Times the armed action at ``point`` actually triggered."""
+        rule = self._rules.get(point)
+        return rule.fired if rule is not None else 0
+
+    # ------------------------------------------------------------------
+    # Firing (called from the injection entry points below).
+    # ------------------------------------------------------------------
+    def _strike(self, point: str) -> tuple[_Rule, int] | None:
+        """Count a traversal; return ``(rule, firing_index)`` if it fires."""
+        rule = self._rules.get(point)
+        if rule is None:
+            return None
+        with self._lock:
+            rule.hits += 1
+            if not rule.due():
+                return None
+            rule.fired += 1
+            return rule, rule.fired - 1
+
+    def _control(self, point: str) -> None:
+        struck = self._strike(point)
+        if struck is None:
+            return
+        rule, _ = struck
+        if rule.action == "raise":
+            raise rule.exc if rule.exc is not None else FaultError(point)
+        if rule.action == "delay":
+            time.sleep(rule.delay_s)
+        # truncate/corrupt are payload actions; at a control seam they
+        # deliberately pass through (nothing to transform).
+
+    def _payload(self, point: str, data: bytes) -> bytes:
+        struck = self._strike(point)
+        if struck is None:
+            return data
+        rule, _ = struck
+        if rule.action == "raise":
+            raise rule.exc if rule.exc is not None else FaultError(point)
+        if rule.action == "delay":
+            time.sleep(rule.delay_s)
+            return data
+        if rule.action == "truncate":
+            return data[: int(len(data) * rule.fraction)]
+        # corrupt: flip one deterministic byte (seeded stream, so the
+        # corrupted output is a pure function of plan seed + firing order).
+        if not data:
+            return data
+        with self._lock:
+            index = int(self._rng.integers(0, len(data)))
+        corrupted = bytearray(data)
+        corrupted[index] ^= 0xFF
+        return bytes(corrupted)
+
+    # ------------------------------------------------------------------
+    # Installation.
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "FaultPlan":
+        self._cm = inject(self)
+        self._cm.__enter__()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        cm, self._cm = self._cm, None
+        cm.__exit__(exc_type, exc, tb)
+        return False
+
+
+@contextmanager
+def inject(plan: FaultPlan):
+    """Install ``plan`` for the duration of the block (re-entrant safe)."""
+    global _PLAN
+    previous = _PLAN
+    _PLAN = plan
+    try:
+        yield plan
+    finally:
+        _PLAN = previous
+
+
+def fault_point(point: str) -> None:
+    """Traverse a control-flow injection seam.
+
+    No-op (one global load + ``is None`` test) unless a plan armed this
+    point, in which case the armed action runs — typically raising into
+    the production error path under test.
+    """
+    if _PLAN is not None:
+        _PLAN._control(point)
+
+
+def fault_bytes(point: str, data: bytes) -> bytes:
+    """Traverse a payload injection seam; returns the bytes to actually use.
+
+    Identical fast path to :func:`fault_point`; when armed, ``truncate``
+    and ``corrupt`` transform the payload deterministically while
+    ``raise``/``delay`` behave as at control seams.
+    """
+    if _PLAN is None:
+        return data
+    return _PLAN._payload(point, data)

@@ -1,0 +1,306 @@
+"""Client-side resilience: circuit breaker, typed failures, response hardening.
+
+The stub server here speaks raw bytes, so tests can hand the client
+precisely malformed responses (garbage JSON, truncated chunked bodies,
+nonsense ``Retry-After`` hints) that the real server never produces.
+"""
+
+import socket
+import socketserver
+import threading
+import time
+
+import pytest
+
+from repro.serve.server.client import (
+    CircuitBreaker,
+    CircuitOpenError,
+    ClientError,
+    DeadlineExpired,
+    ProtocolError,
+    ServerError,
+    SynthesisClient,
+)
+
+
+class TestCircuitBreaker:
+    def test_starts_closed_and_allowing(self):
+        breaker = CircuitBreaker()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_opens_after_threshold_consecutive_failures(self):
+        breaker = CircuitBreaker(failure_threshold=3, reset_after_s=60.0)
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == "closed"
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        assert breaker.opened_count == 1
+
+    def test_success_resets_the_failure_streak(self):
+        breaker = CircuitBreaker(failure_threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+    def test_half_open_admits_exactly_one_probe(self):
+        breaker = CircuitBreaker(failure_threshold=1, reset_after_s=0.02)
+        breaker.record_failure()
+        assert not breaker.allow()
+        time.sleep(0.03)
+        assert breaker.state == "half_open"
+        assert breaker.allow()       # the probe
+        assert not breaker.allow()   # no second concurrent probe
+
+    def test_probe_success_closes(self):
+        breaker = CircuitBreaker(failure_threshold=1, reset_after_s=0.01)
+        breaker.record_failure()
+        time.sleep(0.02)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_probe_failure_reopens_full_window(self):
+        breaker = CircuitBreaker(failure_threshold=5, reset_after_s=0.05)
+        for _ in range(5):
+            breaker.record_failure()
+        time.sleep(0.06)
+        assert breaker.allow()
+        breaker.record_failure()  # one failed probe re-opens, threshold or not
+        assert breaker.state == "open"
+        assert not breaker.allow()
+
+    def test_zero_threshold_rejected(self):
+        with pytest.raises(ValueError, match="failure_threshold"):
+            CircuitBreaker(failure_threshold=0)
+
+
+class _StubHandler(socketserver.BaseRequestHandler):
+    def handle(self):
+        data = b""
+        while b"\r\n\r\n" not in data:
+            chunk = self.request.recv(4096)
+            if not chunk:
+                return
+            data += chunk
+        head, _, body = data.partition(b"\r\n\r\n")
+        for line in head.split(b"\r\n"):
+            if line.lower().startswith(b"content-length:"):
+                want = int(line.split(b":", 1)[1])
+                while len(body) < want:
+                    body += self.request.recv(4096)
+        self.server.requests.append(head + b"\r\n\r\n" + body)
+        responses = self.server.responses
+        index = min(len(self.server.requests) - 1, len(responses) - 1)
+        self.request.sendall(responses[index])
+
+
+class StubServer(socketserver.ThreadingTCPServer):
+    """Serves one canned raw response per connection, then closes it."""
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, responses):
+        super().__init__(("127.0.0.1", 0), _StubHandler)
+        self.responses = responses
+        self.requests = []
+        self._thread = threading.Thread(target=self.serve_forever, daemon=True)
+        self._thread.start()
+
+    @property
+    def port(self):
+        return self.server_address[1]
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.shutdown()
+        self.server_close()
+        return False
+
+
+def canned(status_line, headers, body=b""):
+    head = status_line + "".join(f"\r\n{h}" for h in headers)
+    return head.encode() + b"\r\n\r\n" + body
+
+
+def ok_with_body(body, content_type="application/json"):
+    return canned(
+        "HTTP/1.1 200 OK",
+        [f"Content-Type: {content_type}", f"Content-Length: {len(body)}",
+         "Connection: close"],
+        body,
+    )
+
+
+class TestResponseHardening:
+    def test_non_json_200_body_is_protocol_error(self):
+        with StubServer([ok_with_body(b"<html>oops</html>")]) as stub:
+            with SynthesisClient(port=stub.port) as client:
+                with pytest.raises(ProtocolError, match="invalid JSON"):
+                    client.health()
+                assert client.breaker.consecutive_failures == 1
+
+    def test_truncated_chunked_body_is_protocol_error(self):
+        # A chunked stream that dies before its terminating 0-length chunk.
+        truncated = canned(
+            "HTTP/1.1 200 OK",
+            ["Content-Type: application/x-ndjson",
+             "Transfer-Encoding: chunked", "Connection: close"],
+            b"a\r\n{\"v\": 123}\r\n",  # one chunk, then the socket closes
+        )
+        with StubServer([truncated]) as stub:
+            with SynthesisClient(port=stub.port) as client:
+                with pytest.raises(ProtocolError, match="truncated"):
+                    client.metrics()
+                assert client.breaker.consecutive_failures == 1
+
+    def test_malformed_retry_after_is_ignored_not_fatal(self):
+        error = b'{"error": "busy"}'
+        busy = canned(
+            "HTTP/1.1 503 Service Unavailable",
+            ["Content-Type: application/json", "Retry-After: soon",
+             f"Content-Length: {len(error)}", "Connection: close"],
+            error,
+        )
+        with StubServer([busy]) as stub:
+            with SynthesisClient(port=stub.port, retries=1,
+                                 max_backoff_s=0.01) as client:
+                started = time.perf_counter()
+                with pytest.raises(ServerError) as excinfo:
+                    client.health()
+                elapsed = time.perf_counter() - started
+        assert excinfo.value.status == 503
+        assert excinfo.value.retry_after_s is None  # garbage hint dropped
+        assert len(stub.requests) == 2              # still retried
+        assert elapsed < 5.0                        # never slept "soon" seconds
+
+    def test_error_with_non_json_body_still_raises_server_error(self):
+        with StubServer([canned(
+            "HTTP/1.1 500 Internal Server Error",
+            ["Content-Type: text/plain", "Content-Length: 4",
+             "Connection: close"],
+            b"boom",
+        )]) as stub:
+            with SynthesisClient(port=stub.port) as client:
+                with pytest.raises(ServerError) as excinfo:
+                    client.health()
+        assert excinfo.value.status == 500
+        assert excinfo.value.message == "boom"
+
+
+class TestClientBreakerIntegration:
+    def test_5xx_streak_opens_breaker_and_fails_fast(self):
+        error = b'{"error": "down"}'
+        down = canned(
+            "HTTP/1.1 500 Internal Server Error",
+            ["Content-Type: application/json",
+             f"Content-Length: {len(error)}", "Connection: close"],
+            error,
+        )
+        with StubServer([down]) as stub:
+            with SynthesisClient(port=stub.port, failure_threshold=3,
+                                 breaker_reset_s=60.0) as client:
+                for _ in range(3):
+                    with pytest.raises(ServerError):
+                        client.health()
+                with pytest.raises(CircuitOpenError):
+                    client.health()
+        assert len(stub.requests) == 3  # the fourth call never hit the wire
+
+    def test_429_does_not_count_toward_breaker(self):
+        error = b'{"error": "slow down"}'
+        throttle = canned(
+            "HTTP/1.1 429 Too Many Requests",
+            ["Content-Type: application/json", "Retry-After: 0.01",
+             f"Content-Length: {len(error)}", "Connection: close"],
+            error,
+        )
+        with StubServer([throttle]) as stub:
+            with SynthesisClient(port=stub.port, failure_threshold=2) as client:
+                for _ in range(4):
+                    with pytest.raises(ServerError):
+                        client.health()
+                assert client.breaker.consecutive_failures == 0
+                assert client.breaker.state == "closed"
+
+    def test_connect_failures_open_breaker(self):
+        # Grab a port with no listener behind it.
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        dead_port = probe.getsockname()[1]
+        probe.close()
+        client = SynthesisClient(port=dead_port, failure_threshold=2,
+                                 breaker_reset_s=60.0, timeout=0.5)
+        for _ in range(2):
+            with pytest.raises(ClientError):
+                client.health()
+        with pytest.raises(CircuitOpenError):
+            client.health()
+        assert client.breaker.opened_count == 1
+
+    def test_half_open_probe_recovers_after_server_returns(self):
+        good = ok_with_body(b'{"status": "ok"}')
+        error = b'{"error": "down"}'
+        down = canned(
+            "HTTP/1.1 500 Internal Server Error",
+            ["Content-Type: application/json",
+             f"Content-Length: {len(error)}", "Connection: close"],
+            error,
+        )
+        with StubServer([down, good]) as stub:
+            with SynthesisClient(port=stub.port, failure_threshold=1,
+                                 breaker_reset_s=0.05) as client:
+                with pytest.raises(ServerError):
+                    client.health()
+                with pytest.raises(CircuitOpenError):
+                    client.health()
+                time.sleep(0.06)  # window elapses: half-open lets a probe out
+                assert client.health()["status"] == "ok"
+                assert client.breaker.state == "closed"
+
+
+class TestDeadlines:
+    def test_expired_deadline_raises_without_sending(self):
+        with StubServer([ok_with_body(b"{}")]) as stub:
+            with SynthesisClient(port=stub.port) as client:
+                with pytest.raises(DeadlineExpired):
+                    client.sample("tiny", 1, deadline_ms=0)
+        assert stub.requests == []
+
+    def test_remaining_budget_is_propagated_as_header(self):
+        body = b'{"model": "tiny", "n": 1, "offset": 0, "columns": [], "rows": []}'
+        with StubServer([ok_with_body(body)]) as stub:
+            with SynthesisClient(port=stub.port) as client:
+                client.sample("tiny", 1, deadline_ms=5000)
+        head = stub.requests[0].split(b"\r\n\r\n")[0].lower()
+        assert b"x-deadline-ms:" in head
+        value = int([line.split(b":")[1] for line in head.split(b"\r\n")
+                     if line.startswith(b"x-deadline-ms")][0])
+        assert 0 < value <= 5000
+
+    def test_backoff_never_sleeps_past_the_deadline(self):
+        error = b'{"error": "busy"}'
+        busy = canned(
+            "HTTP/1.1 503 Service Unavailable",
+            ["Content-Type: application/json", "Retry-After: 30",
+             f"Content-Length: {len(error)}", "Connection: close"],
+            error,
+        )
+        with StubServer([busy]) as stub:
+            with SynthesisClient(port=stub.port, retries=5,
+                                 max_backoff_s=30.0) as client:
+                started = time.perf_counter()
+                with pytest.raises(ServerError) as excinfo:
+                    client._request("GET", "/healthz", deadline_ms=200)
+                elapsed = time.perf_counter() - started
+        assert excinfo.value.status == 503  # last server answer surfaced
+        assert elapsed < 5.0                # did not honour the 30 s hint

@@ -1,0 +1,198 @@
+"""FaultPlan semantics: arming, firing order, payload actions, installation."""
+
+import threading
+import time
+
+import pytest
+
+from repro.utils.faults import (
+    ACTIONS,
+    POINTS,
+    FaultError,
+    FaultPlan,
+    fault_bytes,
+    fault_point,
+    inject,
+)
+
+
+class TestArmValidation:
+    def test_unknown_point_rejected(self):
+        with pytest.raises(ValueError, match="unknown injection point"):
+            FaultPlan().arm("no.such.seam")
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(ValueError, match="unknown action"):
+            FaultPlan().arm("batcher.tick", "explode")
+
+    def test_negative_after_rejected(self):
+        with pytest.raises(ValueError, match="after"):
+            FaultPlan().arm("batcher.tick", after=-1)
+
+    def test_zero_times_rejected(self):
+        with pytest.raises(ValueError, match="times"):
+            FaultPlan().arm("batcher.tick", times=0)
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(ValueError, match="fraction"):
+            FaultPlan().arm("socket.send", "truncate", fraction=1.5)
+
+    def test_arm_is_chainable(self):
+        plan = FaultPlan().arm("batcher.tick").arm("socket.send", "truncate")
+        assert isinstance(plan, FaultPlan)
+
+    def test_every_compiled_point_and_action_arms(self):
+        plan = FaultPlan()
+        for point in POINTS:
+            for action in ACTIONS:
+                plan.arm(point, action)
+
+
+class TestControlSeams:
+    def test_disarmed_point_is_a_no_op(self):
+        fault_point("batcher.tick")  # no plan installed: must not raise
+
+    def test_unarmed_point_passes_through_installed_plan(self):
+        with FaultPlan().arm("sink.write"):
+            fault_point("batcher.tick")
+
+    def test_raise_fires_on_first_hit_by_default(self):
+        with FaultPlan().arm("batcher.tick") as plan:
+            with pytest.raises(FaultError) as excinfo:
+                fault_point("batcher.tick")
+        assert excinfo.value.point == "batcher.tick"
+        assert plan.hits("batcher.tick") == 1
+        assert plan.fired("batcher.tick") == 1
+
+    def test_after_skips_free_traversals(self):
+        with FaultPlan().arm("batcher.tick", after=2) as plan:
+            fault_point("batcher.tick")
+            fault_point("batcher.tick")
+            with pytest.raises(FaultError):
+                fault_point("batcher.tick")
+        assert plan.hits("batcher.tick") == 3
+        assert plan.fired("batcher.tick") == 1
+
+    def test_times_disarms_after_n_firings(self):
+        with FaultPlan().arm("batcher.tick", times=2) as plan:
+            for _ in range(2):
+                with pytest.raises(FaultError):
+                    fault_point("batcher.tick")
+            fault_point("batcher.tick")  # rule exhausted: free
+        assert plan.fired("batcher.tick") == 2
+        assert plan.hits("batcher.tick") == 3
+
+    def test_times_none_fires_forever(self):
+        with FaultPlan().arm("batcher.tick", times=None) as plan:
+            for _ in range(5):
+                with pytest.raises(FaultError):
+                    fault_point("batcher.tick")
+        assert plan.fired("batcher.tick") == 5
+
+    def test_custom_exception_is_raised(self):
+        marker = ConnectionResetError("injected reset")
+        with FaultPlan().arm("socket.send", exc=marker):
+            with pytest.raises(ConnectionResetError, match="injected reset"):
+                fault_point("socket.send")
+
+    def test_delay_sleeps_then_continues(self):
+        with FaultPlan().arm("batcher.tick", "delay", delay_s=0.05) as plan:
+            started = time.perf_counter()
+            fault_point("batcher.tick")
+            elapsed = time.perf_counter() - started
+        assert elapsed >= 0.04
+        assert plan.fired("batcher.tick") == 1
+
+    def test_truncate_at_control_seam_passes_through(self):
+        with FaultPlan().arm("batcher.tick", "truncate") as plan:
+            fault_point("batcher.tick")  # payload action, nothing to cut
+        assert plan.fired("batcher.tick") == 1
+
+
+class TestPayloadSeams:
+    def test_disarmed_returns_identity(self):
+        data = b"payload"
+        assert fault_bytes("socket.send", data) is data
+
+    def test_truncate_cuts_to_fraction(self):
+        with FaultPlan().arm("socket.send", "truncate", fraction=0.25):
+            assert fault_bytes("socket.send", b"x" * 100) == b"x" * 25
+
+    def test_truncate_fraction_zero_empties_payload(self):
+        with FaultPlan().arm("socket.send", "truncate", fraction=0.0):
+            assert fault_bytes("socket.send", b"abcdef") == b""
+
+    def test_corrupt_flips_exactly_one_byte(self):
+        data = bytes(range(64))
+        with FaultPlan(seed=3).arm("socket.send", "corrupt"):
+            mangled = fault_bytes("socket.send", data)
+        assert len(mangled) == len(data)
+        diffs = [i for i, (a, b) in enumerate(zip(data, mangled)) if a != b]
+        assert len(diffs) == 1
+        assert mangled[diffs[0]] == data[diffs[0]] ^ 0xFF
+
+    def test_corrupt_is_deterministic_per_seed(self):
+        data = bytes(range(64))
+
+        def run(seed):
+            with FaultPlan(seed=seed).arm("socket.send", "corrupt"):
+                return fault_bytes("socket.send", data)
+
+        assert run(7) == run(7)
+
+    def test_corrupt_empty_payload_is_identity(self):
+        with FaultPlan().arm("socket.send", "corrupt"):
+            assert fault_bytes("socket.send", b"") == b""
+
+    def test_raise_fires_at_payload_seam(self):
+        with FaultPlan().arm("socket.send"):
+            with pytest.raises(FaultError):
+                fault_bytes("socket.send", b"data")
+
+
+class TestInstallation:
+    def test_inject_restores_previous_plan(self):
+        outer = FaultPlan().arm("batcher.tick", after=100)
+        inner = FaultPlan().arm("batcher.tick")
+        with inject(outer):
+            with inject(inner):
+                with pytest.raises(FaultError):
+                    fault_point("batcher.tick")
+            fault_point("batcher.tick")  # outer plan back: after=100, free
+        assert outer.hits("batcher.tick") == 1
+        fault_point("batcher.tick")  # fully uninstalled
+        assert outer.hits("batcher.tick") == 1
+
+    def test_plan_uninstalled_after_exception(self):
+        plan = FaultPlan().arm("batcher.tick")
+        with pytest.raises(FaultError):
+            with plan:
+                fault_point("batcher.tick")
+        fault_point("batcher.tick")  # must be disarmed again
+        assert plan.hits("batcher.tick") == 1
+
+    def test_introspection_of_unarmed_point_is_zero(self):
+        plan = FaultPlan()
+        assert plan.hits("batcher.tick") == 0
+        assert plan.fired("batcher.tick") == 0
+
+    def test_strikes_are_thread_safe(self):
+        plan = FaultPlan().arm("batcher.tick", times=None)
+        errors = []
+
+        def hammer():
+            for _ in range(200):
+                try:
+                    fault_point("batcher.tick")
+                except FaultError:
+                    errors.append(1)
+
+        with plan:
+            threads = [threading.Thread(target=hammer) for _ in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        assert plan.hits("batcher.tick") == 800
+        assert plan.fired("batcher.tick") == 800
+        assert len(errors) == 800
