@@ -12,6 +12,10 @@ table-GAN component the paper argues for:
 import numpy as np
 import pytest
 
+# Tens of seconds of real training in the module fixture: CI's smoke lane
+# (-m "not slow") skips this file; the tier-1 gate still runs it.
+pytestmark = pytest.mark.slow
+
 from repro import TableGAN, TableGanConfig
 from repro.evaluation import label_correlation_gap, mean_area_distance
 from repro.evaluation.reporting import banner, format_table

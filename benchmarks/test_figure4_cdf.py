@@ -12,6 +12,10 @@ fall in between.  We quantify "closeness" as the area between CDFs.
 
 import pytest
 
+# Tens of seconds of real training in the module fixture: CI's smoke lane
+# (-m "not slow") skips this file; the tier-1 gate still runs it.
+pytestmark = pytest.mark.slow
+
 from repro.evaluation import compare_cdf
 from repro.evaluation.reporting import banner, format_cdf_series, format_table
 

@@ -14,6 +14,10 @@ and every method's points stay in [0, 1].
 
 import pytest
 
+# Tens of seconds of real training in the module fixture: CI's smoke lane
+# (-m "not slow") skips this file; the tier-1 gate still runs it.
+pytestmark = pytest.mark.slow
+
 from repro.evaluation import classification_compatibility
 from repro.evaluation.compatibility import classifier_suite
 from repro.evaluation.reporting import banner, format_scatter_summary, format_table

@@ -13,6 +13,10 @@ costs the most, Health/LACity the least per row count.
 
 import pytest
 
+# Tens of seconds of real training in the module fixture: CI's smoke lane
+# (-m "not slow") skips this file; the tier-1 gate still runs it.
+pytestmark = pytest.mark.slow
+
 from repro import ChunkedTableGAN, TableGAN
 from repro.evaluation.reporting import banner, format_table
 

@@ -17,6 +17,10 @@ dataset (Adult) at three δ settings.
 
 import pytest
 
+# Tens of seconds of real training in the module fixture: CI's smoke lane
+# (-m "not slow") skips this file; the tier-1 gate still runs it.
+pytestmark = pytest.mark.slow
+
 from repro import TableGAN, TableGanConfig
 from repro.evaluation.reporting import banner, format_table
 from repro.privacy import MembershipAttack

@@ -39,7 +39,14 @@ prices the fault-tolerance layer: the disarmed fault-hook traversal
 (nanoseconds), worker-crash recovery time under an injected
 ``batcher.tick`` fault, throughput degraded by crash/restart cycles
 versus healthy, and the per-snapshot cost of crash-safe training
-checkpoints.
+checkpoints.  A seventh, **training**, sweeps data-parallel training
+(:class:`~repro.core.parallel.ParallelTrainer`) over worker counts,
+recording epoch seconds, speedup vs serial, the visible core count, and
+whether the final weights stayed bit-identical across worker counts —
+the N-invariance contract the determinism test tier guards.  The core
+count matters for reading the numbers: on a single-core container the
+multi-worker rows price synchronization overhead, not speedup, and the
+report says so in ``training.log`` instead of inventing a number.
 
 Results are written as ``BENCH_engine.json`` so speedups are trackable
 across commits; ``docs/benchmarks.md`` explains how to read the report and
@@ -53,6 +60,7 @@ into the CI regression tripwire (:func:`check_report`).
 from __future__ import annotations
 
 import json
+import os
 import tempfile
 import time
 
@@ -60,6 +68,7 @@ import numpy as np
 
 from repro.core.config import TableGanConfig
 from repro.core.networks import build_classifier, build_discriminator, build_generator
+from repro.core.parallel import ParallelTrainer
 from repro.core.tablegan import TableGAN, build_generator_for, matrixizer_for
 from repro.core.trainer import TableGanTrainer
 from repro.data.encoding import TableCodec
@@ -71,6 +80,7 @@ from repro.nn import (
     ConvTranspose2D,
     clear_plan_cache,
     reference_kernels,
+    state_dict,
 )
 from repro.nn.batchnorm import reference_batchnorm
 from repro.nn.im2col import clear_workspaces, reference_ops
@@ -111,6 +121,7 @@ WORKLOAD = {
     "resilience_requests": 64,
     "resilience_request_rows": 8,
     "resilience_crashes": 4,
+    "training_workers": [1, 2, 4],
 }
 
 #: Scaled-down workload for ``--quick`` smoke runs (seconds, not minutes).
@@ -134,6 +145,7 @@ QUICK_WORKLOAD = {
     "resilience_requests": 16,
     "resilience_request_rows": 4,
     "resilience_crashes": 2,
+    "training_workers": [1, 2],
 }
 
 
@@ -240,6 +252,94 @@ def _fit_epoch_seconds(workload: dict, dtype_name: str, reference: bool,
         with reference_kernels():
             return _best_of(one_epoch, repeats)
     return _best_of(one_epoch, repeats)
+
+
+def _training_timings(workload: dict, repeats: int) -> dict:
+    """Data-parallel training: epoch seconds by worker count.
+
+    Every run goes through :class:`~repro.core.parallel.ParallelTrainer`
+    (``workers=1`` short-circuits the multiprocessing plumbing), so the
+    sweep isolates what sharding costs and buys.  Two things are recorded
+    besides raw epoch seconds:
+
+    * ``worker_invariant`` — whether the final generator weights are
+      bit-identical at every worker count, the contract the determinism
+      test tier guards (``tests/core/test_parallel.py``);
+    * ``cores`` — the CPU cores actually visible to this process.  Worker
+      speedup is bounded by cores: on a single-core box the N-worker runs
+      are expected to be *slower* than serial (pure synchronization
+      overhead), and the honest number plus the core count is the record,
+      not a fabricated speedup.
+    """
+    side = workload["side"]
+    rng = np.random.default_rng(3)
+    matrices = rng.uniform(-0.5, 0.5, (workload["records"], 1, side, side))
+    matrices[:, 0, 0, 3] = np.sign(matrices[:, 0, 0, 0])
+    worker_counts = list(workload["training_workers"])
+
+    def run_epoch(workers):
+        config = TableGanConfig(
+            epochs=1,
+            batch_size=workload["batch_size"],
+            base_channels=workload["base_channels"],
+            seed=0,
+            dtype="float32",
+        )
+        dtype = config.np_dtype
+        gen = build_generator(side, config.latent_dim, config.base_channels,
+                              rng=0, dtype=dtype)
+        disc = build_discriminator(side, config.base_channels, rng=1,
+                                   dtype=dtype)
+        clf = build_classifier(side, config.base_channels, rng=2, dtype=dtype)
+        trainer = ParallelTrainer(gen, disc, clf, config, label_cell=(0, 3),
+                                  workers=workers)
+        trainer.train(matrices, rng=np.random.default_rng(0))
+        return trainer
+
+    epoch_s: dict[str, float] = {}
+    weights: dict[int, dict] = {}
+    for workers in worker_counts:
+        # The warmup run doubles as the invariance probe.
+        trainer = run_epoch(workers)
+        weights[workers] = {
+            key: value.copy()
+            for key, value in state_dict(trainer.generator).items()
+        }
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            run_epoch(workers)
+            best = min(best, time.perf_counter() - start)
+        epoch_s[str(workers)] = best
+
+    baseline = weights[worker_counts[0]]
+    invariant = all(
+        set(weights[n]) == set(baseline)
+        and all(np.array_equal(weights[n][key], baseline[key])
+                for key in baseline)
+        for n in worker_counts[1:]
+    )
+    try:
+        cores = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        cores = os.cpu_count() or 1
+    serial = epoch_s[str(worker_counts[0])]
+    result = {
+        "workers": worker_counts,
+        "grad_shards": 4,
+        "epoch_s": epoch_s,
+        "speedup_vs_serial": {
+            key: serial / value for key, value in epoch_s.items()
+        },
+        "worker_invariant": invariant,
+        "cores": cores,
+    }
+    if cores < max(worker_counts):
+        result["log"] = (
+            f"only {cores} CPU core(s) visible: multi-worker runs measure "
+            "synchronization overhead, not parallel speedup"
+        )
+    return result
 
 
 def _serving_model(side: int, base_channels: int, dtype: str = "float32") -> TableGAN:
@@ -645,6 +745,7 @@ def run_benchmarks(repeats: int = 5, fit_repeats: int = 2,
     report["synthesis"] = _synthesis_timings(workload, repeats)
     report["large_batch"] = _large_batch_timings(workload, repeats)
     report["resilience"] = _resilience_timings(workload, repeats)
+    report["training"] = _training_timings(workload, fit_repeats)
     if quick:
         # Quick mode must stay a smoke test: the serving load generator
         # boots real servers, sockets, and client threads.  Record the
@@ -780,6 +881,24 @@ def format_report(report: dict) -> str:
             f"({resilience['checkpoint_overhead']:.2f}x epoch at "
             "every_batches=1)"
         )
+    training = report.get("training")
+    if training:
+        lines.append("")
+        lines.append(
+            f"data-parallel training (one epoch, grad_shards="
+            f"{training['grad_shards']}, {training['cores']} core(s) visible):"
+        )
+        for workers in training["workers"]:
+            key = str(workers)
+            lines.append(
+                f"  workers={workers}  {training['epoch_s'][key]:>9.3f} s/epoch"
+                f"  ({training['speedup_vs_serial'][key]:.2f}x vs serial)"
+            )
+        lines.append(
+            f"  worker-invariant weights: {training['worker_invariant']}"
+        )
+        if training.get("log"):
+            lines.append(f"  note: {training['log']}")
     serving = report.get("serving")
     if serving:
         lines.append("")

@@ -147,7 +147,8 @@ def cmd_train(args) -> int:
         gan.fit(bundle.train, on_epoch_end=lambda i, l: print(
             f"  epoch {i + 1:3d}: D={l.d_loss:.3f} G_adv={l.g_adv_loss:.3f} "
             f"G_info={l.g_info_loss:.3f} G_class={l.g_class_loss:.3f}"
-        ), checkpointer=checkpointer)
+        ), checkpointer=checkpointer, workers=args.workers,
+            grad_shards=args.grad_shards)
     except TrainingInterrupted as stop:
         print(f"interrupted: checkpoint saved to {stop.path} "
               f"(epoch {stop.epoch}, batch offset {stop.batch_start}); "
@@ -365,6 +366,18 @@ def build_parser() -> argparse.ArgumentParser:
                          metavar="BATCHES",
                          help="also checkpoint every N mini-batches "
                               "(default: 0 = epoch boundaries only)")
+    p_train.add_argument("--workers", type=_positive_int, default=None,
+                         metavar="N",
+                         help="train data-parallel across N processes; the "
+                              "result is bit-identical for every N (a pure "
+                              "function of --grad-shards, never of N). "
+                              "Default: the serial trainer")
+    p_train.add_argument("--grad-shards", type=_positive_int, default=4,
+                         metavar="S",
+                         help="gradient shards per global batch for "
+                              "--workers runs (default 4); part of the "
+                              "checkpoint fingerprint, unlike the worker "
+                              "count")
     p_train.add_argument("--resume", action="store_true",
                          help="continue from the newest checkpoint in "
                               "--checkpoint-dir (bit-identical to an "

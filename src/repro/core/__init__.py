@@ -30,7 +30,9 @@ from repro.core.networks import (
     build_generator_1d,
     feature_width,
 )
+from repro.core.parallel import ParallelTrainer, ParallelTrainingError, shard_bounds
 from repro.core.sampler import RecordSampler
+from repro.core.schedule import UpdateSchedule
 from repro.core.tablegan import TableGAN
 from repro.core.trainer import EpochLosses, TableGanTrainer, TrainingHistory
 
@@ -43,6 +45,10 @@ __all__ = [
     "dcgan_baseline",
     "ChunkedTableGAN",
     "TableGanTrainer",
+    "ParallelTrainer",
+    "ParallelTrainingError",
+    "shard_bounds",
+    "UpdateSchedule",
     "TrainerCheckpointer",
     "TrainingInterrupted",
     "CheckpointError",

@@ -147,11 +147,18 @@ class TrainerCheckpointer:
     # ------------------------------------------------------------------
     def _fingerprint(self, trainer) -> str:
         config = trainer.config
+        # Worker count is deliberately absent: the data-parallel trainer's
+        # result is a pure function of (data, config, schedule, shard
+        # count), so a checkpoint taken at N=4 workers resumes bit-exactly
+        # at N=2.  The shard count and schedule *do* change the numbers
+        # and therefore do fingerprint (0 shards = the serial loop).
         return json.dumps({
             "epochs": config.epochs,
             "batch_size": config.batch_size,
             "dtype": np.dtype(trainer._dtype).name,
             "classifier": trainer.opt_c is not None,
+            "schedule": list(trainer.schedule.ops),
+            "grad_shards": getattr(trainer, "grad_shards", 0),
         }, sort_keys=True)
 
     def save(self, trainer, rng, *, epoch: int, batch_start: int,

@@ -39,13 +39,27 @@ class FeatureStats:
 
     def update_real(self, features: np.ndarray) -> None:
         """Fold a real mini-batch's feature statistics into the X averages."""
-        self.fx_mean = self.weight * self.fx_mean + (1 - self.weight) * features.mean(axis=0)
-        self.fx_sd = self.weight * self.fx_sd + (1 - self.weight) * features.std(axis=0)
+        self.fold_real(features.mean(axis=0), features.std(axis=0))
 
     def update_synthetic(self, features: np.ndarray) -> None:
         """Fold a synthetic mini-batch's feature statistics into the Z averages."""
-        self.fz_mean = self.weight * self.fz_mean + (1 - self.weight) * features.mean(axis=0)
-        self.fz_sd = self.weight * self.fz_sd + (1 - self.weight) * features.std(axis=0)
+        self.fold_synthetic(features.mean(axis=0), features.std(axis=0))
+
+    def fold_real(self, mean: np.ndarray, sd: np.ndarray) -> None:
+        """One EWMA fold of precomputed real-batch statistics.
+
+        Split out from :meth:`update_real` so a data-parallel worker can
+        ship its shard's (mean, sd) vectors and the master can fold them
+        in fixed shard order — the fold itself is bit-identical to the
+        in-process update.
+        """
+        self.fx_mean = self.weight * self.fx_mean + (1 - self.weight) * mean
+        self.fx_sd = self.weight * self.fx_sd + (1 - self.weight) * sd
+
+    def fold_synthetic(self, mean: np.ndarray, sd: np.ndarray) -> None:
+        """One EWMA fold of precomputed synthetic-batch statistics."""
+        self.fz_mean = self.weight * self.fz_mean + (1 - self.weight) * mean
+        self.fz_sd = self.weight * self.fz_sd + (1 - self.weight) * sd
 
     @property
     def l_mean(self) -> float:

@@ -91,7 +91,8 @@ class TableGAN:
         self._sampler: RecordSampler | None = None
 
     def fit(self, table: Table, rng=None, on_epoch_end=None,
-            checkpointer=None) -> "TableGAN":
+            checkpointer=None, workers: int | None = None,
+            grad_shards: int = 4) -> "TableGAN":
         """Train on ``table`` and return self.
 
         Parameters
@@ -106,6 +107,16 @@ class TableGAN:
             Optional :class:`~repro.core.checkpoint.TrainerCheckpointer`
             forwarded to the trainer: restores the newest snapshot before
             training and saves periodically (crash-safe ``--resume``).
+        workers:
+            ``None`` (default) runs the serial trainer.  An integer selects
+            the data-parallel trainer (:mod:`repro.core.parallel`) with
+            that many processes — whose result is bit-identical for every
+            worker count, including 1, but not to the serial loop (the
+            shard decomposition, not the worker count, is what changes the
+            numbers).
+        grad_shards:
+            Gradient shards per global batch for the data-parallel
+            trainer; ignored when ``workers`` is ``None``.
         """
         config = self.config
         rng = ensure_rng(rng if rng is not None else config.seed)
@@ -158,10 +169,19 @@ class TableGAN:
             self.classifier_ = None
 
         effective = config if use_classifier else config.with_overrides(use_classifier=False)
-        trainer = TableGanTrainer(
-            self.generator_, self.discriminator_, self.classifier_,
-            effective, label_cell=label_cell,
-        )
+        if workers is None:
+            trainer = TableGanTrainer(
+                self.generator_, self.discriminator_, self.classifier_,
+                effective, label_cell=label_cell,
+            )
+        else:
+            from repro.core.parallel import ParallelTrainer
+
+            trainer = ParallelTrainer(
+                self.generator_, self.discriminator_, self.classifier_,
+                effective, label_cell=label_cell, workers=workers,
+                grad_shards=grad_shards,
+            )
         self.history_ = trainer.train(matrices, rng=rng,
                                       on_epoch_end=on_epoch_end,
                                       checkpointer=checkpointer)

@@ -44,6 +44,7 @@ from repro.core.losses import (
     information_loss,
 )
 from repro.core.networks import FEATURE_LAYER
+from repro.core.schedule import UpdateSchedule
 from repro.nn import Adam, Sequential
 from repro.utils.rng import ensure_rng
 
@@ -87,11 +88,17 @@ class TableGanTrainer:
         (row, col) tuple for the square layout, an (offset,) tuple for the
         vector layout, or a *list* of such tuples for the §4.2.3
         multi-label extension.  Required when the classifier is enabled.
+    schedule:
+        The per-batch update interleave (an
+        :class:`~repro.core.schedule.UpdateSchedule`).  Defaults to the
+        seed interleave derived from ``config`` — one D step, one C step,
+        a statistics refresh, then ``config.generator_updates`` G steps —
+        which the default executor replays bit-exactly.
     """
 
     def __init__(self, generator: Sequential, discriminator: Sequential,
                  classifier: Sequential | None, config: TableGanConfig,
-                 label_cell=None):
+                 label_cell=None, schedule: UpdateSchedule | None = None):
         self.generator = generator
         self.discriminator = discriminator
         self.classifier = classifier
@@ -111,6 +118,8 @@ class TableGanTrainer:
             if (config.use_classifier and classifier is not None)
             else None
         )
+        self.schedule = (schedule if schedule is not None
+                         else UpdateSchedule.from_config(config))
         self.stats: FeatureStats | None = None
         self._dtype = config.np_dtype
 
@@ -254,6 +263,68 @@ class TableGanTrainer:
         return adv_loss, info_loss_value, class_loss_value
 
     # ------------------------------------------------------------------
+    def _run_batch(self, real: np.ndarray, z: np.ndarray, rng
+                   ) -> tuple[float, float, float, float, float]:
+        """Execute one mini-batch following ``self.schedule``.
+
+        Returns the ``(d, g_adv, g_info, g_class, c)`` loss tuple; when a
+        schedule holds several ops of one kind, the last op's loss wins
+        (matching the seed loop, which reported the final generator
+        step's losses).
+
+        The executor tracks two cache-validity flags so the default
+        schedule replays the seed loop's forward sequence exactly:
+
+        * ``fake_fresh`` — the generator's forward caches (and ``fake``)
+          correspond to the current G weights; any ``g`` step invalidates
+          it, and the next consumer pays one ``generator.forward``;
+        * ``stats_fresh`` — the discriminator's forward caches hold this
+          exact ``fake`` batch under the current D weights (the ``stats``
+          refresh just ran), so the first following ``g`` step reuses
+          them instead of a second identical D forward.
+        """
+        fake: np.ndarray | None = None
+        fake_fresh = False
+        stats_fresh = False
+        d_loss = c_loss = 0.0
+        adv = info = cls = 0.0
+        for op in self.schedule.ops:
+            if op == "d":
+                if not fake_fresh:
+                    fake = self.generator.forward(z)
+                    fake_fresh = True
+                d_loss = self._update_discriminator(real, fake)
+                stats_fresh = False
+            elif op == "c":
+                c_loss = self._update_classifier(real)
+            elif op == "stats":
+                if not fake_fresh:
+                    fake = self.generator.forward(z)
+                    fake_fresh = True
+                # EWMA refresh with post-update discriminator features
+                # (Algorithm 2 lines 10-13).  The real pass runs first so
+                # the cached forward state ends on the fake batch, which
+                # the next generator update backpropagates through.
+                self.discriminator.forward(real)
+                self.stats.update_real(
+                    self.discriminator.activation(FEATURE_LAYER)
+                )
+                self.discriminator.forward(fake)
+                self.stats.update_synthetic(
+                    self.discriminator.activation(FEATURE_LAYER)
+                )
+                stats_fresh = True
+            else:  # "g"
+                if not fake_fresh:
+                    fake = self.generator.forward(z)
+                adv, info, cls = self._update_generator(
+                    fake, rng, d_forward_cached=stats_fresh
+                )
+                fake_fresh = False
+                stats_fresh = False
+        return d_loss, adv, info, cls, c_loss
+
+    # ------------------------------------------------------------------
     def train(self, matrices: np.ndarray, rng=None,
               on_epoch_end=None, checkpointer=None) -> TrainingHistory:
         """Run Algorithm 2 on encoded record matrices of shape (N, 1, d, d).
@@ -319,34 +390,7 @@ class TableGanTrainer:
             for start in range(first_start, n - batch + 1, batch):
                 real = shuffled[start : start + batch]
                 z = self.sample_latent(real.shape[0], rng)
-                fake = self.generator.forward(z)
-
-                d_loss = self._update_discriminator(real, fake)
-                c_loss = self._update_classifier(real)
-
-                # EWMA refresh with post-update discriminator features
-                # (Algorithm 2 lines 10-13).  The real pass runs first so
-                # the cached forward state ends on the fake batch, which
-                # the generator update then backpropagates through.
-                self.discriminator.forward(real)
-                self.stats.update_real(self.discriminator.activation(FEATURE_LAYER))
-                # G's caches still hold the batch-start forward of this same
-                # z (nothing between there and here touches G or mutates
-                # fake), so the generator update below can backpropagate
-                # through them without re-running the generator.
-                self.discriminator.forward(fake)
-                self.stats.update_synthetic(self.discriminator.activation(FEATURE_LAYER))
-
-                # D's caches now hold exactly this fake batch under the
-                # current (post-update) D weights, so the first generator
-                # step reuses them instead of re-running D's forward.
-                adv, info, cls = self._update_generator(fake, rng,
-                                                        d_forward_cached=True)
-                # Extra generator steps (DCGAN convention; see config).
-                for _ in range(config.generator_updates - 1):
-                    fake = self.generator.forward(z)
-                    adv, info, cls = self._update_generator(fake, rng)
-                sums += (d_loss, adv, info, cls, c_loss)
+                sums += self._run_batch(real, z, rng)
                 n_batches += 1
                 if checkpointer is not None:
                     checkpointer.on_batch(

@@ -88,6 +88,13 @@ class BatchNorm(Layer):
         self.params = [self.gamma, self.beta]
         self.running_mean = np.zeros(num_features, dtype=dtype)
         self.running_var = np.ones(num_features, dtype=dtype)
+        #: When set to a list, every training-mode forward appends its
+        #: batch ``(mean, var)`` here instead of being observable only
+        #: through the EWMA.  The data-parallel trainer uses this tap to
+        #: record per-shard statistics events and replay them into one
+        #: canonical running-stats stream in fixed shard order
+        #: (see repro.core.parallel).
+        self.stats_tap: list | None = None
         self._cache: tuple | None = None
 
     def extra_state(self) -> dict[str, np.ndarray]:
@@ -123,6 +130,8 @@ class BatchNorm(Layer):
         return stat.reshape(1, -1, 1, 1)
 
     def _update_running(self, mean: np.ndarray, var: np.ndarray) -> None:
+        if self.stats_tap is not None:
+            self.stats_tap.append((mean.copy(), var.copy()))
         self.running_mean = self.momentum * self.running_mean + (1 - self.momentum) * mean
         self.running_var = self.momentum * self.running_var + (1 - self.momentum) * var
 

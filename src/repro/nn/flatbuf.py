@@ -56,6 +56,34 @@ class _DtypeGroup:
             )
             offset = stop
 
+    def rebind(self, data: np.ndarray | None = None,
+               grad: np.ndarray | None = None) -> None:
+        """Move this group's storage onto externally owned 1-D arrays.
+
+        Current values are copied into the new arrays and every
+        parameter's views are re-pointed at them, so the move is
+        invisible to training code.  Used to back the buffers with
+        ``multiprocessing.shared_memory`` (and to move them off it again
+        before the segment is closed).
+        """
+        for label, new in (("data", data), ("grad", grad)):
+            if new is None:
+                continue
+            if new.shape != (self.data.size,) or new.dtype != self.dtype:
+                raise ValueError(
+                    f"{label} backing {new.shape}/{new.dtype} does not match "
+                    f"group buffer ({self.data.size},)/{self.dtype}"
+                )
+        if data is not None:
+            data[...] = self.data
+            self.data = data
+        if grad is not None:
+            grad[...] = self.grad
+            self.grad = grad
+        for p, view in zip(self.params, self.slices):
+            p.data = self.data[view].reshape(p.data.shape)
+            p.grad = self.grad[view].reshape(p.data.shape)
+
 
 class FlatParameterBuffer:
     """Materialize parameters as views into contiguous per-dtype buffers.
@@ -136,6 +164,99 @@ class FlatParameterBuffer:
         """Zero every gradient with one memset per dtype buffer."""
         for group in self.groups:
             group.grad[...] = 0.0
+
+    # ------------------------------------------------------------------
+    # Shared-memory backing and broadcast/reduce primitives (the
+    # data-parallel trainer's all-reduce unit; see repro.core.parallel).
+    # ------------------------------------------------------------------
+    def group_specs(self) -> list[tuple[np.dtype, int]]:
+        """``(dtype, n_elements)`` per group, in group order.
+
+        This is the layout contract for every externally allocated
+        backing or exchange buffer: one 1-D array per group, matching
+        dtype and length.
+        """
+        return [(group.dtype, group.data.size) for group in self.groups]
+
+    def _check_buffers(self, buffers, label: str) -> list[np.ndarray]:
+        buffers = list(buffers)
+        specs = self.group_specs()
+        if len(buffers) != len(specs):
+            raise ValueError(
+                f"expected {len(specs)} {label} buffers (one per dtype "
+                f"group), got {len(buffers)}"
+            )
+        for buf, (dtype, size) in zip(buffers, specs):
+            if buf.shape != (size,) or buf.dtype != dtype:
+                raise ValueError(
+                    f"{label} buffer {buf.shape}/{buf.dtype} does not match "
+                    f"group layout ({size},)/{dtype}"
+                )
+        return buffers
+
+    def rebind_storage(self, data_backing=None, grad_backing=None) -> None:
+        """Move the flat buffers onto externally owned arrays, in place.
+
+        ``data_backing`` / ``grad_backing`` are sequences of 1-D arrays
+        matching :meth:`group_specs` — typically views into
+        ``multiprocessing.shared_memory`` segments.  Values are preserved
+        and every parameter keeps aliasing the (new) buffers, so
+        optimizers and layers notice nothing.  Rebinding data onto a
+        shared segment makes every weight update a zero-copy broadcast to
+        all processes mapping the segment; gradients are normally left on
+        private memory so concurrent backward passes cannot race.
+        """
+        data_backing = (None if data_backing is None
+                        else self._check_buffers(data_backing, "data"))
+        grad_backing = (None if grad_backing is None
+                        else self._check_buffers(grad_backing, "grad"))
+        for i, group in enumerate(self.groups):
+            group.rebind(
+                data=None if data_backing is None else data_backing[i],
+                grad=None if grad_backing is None else grad_backing[i],
+            )
+
+    def export_data(self, buffers) -> None:
+        """Copy the parameter values into per-group 1-D ``buffers``."""
+        for group, buf in zip(self.groups, self._check_buffers(buffers, "data")):
+            buf[...] = group.data
+
+    def import_data(self, buffers) -> None:
+        """Overwrite the parameter values from per-group 1-D ``buffers``."""
+        for group, buf in zip(self.groups, self._check_buffers(buffers, "data")):
+            group.data[...] = buf
+
+    def export_grads(self, buffers, scale: float | None = None) -> None:
+        """Copy the gradients into per-group ``buffers``, optionally scaled.
+
+        ``scale`` is applied in the group dtype (a data-parallel worker
+        publishes its shard gradient pre-weighted by its share of the
+        global batch, so the reduction is a plain ordered sum).
+        """
+        for group, buf in zip(self.groups, self._check_buffers(buffers, "grad")):
+            if scale is None:
+                buf[...] = group.grad
+            else:
+                np.multiply(group.grad, group.dtype.type(scale), out=buf)
+
+    def reduce_grads(self, shard_buffers) -> None:
+        """All-reduce: overwrite the gradients with an *ordered* sum.
+
+        ``shard_buffers`` is a sequence of per-shard buffer lists (each a
+        :meth:`group_specs`-shaped list).  Accumulation runs strictly in
+        shard-index order — floating-point addition is not associative,
+        so this fixed order is what makes the data-parallel update a pure
+        function of the shard decomposition, never of how many workers
+        computed the shards or in which order they arrived.
+        """
+        shard_buffers = [self._check_buffers(b, "grad") for b in shard_buffers]
+        if not shard_buffers:
+            raise ValueError("reduce_grads needs at least one shard buffer")
+        for i, group in enumerate(self.groups):
+            acc = group.grad
+            acc[...] = shard_buffers[0][i]
+            for contrib in shard_buffers[1:]:
+                acc += contrib[i]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         per_group = ", ".join(

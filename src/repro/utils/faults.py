@@ -15,6 +15,8 @@ Injection points in the stack (one name per seam)::
     service.generate    a synthesis-service generator replenishment
     sink.write          one chunk written to a streaming export sink
     socket.send         one payload written to (or read from) an HTTP socket
+    parallel.reduce     publishing/reducing one shard gradient buffer in
+                        the data-parallel trainer's all-reduce
 
 Production call sites use two entry points:
 
@@ -55,6 +57,7 @@ POINTS = frozenset({
     "service.generate",
     "sink.write",
     "socket.send",
+    "parallel.reduce",
 })
 
 ACTIONS = frozenset({"raise", "delay", "truncate", "corrupt"})

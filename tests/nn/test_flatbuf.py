@@ -159,3 +159,112 @@ class TestSequentialIntegration:
         FlatParameterBuffer(params[:2])
         with pytest.raises(ValueError, match="partially overlapping"):
             FlatParameterBuffer.owner_of(params)
+
+
+class TestSharedMemoryPrimitives:
+    """The broadcast/reduce layer the data-parallel trainer is built on."""
+
+    def test_group_specs_describe_layout(self):
+        flat = FlatParameterBuffer(make_params())
+        assert flat.group_specs() == [(np.dtype(np.float64), 24)]
+
+    def test_group_specs_per_dtype(self):
+        params = make_params() + make_params(np.float32)
+        flat = FlatParameterBuffer(params)
+        assert sorted(flat.group_specs(), key=lambda s: s[0].name) == [
+            (np.dtype(np.float32), 24), (np.dtype(np.float64), 24),
+        ]
+
+    @staticmethod
+    def backing_for(flat, fill=0.0):
+        return [np.full(size, fill, dtype=dtype)
+                for dtype, size in flat.group_specs()]
+
+    def test_rebind_storage_preserves_values_and_aliasing(self):
+        params = make_params()
+        flat = FlatParameterBuffer(params)
+        expected = [p.data.copy() for p in params]
+        backing = self.backing_for(flat)
+        flat.rebind_storage(data_backing=backing)
+        for p, old in zip(params, expected):
+            assert np.array_equal(p.data, old)
+        # The new storage is live: writes to it appear through the params.
+        backing[0][...] = 9.0
+        for p in params:
+            assert np.all(p.data == 9.0)
+
+    def test_rebind_storage_shape_mismatch_rejected(self):
+        flat = FlatParameterBuffer(make_params())
+        with pytest.raises(ValueError, match="does not match"):
+            flat.rebind_storage(data_backing=[np.empty(7)])
+
+    def test_rebind_storage_wrong_count_rejected(self):
+        flat = FlatParameterBuffer(make_params())
+        with pytest.raises(ValueError, match="expected 1 data buffers"):
+            flat.rebind_storage(data_backing=[np.empty(24), np.empty(24)])
+
+    def test_optimizer_steps_through_rebound_storage(self):
+        """An Adam built before rebinding keeps working after it — and its
+        updates land in the new backing (the broadcast property)."""
+        net = Sequential([Dense(3, 3, rng=0)])
+        flat = net.flatten_parameters()
+        opt = Adam(flat, lr=0.1)
+        backing = self.backing_for(flat)
+        flat.rebind_storage(data_backing=backing)
+        x = np.ones((2, 3))
+        net.backward(net.forward(x))
+        before = backing[0].copy()
+        opt.step()
+        assert not np.array_equal(backing[0], before)
+        (group,) = flat.groups
+        assert group.data is backing[0]
+
+    def test_export_import_data_roundtrip(self):
+        flat = FlatParameterBuffer(make_params())
+        out = self.backing_for(flat)
+        flat.export_data(out)
+        assert np.array_equal(out[0], flat.groups[0].data)
+        flat.groups[0].data[...] = 0.0
+        flat.import_data(out)
+        assert np.array_equal(flat.groups[0].data, out[0])
+
+    def test_export_grads_applies_scale_in_group_dtype(self):
+        params = make_params(np.float32)
+        flat = FlatParameterBuffer(params)
+        for p in params:
+            p.grad += 2.0
+        out = self.backing_for(flat)
+        flat.export_grads(out, scale=0.25)
+        assert out[0].dtype == np.float32
+        assert np.all(out[0] == np.float32(2.0) * np.float32(0.25))
+
+    def test_export_grads_unscaled(self):
+        flat = FlatParameterBuffer(make_params())
+        flat.groups[0].grad[...] = 3.5
+        out = self.backing_for(flat)
+        flat.export_grads(out)
+        assert np.all(out[0] == 3.5)
+
+    def test_reduce_grads_is_an_ordered_sum(self):
+        flat = FlatParameterBuffer(make_params())
+        rng = np.random.default_rng(3)
+        shards = [self.backing_for(flat) for _ in range(3)]
+        for shard in shards:
+            shard[0][...] = rng.standard_normal(shard[0].size)
+        flat.reduce_grads(shards)
+        expected = shards[0][0].copy()
+        expected += shards[1][0]
+        expected += shards[2][0]
+        assert np.array_equal(flat.groups[0].grad, expected)
+
+    def test_reduce_grads_overwrites_stale_gradients(self):
+        flat = FlatParameterBuffer(make_params())
+        flat.groups[0].grad[...] = 123.0  # stale junk must not accumulate
+        shard = self.backing_for(flat, fill=1.0)
+        flat.reduce_grads([shard])
+        assert np.all(flat.groups[0].grad == 1.0)
+
+    def test_reduce_grads_empty_rejected(self):
+        flat = FlatParameterBuffer(make_params())
+        with pytest.raises(ValueError, match="at least one shard"):
+            flat.reduce_grads([])

@@ -30,6 +30,8 @@ from repro.serve.server import (
 )
 from repro.utils.faults import FaultError, FaultPlan
 
+pytestmark = pytest.mark.chaos
+
 SEED = 11
 
 

@@ -67,6 +67,22 @@ class TestQuickBenchmark:
             assert value > 0, rows
         assert isinstance(large_batch["flat_beyond_256"], bool)
 
+    def test_training_section(self, quick_report):
+        training = quick_report["training"]
+        assert training["workers"] == QUICK_WORKLOAD["training_workers"]
+        assert set(training["epoch_s"]) == {
+            str(n) for n in training["workers"]
+        }
+        for key, value in training["epoch_s"].items():
+            assert value > 0, key
+        assert set(training["speedup_vs_serial"]) == set(training["epoch_s"])
+        # The headline bit: weights are a function of the data and the
+        # shards, never the worker count.
+        assert training["worker_invariant"] is True
+        assert training["cores"] >= 1
+        if training["cores"] < max(training["workers"]):
+            assert "core(s) visible" in training["log"]
+
     def test_format_report_lists_every_metric(self, quick_report):
         text = format_report(quick_report)
         for key in REPORT_KEYS:
@@ -74,6 +90,8 @@ class TestQuickBenchmark:
         assert "synthesis throughput" in text
         assert "micro-batched" in text
         assert "serving load test skipped" in text
+        assert "data-parallel training" in text
+        assert "worker-invariant weights: True" in text
 
     def test_write_report_round_trips(self, quick_report, tmp_path):
         path = tmp_path / "bench.json"

@@ -15,6 +15,8 @@ from repro.utils.faults import (
     inject,
 )
 
+pytestmark = pytest.mark.chaos
+
 
 class TestArmValidation:
     def test_unknown_point_rejected(self):
@@ -46,6 +48,11 @@ class TestArmValidation:
         for point in POINTS:
             for action in ACTIONS:
                 plan.arm(point, action)
+
+    def test_parallel_reduce_seam_is_registered(self):
+        # The data-parallel trainer's gradient publish/reduce path must stay
+        # injectable — tests/core/test_parallel.py arms this point.
+        assert "parallel.reduce" in POINTS
 
 
 class TestControlSeams:
