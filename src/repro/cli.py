@@ -15,6 +15,8 @@ Examples
     python -m repro synth --model-name adult-low -n 1000000 --workers 4 \
         --out /tmp/rows.csv
     python -m repro serve --registry model-registry --port 8000
+    python -m repro serve --port 8000 --trace-log /tmp/spans.jsonl
+    python -m repro trace /tmp/spans.jsonl
 
 ``train``/``sample``/``evaluate``/``attack`` regenerate the dataset
 deterministically from ``--dataset``, ``--rows`` and ``--seed``, so a saved
@@ -44,6 +46,7 @@ from repro.data.io import write_csv
 from repro.evaluation import classification_compatibility, mean_area_distance
 from repro.evaluation.compatibility import classifier_suite
 from repro.evaluation.reporting import format_table
+from repro.obs import trace
 from repro.privacy import MembershipAttack, dcr, dcr_sensitive_only
 from repro.serve import (
     CsvSink,
@@ -303,6 +306,11 @@ def cmd_serve(args) -> int:
         stream_chunk_rows=args.stream_rows, max_models=args.max_models,
         memory_budget_bytes=budget, quiet=not args.verbose,
     )
+    if args.trace_log:
+        # Arm the process-wide tracer: every sampled request appends its
+        # handler/batcher/service span records to the JSONL file, readable
+        # live with `repro trace PATH`.
+        trace.arm(args.trace_log)
     stop = threading.Event()
     for signum in (signal.SIGTERM, signal.SIGINT):
         signal.signal(signum, lambda *_: stop.set())
@@ -316,9 +324,96 @@ def cmd_serve(args) -> int:
     finally:
         print("draining in-flight requests ...", flush=True)
         server.shutdown()
+        if args.trace_log:
+            trace.disarm()
+            print(f"trace spans written to {args.trace_log}", flush=True)
         responses = server.metrics()["responses"]
         print(f"server stopped after {sum(responses.values())} response(s)",
               flush=True)
+    return 0
+
+
+def _print_trace_tree(spans, events, trace_id: str) -> int:
+    """Indented parent→child view of one trace's spans (ts order)."""
+    mine = sorted((s for s in spans if s.get("trace") == trace_id),
+                  key=lambda s: s.get("ts", 0))
+    if not mine:
+        print(f"no spans recorded for trace {trace_id}")
+        return 1
+    ids = {s.get("span") for s in mine}
+    children: dict = {}
+    roots = []
+    for span in mine:
+        parent = span.get("parent")
+        if parent in ids:
+            children.setdefault(parent, []).append(span)
+        else:
+            roots.append(span)
+
+    def walk(span, depth):
+        attrs = span.get("attrs") or {}
+        extra = " ".join(f"{k}={v}" for k, v in sorted(attrs.items()))
+        line = (f"{'  ' * depth}{span['name']}  "
+                f"{span.get('dur_ms', 0.0):.3f} ms")
+        print(line + (f"  [{extra}]" if extra else ""))
+        for child in children.get(span.get("span"), []):
+            walk(child, depth + 1)
+
+    print(f"trace {trace_id}:")
+    for root in roots:
+        walk(root, 1)
+    for event in events:
+        if event.get("trace") == trace_id:
+            print(f"  event {event['name']}  {event.get('attrs') or {}}")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """Summarize a span JSONL log (written by ``serve --trace-log``)."""
+    records = []
+    try:
+        with open(args.path, encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    records.append(json.loads(line))
+                except json.JSONDecodeError:
+                    continue  # a torn concurrent write; skip, don't die
+    except OSError as exc:
+        print(f"cannot read {args.path}: {exc}")
+        return 1
+    if args.tail:
+        for record in records[-args.tail:]:
+            print(json.dumps(record, sort_keys=True))
+        return 0
+    spans = [r for r in records if r.get("kind") == "span"]
+    events = [r for r in records if r.get("kind") == "event"]
+    if args.trace:
+        return _print_trace_tree(spans, events, args.trace)
+    if not spans and not events:
+        print(f"{args.path}: no trace records")
+        return 0
+    by_name: dict[str, list[float]] = {}
+    for span in spans:
+        by_name.setdefault(span["name"], []).append(
+            float(span.get("dur_ms", 0.0)))
+    rows = []
+    for name in sorted(by_name):
+        durations = sorted(by_name[name])
+        total = sum(durations)
+        rows.append((
+            name, str(len(durations)), f"{total:.1f}",
+            f"{total / len(durations):.3f}",
+            f"{durations[len(durations) // 2]:.3f}", f"{durations[-1]:.3f}",
+        ))
+    traces = {s.get("trace") for s in spans}
+    print(format_table(
+        ["span", "count", "total ms", "mean ms", "p50 ms", "max ms"], rows,
+        title=(f"{len(spans)} span(s) across {len(traces)} trace(s), "
+               f"{len(events)} event(s)"),
+    ))
     return 0
 
 
@@ -480,7 +575,23 @@ def build_parser() -> argparse.ArgumentParser:
                               "baseline)")
     p_serve.add_argument("--verbose", action="store_true",
                          help="per-request access log on stderr")
+    p_serve.add_argument("--trace-log", default=None, metavar="PATH",
+                         help="arm request tracing: append one JSON span "
+                              "record per handler/batcher/service stage to "
+                              "PATH (inspect with `repro trace PATH`); "
+                              "default: tracing disarmed")
     p_serve.set_defaults(func=cmd_serve)
+
+    p_trace = sub.add_parser(
+        "trace", help="summarize a span log written by serve --trace-log"
+    )
+    p_trace.add_argument("path", help="span JSONL file")
+    p_trace.add_argument("--tail", type=_positive_int, default=None,
+                         metavar="N", help="print the last N raw records")
+    p_trace.add_argument("--trace", default=None, metavar="ID",
+                         help="print one trace's span tree (the X-Trace-Id "
+                              "a response echoed)")
+    p_trace.set_defaults(func=cmd_trace)
 
     p_bench = sub.add_parser(
         "bench", help="benchmark the conv engine vs the reference implementation"

@@ -77,6 +77,7 @@ from repro.core.schedule import UpdateSchedule
 from repro.core.trainer import EpochLosses, FeatureStats, TableGanTrainer, TrainingHistory
 from repro.nn import Sequential
 from repro.nn.batchnorm import BatchNorm
+from repro.obs import trace
 from repro.utils.faults import fault_point
 from repro.utils.rng import ensure_rng
 
@@ -655,13 +656,18 @@ class ParallelTrainer(TableGanTrainer):
                 total += weight * value
             return total
 
+        profile = self.profile
         for op in ops:
             if op == "d":
                 fault_point("parallel.reduce")
+                t0 = time.perf_counter()
                 self._flats["d"].reduce_grads(
                     [self._grad_views[s]["d"] for s in range(self.grad_shards)]
                 )
+                t1 = time.perf_counter()
                 self.opt_d.step()
+                profile.add("reduce", t1 - t0)
+                profile.add("optimizer_step", time.perf_counter() - t1)
                 losses["d"] = folded(
                     merged[s][op]["loss"] for s in range(self.grad_shards)
                 )
@@ -670,10 +676,14 @@ class ParallelTrainer(TableGanTrainer):
                     losses["c"] = 0.0
                     continue
                 fault_point("parallel.reduce")
+                t0 = time.perf_counter()
                 self._flats["c"].reduce_grads(
                     [self._grad_views[s]["c"] for s in range(self.grad_shards)]
                 )
+                t1 = time.perf_counter()
                 self.opt_c.step()
+                profile.add("reduce", t1 - t0)
+                profile.add("optimizer_step", time.perf_counter() - t1)
                 losses["c"] = folded(
                     merged[s][op]["loss"] for s in range(self.grad_shards)
                 )
@@ -690,10 +700,14 @@ class ParallelTrainer(TableGanTrainer):
                 self._publish_stats()
             else:  # "g"
                 fault_point("parallel.reduce")
+                t0 = time.perf_counter()
                 self._flats["g"].reduce_grads(
                     [self._grad_views[s]["g"] for s in range(self.grad_shards)]
                 )
+                t1 = time.perf_counter()
                 self.opt_g.step()
+                profile.add("reduce", t1 - t0)
+                profile.add("optimizer_step", time.perf_counter() - t1)
                 losses["adv"] = folded(
                     merged[s][op]["loss"][0] for s in range(self.grad_shards)
                 )
@@ -703,21 +717,28 @@ class ParallelTrainer(TableGanTrainer):
                 losses["cls"] = folded(
                     merged[s][op]["loss"][2] for s in range(self.grad_shards)
                 )
+        t0 = time.perf_counter()
         self._replay_bn(ops, merged)
+        profile.add("bn_replay", time.perf_counter() - t0)
 
     def _run_parallel_batch(self, offset: int, rows: int, rng
                             ) -> tuple[float, float, float, float, float]:
         self._z_view[...] = self.sample_latent(rows, rng)
         losses = {"d": 0.0, "adv": 0.0, "info": 0.0, "cls": 0.0, "c": 0.0}
         fake_valid = False
+        profile = self.profile
         for ops in self._rounds:
             self._round_id += 1
             command = ("round", self._round_id, offset, rows, ops, fake_valid)
             for cmd_queue in self._cmd_queues:
                 cmd_queue.put(command)
+            t0 = time.perf_counter()
             merged = self._executor.run_round(offset, rows, ops, fake_valid)
+            t1 = time.perf_counter()
             for body in self._collect(self._round_id).values():
                 merged.update(body)
+            profile.add("shard_compute", t1 - t0)
+            profile.add("reduce_wait", time.perf_counter() - t1)
             if sorted(merged) != list(range(self.grad_shards)):
                 raise ParallelTrainingError(
                     f"round {self._round_id} covered shards {sorted(merged)}, "
@@ -791,7 +812,9 @@ class ParallelTrainer(TableGanTrainer):
                 # shared segment every process reads its shard rows from.
                 np.take(matrices, perm, axis=0, out=self._epoch_view)
                 for start in range(first_start, n - batch + 1, batch):
-                    sums += self._run_parallel_batch(start, batch, rng)
+                    with trace.span("train.batch", epoch=epoch, rows=batch,
+                                    parallel=True):
+                        sums += self._run_parallel_batch(start, batch, rng)
                     n_batches += 1
                     if checkpointer is not None:
                         self._sync_bn()

@@ -31,6 +31,7 @@ engine benchmark reconstructs the seed-idiom epoch cost.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -46,6 +47,8 @@ from repro.core.losses import (
 from repro.core.networks import FEATURE_LAYER
 from repro.core.schedule import UpdateSchedule
 from repro.nn import Adam, Sequential
+from repro.obs import trace
+from repro.obs.profile import PhaseProfile
 from repro.utils.rng import ensure_rng
 
 
@@ -122,6 +125,9 @@ class TableGanTrainer:
                          else UpdateSchedule.from_config(config))
         self.stats: FeatureStats | None = None
         self._dtype = config.np_dtype
+        # Wall-clock spent per schedule op across the whole run; always on
+        # (two perf_counter reads per op) and read back by the bench/CLI.
+        self.profile = PhaseProfile()
 
     # ------------------------------------------------------------------
     def sample_latent(self, batch: int, rng) -> np.ndarray:
@@ -288,15 +294,19 @@ class TableGanTrainer:
         stats_fresh = False
         d_loss = c_loss = 0.0
         adv = info = cls = 0.0
+        profile = self.profile
         for op in self.schedule.ops:
+            op_t0 = time.perf_counter()
             if op == "d":
                 if not fake_fresh:
                     fake = self.generator.forward(z)
                     fake_fresh = True
                 d_loss = self._update_discriminator(real, fake)
                 stats_fresh = False
+                profile.add("d_step", time.perf_counter() - op_t0)
             elif op == "c":
                 c_loss = self._update_classifier(real)
+                profile.add("c_step", time.perf_counter() - op_t0)
             elif op == "stats":
                 if not fake_fresh:
                     fake = self.generator.forward(z)
@@ -314,6 +324,7 @@ class TableGanTrainer:
                     self.discriminator.activation(FEATURE_LAYER)
                 )
                 stats_fresh = True
+                profile.add("stats_refresh", time.perf_counter() - op_t0)
             else:  # "g"
                 if not fake_fresh:
                     fake = self.generator.forward(z)
@@ -322,6 +333,7 @@ class TableGanTrainer:
                 )
                 fake_fresh = False
                 stats_fresh = False
+                profile.add("g_step", time.perf_counter() - op_t0)
         return d_loss, adv, info, cls, c_loss
 
     # ------------------------------------------------------------------
@@ -390,7 +402,8 @@ class TableGanTrainer:
             for start in range(first_start, n - batch + 1, batch):
                 real = shuffled[start : start + batch]
                 z = self.sample_latent(real.shape[0], rng)
-                sums += self._run_batch(real, z, rng)
+                with trace.span("train.batch", epoch=epoch, rows=real.shape[0]):
+                    sums += self._run_batch(real, z, rng)
                 n_batches += 1
                 if checkpointer is not None:
                     checkpointer.on_batch(

@@ -1,0 +1,51 @@
+"""Observability: metrics registry, structured tracing, profiling hooks.
+
+Stdlib-only telemetry for the serving and training stack, built on the
+same "zero cost until armed" discipline as :mod:`repro.utils.faults`:
+
+* :mod:`repro.obs.metrics` — a process-wide :class:`MetricsRegistry` of
+  counters, gauges, and log-bucket histograms with labeled series,
+  rendered either as JSON snapshots or Prometheus text exposition
+  (``GET /metrics``);
+* :mod:`repro.obs.trace` — context-propagated ``trace_id``/``span``
+  tracing emitted as JSONL.  Disarmed (the steady state) every
+  :func:`~repro.obs.trace.span` call is one module-global load, an
+  ``is None`` test, and a shared no-op singleton; armed, spans flow
+  HTTP client → handler → batcher tick → ``SynthesisService`` →
+  generator forward and come back as the ``X-Trace-Id`` header;
+* :mod:`repro.obs.profile` — :class:`PhaseProfile`, the always-on
+  per-phase wall-clock accumulator behind the trainer and service
+  stage breakdowns in ``BENCH_engine.json``.
+
+CLI surface: ``repro serve --trace-log spans.jsonl`` arms the server,
+``repro trace spans.jsonl`` summarizes/inspects the span log.  See
+``docs/observability.md`` for the metric catalog and span schema.
+"""
+
+from repro.obs.metrics import (
+    REGISTRY,
+    LatencyHistogram,
+    MetricsRegistry,
+)
+from repro.obs.profile import PhaseProfile
+from repro.obs.trace import (
+    attach,
+    current,
+    log_event,
+    new_trace_id,
+    span,
+    tracing,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "REGISTRY",
+    "LatencyHistogram",
+    "PhaseProfile",
+    "span",
+    "current",
+    "attach",
+    "tracing",
+    "log_event",
+    "new_trace_id",
+]

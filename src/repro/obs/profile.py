@@ -1,0 +1,42 @@
+"""Always-on per-phase wall-clock accumulators.
+
+:class:`PhaseProfile` is the cheap end of the telemetry spectrum: two
+``perf_counter`` reads and a dict update per phase (~100 ns), so the
+trainers and the synthesis service keep it on unconditionally.  The
+bench reads ``snapshot()`` to embed stage breakdowns (shard compute vs
+reduce wait vs optimizer step; generate vs decode) in
+``BENCH_engine.json``.
+"""
+
+import threading
+
+
+class PhaseProfile:
+    """Accumulates (count, total seconds) per named phase."""
+
+    __slots__ = ("_lock", "_phases")
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._phases = {}
+
+    def add(self, phase, seconds):
+        with self._lock:
+            entry = self._phases.get(phase)
+            if entry is None:
+                self._phases[phase] = [1, seconds]
+            else:
+                entry[0] += 1
+                entry[1] += seconds
+
+    def snapshot(self):
+        """{phase: {"count": n, "total_s": seconds}} — JSON-ready."""
+        with self._lock:
+            return {
+                phase: {"count": entry[0], "total_s": round(entry[1], 6)}
+                for phase, entry in sorted(self._phases.items())
+            }
+
+    def reset(self):
+        with self._lock:
+            self._phases.clear()

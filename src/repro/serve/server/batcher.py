@@ -73,6 +73,8 @@ from collections import deque
 
 import numpy as np
 
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace
 from repro.utils.faults import fault_point
 
 
@@ -120,7 +122,7 @@ class _PendingSlice:
     """
 
     __slots__ = ("n", "event", "values", "offset", "error", "deadline",
-                 "strikes")
+                 "strikes", "ctx", "admitted_at")
 
     def __init__(self, n: int, deadline: float | None = None):
         self.n = n
@@ -130,6 +132,11 @@ class _PendingSlice:
         self.error: BaseException | None = None
         self.deadline = deadline
         self.strikes = 0
+        # Captured in the handler thread: the trace context the worker
+        # re-attaches so its spans parent to this request's handler span,
+        # and the admission timestamp behind the queue-wait histogram.
+        self.ctx = trace.current()
+        self.admitted_at = time.perf_counter()
 
 
 class _PendingStream:
@@ -141,7 +148,8 @@ class _PendingStream:
     on client disconnect) makes the worker abandon the remaining rows.
     """
 
-    __slots__ = ("n", "chunk_rows", "chunks", "cancelled", "deadline")
+    __slots__ = ("n", "chunk_rows", "chunks", "cancelled", "deadline",
+                 "ctx", "admitted_at")
 
     def __init__(self, n: int, chunk_rows: int, maxsize: int = 2,
                  deadline: float | None = None):
@@ -150,6 +158,8 @@ class _PendingStream:
         self.chunks: queue.Queue = queue.Queue(maxsize=maxsize)
         self.cancelled = threading.Event()
         self.deadline = deadline
+        self.ctx = trace.current()
+        self.admitted_at = time.perf_counter()
 
     def cancel(self) -> None:
         """Tell the worker to stop generating rows for this stream."""
@@ -202,12 +212,18 @@ class CoalescingBatcher:
         Worker crashes a single request may survive before it is
         quarantined (failed with :class:`WorkerCrashed`) instead of
         retried.
+    registry:
+        :class:`~repro.obs.metrics.MetricsRegistry` the batcher's
+        counters and queue-wait histogram bind into (labeled
+        ``model=name``).  Defaults to the process-wide registry; the
+        bench injects a fresh one per server to isolate modes.
     """
 
     def __init__(self, service, max_queue_depth: int = 64,
                  coalesce: bool = True, name: str = "model",
                  max_restarts: int = 5, restart_backoff_s: float = 0.05,
-                 max_backoff_s: float = 2.0, poison_strikes: int = 2):
+                 max_backoff_s: float = 2.0, poison_strikes: int = 2,
+                 registry=None):
         if max_queue_depth < 0:
             raise ValueError(
                 f"max_queue_depth must be non-negative, got {max_queue_depth}"
@@ -240,6 +256,38 @@ class CoalescingBatcher:
         self._restarts = 0
         self._poisoned = 0
         self._deadline_drops = 0
+        # Registry series, pre-bound once so hot-path updates are a
+        # single locked increment each.
+        self._model_name = name
+        reg = registry if registry is not None else obs_metrics.REGISTRY
+        self.telemetry_registry = reg
+        self._m_queue_wait = reg.histogram(
+            "batcher_queue_wait_seconds",
+            "Time from request admission to the worker popping it",
+        ).labels(model=name)
+        self._m_crashes = reg.counter(
+            "batcher_worker_crashes_total",
+            "Worker crashes caught by the supervisor",
+        ).labels(model=name)
+        self._m_restarts = reg.counter(
+            "batcher_worker_restarts_total",
+            "Worker restarts after a crash",
+        ).labels(model=name)
+        self._m_quarantines = reg.counter(
+            "batcher_worker_quarantines_total",
+            "Requests quarantined after repeated worker crashes",
+        ).labels(model=name)
+        self._m_deadline_drops = reg.counter(
+            "batcher_deadline_drops_total",
+            "Requests dropped unserved because their deadline expired",
+        ).labels(model=name)
+        self._m_ticks = reg.counter(
+            "batcher_ticks_total", "Drain ticks completed",
+        ).labels(model=name)
+        self._m_coalesced = reg.counter(
+            "batcher_coalesced_requests_total",
+            "Requests served through coalesced drain ticks",
+        ).labels(model=name)
         self._wake = threading.Event()
         self._worker = threading.Thread(
             target=self._run, name=f"synthesis-batcher-{name}",
@@ -285,6 +333,10 @@ class CoalescingBatcher:
                 "poisoned": self._poisoned,
                 "deadline_drops": self._deadline_drops,
             }
+
+    def queue_wait_summary(self) -> dict:
+        """Admission→pop wait histogram (count/percentiles, JSON-ready)."""
+        return self._m_queue_wait.summary()
 
     def _check_accepting(self) -> None:
         if self._dead:
@@ -347,7 +399,13 @@ class CoalescingBatcher:
             if depth >= self.max_queue_depth:
                 raise QueueSaturated(depth)
             if self.coalesce and not self._streams_outstanding:
-                hit = self.service.take_pooled(n)
+                # Armed tracing sees the probe as a "batcher" span in the
+                # handler's own trace (fast_path/hit attrs tell the two
+                # outcomes apart); the service's take_pooled span nests
+                # under it.
+                with trace.span("batcher", fast_path=True) as sp:
+                    hit = self.service.take_pooled(n)
+                    sp.set(hit=hit is not None)
                 if hit is not None:
                     if self.service.pooled_rows * 2 < self.service.pool_size:
                         # Pool running low: wake the idle worker so it
@@ -419,9 +477,11 @@ class CoalescingBatcher:
         failed_streams: list[tuple[_PendingStream, BaseException]] = []
         wrapped = WorkerCrashed(f"batcher worker crashed: {exc!r}")
         wrapped.__cause__ = exc
+        poisoned_now = 0
         with self._cond:
             self._crashes += 1
             self._consecutive_crashes += 1
+            consecutive = self._consecutive_crashes
             dead = self._consecutive_crashes > self.max_restarts
             retry: list[_PendingSlice] = []
             for pending in batch:
@@ -436,6 +496,7 @@ class CoalescingBatcher:
                 if dead or pending.strikes >= self.poison_strikes:
                     if pending.strikes >= self.poison_strikes:
                         self._poisoned += 1
+                        poisoned_now += 1
                     pending.error = wrapped
                     pending.event.set()
                 else:
@@ -465,6 +526,33 @@ class CoalescingBatcher:
                 self.max_backoff_s,
             )
             self._cond.notify_all()
+        # Registry counters + one structured log line (satellite of the
+        # telemetry work): restart/quarantine events used to be visible
+        # only as /healthz state, now they are scrapeable and carry the
+        # trace context of whatever was in flight when the worker died.
+        self._m_crashes.inc()
+        if not dead:
+            self._m_restarts.inc()
+        if poisoned_now:
+            self._m_quarantines.inc(poisoned_now)
+        trace.log_event(
+            "batcher.worker_crash",
+            model=self._model_name,
+            error=repr(exc),
+            dead=dead,
+            consecutive_crashes=consecutive,
+            quarantined=poisoned_now,
+            in_flight=[
+                {
+                    "kind": ("stream" if isinstance(p, _PendingStream)
+                             else "slice"),
+                    "rows": p.n,
+                    "trace": p.ctx[0] if p.ctx else None,
+                    "span": p.ctx[1] if p.ctx else None,
+                }
+                for p in batch
+            ],
+        )
         for stream, err in failed_streams:
             self._fail_stream(stream, err)
         if dead:
@@ -494,6 +582,7 @@ class CoalescingBatcher:
         if pending.deadline is None or now < pending.deadline:
             return False
         self._deadline_drops += 1
+        self._m_deadline_drops.inc()
         err = DeadlineExceeded(
             "request deadline expired while queued; dropped unserved"
         )
@@ -573,11 +662,27 @@ class CoalescingBatcher:
                     if isinstance(batch[0], _PendingStream):
                         self._streams_outstanding -= 1
                     self._ticks += 1
+                self._m_ticks.inc()
 
     def _serve_slices(self, batch: list) -> None:
         counts = [pending.n for pending in batch]
+        popped = time.perf_counter()
+        for pending in batch:
+            self._m_queue_wait.record(popped - pending.admitted_at)
+        self._m_coalesced.inc(len(batch))
         try:
-            values, base = self.service.take_block(counts)
+            # The tick's span parents to the first request's handler span
+            # (the tick serves many traces but runs once); every other
+            # coalesced request gets its own "batcher" span after the
+            # fact so each trace still shows where its time went.
+            with trace.attach(batch[0].ctx):
+                with trace.span("batcher", coalesced=len(batch),
+                                rows=int(sum(counts))):
+                    values, base = self.service.take_block(counts)
+            for pending in batch[1:]:
+                if pending.ctx is not None:
+                    trace.emit("batcher", popped, parent=pending.ctx,
+                               coalesced=len(batch), rows=pending.n)
         except Exception as exc:  # noqa: BLE001 — per-request error path
             for pending in batch:
                 pending.error = exc
@@ -594,6 +699,14 @@ class CoalescingBatcher:
             pending.event.set()
 
     def _serve_stream(self, stream: _PendingStream) -> None:
+        self._m_queue_wait.record(time.perf_counter() - stream.admitted_at)
+        # One span covers the whole export; per-chunk take_block spans
+        # nest under it, all parented into the requesting handler's trace.
+        with trace.attach(stream.ctx):
+            with trace.span("batcher", stream=True, rows=stream.n):
+                self._stream_chunks(stream)
+
+    def _stream_chunks(self, stream: _PendingStream) -> None:
         def hand_over(item) -> bool:
             """Put with cancellation checks; False = consumer gave up."""
             while True:

@@ -51,6 +51,8 @@ import random
 import socket
 import time
 
+from repro.obs import trace
+
 
 class ServerError(RuntimeError):
     """A non-2xx server response, with its status and decoded message."""
@@ -261,9 +263,18 @@ class SynthesisClient:
 
     def _request(self, method: str, path: str, payload=None,
                  accept: str = "application/json",
-                 deadline_ms: float | None = None) -> tuple[dict, bytes]:
+                 deadline_ms: float | None = None,
+                 trace_id: str | None = None) -> tuple[dict, bytes]:
         body = None
         headers = {"Accept": accept}
+        if trace_id is None:
+            # A client running inside a traced process propagates its own
+            # trace automatically, so server spans join the caller's.
+            ctx = trace.current()
+            if ctx is not None:
+                trace_id = ctx[0]
+        if trace_id is not None:
+            headers["X-Trace-Id"] = str(trace_id)
         if payload is not None:
             body = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
@@ -350,9 +361,14 @@ class SynthesisClient:
         return self._json_body(raw)
 
     def metrics(self) -> dict:
-        """``GET /metrics``."""
+        """``GET /metrics`` (the JSON payload)."""
         _, raw = self._request("GET", "/metrics")
         return self._json_body(raw)
+
+    def metrics_text(self) -> str:
+        """``GET /metrics`` as Prometheus text exposition."""
+        _, raw = self._request("GET", "/metrics", accept="text/plain")
+        return raw.decode("utf-8")
 
     def models(self) -> list[dict]:
         """``GET /models`` — every registration in the server's registry."""
@@ -365,19 +381,24 @@ class SynthesisClient:
         return self._json_body(raw)
 
     def sample(self, ref: str, n: int,
-               deadline_ms: float | None = None) -> dict:
+               deadline_ms: float | None = None,
+               trace_id: str | None = None) -> dict:
         """``POST /models/{ref}/sample`` for JSON rows.
 
         Returns the decoded reply dict — ``columns``, ``rows``, ``offset``
         (the response's slice position in the model's seeded record
-        stream), ``n``, ``model``.  Large requests (over the server's
-        stream threshold) arrive as NDJSON chunks and are reassembled here
-        into the same shape.  ``deadline_ms`` bounds the whole call
-        (including retries) and is propagated to the server.
+        stream), ``n``, ``model``, plus ``trace_id``: the id the server
+        tagged the request's spans with (echoed ``X-Trace-Id``).  Pass
+        ``trace_id`` to pin it; otherwise the current trace context (if
+        any) or a server-generated id is used.  Large requests (over the
+        server's stream threshold) arrive as NDJSON chunks and are
+        reassembled here into the same shape.  ``deadline_ms`` bounds the
+        whole call (including retries) and is propagated to the server.
         """
         headers, raw = self._request(
             "POST", f"/models/{ref}/sample",
             payload={"n": n, "format": "json"}, deadline_ms=deadline_ms,
+            trace_id=trace_id,
         )
         if "ndjson" in headers.get("Content-Type", ""):
             try:
@@ -394,11 +415,16 @@ class SynthesisClient:
                 "offset": int(headers["X-Stream-Offset"]),
                 "columns": json.loads(columns) if columns else None,
                 "rows": rows,
+                "trace_id": headers.get("X-Trace-Id"),
             }
-        return self._json_body(raw)
+        reply = self._json_body(raw)
+        if isinstance(reply, dict):
+            reply["trace_id"] = headers.get("X-Trace-Id")
+        return reply
 
     def sample_csv(self, ref: str, n: int,
-                   deadline_ms: float | None = None) -> str:
+                   deadline_ms: float | None = None,
+                   trace_id: str | None = None) -> str:
         """``POST /models/{ref}/sample`` for CSV text (header row included).
 
         Transparently handles both small (buffered) and large (chunked
@@ -406,6 +432,6 @@ class SynthesisClient:
         """
         _, raw = self._request(
             "POST", f"/models/{ref}/sample", payload={"n": n, "format": "csv"},
-            accept="text/csv", deadline_ms=deadline_ms,
+            accept="text/csv", deadline_ms=deadline_ms, trace_id=trace_id,
         )
         return raw.decode("utf-8")

@@ -67,6 +67,7 @@ import numpy as np
 
 from repro.data.io import decoded_rows
 from repro.data.table import Table
+from repro.obs import trace
 from repro.serve.registry import CorruptArtifactError, RegistryError
 from repro.serve.server.batcher import (
     BatcherClosed,
@@ -280,7 +281,14 @@ class _Handler(BaseHTTPRequestHandler):
         })
 
     def _handle_metrics(self) -> None:
-        self._send_json(200, self.app.metrics())
+        # Content negotiation: the JSON payload (the SynthesisClient's
+        # default Accept) keeps its shape; anything else — a Prometheus
+        # scraper sends */* — gets the registry's text exposition.
+        accept = self.headers.get("Accept", "")
+        if "application/json" in accept:
+            return self._send_json(200, self.app.metrics())
+        body = self.app.metrics_registry.render_text().encode("utf-8")
+        self._send_body(200, body, "text/plain; version=0.0.4; charset=utf-8")
 
     def _handle_models(self) -> None:
         try:
@@ -367,16 +375,34 @@ class _Handler(BaseHTTPRequestHandler):
             )
         return time.monotonic() + ms / 1000.0
 
+    def _trace_id(self) -> str:
+        """Inbound ``X-Trace-Id`` (sanitized) or a fresh id.  Requests
+        always carry one — tracing armed or not — so clients can
+        correlate responses with server logs."""
+        raw = self.headers.get("X-Trace-Id")
+        if raw:
+            raw = raw.strip()[:64]
+            if raw:
+                return raw
+        return trace.new_trace_id()
+
     def _handle_sample(self, ref: str) -> None:
         if self.app.draining:
             raise _HttpError(503, "server is draining", {"Retry-After": "1"})
         n, fmt = self._read_request()
         deadline = self._read_deadline()
+        trace_id = self._trace_id()
         started = time.perf_counter()
-        if n > self.app.stream_threshold_rows:
-            entry = self._stream_sample(ref, n, fmt, deadline)
-        else:
-            entry = self._small_sample(ref, n, fmt, deadline)
+        # Root span of the request's trace: everything downstream — the
+        # batcher probe/tick, service take, generator forward, decode,
+        # render — parents under it via the context var (or, across the
+        # worker-thread hop, via the ctx captured at admission).
+        with trace.span("handler", trace_id=trace_id, model=ref, n=n,
+                        fmt=fmt):
+            if n > self.app.stream_threshold_rows:
+                entry = self._stream_sample(ref, n, fmt, deadline, trace_id)
+            else:
+                entry = self._small_sample(ref, n, fmt, deadline, trace_id)
         entry.latency.record(time.perf_counter() - started)
 
     def _submit(self, ref: str, method: str, *args):
@@ -405,32 +431,39 @@ class _Handler(BaseHTTPRequestHandler):
         raise AssertionError("unreachable")
 
     def _small_sample(self, ref: str, n: int, fmt: str,
-                      deadline: float | None = None):
+                      deadline: float | None = None,
+                      trace_id: str | None = None):
         entry, (values, offset) = self._submit(ref, "submit", n, deadline)
         schema = entry.service.schema
         table = Table(values, schema)
         headers = {"X-Stream-Offset": offset, "X-Row-Count": n}
-        if fmt == "csv":
-            body = _csv_bytes([list(schema.names), *decoded_rows(table)])
-            self._send_body(200, body, "text/csv; charset=utf-8", headers)
-        else:
-            # Hand-assembled but byte-identical to _json_bytes of the
-            # equivalent dict: the model/columns fragments are request-
-            # invariant (pre-rendered on the entry), so the hot path only
-            # serializes the rows.
-            rows_json = json.dumps(decoded_rows(table),
-                                   default=_json_default,
-                                   separators=(",", ":"))
-            body = (
-                f'{{"model":{entry.ref_json},"n":{n},"offset":{offset},'
-                f'"columns":{entry.columns_json},"rows":{rows_json}}}\n'
-            ).encode("utf-8")
-            self._send_body(200, body, "application/json; charset=utf-8",
-                            headers)
+        if trace_id is not None:
+            headers["X-Trace-Id"] = trace_id
+        render_started = time.perf_counter()
+        with trace.span("render", fmt=fmt, rows=n):
+            if fmt == "csv":
+                body = _csv_bytes([list(schema.names), *decoded_rows(table)])
+                content_type = "text/csv; charset=utf-8"
+            else:
+                # Hand-assembled but byte-identical to _json_bytes of the
+                # equivalent dict: the model/columns fragments are request-
+                # invariant (pre-rendered on the entry), so the hot path
+                # only serializes the rows.
+                rows_json = json.dumps(decoded_rows(table),
+                                       default=_json_default,
+                                       separators=(",", ":"))
+                body = (
+                    f'{{"model":{entry.ref_json},"n":{n},"offset":{offset},'
+                    f'"columns":{entry.columns_json},"rows":{rows_json}}}\n'
+                ).encode("utf-8")
+                content_type = "application/json; charset=utf-8"
+        self.app.observe_render(time.perf_counter() - render_started)
+        self._send_body(200, body, content_type, headers)
         return entry
 
     def _stream_sample(self, ref: str, n: int, fmt: str,
-                       deadline: float | None = None):
+                       deadline: float | None = None,
+                       trace_id: str | None = None):
         """Serve a large export as chunked transfer in bounded memory.
 
         The stream is admitted like any other request — it owns one
@@ -465,6 +498,8 @@ class _Handler(BaseHTTPRequestHandler):
             self.send_header("Transfer-Encoding", "chunked")
             self.send_header("X-Stream-Offset", str(base_offset))
             self.send_header("X-Row-Count", str(n))
+            if trace_id is not None:
+                self.send_header("X-Trace-Id", trace_id)
             if fmt != "csv":
                 # CSV streams carry their header row; NDJSON streams name
                 # the columns here so the client can return the same shape
@@ -497,8 +532,10 @@ class _Handler(BaseHTTPRequestHandler):
         return entry
 
     def _write_rows(self, schema, fmt: str, values) -> None:
+        render_started = time.perf_counter()
         rows = decoded_rows(Table(values, schema))
         data = _csv_bytes(rows) if fmt == "csv" else _ndjson_bytes(rows)
+        self.app.observe_render(time.perf_counter() - render_started)
         self._write_chunk(data)
 
     def _write_chunk(self, data: bytes) -> None:
@@ -548,6 +585,11 @@ class SynthesisServer:
         Router LRU policy.
     quiet:
         Suppress per-request access logging (default).
+    metrics_registry:
+        :class:`~repro.obs.metrics.MetricsRegistry` behind
+        ``GET /metrics``'s text exposition.  Defaults to the
+        process-wide registry; the bench injects a fresh one per server
+        so serving modes don't share series.
     """
 
     def __init__(self, registry, host: str = "127.0.0.1", port: int = 0, *,
@@ -557,7 +599,7 @@ class SynthesisServer:
                  stream_threshold_rows: int = 10_000,
                  stream_chunk_rows: int = 2048,
                  max_models: int = 8, memory_budget_bytes: int | None = None,
-                 quiet: bool = True):
+                 quiet: bool = True, metrics_registry=None):
         if stream_chunk_rows <= 0:
             raise ValueError(
                 f"stream_chunk_rows must be positive, got {stream_chunk_rows}"
@@ -574,7 +616,9 @@ class SynthesisServer:
             registry, pool_size=pool_size, batch_rows=batch_rows, seed=seed,
             coalesce=coalesce, max_queue_depth=max_queue_depth,
             max_models=max_models, memory_budget_bytes=memory_budget_bytes,
+            metrics_registry=metrics_registry,
         )
+        self.metrics_registry = self.router.metrics_registry
         self.max_request_rows = max_request_rows
         self.stream_threshold_rows = stream_threshold_rows
         self.stream_chunk_rows = stream_chunk_rows
@@ -586,6 +630,17 @@ class SynthesisServer:
         self._started_at = time.monotonic()
         self._status_lock = threading.Lock()
         self._status_counts: dict[str, int] = {}
+        self._m_responses = self.metrics_registry.counter(
+            "http_responses_total", "HTTP responses by status code",
+        )
+        self._m_render = self.metrics_registry.histogram(
+            "http_render_seconds",
+            "Response-body render time (row decode + serialization)",
+        ).labels()
+        self._g_uptime = self.metrics_registry.gauge(
+            "server_uptime_seconds", "Seconds since the server started",
+        ).labels()
+        self.metrics_registry.add_collector(self._refresh_gauges)
 
     # ------------------------------------------------------------------
     # Introspection.
@@ -614,6 +669,13 @@ class SynthesisServer:
         with self._status_lock:
             key = str(status)
             self._status_counts[key] = self._status_counts.get(key, 0) + 1
+        self._m_responses.labels(status=str(status)).inc()
+
+    def observe_render(self, seconds: float) -> None:
+        self._m_render.record(seconds)
+
+    def _refresh_gauges(self) -> None:
+        self._g_uptime.set(self.uptime_s)
 
     def metrics(self) -> dict:
         with self._status_lock:
@@ -622,6 +684,7 @@ class SynthesisServer:
             "uptime_s": self.uptime_s,
             "draining": self.draining,
             "responses": responses,
+            "render": self._m_render.summary(),
             "registry_root": str(self.router.registry.root),
             **self.router.metrics(),
         }
@@ -653,6 +716,7 @@ class SynthesisServer:
         if self._closed.is_set():
             return
         self._draining.set()
+        self.metrics_registry.remove_collector(self._refresh_gauges)
         self._httpd.shutdown()
         self._httpd.server_close()
         self.router.close()

@@ -1,79 +1,12 @@
-"""Request-latency accounting for the synthesis server's /metrics endpoint.
+"""Request-latency accounting — re-exported from :mod:`repro.obs.metrics`.
 
-A fixed-bucket, log-spaced histogram: recording is O(1) and lock-cheap
-(one counter increment per request), percentiles are reconstructed from
-the bucket counts on read, which is exactly the precision/overhead
-trade-off a serving metrics endpoint wants — the p99 of a latency
-histogram does not need microsecond accuracy, it needs to cost nothing on
-the request path.
+The log-bucket :class:`LatencyHistogram` that used to live here was
+promoted into the process-wide observability package (``repro.obs``) so
+the same histogram backs per-model latency, batcher queue-wait, and the
+Prometheus exposition on ``GET /metrics``.  This module remains as the
+serving-layer import path.
 """
 
-from __future__ import annotations
+from repro.obs.metrics import _BUCKET_BOUNDS, LatencyHistogram
 
-import threading
-
-#: Bucket upper bounds in seconds: 24 log-spaced buckets from 100 µs to
-#: ~2.7 min (each 1.6× the last), plus an unbounded overflow bucket.
-_BUCKET_BOUNDS = tuple(1e-4 * 1.6 ** i for i in range(24))
-
-
-class LatencyHistogram:
-    """Thread-safe log-bucketed latency histogram with percentile readout."""
-
-    def __init__(self):
-        self._lock = threading.Lock()
-        self._counts = [0] * (len(_BUCKET_BOUNDS) + 1)
-        self._count = 0
-        self._sum = 0.0
-        self._max = 0.0
-
-    def record(self, seconds: float) -> None:
-        """Record one request's wall-clock latency."""
-        index = 0
-        for index, bound in enumerate(_BUCKET_BOUNDS):  # noqa: B007
-            if seconds <= bound:
-                break
-        else:
-            index = len(_BUCKET_BOUNDS)
-        with self._lock:
-            self._counts[index] += 1
-            self._count += 1
-            self._sum += seconds
-            self._max = max(self._max, seconds)
-
-    @staticmethod
-    def _percentile(counts: list[int], total: int, q: float,
-                    max_s: float) -> float:
-        """The upper bound of the bucket holding the q-th quantile.
-
-        Works entirely on the caller's locked snapshot (``max_s`` caps the
-        overflow bucket), so one summary is internally consistent even if
-        records land concurrently.
-        """
-        target = q * total
-        seen = 0
-        for index, count in enumerate(counts):
-            seen += count
-            if seen >= target:
-                if index < len(_BUCKET_BOUNDS):
-                    return _BUCKET_BOUNDS[index]
-                return max_s
-        return max_s
-
-    def summary(self) -> dict:
-        """Counts and percentile estimates (milliseconds), JSON-ready."""
-        with self._lock:
-            counts = list(self._counts)
-            total = self._count
-            total_s = self._sum
-            max_s = self._max
-        if total == 0:
-            return {"count": 0}
-        return {
-            "count": total,
-            "mean_ms": 1e3 * total_s / total,
-            "p50_ms": 1e3 * self._percentile(counts, total, 0.50, max_s),
-            "p90_ms": 1e3 * self._percentile(counts, total, 0.90, max_s),
-            "p99_ms": 1e3 * self._percentile(counts, total, 0.99, max_s),
-            "max_ms": 1e3 * max_s,
-        }
+__all__ = ["LatencyHistogram", "_BUCKET_BOUNDS"]

@@ -30,6 +30,7 @@ import time
 from collections import OrderedDict
 
 from repro.core.tablegan import TableGAN
+from repro.obs import metrics as obs_metrics
 from repro.serve.registry import ModelRegistry
 from repro.serve.server.batcher import CoalescingBatcher
 from repro.serve.server.metrics import LatencyHistogram
@@ -78,6 +79,8 @@ class ModelEntry:
             "est_bytes": self.est_bytes,
             "loaded_at": self.loaded_at,
             "latency": self.latency.summary(),
+            "queue_wait": self.batcher.queue_wait_summary(),
+            "stages": self.service.profile.snapshot(),
         }
 
 
@@ -115,12 +118,17 @@ class ModelRouter:
         filesystem syscalls on every request's hot path; the TTL bounds
         how stale a bare-name alias can be after a new version is
         registered mid-flight.
+    metrics_registry:
+        :class:`~repro.obs.metrics.MetricsRegistry` behind the Prometheus
+        exposition: router counters, pool/queue-depth gauges (refreshed
+        by a collector at scrape time, never on the request path), and
+        every batcher's series.  Defaults to the process-wide registry.
     """
 
     def __init__(self, registry, *, pool_size: int = 0, batch_rows: int = 2048,
                  seed=0, coalesce: bool = True, max_queue_depth: int = 64,
                  max_models: int = 8, memory_budget_bytes: int | None = None,
-                 resolve_ttl_s: float = 5.0):
+                 resolve_ttl_s: float = 5.0, metrics_registry=None):
         if max_models < 1:
             raise ValueError(f"max_models must be >= 1, got {max_models}")
         self.registry = (registry if isinstance(registry, ModelRegistry)
@@ -140,6 +148,29 @@ class ModelRouter:
         self._closed = False
         self.evictions = 0
         self.dead_evictions = 0
+        reg = (metrics_registry if metrics_registry is not None
+               else obs_metrics.REGISTRY)
+        self.metrics_registry = reg
+        self._m_loads = reg.counter(
+            "router_model_loads_total", "Models loaded into the router",
+        ).labels()
+        self._m_evictions = reg.counter(
+            "router_evictions_total", "Models evicted from the router",
+        ).labels()
+        self._m_dead_evictions = reg.counter(
+            "router_dead_evictions_total",
+            "Evictions forced by a dead batcher worker",
+        ).labels()
+        self._g_resident = reg.gauge(
+            "router_resident_models", "Models currently resident",
+        ).labels()
+        self._g_queue_depth = reg.gauge(
+            "batcher_queue_depth", "Requests queued or in flight",
+        )
+        self._g_pooled_rows = reg.gauge(
+            "service_pooled_rows", "Pre-generated rows waiting in the pool",
+        )
+        reg.add_collector(self._refresh_gauges)
 
     # ------------------------------------------------------------------
     # Lookup.
@@ -176,6 +207,8 @@ class ModelRouter:
                     self._entries.pop(canonical, None)
                     self.evictions += 1
                     self.dead_evictions += 1
+                    self._m_evictions.inc()
+                    self._m_dead_evictions.inc()
                     evicted = entry
                     entry = None
                 if entry is not None:
@@ -222,9 +255,11 @@ class ModelRouter:
         batcher = CoalescingBatcher(
             service, max_queue_depth=self.max_queue_depth,
             coalesce=self.coalesce, name=canonical,
+            registry=self.metrics_registry,
         )
         entry = ModelEntry(canonical, service, batcher,
                            _estimate_bytes(service, self.pool_size))
+        self._m_loads.inc()
         with self._lock:
             if self._closed:
                 batcher.close()
@@ -263,11 +298,30 @@ class ModelRouter:
                 break  # everything else is busy; exceed budget for now
             victims.append(self._entries.pop(victim))
             self.evictions += 1
+            self._m_evictions.inc()
         return victims
 
     # ------------------------------------------------------------------
     # Introspection / lifecycle.
     # ------------------------------------------------------------------
+    def _refresh_gauges(self) -> None:
+        """Exposition-time collector: mirror live state into gauges so
+        the request path never pays for them."""
+        with self._lock:
+            entries = list(self._entries.items())
+        self._g_resident.set(len(entries))
+        live = {ref for ref, _ in entries}
+        for family in (self._g_queue_depth, self._g_pooled_rows):
+            for key, _series in family.series():
+                labels = dict(key)
+                if labels.get("model") not in live:
+                    family.remove(**labels)
+        for ref, entry in entries:
+            self._g_queue_depth.labels(model=ref).set(
+                entry.batcher.queue_depth)
+            self._g_pooled_rows.labels(model=ref).set(
+                entry.service.pooled_rows)
+
     def resident(self) -> list[str]:
         """Currently loaded references, least recently used first."""
         with self._lock:
@@ -294,6 +348,7 @@ class ModelRouter:
 
     def close(self) -> None:
         """Drain and stop every resident batcher (graceful; idempotent)."""
+        self.metrics_registry.remove_collector(self._refresh_gauges)
         with self._lock:
             self._closed = True
             entries = list(self._entries.values())

@@ -50,6 +50,7 @@ determinism to its clients.
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -57,6 +58,8 @@ import numpy as np
 from repro.core.sampler import RecordSampler
 from repro.core.tablegan import TableGAN
 from repro.data.table import Table
+from repro.obs import trace
+from repro.obs.profile import PhaseProfile
 from repro.utils.faults import fault_point
 from repro.utils.rng import ensure_rng
 
@@ -153,6 +156,9 @@ class SynthesisService:
         self._rng = ensure_rng(seed)
         self._pool = _Pool()
         self.stats = ServiceStats()
+        # Always-on stage accounting: generate vs decode seconds, read by
+        # the router's /metrics entry and the bench stage breakdown.
+        self.profile = PhaseProfile()
         # Pool lock: claims (take + stats + stream position) — held for
         # microseconds, so concurrent callers each get a contiguous,
         # disjoint stream slice without ever waiting on the generator.
@@ -190,12 +196,19 @@ class SynthesisService:
         # Injection seam: a raise here models a generator failure before
         # any stream rows are claimed, so a retried request is bit-exact.
         fault_point("service.generate")
-        encoded = self.sampler.sample_records(
-            rows, rng=self._rng, batch_size=self.batch_rows
-        )
+        t0 = time.perf_counter()
+        with trace.span("service.generate", rows=rows):
+            encoded = self.sampler.sample_records(
+                rows, rng=self._rng, batch_size=self.batch_rows
+            )
+        t1 = time.perf_counter()
         # One decode for the whole block: the per-column codec cost is
         # paid once per replenishment, not once per request.
-        decoded = self.sampler.codec.decode(encoded).values
+        with trace.span("service.decode", rows=rows):
+            decoded = self.sampler.codec.decode(encoded).values
+        t2 = time.perf_counter()
+        self.profile.add("generate", t1 - t0)
+        self.profile.add("decode", t2 - t1)
         with self._lock:
             self._pool.push(encoded, decoded)
             self.stats.rows_generated += rows
@@ -323,16 +336,19 @@ class SynthesisService:
         """
         if n <= 0:
             raise ValueError(f"n must be positive, got {n}")
-        with self._lock:
-            if n > self._pool.available:
-                return None
-            base = self._stream_pos
-            self.stats.pool_hits += 1
-            self.stats.requests += 1
-            self.stats.rows_served += n
-            self._stream_pos += n
-            _, decoded = self._pool.take(n)
-        return decoded.copy(), base
+        with trace.span("service.take_pooled", rows=n) as sp:
+            with self._lock:
+                if n > self._pool.available:
+                    sp.set(hit=False)
+                    return None
+                base = self._stream_pos
+                self.stats.pool_hits += 1
+                self.stats.requests += 1
+                self.stats.rows_served += n
+                self._stream_pos += n
+                _, decoded = self._pool.take(n)
+            sp.set(hit=True)
+            return decoded.copy(), base
 
     def take_block(self, counts) -> tuple[list[np.ndarray], int]:
         """Decoded value blocks for a request batch, plus their stream offset.
@@ -346,5 +362,8 @@ class SynthesisService:
         if not len(counts):
             with self._lock:
                 return [], self._stream_pos
-        _, decoded, offsets, base = self._acquire_many(counts)
-        return [part.copy() for part in np.split(decoded, offsets, axis=0)], base
+        with trace.span("service.take_block", rows=int(sum(counts)),
+                        requests=len(counts)):
+            _, decoded, offsets, base = self._acquire_many(counts)
+            return ([part.copy() for part in
+                     np.split(decoded, offsets, axis=0)], base)

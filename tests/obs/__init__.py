@@ -1,0 +1,1 @@
+"""Tests for the observability subsystem (:mod:`repro.obs`)."""

@@ -1,0 +1,188 @@
+"""MetricsRegistry, labeled series, and the log-bucket histogram."""
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    REGISTRY,
+    LatencyHistogram,
+    MetricsRegistry,
+)
+
+
+class TestLatencyHistogram:
+    def test_empty_summary_is_all_zeros(self):
+        """A routed-but-never-sampled model must render zeros — never NaN,
+        never a ZeroDivisionError (the ISSUE 8 satellite bug)."""
+        summary = LatencyHistogram().summary()
+        assert summary == {"count": 0, "mean_ms": 0.0, "p50_ms": 0.0,
+                           "p90_ms": 0.0, "p99_ms": 0.0, "max_ms": 0.0}
+
+    def test_summary_after_records(self):
+        histogram = LatencyHistogram()
+        for seconds in (0.001, 0.002, 0.004, 0.5):
+            histogram.record(seconds)
+        summary = histogram.summary()
+        assert summary["count"] == 4
+        assert summary["mean_ms"] == pytest.approx(126.75, rel=1e-3)
+        assert summary["max_ms"] == 500.0
+        # Percentiles are bucket upper bounds: ordered, never zero here.
+        assert 0 < summary["p50_ms"] <= summary["p99_ms"]
+
+    def test_observe_is_an_alias_for_record(self):
+        histogram = LatencyHistogram()
+        histogram.observe(0.01)
+        assert histogram.summary()["count"] == 1
+
+    def test_merge_folds_counts_sums_and_max(self):
+        left, right = LatencyHistogram(), LatencyHistogram()
+        left.record(0.001)
+        right.record(0.1)
+        right.record(0.2)
+        left.merge(right)
+        summary = left.summary()
+        assert summary["count"] == 3
+        assert summary["max_ms"] == 200.0
+        assert right.summary()["count"] == 2  # source unchanged
+
+    def test_merge_of_two_empty_histograms_stays_empty(self):
+        left = LatencyHistogram().merge(LatencyHistogram())
+        assert left.summary()["count"] == 0
+
+    def test_merge_rejects_non_histograms(self):
+        with pytest.raises(TypeError):
+            LatencyHistogram().merge(object())
+
+
+class TestRegistry:
+    def test_get_or_create_returns_the_same_family(self):
+        registry = MetricsRegistry()
+        first = registry.counter("requests_total", "help text")
+        second = registry.counter("requests_total")
+        assert first is second
+        assert first.help == "help text"
+
+    def test_kind_mismatch_is_an_error(self):
+        registry = MetricsRegistry()
+        registry.counter("thing")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("thing")
+
+    def test_invalid_metric_name_rejected(self):
+        with pytest.raises(ValueError, match="invalid metric name"):
+            MetricsRegistry().counter("bad-name")
+
+    def test_invalid_label_name_rejected(self):
+        family = MetricsRegistry().counter("ok_total")
+        with pytest.raises(ValueError, match="invalid label name"):
+            family.labels(**{"bad-label": "x"})
+
+    def test_labels_are_order_insensitive_and_stringified(self):
+        family = MetricsRegistry().counter("ops_total")
+        a = family.labels(model="tiny", status=200)
+        b = family.labels(status="200", model="tiny")
+        assert a is b
+        a.inc(3)
+        assert b.value == 3.0
+
+    def test_counter_rejects_negative_increments(self):
+        counter = MetricsRegistry().counter("c_total").labels()
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_gauge_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("depth").labels(model="tiny")
+        gauge.set(5)
+        gauge.inc(2)
+        gauge.dec()
+        assert gauge.value == 6.0
+
+    def test_remove_drops_a_series(self):
+        family = MetricsRegistry().gauge("depth")
+        family.labels(model="gone").set(1)
+        family.remove(model="gone")
+        assert family.series() == []
+
+    def test_concurrent_increments_are_not_lost(self):
+        counter = MetricsRegistry().counter("hits_total").labels()
+
+        def spin():
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=spin) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 8000.0
+
+
+class TestExposition:
+    def test_render_text_counter_and_gauge(self):
+        registry = MetricsRegistry()
+        registry.counter("req_total", "requests").labels(model="tiny").inc(2)
+        registry.gauge("up").set(1)
+        text = registry.render_text()
+        assert "# HELP req_total requests\n" in text
+        assert "# TYPE req_total counter\n" in text
+        assert 'req_total{model="tiny"} 2\n' in text
+        assert "# TYPE up gauge\n" in text
+        assert "\nup 1\n" in text
+        assert text.endswith("\n")
+
+    def test_render_text_histogram_is_cumulative(self):
+        registry = MetricsRegistry()
+        family = registry.histogram("lat_seconds", "latency")
+        family.record(0.00005)  # below the first bound
+        family.record(0.0002)
+        family.record(500.0)  # overflow bucket
+        text = registry.render_text()
+        assert 'lat_seconds_bucket{le="0.0001"} 1\n' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 3\n' in text
+        assert "lat_seconds_count 3\n" in text
+        assert "lat_seconds_sum 500.00025" in text
+        # Cumulative monotonicity across every bucket line.
+        counts = [int(line.rsplit(" ", 1)[1]) for line in text.splitlines()
+                  if line.startswith("lat_seconds_bucket")]
+        assert counts == sorted(counts)
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total").labels(model='we"ird\\name\n').inc()
+        text = registry.render_text()
+        assert 'model="we\\"ird\\\\name\\n"' in text
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "h").labels(model="m").inc()
+        registry.histogram("h_seconds").record(0.01)
+        snapshot = registry.snapshot()
+        assert snapshot["c_total"]["kind"] == "counter"
+        assert snapshot["c_total"]["series"] == [
+            {"labels": {"model": "m"}, "value": 1.0}
+        ]
+        assert snapshot["h_seconds"]["series"][0]["count"] == 1
+
+    def test_collectors_run_at_exposition_time_only(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("live").labels()
+        calls = []
+
+        def refresh():
+            calls.append(1)
+            gauge.set(len(calls))
+
+        registry.add_collector(refresh)
+        assert calls == []
+        registry.render_text()
+        registry.snapshot()
+        assert len(calls) == 2
+        registry.remove_collector(refresh)
+        registry.render_text()
+        assert len(calls) == 2
+        registry.remove_collector(refresh)  # idempotent
+
+    def test_default_registry_exists(self):
+        assert isinstance(REGISTRY, MetricsRegistry)

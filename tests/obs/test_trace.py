@@ -1,0 +1,153 @@
+"""The tracing seam: disarmed no-ops, armed spans, context propagation."""
+
+import json
+import threading
+
+from repro.obs import trace
+
+
+class TestDisarmed:
+    def test_span_returns_the_shared_noop_singleton(self):
+        first = trace.span("a")
+        second = trace.span("b", rows=3)
+        assert first is second is trace._NOOP_SPAN
+        with first as sp:
+            assert sp.set(hit=True) is sp
+            assert sp.trace_id is None
+
+    def test_armed_is_false_and_current_is_none(self):
+        assert trace.armed() is False
+        assert trace.current() is None
+
+    def test_attach_and_emit_are_noops(self):
+        with trace.attach(("t", "s")):
+            pass
+        assert trace.emit("x", 0.0) is None
+
+    def test_log_event_falls_back_to_stderr(self, capsys):
+        trace.log_event("worker_crash", model="tiny", pid=object())
+        line = capsys.readouterr().err.strip()
+        record = json.loads(line)
+        assert record["kind"] == "event"
+        assert record["name"] == "worker_crash"
+        assert record["attrs"]["model"] == "tiny"  # default=repr for the rest
+
+    def test_new_trace_id_is_16_hex(self):
+        tid = trace.new_trace_id()
+        assert len(tid) == 16
+        int(tid, 16)
+
+
+class TestArmed:
+    def test_nested_spans_share_a_trace_and_parent_correctly(self):
+        sink = []
+        with trace.tracing(sink):
+            with trace.span("outer", kind="root") as outer:
+                with trace.span("inner") as inner:
+                    assert trace.current() == (inner.trace_id, inner.span_id)
+                    inner.set(rows=4)
+        assert [r["name"] for r in sink] == ["inner", "outer"]
+        inner_rec, outer_rec = sink
+        assert inner_rec["trace"] == outer_rec["trace"]
+        assert inner_rec["parent"] == outer_rec["span"]
+        assert outer_rec["parent"] is None
+        assert outer_rec["attrs"] == {"kind": "root"}
+        assert inner_rec["attrs"] == {"rows": 4}
+        assert inner_rec["dur_ms"] >= 0
+        assert inner_rec["kind"] == "span"
+
+    def test_explicit_trace_id_starts_a_root(self):
+        sink = []
+        with trace.tracing(sink):
+            with trace.span("handler", trace_id="abcd1234abcd1234"):
+                pass
+        assert sink[0]["trace"] == "abcd1234abcd1234"
+        assert sink[0]["parent"] is None
+
+    def test_exception_is_recorded_and_propagates(self):
+        sink = []
+        with trace.tracing(sink):
+            try:
+                with trace.span("boom"):
+                    raise ValueError("bad rows")
+            except ValueError:
+                pass
+        assert sink[0]["attrs"]["error"] == "ValueError: bad rows"
+
+    def test_attach_propagates_context_across_threads(self):
+        """The batcher pattern: the producer captures current() into the
+        queue entry, the worker re-enters it with attach()."""
+        sink = []
+        with trace.tracing(sink):
+            with trace.span("handler") as handler:
+                ctx = trace.current()
+
+            def worker():
+                with trace.attach(ctx):
+                    with trace.span("batcher"):
+                        pass
+
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        batcher_rec = next(r for r in sink if r["name"] == "batcher")
+        assert batcher_rec["trace"] == handler.trace_id
+        assert batcher_rec["parent"] == handler.span_id
+
+    def test_emit_writes_an_after_the_fact_span(self):
+        import time
+
+        sink = []
+        with trace.tracing(sink):
+            start = time.perf_counter()
+            span_id = trace.emit("batcher", start,
+                                 parent=("feed" * 4, "beef" * 4), rows=8)
+        record = sink[0]
+        assert record["span"] == span_id
+        assert record["trace"] == "feed" * 4
+        assert record["parent"] == "beef" * 4
+        assert record["attrs"] == {"rows": 8}
+
+    def test_log_event_goes_to_the_sink_with_trace_context(self):
+        sink = []
+        with trace.tracing(sink):
+            with trace.span("handler") as handler:
+                trace.log_event("crash", dead=False)
+        event = next(r for r in sink if r["kind"] == "event")
+        assert event["trace"] == handler.trace_id
+        assert event["attrs"] == {"dead": False}
+
+    def test_tracing_restores_the_previous_tracer(self):
+        outer_sink, inner_sink = [], []
+        with trace.tracing(outer_sink):
+            with trace.tracing(inner_sink):
+                with trace.span("in"):
+                    pass
+            with trace.span("out"):
+                pass
+        assert [r["name"] for r in inner_sink] == ["in"]
+        assert [r["name"] for r in outer_sink] == ["out"]
+        assert trace.armed() is False
+
+    def test_file_sink_appends_jsonl(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        with trace.tracing(str(path)) as tracer:
+            with trace.span("a"):
+                pass
+            with trace.span("b"):
+                pass
+            assert tracer.emitted == 2
+        lines = path.read_text().strip().splitlines()
+        assert [json.loads(line)["name"] for line in lines] == ["a", "b"]
+
+    def test_arm_disarm_round_trip(self):
+        sink = []
+        tracer = trace.arm(sink)
+        try:
+            with trace.span("x"):
+                pass
+            assert trace.armed() is True
+        finally:
+            assert trace.disarm() is tracer
+        assert trace.armed() is False
+        assert len(sink) == 1

@@ -1,0 +1,234 @@
+"""End-to-end telemetry: X-Trace-Id propagation, span parenting, counters.
+
+Every test that arms the tracer scopes it with ``trace.tracing(list)`` so
+nothing leaks into other tests; servers get a private
+:class:`MetricsRegistry` so counter assertions cannot see cross-test
+bleed through the process-wide default registry.
+"""
+
+import time
+
+import pytest
+
+from repro.obs import trace
+from repro.obs.metrics import MetricsRegistry
+from repro.serve import SynthesisClient, SynthesisServer, SynthesisService
+from repro.serve.server import CoalescingBatcher
+from repro.utils.faults import FaultPlan
+
+SEED = 11
+TRACE_ID = "cafe0123cafe0123"
+
+
+@pytest.fixture()
+def registry_and_server(populated_registry):
+    metrics_registry = MetricsRegistry()
+    with SynthesisServer(populated_registry, port=0, seed=SEED,
+                         stream_threshold_rows=64, stream_chunk_rows=16,
+                         metrics_registry=metrics_registry) as server:
+        yield metrics_registry, server
+
+
+@pytest.fixture()
+def server(registry_and_server):
+    return registry_and_server[1]
+
+
+@pytest.fixture()
+def client(server):
+    with SynthesisClient(port=server.port) as connected:
+        yield connected
+
+
+def _spans(sink, trace_id=TRACE_ID):
+    return [r for r in sink
+            if r.get("kind") == "span" and r.get("trace") == trace_id]
+
+
+def _one(spans, name, **attr_filter):
+    matches = [s for s in spans if s["name"] == name
+               and all(s["attrs"].get(k) == v
+                       for k, v in attr_filter.items())]
+    assert len(matches) == 1, (name, attr_filter, spans)
+    return matches[0]
+
+
+class TestTraceIdHeader:
+    def test_server_echoes_a_generated_id_while_disarmed(self, client):
+        reply = client.sample("tiny", 2)
+        assert len(reply["trace_id"]) == 16
+        int(reply["trace_id"], 16)
+
+    def test_inbound_id_is_echoed_back(self, client):
+        reply = client.sample("tiny", 2, trace_id=TRACE_ID)
+        assert reply["trace_id"] == TRACE_ID
+
+    def test_client_propagates_the_ambient_trace_context(self, client):
+        sink = []
+        with trace.tracing(sink):
+            with trace.span("caller") as caller:
+                reply = client.sample("tiny", 2)
+        assert reply["trace_id"] == caller.trace_id
+
+    def test_oversized_inbound_id_is_truncated(self, client):
+        reply = client.sample("tiny", 2, trace_id="x" * 100)
+        assert reply["trace_id"] == "x" * 64
+
+
+class TestSpanParenting:
+    def test_coalesced_request_spans_are_parented(self, populated_registry):
+        """The acceptance chain: handler → batcher → service.take_block
+        → service.generate/decode, all under the request's trace id.
+
+        ``pool_size=0`` keeps generation on the request path (a pooled
+        server generates in idle replenish ticks, outside any trace)."""
+        sink = []
+        with SynthesisServer(populated_registry, port=0, seed=SEED,
+                             pool_size=0,
+                             metrics_registry=MetricsRegistry()) as server:
+            with SynthesisClient(port=server.port) as client:
+                client.sample("tiny", 1)  # load the model untraced
+                with trace.tracing(sink):
+                    reply = client.sample("tiny", 2, trace_id=TRACE_ID)
+        assert reply["trace_id"] == TRACE_ID
+        spans = _spans(sink)
+        handler = _one(spans, "handler")
+        assert handler["parent"] is None
+        assert handler["attrs"]["model"] == "tiny"
+        tick = _one(spans, "batcher", coalesced=1)
+        assert tick["parent"] == handler["span"]
+        block = _one(spans, "service.take_block")
+        assert block["parent"] == tick["span"]
+        generate = _one(spans, "service.generate")
+        decode = _one(spans, "service.decode")
+        assert generate["parent"] == block["span"]
+        assert decode["parent"] == block["span"]
+        render = _one(spans, "render")
+        assert render["parent"] == handler["span"]
+
+    def test_pool_hit_fast_path_spans(self, client):
+        # First request replenishes the pool; the second serves from it
+        # without touching the batcher worker.
+        client.sample("tiny", 4)
+        sink = []
+        with trace.tracing(sink):
+            client.sample("tiny", 2, trace_id=TRACE_ID)
+        spans = _spans(sink)
+        handler = _one(spans, "handler")
+        probe = _one(spans, "batcher", fast_path=True)
+        assert probe["attrs"]["hit"] is True
+        assert probe["parent"] == handler["span"]
+        pooled = _one(spans, "service.take_pooled")
+        assert pooled["attrs"]["hit"] is True
+        assert pooled["parent"] == probe["span"]
+        # No worker tick served this request.
+        assert not [s for s in spans
+                    if s["name"] == "batcher" and "coalesced" in s["attrs"]]
+
+    def test_streamed_export_spans(self, client):
+        sink = []
+        with trace.tracing(sink):
+            reply = client.sample("tiny", 80, trace_id=TRACE_ID)  # > threshold
+        assert len(reply["rows"]) == 80
+        assert reply["trace_id"] == TRACE_ID
+        # The handler span closes just after the client reads the terminal
+        # chunk; give the handler thread a beat to write it.
+        deadline = time.time() + 2.0
+        while time.time() < deadline and not [
+                r for r in _spans(sink) if r["name"] == "handler"]:
+            time.sleep(0.01)
+        spans = _spans(sink)
+        handler = _one(spans, "handler")
+        stream = _one(spans, "batcher", stream=True)
+        assert stream["parent"] == handler["span"]
+        blocks = [s for s in spans if s["name"] == "service.take_block"]
+        assert blocks  # chunked generation nests under the stream span
+        assert all(s["parent"] == stream["span"] for s in blocks)
+
+
+class TestMetricsEndpoint:
+    def test_text_exposition_via_accept_header(self, registry_and_server,
+                                               client):
+        client.sample("tiny", 2)
+        text = client.metrics_text()
+        assert "# TYPE http_responses_total counter" in text
+        assert 'http_responses_total{status="200"}' in text
+        assert "# TYPE batcher_ticks_total counter" in text
+        assert 'batcher_queue_wait_seconds_bucket{model="tiny",le="+Inf"}' in text
+        assert "router_resident_models 1" in text
+        assert "server_uptime_seconds" in text
+
+    def test_json_metrics_still_served_and_carries_stages(self, client):
+        client.sample("tiny", 3)
+        metrics = client.metrics()
+        model = metrics["models"]["tiny"]
+        assert model["queue_wait"]["count"] >= 0
+        assert set(model["stages"]) >= {"generate", "decode"}
+        assert model["stages"]["generate"]["count"] >= 1
+        assert metrics["render"]["count"] >= 1
+
+    def test_queue_depth_gauge_tracks_resident_models(self,
+                                                      registry_and_server,
+                                                      client):
+        metrics_registry, _ = registry_and_server
+        client.sample("tiny", 2)
+        snapshot = metrics_registry.snapshot()
+        depth_series = snapshot["batcher_queue_depth"]["series"]
+        assert [s["labels"] for s in depth_series] == [{"model": "tiny"}]
+        assert snapshot["service_pooled_rows"]["series"][0]["value"] >= 0
+        assert snapshot["router_model_loads_total"]["series"][0]["value"] == 1
+
+
+class TestWorkerCrashTelemetry:
+    def test_crash_counters_and_structured_event(self, populated_registry):
+        """Satellite 2: a supervised crash increments the registry
+        counters and emits a structured event naming the in-flight
+        requests' trace context."""
+        service = SynthesisService(populated_registry.load("tiny"), seed=SEED)
+        metrics_registry = MetricsRegistry()
+        batcher = CoalescingBatcher(service, name="tiny",
+                                    registry=metrics_registry)
+        sink = []
+        try:
+            batcher.submit(2)  # warm
+            with trace.tracing(sink):
+                with trace.span("request", trace_id=TRACE_ID):
+                    with FaultPlan().arm("batcher.tick", times=1):
+                        batcher.submit(2)  # crashes once, restarts, retries
+        finally:
+            batcher.close()
+        crashes = metrics_registry.counter(
+            "batcher_worker_crashes_total").labels(model="tiny")
+        restarts = metrics_registry.counter(
+            "batcher_worker_restarts_total").labels(model="tiny")
+        quarantines = metrics_registry.counter(
+            "batcher_worker_quarantines_total").labels(model="tiny")
+        assert crashes.value == 1
+        assert restarts.value == 1
+        assert quarantines.value == 0  # retried, not poisoned
+        events = [r for r in sink if r.get("kind") == "event"
+                  and r["name"] == "batcher.worker_crash"]
+        assert len(events) == 1
+        attrs = events[0]["attrs"]
+        assert attrs["model"] == "tiny"
+        assert attrs["dead"] is False
+        assert attrs["quarantined"] == 0
+        assert [p["trace"] for p in attrs["in_flight"]] == [TRACE_ID]
+
+    def test_quarantine_increments_the_counter(self, populated_registry):
+        service = SynthesisService(populated_registry.load("tiny"), seed=SEED)
+        metrics_registry = MetricsRegistry()
+        batcher = CoalescingBatcher(service, name="tiny",
+                                    registry=metrics_registry,
+                                    poison_strikes=1,
+                                    restart_backoff_s=0.001)
+        try:
+            batcher.submit(2)  # warm
+            with FaultPlan().arm("batcher.tick", times=1):
+                with pytest.raises(Exception):
+                    batcher.submit(2)
+        finally:
+            batcher.close()
+        quarantines = metrics_registry.counter(
+            "batcher_worker_quarantines_total").labels(model="tiny")
+        assert quarantines.value == 1
