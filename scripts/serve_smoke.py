@@ -4,6 +4,9 @@ End to end through the real process boundary: train a tiny model,
 register it, boot ``python -m repro serve`` as a subprocess on a free
 port, hit ``/healthz`` and one ``/sample`` with the client library, then
 SIGTERM the server and assert it drains and exits cleanly (code 0).
+The same pass then repeats with ``--server-workers 2`` — the
+multi-process serving tier must boot, serve, and drain (including its
+worker processes and shared-memory segments) just as cleanly.
 
 Every wait is bounded, so a wedged server fails the job instead of
 hanging it.  Run from the repository root::
@@ -59,41 +62,59 @@ def read_port(proc: subprocess.Popen) -> int:
     return result["port"]
 
 
+def run_pass(registry_dir: str, extra_args: list, label: str) -> None:
+    """Boot one server configuration, exercise it, drain it."""
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--registry",
+         registry_dir, "--host", "127.0.0.1", "--port", "0", *extra_args],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+    try:
+        port = read_port(proc)
+        from repro.serve import SynthesisClient
+
+        with SynthesisClient(port=port, timeout=TIMEOUT_S) as client:
+            health = client.health()
+            if health["status"] != "ok":
+                fail(f"[{label}] unexpected /healthz reply: {health}")
+            print(f"[{label}] healthz ok (uptime {health['uptime_s']:.2f}s)")
+            reply = client.sample("smoke", 32)
+            if len(reply["rows"]) != 32 or reply["offset"] != 0:
+                fail(f"[{label}] bad sample reply: n={len(reply['rows'])} "
+                     f"offset={reply['offset']}")
+            print(f"[{label}] sampled {len(reply['rows'])} rows x "
+                  f"{len(reply['columns'])} columns from 'smoke'")
+
+        proc.send_signal(signal.SIGTERM)
+        code = proc.wait(timeout=TIMEOUT_S)
+        if code != 0:
+            fail(f"[{label}] server exited with code {code} after SIGTERM")
+        print(f"[{label}] server drained and exited cleanly")
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10)
+            fail(f"[{label}] server had to be killed")
+
+
+def check_shm_clean() -> None:
+    """No serving-pool shared-memory segments may outlive their server."""
+    if not os.path.isdir("/dev/shm"):
+        return  # non-POSIX-shm platform: nothing to check
+    leaked = [name for name in os.listdir("/dev/shm")
+              if name.startswith("rpool")]
+    if leaked:
+        fail(f"leaked shared-memory segments after drain: {leaked}")
+    print("no leaked shared-memory segments")
+
+
 def main() -> None:
     with tempfile.TemporaryDirectory() as tmp:
         registry_dir = os.path.join(tmp, "registry")
         train_and_register(registry_dir)
-        proc = subprocess.Popen(
-            [sys.executable, "-m", "repro", "serve", "--registry",
-             registry_dir, "--host", "127.0.0.1", "--port", "0"],
-            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
-        )
-        try:
-            port = read_port(proc)
-            from repro.serve import SynthesisClient
-
-            with SynthesisClient(port=port, timeout=TIMEOUT_S) as client:
-                health = client.health()
-                if health["status"] != "ok":
-                    fail(f"unexpected /healthz reply: {health}")
-                print(f"healthz ok (uptime {health['uptime_s']:.2f}s)")
-                reply = client.sample("smoke", 32)
-                if len(reply["rows"]) != 32 or reply["offset"] != 0:
-                    fail(f"bad sample reply: n={len(reply['rows'])} "
-                         f"offset={reply['offset']}")
-                print(f"sampled {len(reply['rows'])} rows x "
-                      f"{len(reply['columns'])} columns from 'smoke'")
-
-            proc.send_signal(signal.SIGTERM)
-            code = proc.wait(timeout=TIMEOUT_S)
-            if code != 0:
-                fail(f"server exited with code {code} after SIGTERM")
-            print("server drained and exited cleanly")
-        finally:
-            if proc.poll() is None:
-                proc.kill()
-                proc.wait(timeout=10)
-                fail("server had to be killed")
+        run_pass(registry_dir, [], "threaded")
+        run_pass(registry_dir, ["--server-workers", "2"], "workers=2")
+        check_shm_clean()
     print("SMOKE PASSED")
 
 

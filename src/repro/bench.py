@@ -486,6 +486,27 @@ def _serving_client_worker(args) -> tuple[float, float, list[float]]:
     return started_at, ended_at, latencies
 
 
+def _raw_sample_bodies(port: int, ref: str, sizes: list[int]) -> list[bytes]:
+    """The exact response bodies of a sequential sample-request replay.
+
+    Raw bytes, not parsed rows: the worker-invariance bit asserts the
+    multi-process tier is *byte*-identical to the threaded server, which
+    includes JSON serialization, column order, and float formatting.
+    """
+    import urllib.request
+
+    bodies = []
+    for n in sizes:
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{port}/models/{ref}/sample",
+            data=json.dumps({"n": n}).encode("utf-8"), method="POST",
+            headers={"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(request) as response:
+            bodies.append(response.read())
+    return bodies
+
+
 def _serving_load_timings(workload: dict) -> dict:
     """End-to-end load test of the HTTP server: coalesced vs per-request.
 
@@ -553,15 +574,17 @@ def _serving_load_timings(workload: dict) -> dict:
             ("coalesce_only", True, 0),
             ("coalesced", True, workload["serving_pool_rows"]),
         )
-        def run_mode(pool, coalesce, pool_rows, sink=None):
+        def run_mode(pool, coalesce, pool_rows, sink=None, server_workers=0):
             """One load pass against a fresh server (fresh metrics registry
             so modes cannot bleed counters into each other); ``sink``
-            arms the tracer in the server's process for the pass."""
+            arms the tracer in the server's process for the pass;
+            ``server_workers`` boots the multi-process serving tier."""
             server = SynthesisServer(
                 registry, port=0, seed=7, coalesce=coalesce,
                 pool_size=pool_rows,
                 max_queue_depth=clients * (requests_per_client + 1),
                 metrics_registry=MetricsRegistry(),
+                server_workers=server_workers,
             )
             server.start()
             args = [(server.port, "bench", requests_per_client, rows)
@@ -612,6 +635,66 @@ def _serving_load_timings(workload: dict) -> dict:
                         or run["rows_per_s"] > armed_best["rows_per_s"]):
                     armed_best = run
             report["telemetry_armed"] = armed_best
+
+            # ---- worker-process sweep (the multi-process serving tier) ----
+            # Same load, but each model served by N dedicated worker
+            # processes over the shared-memory pool.  On a single-core box
+            # the sweep still runs (the invariance data matters more than
+            # the timing) but the scaling tripwire is skipped with a note,
+            # exactly like the training section's.
+            cores = os.cpu_count() or 1
+            sweep_counts = (1, 2, 4)
+            sweep_runs: dict = {}
+            for count in sweep_counts:
+                best = None
+                for _ in range(passes):
+                    run = run_mode(pool, True, workload["serving_pool_rows"],
+                                   server_workers=count)
+                    if best is None or run["rows_per_s"] > best["rows_per_s"]:
+                        best = run
+                sweep_runs[str(count)] = best
+            sweep = {
+                "cores": cores,
+                "clients": clients,
+                "worker_counts": list(sweep_counts),
+                "runs": sweep_runs,
+                "scaling_1_to_2": (sweep_runs["2"]["rows_per_s"]
+                                   / sweep_runs["1"]["rows_per_s"]),
+            }
+            if cores < 2:
+                sweep["log"] = (
+                    f"only {cores} core visible: worker processes time-slice "
+                    "one CPU, so the 1->2 scaling tripwire is skipped; run "
+                    "on a multi-core host to measure scaling"
+                )
+            report["worker_sweep"] = sweep
+
+            # ---- worker invariance (the process-boundary contract) ----
+            # The same seeded request sequence, replayed sequentially
+            # against a threaded server and against 1- and 2-worker pools:
+            # the raw response bytes must be identical — the multi-process
+            # tier is a performance mode, never a semantics mode.
+            invariance_rows = [13, 200, 64, 7, 100]
+            bodies = {}
+            for count in (0, 1, 2):
+                server = SynthesisServer(
+                    registry, port=0, seed=7,
+                    pool_size=workload["serving_pool_rows"],
+                    metrics_registry=MetricsRegistry(),
+                    server_workers=count,
+                )
+                server.start()
+                try:
+                    bodies[count] = _raw_sample_bodies(
+                        server.port, "bench", invariance_rows)
+                finally:
+                    server.shutdown()
+            report["worker_invariance"] = {
+                "request_rows": invariance_rows,
+                "server_workers": [0, 1, 2],
+                "worker_invariant": bodies[1] == bodies[2],
+                "threaded_identical": bodies[0] == bodies[1],
+            }
     report["telemetry_overhead_frac"] = (
         1.0 - report["telemetry_armed"]["rows_per_s"]
         / report["coalesced"]["rows_per_s"]
@@ -950,7 +1033,8 @@ KERNEL_CHECK_KEYS = (
 
 def check_report(report: dict, min_speedup: float = 0.8,
                  max_telemetry_overhead: float = 1.5,
-                 max_disarmed_span_ns: float = 2000.0) -> list[str]:
+                 max_disarmed_span_ns: float = 2000.0,
+                 min_worker_scaling: float = 1.3) -> list[str]:
     """Regression tripwire: the fast engine must never lose to the oracle.
 
     Returns a list of failure descriptions — one per kernel section where
@@ -993,6 +1077,29 @@ def check_report(report: dict, min_speedup: float = 0.8,
         failures.append(
             f"telemetry: armed serving submits run {overhead:.2f}x the "
             f"disarmed loop (> {max_telemetry_overhead:.2f}x noise margin)"
+        )
+    serving = report.get("serving") or {}
+    sweep = serving.get("worker_sweep")
+    if sweep:
+        scaling = sweep.get("scaling_1_to_2")
+        if (sweep.get("cores") or 1) < 2:
+            # One visible core: worker processes time-slice the same CPU,
+            # so throughput scaling is not measurable — skipped with the
+            # note the sweep itself carries (same policy as the training
+            # section's single-core log).
+            pass
+        elif scaling is not None and scaling < min_worker_scaling:
+            failures.append(
+                f"serving: 2 worker processes yield {scaling:.2f}x the "
+                f"single-worker throughput (> {min_worker_scaling:.2f}x "
+                f"expected on a {sweep.get('cores')}-core host)"
+            )
+    invariance = serving.get("worker_invariance")
+    if invariance and not (invariance.get("worker_invariant")
+                           and invariance.get("threaded_identical")):
+        failures.append(
+            "serving: multi-process responses diverge from the threaded "
+            "server — the worker-invariance contract is broken"
         )
     return failures
 
@@ -1141,6 +1248,34 @@ def format_report(report: dict) -> str:
                     f"{armed['rows_per_s']:>12,.0f} rows/s  "
                     f"({serving['telemetry_overhead_frac'] * 100:+.1f}% "
                     f"overhead, {armed.get('spans', 0):,} spans)"
+                )
+            sweep = serving.get("worker_sweep")
+            if sweep:
+                lines.append(
+                    f"  worker-process sweep ({sweep['clients']} clients, "
+                    f"{sweep['cores']} core(s) visible):"
+                )
+                for count in sweep["worker_counts"]:
+                    run = sweep["runs"].get(str(count))
+                    if run is None:
+                        continue
+                    lines.append(
+                        f"    workers={count}  {run['rows_per_s']:>12,.0f} "
+                        f"rows/s  p50 {run['p50_ms']:7.1f} ms  "
+                        f"p99 {run['p99_ms']:7.1f} ms"
+                    )
+                lines.append(
+                    f"    scaling 1->2 workers: {sweep['scaling_1_to_2']:.2f}x"
+                )
+                if sweep.get("log"):
+                    lines.append(f"    note: {sweep['log']}")
+            invariance = serving.get("worker_invariance")
+            if invariance:
+                lines.append(
+                    f"  worker-invariant responses: "
+                    f"{invariance['worker_invariant']} "
+                    f"(identical to threaded: "
+                    f"{invariance['threaded_identical']})"
                 )
     telemetry = report.get("telemetry")
     if telemetry:

@@ -297,6 +297,20 @@ def cmd_serve(args) -> int:
     names = registry.names()
     budget = (args.memory_budget_mb * (1 << 20)
               if args.memory_budget_mb else None)
+    weights = None
+    if args.worker_weights:
+        weights = {}
+        for spec in args.worker_weights:
+            name, sep, count = spec.partition("=")
+            if not sep or not name:
+                raise SystemExit(
+                    f"--worker-weight expects NAME=K, got {spec!r}")
+            try:
+                weights[name] = int(count)
+            except ValueError:
+                raise SystemExit(
+                    f"--worker-weight count must be an integer, got {spec!r}"
+                ) from None
     server = SynthesisServer(
         registry, host=args.host, port=args.port,
         pool_size=args.pool_size, batch_rows=args.batch_rows, seed=args.seed,
@@ -305,6 +319,9 @@ def cmd_serve(args) -> int:
         stream_threshold_rows=args.stream_threshold,
         stream_chunk_rows=args.stream_rows, max_models=args.max_models,
         memory_budget_bytes=budget, quiet=not args.verbose,
+        server_workers=args.server_workers, worker_weights=weights,
+        worker_start_method=args.worker_start_method,
+        client_quota=args.client_quota, trace_log=args.trace_log,
     )
     if args.trace_log:
         # Arm the process-wide tracer: every sampled request appends its
@@ -569,6 +586,26 @@ def build_parser() -> argparse.ArgumentParser:
                               "CSV/NDJSON (default: 10000)")
     p_serve.add_argument("--stream-rows", type=_positive_int, default=2048,
                          help="rows per streamed chunk (default: 2048)")
+    p_serve.add_argument("--server-workers", type=int, default=0,
+                         metavar="N",
+                         help="serve each model from N dedicated worker "
+                              "processes over a shared-memory sample pool "
+                              "(responses stay bit-identical to the threaded "
+                              "service); 0 keeps the in-process service "
+                              "(default: 0)")
+    p_serve.add_argument("--worker-weight", action="append", default=None,
+                         metavar="NAME=K", dest="worker_weights",
+                         help="per-model worker-count override (repeatable); "
+                              "K=0 pins NAME to the in-process service")
+    p_serve.add_argument("--worker-start-method", default=None,
+                         choices=("fork", "spawn", "forkserver"),
+                         help="multiprocessing start method for pool workers "
+                              "(default: fork)")
+    p_serve.add_argument("--client-quota", type=_positive_int, default=None,
+                         metavar="N",
+                         help="per-client admission cap: a client (X-Client-Id)"
+                              " with N requests queued or in flight gets 429 + "
+                              "Retry-After (default: unlimited)")
     p_serve.add_argument("--no-coalesce", action="store_true",
                          help="disable cross-request batch coalescing (one "
                               "generator pass per request; the benchmark "

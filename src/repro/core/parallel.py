@@ -382,6 +382,7 @@ class ParallelTrainer(TableGanTrainer):
                 "the shared-memory aliasing)"
             )
         self._n_procs = n_procs
+        self._segment_seq = 0
         self._segments: list[shared_memory.SharedMemory] = []
         self._procs: list = []
         self.worker_pids: list[int] = []
@@ -390,9 +391,21 @@ class ParallelTrainer(TableGanTrainer):
     # Shared-memory plumbing.
     # ------------------------------------------------------------------
     def _alloc_segment(self, nbytes: int) -> shared_memory.SharedMemory:
-        segment = shared_memory.SharedMemory(create=True, size=max(1, nbytes))
-        self._segments.append(segment)
-        return segment
+        # Recognizably named (``rgrad{pid}_{n}``) rather than the stdlib's
+        # anonymous ``psm_*`` so the chaos suite can assert, by listing
+        # /dev/shm, that training teardown and crash paths leaked nothing.
+        for _ in range(64):
+            name = f"rgrad{os.getpid()}_{self._segment_seq}"
+            self._segment_seq += 1
+            try:
+                segment = shared_memory.SharedMemory(
+                    name=name, create=True, size=max(1, nbytes))
+            except FileExistsError:  # a dead run's leftover; pick a new name
+                continue
+            self._segments.append(segment)
+            return segment
+        raise ParallelTrainingError(
+            "could not allocate a uniquely named shared-memory segment")
 
     @staticmethod
     def _segment_views(segment, specs) -> list[np.ndarray]:

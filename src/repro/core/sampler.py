@@ -85,6 +85,49 @@ class RecordSampler:
             filled += batch
         return out
 
+    def matrices_from_latents(self, z: np.ndarray,
+                              batch_size: int | None = None) -> np.ndarray:
+        """Forward pre-drawn latents ``z`` (N, latent_dim) to record matrices.
+
+        Replicates the :meth:`sample_matrices` chunk loop exactly — per
+        chunk: slice, cast to the compute dtype, forward — so the output
+        is bit-identical to ``sample_matrices`` fed the same latent draws.
+        The multi-process serving tier uses this to keep latent sampling
+        centralized (one seeded stream) while generation fans out.
+        """
+        if z.ndim != 2 or z.shape[1] != self.latent_dim:
+            raise ValueError(
+                f"z must have shape (n, {self.latent_dim}), got {z.shape}"
+            )
+        n = z.shape[0]
+        if n <= 0:
+            raise ValueError(f"z must contain at least one row, got {n}")
+        batch_size = self.batch_size if batch_size is None else batch_size
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        out: np.ndarray | None = None
+        filled = 0
+        stream = getattr(self.generator, "stream_forward", None)
+        while filled < n:
+            batch = min(batch_size, n - filled)
+            chunk = z[filled : filled + batch].astype(self._dtype, copy=False)
+            if stream is not None:
+                matrices = stream(chunk)
+            else:
+                matrices = self.generator.forward(chunk, training=False)
+            if out is None:
+                out = np.empty((n, *matrices.shape[1:]), dtype=matrices.dtype)
+            out[filled : filled + batch] = matrices
+            filled += batch
+        return out
+
+    def records_from_latents(self, z: np.ndarray,
+                             batch_size: int | None = None) -> np.ndarray:
+        """Encoded records (N, n_features) from pre-drawn latents."""
+        return self.matrixizer.to_records(
+            self.matrices_from_latents(z, batch_size=batch_size)
+        )
+
     def sample_records(self, n: int, rng=None,
                        batch_size: int | None = None) -> np.ndarray:
         """Generate ``n`` encoded records (N, n_features) in [-1, 1]."""

@@ -205,6 +205,73 @@ class ModelRegistry:
             and (entry / MANIFEST_NAME).is_file()
         )
 
+    def _recover_journaled(self, name: str) -> bool:
+        """Resolve interrupted overwrite swaps of ``name`` from their journal.
+
+        An overwrite re-registration writes a ``.commit-*.json`` journal
+        (fsynced) *before* touching the live directory, naming the stage,
+        trash, and final paths of the swap, and unlinks it after the swap
+        (or its rollback) completes.  A journal on disk therefore means a
+        process died mid-swap, and its contents say exactly how far the
+        swap got:
+
+        * final manifest present — the commit rename happened; finish the
+          cleanup (drop the trash copy, drop the journal);
+        * final absent, staged manifest complete — the kill landed in the
+          window between the two renames; **roll forward** (the stage was
+          durably written before the journal, so the new registration
+          wins, exactly as if the process had survived one more
+          microsecond);
+        * final absent, stage unusable — roll back from the trash copy;
+        * swap never started (final still present alongside the stage) —
+          drop the stage and the journal; the caller never saw a commit.
+
+        Returns True if anything changed on disk.  Rolled forward or
+        back, the journal is always consumed, so the plain ``.trash-``
+        scan below never second-guesses a journaled swap.
+        """
+        if not self.root.is_dir():
+            return False
+        changed = False
+        for entry in self.root.iterdir():
+            if not (entry.name.startswith(".commit-")
+                    and entry.name.endswith(".json")):
+                continue
+            try:
+                with open(entry) as handle:
+                    journal = json.load(handle)
+            except (json.JSONDecodeError, OSError):
+                continue  # torn journal write: the swap never started
+            dirname = journal.get("dirname")
+            if (not isinstance(dirname, str)
+                    or (dirname != name
+                        and not dirname.startswith(f"{name}@"))):
+                continue
+            final = self.root / dirname
+            stage = self.root / str(journal.get("stage") or "")
+            trash = self.root / str(journal.get("trash") or "")
+            try:
+                if (final / MANIFEST_NAME).is_file():
+                    # Committed (or never started): only cleanup remains.
+                    if trash.name and trash.is_dir() and stage.name \
+                            and not stage.exists():
+                        shutil.rmtree(trash, ignore_errors=True)
+                    if stage.name and stage.is_dir():
+                        shutil.rmtree(stage, ignore_errors=True)
+                elif stage.name and (stage / MANIFEST_NAME).is_file():
+                    os.replace(stage, final)  # roll the commit forward
+                    if trash.name and trash.is_dir():
+                        shutil.rmtree(trash, ignore_errors=True)
+                elif trash.name and (trash / MANIFEST_NAME).is_file():
+                    os.replace(trash, final)  # roll back to the old model
+                    if stage.name and stage.is_dir():
+                        shutil.rmtree(stage, ignore_errors=True)
+                entry.unlink(missing_ok=True)
+            except OSError:
+                continue  # e.g. a concurrent recovery won the rename
+            changed = True
+        return changed
+
     def _recover_trashed(self, name: str) -> bool:
         """Restore registrations of ``name`` stranded by an interrupted swap.
 
@@ -219,10 +286,15 @@ class ModelRegistry:
         post-commit cleanup) and are left for cleanup; ``delete`` uses the
         distinct ``.delete-`` prefix precisely so a half-deleted model is
         never resurrected here.  Returns True if anything was restored.
+
+        Journaled swaps (see :meth:`_recover_journaled`) are resolved
+        first — their journal records which direction recovery should go,
+        including the roll-forward this scan cannot infer from the trash
+        directory alone.
         """
         if not self.root.is_dir():
             return False
-        restored = False
+        restored = self._recover_journaled(name)
         for entry in self.root.iterdir():
             if not entry.name.startswith(".trash-"):
                 continue
@@ -317,11 +389,15 @@ class ModelRegistry:
         registration commits with one directory rename, so a crash can
         never expose a half-written model.  Overwriting swaps the old
         directory aside first and restores it if the commit rename fails;
-        the one remaining hole is a SIGKILL between the two renames (POSIX
-        offers no atomic non-empty-directory exchange), in which case the
-        previous model survives under a hidden ``.trash-*`` directory
-        rather than being lost.  With ``overwrite=False`` an existing
-        registration of the same name (and version) is refused.
+        POSIX offers no atomic non-empty-directory exchange, so a SIGKILL
+        can still land between the two renames — but the swap is journaled
+        (a fsynced ``.commit-*.json`` written before the first rename), and
+        the next ``resolve()`` replays it: the staged new model rolls
+        forward as if the commit had finished, or, if the stage is
+        unusable, the previous model rolls back from its ``.trash-*``
+        copy.  Either way nothing is lost and nothing half-written is ever
+        visible.  With ``overwrite=False`` an existing registration of the
+        same name (and version) is refused.
         """
         _check_name(name)
         if version is not None:
@@ -342,19 +418,35 @@ class ModelRegistry:
                 handle.write("\n")
             if final.exists():
                 trash = self.root / f".trash-{dirname}-{os.getpid()}"
-                os.replace(final, trash)
+                # Journal the swap before touching the live directory:
+                # should a SIGKILL land anywhere inside it — including the
+                # window between the two renames — the next resolve() reads
+                # this record and rolls the commit forward (the stage is
+                # already durably complete) instead of merely restoring the
+                # old copy.  fsync before the first rename: a journal that
+                # exists implies the swap may have started.
+                journal = self.root / f".commit-{dirname}-{os.getpid()}.json"
+                with open(journal, "w") as handle:
+                    json.dump({"dirname": dirname, "stage": stage.name,
+                               "trash": trash.name}, handle)
+                    handle.flush()
+                    os.fsync(handle.fileno())
                 try:
-                    # Injection seam for the swap's crash window: a raise
-                    # here exercises the restore path below, and the
-                    # SIGKILL variant (no cleanup at all) is what
-                    # resolve()'s trash recovery exists for.
-                    fault_point("registry.commit")
-                    os.replace(stage, final)
-                except BaseException:
-                    # Put the previous model back before propagating.
-                    os.replace(trash, final)
-                    raise
-                shutil.rmtree(trash, ignore_errors=True)
+                    os.replace(final, trash)
+                    try:
+                        # Injection seam for the swap's crash window: a
+                        # raise here exercises the restore path below, and
+                        # the SIGKILL variant (no cleanup at all) is what
+                        # resolve()'s journal recovery exists for.
+                        fault_point("registry.commit")
+                        os.replace(stage, final)
+                    except BaseException:
+                        # Put the previous model back before propagating.
+                        os.replace(trash, final)
+                        raise
+                    shutil.rmtree(trash, ignore_errors=True)
+                finally:
+                    journal.unlink(missing_ok=True)
             else:
                 os.replace(stage, final)
         except BaseException:

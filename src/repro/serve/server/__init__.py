@@ -16,6 +16,11 @@ client over HTTP/1.1 — stdlib only, so it runs anywhere the library does:
   one seeded record stream);
 * :mod:`~repro.serve.server.router` — :class:`ModelRouter`: lazy
   per-model services with LRU eviction under a memory budget;
+* :mod:`~repro.serve.server.procpool` — :class:`WorkerPoolService`:
+  the multi-process serving tier (``--server-workers N``): per-core
+  model worker processes generating into a shared-memory sample ring,
+  served zero-copy by the threaded front end, bit-identical to the
+  in-process service;
 * :mod:`~repro.serve.server.client` — :class:`SynthesisClient`: the
   stdlib client library (and the benchmark's load-generator transport);
 * :mod:`~repro.serve.server.metrics` — :class:`LatencyHistogram` behind
@@ -31,6 +36,7 @@ from repro.serve.server.batcher import (
     CoalescingBatcher,
     DeadlineExceeded,
     QueueSaturated,
+    QuotaExceeded,
     WorkerCrashed,
 )
 from repro.serve.server.client import (
@@ -44,6 +50,7 @@ from repro.serve.server.client import (
 )
 from repro.serve.server.http import SynthesisServer
 from repro.serve.server.metrics import LatencyHistogram
+from repro.serve.server.procpool import WorkerPoolError, WorkerPoolService
 from repro.serve.server.router import (
     ModelRouter,
     RouterClosed,
@@ -61,6 +68,7 @@ __all__ = [
     "DeadlineExpired",
     "CoalescingBatcher",
     "QueueSaturated",
+    "QuotaExceeded",
     "BatcherClosed",
     "BatcherDead",
     "WorkerCrashed",
@@ -68,5 +76,7 @@ __all__ = [
     "ModelRouter",
     "RouterClosed",
     "UnservableModelError",
+    "WorkerPoolService",
+    "WorkerPoolError",
     "LatencyHistogram",
 ]

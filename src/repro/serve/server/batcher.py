@@ -11,10 +11,16 @@ forward, one block decode — then hands each handler its slice.  N clients
 asking for 100 rows each cost one 100·N-row forward instead of N small
 ones.
 
-Determinism is preserved because admission order is serve order: the
-queue is FIFO, the worker is the only consumer, and ``take_block`` claims
-contiguous stream rows — so every response is a contiguous slice of the
-model's single seeded record stream, tagged with its offset.
+Determinism is preserved because pop order is serve order: the worker is
+the only consumer, and ``take_block`` claims contiguous stream rows — so
+every response is a contiguous slice of the model's single seeded record
+stream, tagged with its offset.  Header-less traffic pops in plain FIFO
+admission order; requests carrying an ``X-Priority`` or ``X-Client-Id``
+header flow through the :class:`_AdmissionQueue`'s priority bands and
+per-client fair-share rotation (higher priority first; within a band,
+one request per client per turn; FIFO per client), and per-client quotas
+(``client_quota``) bound how much of the queue any one tenant can hold —
+:class:`QuotaExceeded` maps to the same HTTP 429 as queue saturation.
 
 Three request shapes flow through the same queue:
 
@@ -114,6 +120,26 @@ class QueueSaturated(RuntimeError):
         self.retry_after_s = retry_after_s
 
 
+class QuotaExceeded(QueueSaturated):
+    """Per-client admission quota: one tenant may not own the queue.
+
+    Subclasses :class:`QueueSaturated` so the HTTP layer's existing
+    ``429 Retry-After`` mapping applies unchanged.
+    """
+
+    def __init__(self, client: str, load: int, quota: int,
+                 retry_after_s: float = 1.0):
+        RuntimeError.__init__(
+            self,
+            f"client {client!r} is over its admission quota "
+            f"({load} of {quota} requests queued or in flight)",
+        )
+        self.depth = load
+        self.retry_after_s = retry_after_s
+        self.client = client
+        self.quota = quota
+
+
 class _PendingSlice:
     """One queued small request; the handler thread blocks on ``event``.
 
@@ -122,15 +148,18 @@ class _PendingSlice:
     """
 
     __slots__ = ("n", "event", "values", "offset", "error", "deadline",
-                 "strikes", "ctx", "admitted_at")
+                 "strikes", "ctx", "admitted_at", "priority", "client")
 
-    def __init__(self, n: int, deadline: float | None = None):
+    def __init__(self, n: int, deadline: float | None = None,
+                 priority: int = 0, client: str | None = None):
         self.n = n
         self.event = threading.Event()
         self.values: np.ndarray | None = None
         self.offset: int | None = None
         self.error: BaseException | None = None
         self.deadline = deadline
+        self.priority = priority
+        self.client = client
         self.strikes = 0
         # Captured in the handler thread: the trace context the worker
         # re-attaches so its spans parent to this request's handler span,
@@ -149,15 +178,18 @@ class _PendingStream:
     """
 
     __slots__ = ("n", "chunk_rows", "chunks", "cancelled", "deadline",
-                 "ctx", "admitted_at")
+                 "ctx", "admitted_at", "priority", "client")
 
     def __init__(self, n: int, chunk_rows: int, maxsize: int = 2,
-                 deadline: float | None = None):
+                 deadline: float | None = None, priority: int = 0,
+                 client: str | None = None):
         self.n = n
         self.chunk_rows = chunk_rows
         self.chunks: queue.Queue = queue.Queue(maxsize=maxsize)
         self.cancelled = threading.Event()
         self.deadline = deadline
+        self.priority = priority
+        self.client = client
         self.ctx = trace.current()
         self.admitted_at = time.perf_counter()
 
@@ -181,6 +213,97 @@ class _PendingStream:
                 return
             else:  # "error"
                 raise payload
+
+
+class _AdmissionQueue:
+    """Priority bands + per-client fair share, with a bit-exact retry lane.
+
+    Pop order:
+
+    1. the **retry lane** — crash-retried requests go back out first, in
+       their original pop order, so their stream claims stay
+       bit-identical across the retry;
+    2. the **highest priority band** present;
+    3. within a band, **round-robin across clients** (one request per
+       client per turn, FIFO per client), so no tenant starves another.
+
+    Requests without a client id share one anonymous bucket, which makes
+    header-less traffic behave exactly like the plain FIFO this class
+    replaced.
+    """
+
+    __slots__ = ("_retry", "_bands", "_len")
+
+    def __init__(self):
+        self._retry: deque = deque()
+        # priority → (client → deque of pendings), clients in rotation
+        # order.  dict preserves insertion order; rotation moves a just-
+        # served client to the back.
+        self._bands: dict[int, dict] = {}
+        self._len = 0
+
+    def __len__(self) -> int:
+        return self._len
+
+    def append(self, pending) -> None:
+        band = self._bands.setdefault(pending.priority, {})
+        lane = band.get(pending.client)
+        if lane is None:
+            lane = band[pending.client] = deque()
+        lane.append(pending)
+        self._len += 1
+
+    def requeue_front(self, pendings) -> None:
+        """Put crash-retried requests at the very front, order preserved."""
+        self._retry.extendleft(reversed(pendings))
+        self._len += len(pendings)
+
+    def _select(self):
+        prio = max(self._bands)
+        band = self._bands[prio]
+        client = next(iter(band))
+        return prio, band, client
+
+    def peek(self):
+        """The request the next :meth:`popleft` will return (no rotation)."""
+        if self._retry:
+            return self._retry[0]
+        if not self._bands:
+            return None
+        _, band, client = self._select()
+        return band[client][0]
+
+    def popleft(self):
+        if self._retry:
+            self._len -= 1
+            return self._retry.popleft()
+        prio, band, client = self._select()
+        lane = band[client]
+        pending = lane.popleft()
+        self._len -= 1
+        if lane:
+            # Fair share: this client goes to the back of the rotation.
+            del band[client]
+            band[client] = lane
+        else:
+            del band[client]
+            if not band:
+                del self._bands[prio]
+        return pending
+
+    def drain(self):
+        """Pop everything (dead/close drain), retry lane first."""
+        while self._len:
+            yield self.popleft()
+
+    def queued_for(self, client) -> int:
+        """Requests ``client`` currently has queued (quota accounting)."""
+        count = sum(1 for p in self._retry if p.client == client)
+        for band in self._bands.values():
+            lane = band.get(client)
+            if lane is not None:
+                count += len(lane)
+        return count
 
 
 class CoalescingBatcher:
@@ -212,6 +335,10 @@ class CoalescingBatcher:
         Worker crashes a single request may survive before it is
         quarantined (failed with :class:`WorkerCrashed`) instead of
         retried.
+    client_quota:
+        Maximum requests a single client id may have queued or in flight
+        (``None`` = unlimited).  Requests without a client id are never
+        quota-limited — only the global queue bound applies to them.
     registry:
         :class:`~repro.obs.metrics.MetricsRegistry` the batcher's
         counters and queue-wait histogram bind into (labeled
@@ -223,7 +350,7 @@ class CoalescingBatcher:
                  coalesce: bool = True, name: str = "model",
                  max_restarts: int = 5, restart_backoff_s: float = 0.05,
                  max_backoff_s: float = 2.0, poison_strikes: int = 2,
-                 registry=None):
+                 client_quota: int | None = None, registry=None):
         if max_queue_depth < 0:
             raise ValueError(
                 f"max_queue_depth must be non-negative, got {max_queue_depth}"
@@ -232,6 +359,8 @@ class CoalescingBatcher:
             raise ValueError(f"max_restarts must be non-negative, got {max_restarts}")
         if poison_strikes < 1:
             raise ValueError(f"poison_strikes must be positive, got {poison_strikes}")
+        if client_quota is not None and client_quota < 1:
+            raise ValueError(f"client_quota must be positive, got {client_quota}")
         self.service = service
         self.max_queue_depth = max_queue_depth
         self.coalesce = coalesce
@@ -239,7 +368,9 @@ class CoalescingBatcher:
         self.restart_backoff_s = restart_backoff_s
         self.max_backoff_s = max_backoff_s
         self.poison_strikes = poison_strikes
-        self._queue: deque = deque()
+        self.client_quota = client_quota
+        self._queue = _AdmissionQueue()
+        self._client_inflight: dict[str, int] = {}
         self._cond = threading.Condition()
         self._in_flight = 0
         self._streams_outstanding = 0
@@ -347,9 +478,23 @@ class CoalescingBatcher:
         if self._closed:
             raise BatcherClosed("batcher is shut down")
 
+    def _client_load_locked(self, client: str | None) -> int:
+        if client is None:
+            return 0
+        return (self._queue.queued_for(client)
+                + self._client_inflight.get(client, 0))
+
+    def _check_quota_locked(self, client: str | None) -> None:
+        if self.client_quota is None or client is None:
+            return
+        load = self._client_load_locked(client)
+        if load >= self.client_quota:
+            raise QuotaExceeded(client, load, self.client_quota)
+
     def _admit(self, pending) -> None:
         with self._cond:
             self._check_accepting()
+            self._check_quota_locked(pending.client)
             depth = len(self._queue) + self._in_flight
             if depth >= self.max_queue_depth:
                 raise QueueSaturated(depth)
@@ -361,17 +506,21 @@ class CoalescingBatcher:
                 self._streams_outstanding += 1
             self._cond.notify()
 
-    def submit(self, n: int,
-               deadline: float | None = None) -> tuple[np.ndarray, int]:
+    def submit(self, n: int, deadline: float | None = None,
+               priority: int = 0,
+               client: str | None = None) -> tuple[np.ndarray, int]:
         """Queue a request for ``n`` rows; block until served.
 
         Returns ``(values, offset)``: the decoded rows and their offset in
         the service's record stream.  Raises :class:`QueueSaturated` when
-        admission control rejects the request, :class:`BatcherClosed`
+        admission control rejects the request, :class:`QuotaExceeded`
+        when ``client`` is over its per-client quota, :class:`BatcherClosed`
         after shutdown, :class:`BatcherDead` once the worker's restart
         budget is exhausted, and :class:`DeadlineExceeded` when
         ``deadline`` (absolute ``time.monotonic()`` seconds) passes
-        before the request is served.
+        before the request is served.  ``priority`` orders queued
+        requests (higher pops first); ``client`` enters the request into
+        its tenant's fair-share lane and quota.
 
         Pool-hit fast path: when the service's pool already holds the
         rows, the request is served in the caller's thread — there is no
@@ -394,7 +543,9 @@ class CoalescingBatcher:
                 )
             # Admission control applies to the fast path too: a saturated
             # server must shed load with 429, not let pool-hit requests
-            # jump a full queue.
+            # jump a full queue — and a quota-capped tenant must not
+            # sneak extra work in through pool hits either.
+            self._check_quota_locked(client)
             depth = len(self._queue) + self._in_flight
             if depth >= self.max_queue_depth:
                 raise QueueSaturated(depth)
@@ -412,7 +563,8 @@ class CoalescingBatcher:
                         # replenishes ahead of the next miss.
                         self._cond.notify()
                     return hit
-        pending = _PendingSlice(n, deadline)
+        pending = _PendingSlice(n, deadline, priority=priority,
+                                client=client)
         self._admit(pending)
         pending.event.wait()
         if pending.error is not None:
@@ -420,7 +572,8 @@ class CoalescingBatcher:
         return pending.values, pending.offset
 
     def submit_stream(self, n: int, chunk_rows: int,
-                      deadline: float | None = None) -> _PendingStream:
+                      deadline: float | None = None, priority: int = 0,
+                      client: str | None = None) -> _PendingStream:
         """Queue a large export served as bounded-memory chunks.
 
         Returns the pending stream; iterate it for ``(values, offset)``
@@ -436,7 +589,8 @@ class CoalescingBatcher:
             raise ValueError(f"chunk_rows must be positive, got {chunk_rows}")
         if deadline is not None and time.monotonic() >= deadline:
             raise DeadlineExceeded("request deadline expired before admission")
-        pending = _PendingStream(n, chunk_rows, deadline=deadline)
+        pending = _PendingStream(n, chunk_rows, deadline=deadline,
+                                 priority=priority, client=client)
         self._admit(pending)
         return pending
 
@@ -501,14 +655,13 @@ class CoalescingBatcher:
                     pending.event.set()
                 else:
                     retry.append(pending)
-            # Front-requeue in original order: the crashed tick claimed no
-            # stream rows, so the retried take is bit-identical.
-            for pending in reversed(retry):
-                self._queue.appendleft(pending)
+            # Front-requeue in original order (the retry lane pops before
+            # any priority band): the crashed tick claimed no stream
+            # rows, so the retried take is bit-identical.
+            self._queue.requeue_front(retry)
             if dead:
                 self._dead = True
-                while self._queue:
-                    queued = self._queue.popleft()
+                for queued in self._queue.drain():
                     err = BatcherDead(
                         "batcher worker is dead (restart budget exhausted)"
                     )
@@ -603,8 +756,8 @@ class CoalescingBatcher:
             while True:
                 now = time.monotonic()
                 batch: list = []
-                while self._queue:
-                    head = self._queue[0]
+                while len(self._queue):
+                    head = self._queue.peek()
                     if self._expire(head, now):
                         self._queue.popleft()
                         continue
@@ -620,6 +773,11 @@ class CoalescingBatcher:
                     break
                 if batch:
                     self._in_flight = len(batch)
+                    for pending in batch:
+                        if pending.client is not None:
+                            self._client_inflight[pending.client] = (
+                                self._client_inflight.get(pending.client, 0)
+                                + 1)
                     return batch
                 if self._closed or self._dead:
                     return None
@@ -659,6 +817,15 @@ class CoalescingBatcher:
             finally:
                 with self._cond:
                     self._in_flight = 0
+                    for pending in batch:
+                        if pending.client is not None:
+                            left = self._client_inflight.get(
+                                pending.client, 0) - 1
+                            if left > 0:
+                                self._client_inflight[pending.client] = left
+                            else:
+                                self._client_inflight.pop(pending.client,
+                                                          None)
                     if isinstance(batch[0], _PendingStream):
                         self._streams_outstanding -= 1
                     self._ticks += 1

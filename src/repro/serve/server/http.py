@@ -26,7 +26,10 @@ Endpoints::
                                     CSV / NDJSON in bounded memory; an
                                     ``X-Deadline-Ms`` request header bounds
                                     queue wait — expired work is dropped with
-                                    504 before it reaches the generator
+                                    504 before it reaches the generator;
+                                    ``X-Priority`` (higher drains first) and
+                                    ``X-Client-Id`` (round-robin fairness +
+                                    per-client quota) shape admission
 
 Failure handling: each model's batcher worker is supervised (crash →
 restart with backoff, poison quarantine, dead models evicted and
@@ -375,6 +378,34 @@ class _Handler(BaseHTTPRequestHandler):
             )
         return time.monotonic() + ms / 1000.0
 
+    def _read_priority(self) -> int:
+        """``X-Priority`` (integer; higher drains first) or 0.
+
+        Clamped to ±1000 so a hostile header cannot mint unbounded
+        priority bands in the admission queue."""
+        raw = self.headers.get("X-Priority")
+        if raw is None:
+            return 0
+        try:
+            priority = int(raw)
+        except ValueError as exc:
+            raise _HttpError(
+                400, f"malformed X-Priority header: {raw!r}"
+            ) from exc
+        return max(-1000, min(1000, priority))
+
+    def _client_id(self) -> str | None:
+        """``X-Client-Id`` (sanitized, <= 64 chars) or None.
+
+        Identified clients get round-robin fairness within a priority
+        band and a per-client admission quota; header-less traffic
+        shares one anonymous FIFO lane."""
+        raw = self.headers.get("X-Client-Id")
+        if raw is None:
+            return None
+        client = raw.strip()[:64]
+        return client or None
+
     def _trace_id(self) -> str:
         """Inbound ``X-Trace-Id`` (sanitized) or a fresh id.  Requests
         always carry one — tracing armed or not — so clients can
@@ -391,6 +422,8 @@ class _Handler(BaseHTTPRequestHandler):
             raise _HttpError(503, "server is draining", {"Retry-After": "1"})
         n, fmt = self._read_request()
         deadline = self._read_deadline()
+        priority = self._read_priority()
+        client = self._client_id()
         trace_id = self._trace_id()
         started = time.perf_counter()
         # Root span of the request's trace: everything downstream — the
@@ -400,9 +433,11 @@ class _Handler(BaseHTTPRequestHandler):
         with trace.span("handler", trace_id=trace_id, model=ref, n=n,
                         fmt=fmt):
             if n > self.app.stream_threshold_rows:
-                entry = self._stream_sample(ref, n, fmt, deadline, trace_id)
+                entry = self._stream_sample(ref, n, fmt, deadline, trace_id,
+                                            priority, client)
             else:
-                entry = self._small_sample(ref, n, fmt, deadline, trace_id)
+                entry = self._small_sample(ref, n, fmt, deadline, trace_id,
+                                           priority, client)
         entry.latency.record(time.perf_counter() - started)
 
     def _submit(self, ref: str, method: str, *args):
@@ -432,8 +467,10 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _small_sample(self, ref: str, n: int, fmt: str,
                       deadline: float | None = None,
-                      trace_id: str | None = None):
-        entry, (values, offset) = self._submit(ref, "submit", n, deadline)
+                      trace_id: str | None = None,
+                      priority: int = 0, client: str | None = None):
+        entry, (values, offset) = self._submit(ref, "submit", n, deadline,
+                                               priority, client)
         schema = entry.service.schema
         table = Table(values, schema)
         headers = {"X-Stream-Offset": offset, "X-Row-Count": n}
@@ -463,7 +500,8 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _stream_sample(self, ref: str, n: int, fmt: str,
                        deadline: float | None = None,
-                       trace_id: str | None = None):
+                       trace_id: str | None = None,
+                       priority: int = 0, client: str | None = None):
         """Serve a large export as chunked transfer in bounded memory.
 
         The stream is admitted like any other request — it owns one
@@ -472,7 +510,8 @@ class _Handler(BaseHTTPRequestHandler):
         the full export.
         """
         entry, stream = self._submit(ref, "submit_stream", n,
-                                     self.app.stream_chunk_rows, deadline)
+                                     self.app.stream_chunk_rows, deadline,
+                                     priority, client)
         schema = entry.service.schema
         chunks = iter(stream)
         try:
@@ -590,6 +629,26 @@ class SynthesisServer:
         ``GET /metrics``'s text exposition.  Defaults to the
         process-wide registry; the bench injects a fresh one per server
         so serving modes don't share series.
+    server_workers:
+        ``N >= 1`` serves each model from ``N`` dedicated worker
+        *processes* over a shared-memory sample pool (the HTTP front end
+        stays threaded; see :mod:`repro.serve.server.procpool`).  ``0``
+        (default) keeps the in-process threaded service.  Responses are
+        bit-identical either way.
+    worker_weights:
+        Per-model worker-count overrides (``{"name": k}``); ``0`` pins a
+        model to the in-process service.
+    worker_start_method:
+        ``multiprocessing`` start method for pool workers (default
+        ``"fork"``).
+    client_quota:
+        Per-client admission cap: requests carrying ``X-Client-Id`` are
+        429'd while that client already has this many requests queued or
+        in flight (anonymous traffic is bounded only by the queue depth).
+    trace_log:
+        Path for worker-process trace spans; each worker appends to its
+        own arming of the sink so ``X-Trace-Id`` correlates across the
+        process boundary.
     """
 
     def __init__(self, registry, host: str = "127.0.0.1", port: int = 0, *,
@@ -599,7 +658,11 @@ class SynthesisServer:
                  stream_threshold_rows: int = 10_000,
                  stream_chunk_rows: int = 2048,
                  max_models: int = 8, memory_budget_bytes: int | None = None,
-                 quiet: bool = True, metrics_registry=None):
+                 quiet: bool = True, metrics_registry=None,
+                 server_workers: int = 0,
+                 worker_weights: dict | None = None,
+                 worker_start_method: str | None = None,
+                 client_quota: int | None = None, trace_log=None):
         if stream_chunk_rows <= 0:
             raise ValueError(
                 f"stream_chunk_rows must be positive, got {stream_chunk_rows}"
@@ -616,6 +679,9 @@ class SynthesisServer:
             registry, pool_size=pool_size, batch_rows=batch_rows, seed=seed,
             coalesce=coalesce, max_queue_depth=max_queue_depth,
             max_models=max_models, memory_budget_bytes=memory_budget_bytes,
+            server_workers=server_workers, worker_weights=worker_weights,
+            worker_start_method=worker_start_method,
+            client_quota=client_quota, trace_log=trace_log,
             metrics_registry=metrics_registry,
         )
         self.metrics_registry = self.router.metrics_registry

@@ -34,6 +34,7 @@ from repro.obs import metrics as obs_metrics
 from repro.serve.registry import ModelRegistry
 from repro.serve.server.batcher import CoalescingBatcher
 from repro.serve.server.metrics import LatencyHistogram
+from repro.serve.server.procpool import WorkerPoolService
 from repro.serve.service import SynthesisService
 
 
@@ -56,7 +57,7 @@ class ModelEntry:
     __slots__ = ("ref", "service", "batcher", "latency", "est_bytes",
                  "loaded_at", "ref_json", "columns_json")
 
-    def __init__(self, ref: str, service: SynthesisService,
+    def __init__(self, ref: str, service,
                  batcher: CoalescingBatcher, est_bytes: int):
         self.ref = ref
         self.service = service
@@ -68,8 +69,21 @@ class ModelEntry:
         self.columns_json = json.dumps(list(service.schema.names),
                                        separators=(",", ":"))
 
+    @property
+    def health(self) -> str:
+        """Worst of batcher and service health (the service has its own
+        state machine only in the multi-process mode)."""
+        states = [self.batcher.health]
+        service_health = getattr(self.service, "health", None)
+        if service_health is not None:
+            states.append(service_health)
+        for level in ("dead", "degraded"):
+            if level in states:
+                return level
+        return "ok"
+
     def metrics(self) -> dict:
-        return {
+        data = {
             "stats": self.service.stats.as_dict(),
             "supervision": self.batcher.supervision(),
             "queue_depth": self.batcher.queue_depth,
@@ -82,10 +96,31 @@ class ModelEntry:
             "queue_wait": self.batcher.queue_wait_summary(),
             "stages": self.service.profile.snapshot(),
         }
+        # Multi-process pools also report worker supervision: crashes,
+        # restarts, and per-worker liveness, aggregated for /metrics.
+        worker_info = getattr(self.service, "worker_info", None)
+        if worker_info is not None:
+            data["workers"] = worker_info()
+        return data
+
+    def close(self) -> None:
+        """Batcher first (drains admitted work), then the service (which
+        joins worker processes and unlinks shared memory in the
+        multi-process mode)."""
+        self.batcher.close()
+        close = getattr(self.service, "close", None)
+        if close is not None:
+            close()
 
 
-def _estimate_bytes(service: SynthesisService, pool_size: int) -> int:
+def _estimate_bytes(service, pool_size: int) -> int:
     """Rough resident footprint: generator parameters + pool high-water."""
+    if isinstance(service, WorkerPoolService):
+        # The parent holds no weights in the multi-process mode — its
+        # footprint is the shared decoded + latent rings (worker-side
+        # copies of the model live in other processes' budgets).
+        return int(service.pool_size * 8
+                   * (service.n_features + service.latent_dim))
     generator = service.sampler.generator
     param_bytes = sum(p.data.nbytes for p in generator.parameters())
     n_features = len(service.schema.names)
@@ -104,8 +139,22 @@ class ModelRouter:
     pool_size, batch_rows, seed:
         Forwarded to every :class:`SynthesisService` the router creates
         (each model gets its own independent seeded stream).
-    coalesce, max_queue_depth:
+    coalesce, max_queue_depth, client_quota:
         Forwarded to every :class:`CoalescingBatcher`.
+    server_workers:
+        ``0`` (default) keeps the threaded in-process
+        :class:`SynthesisService`; ``N >= 1`` serves every model through
+        a :class:`WorkerPoolService` of ``N`` model worker processes
+        over a shared-memory sample ring.
+    worker_weights:
+        Per-model concurrency weights overriding ``server_workers``:
+        maps a model name or canonical ``name@version`` reference to its
+        worker-process count (``0`` pins that model to the threaded
+        service).  Ignored when ``server_workers`` is 0.
+    worker_start_method / trace_log:
+        Multiprocessing start method (default ``fork``) and the JSONL
+        trace sink worker processes arm, forwarded to every
+        :class:`WorkerPoolService`.
     max_models:
         Hard cap on resident models (LRU beyond it).
     memory_budget_bytes:
@@ -128,9 +177,16 @@ class ModelRouter:
     def __init__(self, registry, *, pool_size: int = 0, batch_rows: int = 2048,
                  seed=0, coalesce: bool = True, max_queue_depth: int = 64,
                  max_models: int = 8, memory_budget_bytes: int | None = None,
-                 resolve_ttl_s: float = 5.0, metrics_registry=None):
+                 resolve_ttl_s: float = 5.0, server_workers: int = 0,
+                 worker_weights: dict | None = None,
+                 worker_start_method: str | None = None,
+                 client_quota: int | None = None, trace_log=None,
+                 metrics_registry=None):
         if max_models < 1:
             raise ValueError(f"max_models must be >= 1, got {max_models}")
+        if server_workers < 0:
+            raise ValueError(
+                f"server_workers must be non-negative, got {server_workers}")
         self.registry = (registry if isinstance(registry, ModelRegistry)
                          else ModelRegistry(registry))
         self.pool_size = pool_size
@@ -138,6 +194,11 @@ class ModelRouter:
         self.seed = seed
         self.coalesce = coalesce
         self.max_queue_depth = max_queue_depth
+        self.server_workers = server_workers
+        self.worker_weights = dict(worker_weights or {})
+        self.worker_start_method = worker_start_method
+        self.client_quota = client_quota
+        self.trace_log = trace_log
         self.max_models = max_models
         self.memory_budget_bytes = memory_budget_bytes
         self.resolve_ttl_s = resolve_ttl_s
@@ -203,7 +264,7 @@ class ModelRouter:
                 if self._closed:
                     raise RouterClosed("router is shut down")
                 entry = self._entries.get(canonical)
-                if entry is not None and entry.batcher.health == "dead":
+                if entry is not None and entry.health == "dead":
                     self._entries.pop(canonical, None)
                     self.evictions += 1
                     self.dead_evictions += 1
@@ -223,7 +284,7 @@ class ModelRouter:
             if evicted is not None:
                 # Join the dead worker outside the router lock (it exited
                 # already, so this is cheap bookkeeping, not a drain).
-                evicted.batcher.close()
+                evicted.close()
             if wait_for is None:
                 break
             # Another thread is loading this model; wait, then re-check
@@ -237,8 +298,34 @@ class ModelRouter:
             loading.set()
         return entry
 
-    def _load_entry(self, canonical: str) -> ModelEntry:
-        """Load + wire one model (no router lock held during the load)."""
+    def _workers_for(self, canonical: str) -> int:
+        """Worker processes for this model: weight override or default."""
+        if self.server_workers <= 0:
+            return 0
+        weight = self.worker_weights.get(canonical)
+        if weight is None and "@" in canonical:
+            weight = self.worker_weights.get(canonical.partition("@")[0])
+        return self.server_workers if weight is None else int(weight)
+
+    def _build_service(self, canonical: str):
+        workers = self._workers_for(canonical)
+        if workers > 0:
+            # Multi-process pool: the parent reads only the manifest
+            # (kind/schema/dims); workers load the weights themselves.
+            kind = self.registry.manifest(canonical).get("kind")
+            if kind != "tablegan":
+                raise UnservableModelError(
+                    f"model {canonical!r} has kind {kind!r}; only "
+                    "single-generator TableGAN registrations are servable "
+                    "over HTTP (use `repro synth` for chunked models)"
+                )
+            return WorkerPoolService(
+                self.registry, canonical, workers=workers,
+                pool_size=self.pool_size, batch_rows=self.batch_rows,
+                seed=self.seed, start_method=self.worker_start_method,
+                trace_log=self.trace_log, name=canonical,
+                metrics_registry=self.metrics_registry,
+            )
         model = self.registry.load(canonical)
         if not isinstance(model, TableGAN):
             # ChunkedTableGAN has no single record stream to slice;
@@ -248,13 +335,18 @@ class ModelRouter:
                 "single-generator TableGAN registrations are servable "
                 "over HTTP (use `repro synth` for chunked models)"
             )
-        service = SynthesisService(
+        return SynthesisService(
             model, pool_size=self.pool_size, batch_rows=self.batch_rows,
             seed=self.seed,
         )
+
+    def _load_entry(self, canonical: str) -> ModelEntry:
+        """Load + wire one model (no router lock held during the load)."""
+        service = self._build_service(canonical)
         batcher = CoalescingBatcher(
             service, max_queue_depth=self.max_queue_depth,
             coalesce=self.coalesce, name=canonical,
+            client_quota=self.client_quota,
             registry=self.metrics_registry,
         )
         entry = ModelEntry(canonical, service, batcher,
@@ -262,7 +354,7 @@ class ModelRouter:
         self._m_loads.inc()
         with self._lock:
             if self._closed:
-                batcher.close()
+                entry.close()
                 raise RouterClosed("router is shut down")
             self._entries[canonical] = entry
             victims = self._evict_over_budget(keep=canonical)
@@ -270,7 +362,7 @@ class ModelRouter:
         # a generator forward) — never under the router lock, or one
         # eviction would stall requests for every resident model.
         for victim in victims:
-            victim.batcher.close()
+            victim.close()
         return entry
 
     def _evict_over_budget(self, keep: str) -> list[ModelEntry]:
@@ -331,7 +423,7 @@ class ModelRouter:
         """Per-resident-model worker health (``ok``/``degraded``/``dead``)."""
         with self._lock:
             entries = list(self._entries.items())
-        return {ref: entry.batcher.health for ref, entry in entries}
+        return {ref: entry.health for ref, entry in entries}
 
     def metrics(self) -> dict:
         """Per-model serving metrics for every resident model."""
@@ -354,4 +446,4 @@ class ModelRouter:
             entries = list(self._entries.values())
             self._entries.clear()
         for entry in entries:
-            entry.batcher.close()
+            entry.close()

@@ -169,6 +169,16 @@ class SynthesisService:
         self._gen_lock = threading.Lock()
         self._stream_pos = 0
 
+    def close(self) -> None:
+        """Release service resources.
+
+        The in-process service owns nothing beyond garbage-collected
+        buffers, so this is a no-op; it exists so the router can tear any
+        service implementation down uniformly (the multi-process
+        :class:`~repro.serve.server.procpool.WorkerPoolService` joins its
+        workers and unlinks shared memory here).
+        """
+
     @property
     def pooled_rows(self) -> int:
         """Rows currently pre-generated and waiting in memory."""

@@ -17,6 +17,9 @@ Injection points in the stack (one name per seam)::
     socket.send         one payload written to (or read from) an HTTP socket
     parallel.reduce     publishing/reducing one shard gradient buffer in
                         the data-parallel trainer's all-reduce
+    pool.block          a serving worker process starting one pool-block
+                        generation (the seam chaos tests kill workers at;
+                        armed plans propagate into forked workers)
 
 Production call sites use two entry points:
 
@@ -58,6 +61,7 @@ POINTS = frozenset({
     "sink.write",
     "socket.send",
     "parallel.reduce",
+    "pool.block",
 })
 
 ACTIONS = frozenset({"raise", "delay", "truncate", "corrupt"})

@@ -344,3 +344,96 @@ class TestRegistryCrashWindow:
         registry.delete("m")
         with pytest.raises(RegistryError):
             ModelRegistry(tmp_path).resolve("m")
+
+
+class TestRegistryCommitJournal:
+    """The journaled overwrite swap (PR 9): a SIGKILL *between* the two
+    renames must no longer cost the new registration — the fsynced
+    ``.commit-*.json`` written before the swap lets the next resolve()
+    roll the commit forward instead of merely restoring the old copy."""
+
+    @staticmethod
+    def _simulate_kill_between_renames(tmp_path, tmp_path_factory,
+                                       trained_gan):
+        """Manufacture the exact on-disk state a SIGKILL leaves when it
+        lands after the trash rename but before the commit rename."""
+        registry = ModelRegistry(tmp_path)
+        registry.register("m", trained_gan)
+        # A durably complete stage: a real registration of the same model,
+        # renamed into a stage directory (registration writes the staged
+        # manifest before the swap begins, so this is the true state).
+        side = tmp_path_factory.mktemp("staging-side")
+        ModelRegistry(side).register("m", trained_gan)
+        stage, trash = ".stage-m-sim0", ".trash-m-424242"
+        staged_manifest = json.loads(
+            (side / "m" / "manifest.json").read_text())
+        os.replace(side / "m", tmp_path / stage)
+        os.replace(tmp_path / "m", tmp_path / trash)
+        journal = tmp_path / ".commit-m-424242.json"
+        journal.write_text(json.dumps(
+            {"dirname": "m", "stage": stage, "trash": trash}))
+        return staged_manifest, stage, trash, journal
+
+    def test_kill_between_renames_rolls_the_commit_forward(
+            self, tmp_path, tmp_path_factory, trained_gan):
+        staged_manifest, stage, trash, journal = (
+            self._simulate_kill_between_renames(tmp_path, tmp_path_factory,
+                                                trained_gan))
+        recovered = ModelRegistry(tmp_path)  # a later process
+        assert recovered.resolve("m") == "m"
+        # Forward, not back: the *staged* registration is now live, and
+        # every intermediate artifact of the swap is consumed.
+        assert recovered.manifest("m") == staged_manifest
+        assert recovered.load("m").sample(2).n_rows == 2
+        assert not (tmp_path / stage).exists()
+        assert not (tmp_path / trash).exists()
+        assert not journal.exists()
+
+    def test_unusable_stage_rolls_back_from_trash(self, tmp_path,
+                                                  trained_gan):
+        registry = ModelRegistry(tmp_path)
+        registry.register("m", trained_gan)
+        old_manifest = registry.manifest("m")
+        # The kill landed between the renames, but the stage has no
+        # manifest (it was lost or never completed): recovery must fall
+        # back to the trashed previous model.
+        (tmp_path / ".stage-m-sim0").mkdir()
+        os.replace(tmp_path / "m", tmp_path / ".trash-m-424242")
+        (tmp_path / ".commit-m-424242.json").write_text(json.dumps(
+            {"dirname": "m", "stage": ".stage-m-sim0",
+             "trash": ".trash-m-424242"}))
+        recovered = ModelRegistry(tmp_path)
+        assert recovered.resolve("m") == "m"
+        assert recovered.manifest("m") == old_manifest
+        assert not (tmp_path / ".commit-m-424242.json").exists()
+        assert not (tmp_path / ".trash-m-424242").exists()
+
+    def test_journal_of_a_completed_swap_only_cleans_up(self, tmp_path,
+                                                        trained_gan):
+        registry = ModelRegistry(tmp_path)
+        registry.register("m", trained_gan)
+        registry.register("m", trained_gan, overwrite=True)
+        manifest = registry.manifest("m")
+        # A crash after the commit rename but before cleanup: the journal
+        # and the trash copy survive, the final directory is already live.
+        (tmp_path / ".trash-m-424242").mkdir()
+        (tmp_path / ".commit-m-424242.json").write_text(json.dumps(
+            {"dirname": "m", "stage": ".stage-m-gone",
+             "trash": ".trash-m-424242"}))
+        recovered = ModelRegistry(tmp_path)
+        assert recovered.resolve("m") == "m"
+        assert recovered.manifest("m") == manifest
+        assert not (tmp_path / ".trash-m-424242").exists()
+        assert not (tmp_path / ".commit-m-424242.json").exists()
+
+    def test_no_journal_residue_after_clean_or_failed_swaps(self, tmp_path,
+                                                            trained_gan):
+        registry = ModelRegistry(tmp_path)
+        registry.register("m", trained_gan)
+        registry.register("m", trained_gan, overwrite=True)
+        with FaultPlan().arm("registry.commit"):
+            with pytest.raises(FaultError):
+                registry.register("m", trained_gan, overwrite=True)
+        residue = [p.name for p in tmp_path.iterdir()
+                   if p.name.startswith(".commit-")]
+        assert residue == []

@@ -113,6 +113,12 @@ class TestSpanParenting:
         sink = []
         with trace.tracing(sink):
             client.sample("tiny", 2, trace_id=TRACE_ID)
+        # The client returns as soon as it reads the body; the handler
+        # span closes (and records) a beat later in the handler thread.
+        deadline = time.time() + 2.0
+        while time.time() < deadline and not [
+                r for r in _spans(sink) if r["name"] == "handler"]:
+            time.sleep(0.01)
         spans = _spans(sink)
         handler = _one(spans, "handler")
         probe = _one(spans, "batcher", fast_path=True)
