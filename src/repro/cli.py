@@ -17,6 +17,7 @@ Examples
     python -m repro serve --registry model-registry --port 8000
     python -m repro serve --port 8000 --trace-log /tmp/spans.jsonl
     python -m repro trace /tmp/spans.jsonl
+    python -m repro quality adult-low --url http://127.0.0.1:8000
 
 ``train``/``sample``/``evaluate``/``attack`` regenerate the dataset
 deterministically from ``--dataset``, ``--rows`` and ``--seed``, so a saved
@@ -169,10 +170,17 @@ def cmd_train(args) -> int:
         # explicit versions are immutable — re-registering one is refused
         # (the registry raises) so a pinned rollback can never be
         # silently clobbered by a re-run.
+        # The training table's per-column statistics are frozen into the
+        # manifest here: they are the reference every serving-time drift
+        # score compares against (`GET /models/{ref}/quality`).
+        from repro.obs.quality import reference_stats
+
         registry.register(register_name, gan,
                           overwrite=register_version is None,
-                          version=register_version)
-        print(f"registered as {args.register!r} in {registry.root}")
+                          version=register_version,
+                          reference_stats=reference_stats(bundle.train))
+        print(f"registered as {args.register!r} in {registry.root} "
+              "(reference stats frozen for drift scoring)")
     return 0
 
 
@@ -322,12 +330,17 @@ def cmd_serve(args) -> int:
         server_workers=args.server_workers, worker_weights=weights,
         worker_start_method=args.worker_start_method,
         client_quota=args.client_quota, trace_log=args.trace_log,
+        quality=not args.no_quality,
     )
     if args.trace_log:
         # Arm the process-wide tracer: every sampled request appends its
         # handler/batcher/service span records to the JSONL file, readable
-        # live with `repro trace PATH`.
-        trace.arm(args.trace_log)
+        # live with `repro trace PATH`.  --trace-log-max-mb caps the file:
+        # full files rotate to PATH.1..PATH.N between whole-line writes.
+        max_bytes = (args.trace_log_max_mb * (1 << 20)
+                     if args.trace_log_max_mb else None)
+        trace.arm(args.trace_log, max_bytes=max_bytes,
+                  keep=args.trace_log_keep)
     stop = threading.Event()
     for signum in (signal.SIGTERM, signal.SIGINT):
         signal.signal(signum, lambda *_: stop.set())
@@ -347,6 +360,94 @@ def cmd_serve(args) -> int:
         responses = server.metrics()["responses"]
         print(f"server stopped after {sum(responses.values())} response(s)",
               flush=True)
+    return 0
+
+
+def cmd_quality(args) -> int:
+    """Show a model's data-quality / drift report.
+
+    With ``--url`` the report comes from a running server's
+    ``GET /models/{ref}/quality`` (live sketch vs frozen reference);
+    without it, the registry manifest's frozen reference statistics are
+    printed — what serving-time drift will be scored against.
+    """
+    if args.url:
+        import urllib.error
+        import urllib.parse
+        import urllib.request
+
+        endpoint = (f"{args.url.rstrip('/')}/models/"
+                    f"{urllib.parse.quote(args.ref, safe='')}/quality")
+        try:
+            with urllib.request.urlopen(endpoint, timeout=10) as response:
+                report = json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            detail = exc.read().decode("utf-8", "replace").strip()
+            print(f"server returned {exc.code} for {endpoint}: {detail}")
+            return 1
+        except (urllib.error.URLError, OSError) as exc:
+            print(f"cannot reach {endpoint}: {exc}")
+            return 1
+        if args.json:
+            print(json.dumps(report, indent=2, sort_keys=True))
+            return 0
+        status = report.get("status", "?")
+        print(f"model {report.get('model', args.ref)!r}: status={status} "
+              f"rows_sketched={report.get('rows_sketched', 0)} "
+              f"reference={report.get('reference', False)} "
+              f"tap_errors={report.get('tap_errors', 0)}")
+        drift = report.get("drift")
+        if not drift:
+            if status == "off":
+                print("quality tap disabled on this server (--no-quality)")
+            elif not report.get("reference"):
+                print("no reference stats in the manifest; re-register via "
+                      "`repro train --register` to enable drift scoring")
+            else:
+                print("no drift scores yet (fewer rows sketched than the "
+                      "minimum); sample more rows first")
+            return 0
+        rows = [
+            (name, f"{col['statistic']:.4f}", f"{col['area']:.4f}",
+             col["status"])
+            for name, col in sorted(drift["columns"].items(),
+                                    key=lambda kv: -kv[1]["statistic"])
+        ]
+        thresholds = drift.get("thresholds", {})
+        print(format_table(
+            ["column", "ks statistic", "cdf area", "status"], rows,
+            title=(f"drift vs reference (warn>={thresholds.get('warn')}, "
+                   f"drift>={thresholds.get('drift')})"),
+        ))
+        return 0
+
+    registry = ModelRegistry(args.registry)
+    manifest = registry.manifest(args.ref)
+    reference = manifest.get("reference_stats")
+    if not reference:
+        print(f"{args.ref!r} has no frozen reference statistics; "
+              "re-register via `repro train --register` to enable "
+              "serving-time drift scoring")
+        return 1
+    if args.json:
+        print(json.dumps(reference, indent=2, sort_keys=True))
+        return 0
+    rows = []
+    for name, col in reference["columns"].items():
+        if col.get("kind") == "categorical" and "categories" in col:
+            top = col["categories"]["top_k"]
+            detail = ", ".join(f"{cat}:{count}" for cat, count in top[:3])
+            rows.append((name, col["kind"], "-", "-", detail))
+        else:
+            rows.append((name, col["kind"], f"{col['mean']:.4g}",
+                         f"{col['std']:.4g}",
+                         f"[{col['lo']:.4g}, {col['hi']:.4g}]"))
+    print(format_table(
+        ["column", "kind", "mean", "std", "range / top categories"], rows,
+        title=(f"reference stats for {args.ref!r} "
+               f"({reference['rows']} training rows, "
+               f"{reference['bins']} bins)"),
+    ))
     return 0
 
 
@@ -617,7 +718,37 @@ def build_parser() -> argparse.ArgumentParser:
                               "record per handler/batcher/service stage to "
                               "PATH (inspect with `repro trace PATH`); "
                               "default: tracing disarmed")
+    p_serve.add_argument("--trace-log-max-mb", type=_positive_int,
+                         default=None, metavar="MB",
+                         help="rotate the trace log before it exceeds MB "
+                              "MiB: PATH shifts to PATH.1..PATH.N between "
+                              "whole-line writes, so no record is ever torn "
+                              "(default: unbounded)")
+    p_serve.add_argument("--trace-log-keep", type=_positive_int, default=3,
+                         metavar="N",
+                         help="rotated trace files to keep (PATH.1..PATH.N; "
+                              "default: 3)")
+    p_serve.add_argument("--no-quality", action="store_true",
+                         help="disable the per-model quality sketch / drift "
+                              "scoring tap (responses are byte-identical "
+                              "either way)")
     p_serve.set_defaults(func=cmd_serve)
+
+    p_quality = sub.add_parser(
+        "quality", help="show a model's data-quality / drift report"
+    )
+    p_quality.add_argument("ref", metavar="NAME[@VERSION]",
+                           help="model reference")
+    p_quality.add_argument("--url", default=None, metavar="URL",
+                           help="running server base URL; queries "
+                                "GET /models/REF/quality (live drift). "
+                                "Without it, prints the registry manifest's "
+                                "frozen reference stats")
+    p_quality.add_argument("--registry", default=DEFAULT_REGISTRY,
+                           help=f"registry directory (default: {DEFAULT_REGISTRY})")
+    p_quality.add_argument("--json", action="store_true",
+                           help="print the raw JSON report")
+    p_quality.set_defaults(func=cmd_quality)
 
     p_trace = sub.add_parser(
         "trace", help="summarize a span log written by serve --trace-log"

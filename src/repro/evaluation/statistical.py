@@ -36,8 +36,10 @@ class CdfComparison:
 
 
 def empirical_cdf(values: np.ndarray, grid: np.ndarray) -> np.ndarray:
-    """P(X <= g) for each grid point g."""
+    """P(X <= g) for each grid point g (all zeros for an empty sample)."""
     values = np.sort(np.asarray(values, dtype=np.float64))
+    if values.size == 0:
+        return np.zeros(np.asarray(grid).shape, dtype=np.float64)
     return np.searchsorted(values, grid, side="right") / values.size
 
 
@@ -52,8 +54,12 @@ def compare_cdf(original: Table, released: Table, attribute: str,
         raise ValueError(f"n_points must be at least 2, got {n_points}")
     a = original.column(attribute)
     b = released.column(attribute)
-    lo = min(a.min(), b.min())
-    hi = max(a.max(), b.max())
+    pooled = np.concatenate([a, b])
+    if pooled.size == 0:
+        lo, hi = 0.0, 1.0
+    else:
+        lo = float(pooled.min())
+        hi = float(pooled.max())
     if hi == lo:
         hi = lo + 1.0
     raw_grid = np.linspace(lo, hi, n_points)
@@ -67,6 +73,35 @@ def compare_cdf(original: Table, released: Table, attribute: str,
         cdf_released=cdf_b,
         ks_statistic=float(gap.max()),
         area_distance=float(np.trapezoid(gap, dx=1.0 / (n_points - 1))),
+    )
+
+
+def compare_binned(attribute: str, counts_original, counts_released) -> CdfComparison:
+    """CDF comparison from two aligned histogram count vectors.
+
+    The online drift scorer holds fixed-bin counts rather than raw values;
+    this is :func:`compare_cdf` restated on the bin grid.  An empty side
+    (zero total count) contributes an all-zero CDF, so the KS statistic
+    against a populated side saturates at 1.0 — never NaN.
+    """
+    a = np.asarray(counts_original, dtype=np.float64)
+    b = np.asarray(counts_released, dtype=np.float64)
+    if a.shape != b.shape or a.ndim != 1 or a.size == 0:
+        raise ValueError(
+            f"count vectors must be equal-length 1-D, got {a.shape}/{b.shape}")
+    total_a, total_b = a.sum(), b.sum()
+    cdf_a = a.cumsum() / total_a if total_a > 0 else np.zeros_like(a)
+    cdf_b = b.cumsum() / total_b if total_b > 0 else np.zeros_like(b)
+    gap = np.abs(cdf_a - cdf_b)
+    n = a.size
+    area = float(np.trapezoid(gap, dx=1.0 / (n - 1))) if n > 1 else float(gap[0])
+    return CdfComparison(
+        attribute=attribute,
+        grid=np.linspace(0.0, 1.0, n),
+        cdf_original=cdf_a,
+        cdf_released=cdf_b,
+        ks_statistic=float(gap.max()),
+        area_distance=area,
     )
 
 
@@ -86,4 +121,6 @@ def mean_area_distance(original: Table, released: Table) -> float:
     across a whole figure panel; smaller is better.
     """
     comparisons = compare_all_sensitive(original, released)
+    if not comparisons:
+        return 0.0
     return float(np.mean([c.area_distance for c in comparisons.values()]))

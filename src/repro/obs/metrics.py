@@ -292,15 +292,45 @@ class MetricsRegistry:
                                 "series": rows}
         return out
 
-    def render_text(self):
-        """Prometheus text exposition (version 0.0.4)."""
+    @staticmethod
+    def _series_matches(key, label_filter):
+        if not label_filter:
+            return True
+        labels = dict(key)
+        for name, want in label_filter.items():
+            have = labels.get(name)
+            if have is None:
+                return False
+            if callable(want):
+                if not want(have):
+                    return False
+            elif have != str(want):
+                return False
+        return True
+
+    def render_text(self, label_filter=None):
+        """Prometheus text exposition (version 0.0.4).
+
+        ``label_filter`` optionally restricts the output to series whose
+        labels match every entry — values compare as strings, or, when
+        callable, act as predicates over the label value (how ``GET
+        /metrics?model=NAME`` scrapes one model without paying full
+        exposition cost).  Series missing a filtered label are omitted,
+        as are families left with no matching series.
+        """
         self.collect()
         lines = []
         for family in self.families():
+            series_list = [
+                (key, series) for key, series in family.series()
+                if self._series_matches(key, label_filter)
+            ]
+            if label_filter and not series_list:
+                continue
             if family.help:
                 lines.append(f"# HELP {family.name} {family.help}")
             lines.append(f"# TYPE {family.name} {family.kind}")
-            for key, series in family.series():
+            for key, series in series_list:
                 if family.kind == "histogram":
                     counts, count, total, _peak = series._state()
                     cumulative = 0

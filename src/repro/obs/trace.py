@@ -26,6 +26,7 @@ line on stderr so the fact is never silently dropped.
 """
 
 import json
+import os
 import random
 import sys
 import threading
@@ -135,24 +136,54 @@ class _Attach:
 
 
 class Tracer:
-    """Serializes span records to a JSONL file or an append-only list."""
+    """Serializes span records to a JSONL file or an append-only list.
 
-    def __init__(self, sink):
+    File sinks support size-capped rotation: when ``max_bytes`` is set
+    and the live file would exceed it, the tracer shifts ``path.N`` →
+    ``path.N+1`` (dropping the oldest beyond ``keep``), moves ``path``
+    to ``path.1``, and reopens a fresh file — all under the write lock
+    and only *between* whole-line writes, so no JSON record is ever
+    torn across files.  Rotation state is per-process: pool workers
+    arming the same path rotate independently (see
+    ``docs/observability.md``).
+    """
+
+    def __init__(self, sink, *, max_bytes=None, keep=3):
         self._lock = threading.Lock()
         self.emitted = 0
+        self.rotations = 0
+        self._max_bytes = max_bytes if max_bytes and max_bytes > 0 else None
+        self._keep = max(1, int(keep))
         if isinstance(sink, str):
+            self._path = sink
             self._file = open(sink, "a", encoding="utf-8")
             self._sink = None
         else:
+            self._path = None
             self._file = None
             self._sink = sink
 
+    def _rotate_locked(self):
+        """Shift the rotation chain and reopen; caller holds the lock."""
+        self._file.close()
+        for i in range(self._keep - 1, 0, -1):
+            src = f"{self._path}.{i}"
+            if os.path.exists(src):
+                os.replace(src, f"{self._path}.{i + 1}")
+        os.replace(self._path, f"{self._path}.1")
+        self._file = open(self._path, "a", encoding="utf-8")
+        self.rotations += 1
+
     def _write(self, record):
+        line = json.dumps(record, separators=(",", ":")) + "\n"
         with self._lock:
             self.emitted += 1
             if self._file is not None:
-                self._file.write(
-                    json.dumps(record, separators=(",", ":")) + "\n")
+                if (self._max_bytes is not None
+                        and self._file.tell() + len(line) > self._max_bytes
+                        and self._file.tell() > 0):
+                    self._rotate_locked()
+                self._file.write(line)
                 self._file.flush()
             else:
                 self._sink.append(record)
@@ -257,10 +288,13 @@ def log_event(name, **fields):
                                     default=repr) + "\n")
 
 
-def arm(sink):
-    """Install a tracer writing to ``sink`` (path or list). Returns it."""
+def arm(sink, *, max_bytes=None, keep=3):
+    """Install a tracer writing to ``sink`` (path or list). Returns it.
+
+    ``max_bytes`` caps file sinks: the live file rotates to ``path.1``
+    (… up to ``path.keep``) before a write would exceed the cap."""
     global _TRACER
-    tracer = Tracer(sink)
+    tracer = Tracer(sink, max_bytes=max_bytes, keep=keep)
     _TRACER = tracer
     return tracer
 
@@ -275,11 +309,11 @@ def disarm():
 
 
 @contextmanager
-def tracing(sink):
+def tracing(sink, *, max_bytes=None, keep=3):
     """Arm tracing for a scope; restores the previous tracer on exit."""
     global _TRACER
     previous = _TRACER
-    tracer = Tracer(sink)
+    tracer = Tracer(sink, max_bytes=max_bytes, keep=keep)
     _TRACER = tracer
     try:
         yield tracer

@@ -1,0 +1,239 @@
+"""Serving-side synthesis-quality monitor: live sketches + drift vs reference.
+
+:class:`QualityMonitor` wraps the serving-agnostic sketch core
+(:mod:`repro.obs.quality`) with everything the serving tier needs:
+
+* a **tap** for the decode path — one call per replenished block in the
+  threaded :class:`~repro.serve.service.SynthesisService`, one fold per
+  collected block in the procpool tier.  The tap is *observe-only* and
+  failure-isolated: it never touches the service RNG, its updates run
+  under a private lock, and any exception (including the ``quality.tap``
+  chaos seam) is swallowed and counted — a crashing sketch can never
+  block or corrupt the sample stream.  After :data:`MAX_TAP_ERRORS`
+  failures the tap disables itself rather than paying the exception cost
+  forever.
+* **drift scoring** against the reference statistics frozen into the
+  registry manifest at ``train --register``, thresholded per column and
+  rolled up to ``ok | warn | drift`` (models registered without reference
+  stats serve fine and report ``scored: false``).
+* a **report** for ``GET /models/{ref}/quality`` and the ``repro quality``
+  viewer.
+
+Bin alignment is the load-bearing invariant: the live sketch's histogram
+edges come from the manifest's frozen reference ranges when present (the
+training table's per-column min/max — exactly what the codec records), so
+live and reference histograms compare bin-for-bin.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.data.schema import TableSchema
+from repro.obs.quality import (
+    DEFAULT_BINS,
+    DEFAULT_RESERVOIR_ROWS,
+    DRIFT_THRESHOLD,
+    MIN_ROWS,
+    WARN_THRESHOLD,
+    TableSketch,
+    score_drift,
+)
+from repro.utils.faults import fault_point
+
+#: Rollup status -> numeric gauge value (``quality_status`` metric).
+STATUS_CODES = {"ok": 0, "warn": 1, "drift": 2}
+
+#: Consecutive tap failures before the monitor stops trying.
+MAX_TAP_ERRORS = 8
+
+
+def manifest_ranges(manifest: dict) -> tuple[list, list]:
+    """Per-column ``(col_min, col_max)`` ranges recorded in a manifest.
+
+    Prefers the frozen reference ranges (bin alignment with the training
+    table); falls back to the codec ranges of the generator artifact(s) —
+    for chunked models, the union across chunks.
+    """
+    reference = manifest.get("reference_stats")
+    if reference:
+        schema = TableSchema.from_dict(manifest["schema"])
+        cols = reference.get("columns", {})
+        if all(name in cols for name in schema.names):
+            lo = [float(cols[name]["lo"]) for name in schema.names]
+            hi = [float(cols[name]["hi"]) for name in schema.names]
+            return lo, hi
+    if manifest.get("kind") == "chunked":
+        entries = manifest["chunks"]
+    else:
+        entries = [manifest["generator"]]
+    lo = np.min([e["col_min"] for e in entries], axis=0)
+    hi = np.max([e["col_max"] for e in entries], axis=0)
+    return [float(v) for v in lo], [float(v) for v in hi]
+
+
+class QualityMonitor:
+    """Per-model live quality sketch with failure-isolated taps."""
+
+    def __init__(self, name: str, schema: TableSchema, col_min, col_max, *,
+                 reference: dict | None = None, seed: int = 0,
+                 bins: int = DEFAULT_BINS,
+                 reservoir_rows: int = DEFAULT_RESERVOIR_ROWS,
+                 warn: float = WARN_THRESHOLD,
+                 drift: float = DRIFT_THRESHOLD,
+                 min_rows: int = MIN_ROWS):
+        if reference:
+            bins = int(reference.get("bins", bins))
+        self.name = name
+        self.schema = schema
+        self.reference = reference
+        self.warn = float(warn)
+        self.drift_threshold = float(drift)
+        self.min_rows = int(min_rows)
+        self.bins = int(bins)
+        self.col_min = list(col_min)
+        self.col_max = list(col_max)
+        self.sketch = TableSketch(
+            schema, col_min, col_max,
+            bins=self.bins, reservoir_rows=reservoir_rows, seed=seed,
+        )
+        self.tap_errors = 0
+        self.disabled = False
+        self._lock = threading.Lock()
+
+    @classmethod
+    def from_manifest(cls, name: str, manifest: dict, *, seed: int = 0,
+                      **kwargs) -> "QualityMonitor":
+        """Build a monitor for a registered model from its manifest."""
+        schema = TableSchema.from_dict(manifest["schema"])
+        lo, hi = manifest_ranges(manifest)
+        return cls(name, schema, lo, hi,
+                   reference=manifest.get("reference_stats"),
+                   seed=seed, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Taps (the only methods on the hot path).
+    # ------------------------------------------------------------------
+    def tap(self, values) -> None:
+        """Fold one block of decoded rows (threaded tier's decode path).
+
+        Never raises: a broken sketch is an observability gap, not a
+        serving outage.
+        """
+        if self.disabled:
+            return
+        try:
+            fault_point("quality.tap")
+            with self._lock:
+                self.sketch.update(values)
+        except BaseException:
+            self._tap_failed()
+
+    def fold(self, payload, rows=None) -> None:
+        """Fold a worker-computed stats payload (procpool collector path).
+
+        ``rows`` is the decoded block from the shared ring; the parent
+        reservoir-samples it here so reservoir RNG consumption stays
+        single-process and seeded.  A ``None`` payload means the worker's
+        sketch crashed — counted, never propagated.
+        """
+        if self.disabled:
+            return
+        if payload is None:
+            self._tap_failed()
+            return
+        try:
+            fault_point("quality.tap")
+            with self._lock:
+                self.sketch.merge_payload(payload)
+                if rows is not None:
+                    self.sketch.reservoir.update(rows)
+        except BaseException:
+            self._tap_failed()
+
+    def _tap_failed(self) -> None:
+        self.tap_errors += 1
+        if self.tap_errors >= MAX_TAP_ERRORS:
+            self.disabled = True
+
+    def worker_config(self) -> tuple:
+        """``(col_min, col_max, bins)`` for building aligned worker sketches."""
+        return (self.col_min, self.col_max, self.bins)
+
+    # ------------------------------------------------------------------
+    # Scoring and reporting (exposition-time only).
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        with self._lock:
+            return self.sketch.snapshot()
+
+    def drift(self) -> dict | None:
+        """Drift scores vs the frozen reference (None when unregistered)."""
+        if not self.reference:
+            return None
+        return score_drift(self.reference, self.snapshot(),
+                           warn=self.warn, drift=self.drift_threshold,
+                           min_rows=self.min_rows)
+
+    @property
+    def status(self) -> str:
+        """Rollup ``ok | warn | drift`` (``ok`` when there is no reference)."""
+        scores = self.drift()
+        return scores["status"] if scores else "ok"
+
+    def gauge_scores(self) -> tuple[str, dict[str, float], int]:
+        """``(status, {column: statistic}, rows)`` for the metric collector."""
+        scores = self.drift()
+        rows = self.sketch.count
+        if scores is None:
+            return "ok", {}, rows
+        return (scores["status"],
+                {name: col["statistic"] for name, col in scores["columns"].items()},
+                rows)
+
+    def summary(self) -> dict:
+        """Compact per-model entry for the ``/metrics`` JSON document."""
+        scores = self.drift()
+        out = {
+            "status": scores["status"] if scores else "ok",
+            "rows_sketched": self.sketch.count,
+            "reference": bool(self.reference),
+            "tap_errors": self.tap_errors,
+        }
+        if scores:
+            out["columns"] = {
+                name: col["statistic"]
+                for name, col in scores["columns"].items()
+            }
+        return out
+
+    def _quantiles(self) -> dict[str, list[float]]:
+        with self._lock:
+            sample = self.sketch.reservoir.sample().copy()
+        if len(sample) == 0:
+            return {}
+        qs = np.percentile(sample, [5.0, 50.0, 95.0], axis=0)
+        return {
+            name: [round(float(qs[j, i]), 6) for j in range(3)]
+            for i, name in enumerate(self.schema.names)
+        }
+
+    def report(self) -> dict:
+        """Full JSON document for ``GET /models/{ref}/quality``."""
+        snap = self.snapshot()
+        scores = score_drift(self.reference, snap,
+                             warn=self.warn, drift=self.drift_threshold,
+                             min_rows=self.min_rows) if self.reference else None
+        return {
+            "model": self.name,
+            "status": scores["status"] if scores else "ok",
+            "reference": bool(self.reference),
+            "rows_sketched": snap["rows"],
+            "tap_errors": self.tap_errors,
+            "tap_disabled": self.disabled,
+            "drift": scores,
+            "sketch": snap,
+            "reservoir_quantiles": self._quantiles(),
+        }

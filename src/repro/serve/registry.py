@@ -378,10 +378,16 @@ class ModelRegistry:
     # Registration.
     # ------------------------------------------------------------------
     def register(self, name: str, model, overwrite: bool = False,
-                 version: str | None = None) -> dict:
+                 version: str | None = None,
+                 reference_stats: dict | None = None) -> dict:
         """Persist a fitted model under ``name`` and return its manifest.
 
         ``model`` is a fitted :class:`TableGAN` or :class:`ChunkedTableGAN`.
+        ``reference_stats`` optionally freezes the training table's
+        per-column statistics (see :func:`repro.obs.quality.
+        reference_stats`) into the manifest, where the serving tier's drift
+        scorer picks them up.  The key is optional — manifests without it
+        load fine and serving simply reports quality unscored.
         With ``version`` the registration lands in its own
         ``<name>@<version>`` directory and prior versions stay on disk
         untouched — ``load(name)`` then resolves to the newest
@@ -413,6 +419,13 @@ class ModelRegistry:
         try:
             manifest = self._stage(stage, name, model)
             manifest["version"] = version
+            if reference_stats is not None:
+                if not isinstance(reference_stats, dict):
+                    raise RegistryError(
+                        "reference_stats must be a dict "
+                        f"(got {type(reference_stats).__name__})"
+                    )
+                manifest["reference_stats"] = reference_stats
             with open(stage / MANIFEST_NAME, "w") as handle:
                 json.dump(manifest, handle, indent=2, sort_keys=True)
                 handle.write("\n")

@@ -17,9 +17,15 @@ Endpoints::
                                     models force status "degraded" too
     GET  /metrics                   ServiceStats, queue depths, latency
                                     histograms, per-model supervision counters
-                                    (crashes/restarts/poisoned/deadline_drops)
+                                    (crashes/restarts/poisoned/deadline_drops);
+                                    ``?model=NAME`` restricts either rendering
+                                    to one model's series (content negotiation
+                                    unchanged)
     GET  /models                    every registration in the registry
     GET  /models/{ref}              one manifest; ref is name[@version|@latest]
+    GET  /models/{ref}/quality      live quality sketch + drift scores vs the
+                                    registered reference stats (status
+                                    ok|warn|drift)
     POST /models/{ref}/sample       {"n": rows, "format": "json"|"csv"}
                                     (or Accept: text/csv); responses over
                                     stream_threshold_rows arrive as chunked
@@ -64,7 +70,7 @@ import sys
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from urllib.parse import unquote, urlsplit
+from urllib.parse import parse_qs, unquote, urlsplit
 
 import numpy as np
 
@@ -258,6 +264,9 @@ class _Handler(BaseHTTPRequestHandler):
         if len(parts) == 3 and parts[:1] == ["models"] and parts[2] == "sample":
             self._require(method, "POST")
             return self._handle_sample(parts[1])
+        if len(parts) == 3 and parts[:1] == ["models"] and parts[2] == "quality":
+            self._require(method, "GET")
+            return self._handle_quality(parts[1])
         raise _HttpError(404, f"no route for {method} {path}")
 
     def _require(self, method: str, expected: str) -> None:
@@ -281,17 +290,49 @@ class _Handler(BaseHTTPRequestHandler):
             "uptime_s": self.app.uptime_s,
             "resident_models": self.app.router.resident(),
             "models": model_health,
+            # Data-quality drift is reported alongside — not merged into —
+            # worker health: a drifting model still serves.
+            "quality": self.app.router.quality_status(),
         })
 
     def _handle_metrics(self) -> None:
         # Content negotiation: the JSON payload (the SynthesisClient's
         # default Accept) keeps its shape; anything else — a Prometheus
         # scraper sends */* — gets the registry's text exposition.
+        # ``?model=NAME`` restricts either rendering to one model's
+        # series: exact name or any ``NAME@version``.
+        query = parse_qs(urlsplit(self.path).query)
+        model = (query.get("model") or [None])[0]
         accept = self.headers.get("Accept", "")
         if "application/json" in accept:
-            return self._send_json(200, self.app.metrics())
-        body = self.app.metrics_registry.render_text().encode("utf-8")
+            payload = self.app.metrics()
+            if model is not None:
+                payload = self._filter_metrics_json(payload, model)
+            return self._send_json(200, payload)
+        label_filter = None
+        if model is not None:
+            label_filter = {"model": self._model_matcher(model)}
+        body = self.app.metrics_registry.render_text(
+            label_filter=label_filter).encode("utf-8")
         self._send_body(200, body, "text/plain; version=0.0.4; charset=utf-8")
+
+    @staticmethod
+    def _model_matcher(model: str):
+        """Match the exact model name or any of its pinned versions."""
+        return lambda value: value == model or value.startswith(model + "@")
+
+    @classmethod
+    def _filter_metrics_json(cls, payload: dict, model: str) -> dict:
+        matches = cls._model_matcher(model)
+        filtered = dict(payload)
+        if isinstance(payload.get("models"), dict):
+            filtered["models"] = {ref: stats
+                                  for ref, stats in payload["models"].items()
+                                  if matches(ref)}
+        if isinstance(payload.get("resident_models"), list):
+            filtered["resident_models"] = [
+                ref for ref in payload["resident_models"] if matches(ref)]
+        return filtered
 
     def _handle_models(self) -> None:
         try:
@@ -312,6 +353,14 @@ class _Handler(BaseHTTPRequestHandler):
         except RegistryError as exc:
             raise _HttpError(404, str(exc)) from exc
         self._send_json(200, manifest)
+
+    def _handle_quality(self, ref: str) -> None:
+        entry = self._entry_for(ref)
+        if entry.quality is None:
+            return self._send_json(200, {
+                "model": entry.ref, "status": "off", "reference": False,
+            })
+        self._send_json(200, entry.quality.report())
 
     # ------------------------------------------------------------------
     # Sampling.
@@ -649,6 +698,12 @@ class SynthesisServer:
         Path for worker-process trace spans; each worker appends to its
         own arming of the sink so ``X-Trace-Id`` correlates across the
         process boundary.
+    quality:
+        ``True`` (default) taps every decoded sample block into a
+        bounded-memory quality sketch per model and scores drift against
+        the reference statistics frozen at registration (``GET
+        /models/{ref}/quality``).  ``False`` disables the tap entirely;
+        responses are byte-identical either way.
     """
 
     def __init__(self, registry, host: str = "127.0.0.1", port: int = 0, *,
@@ -662,7 +717,8 @@ class SynthesisServer:
                  server_workers: int = 0,
                  worker_weights: dict | None = None,
                  worker_start_method: str | None = None,
-                 client_quota: int | None = None, trace_log=None):
+                 client_quota: int | None = None, trace_log=None,
+                 quality: bool = True):
         if stream_chunk_rows <= 0:
             raise ValueError(
                 f"stream_chunk_rows must be positive, got {stream_chunk_rows}"
@@ -682,7 +738,7 @@ class SynthesisServer:
             server_workers=server_workers, worker_weights=worker_weights,
             worker_start_method=worker_start_method,
             client_quota=client_quota, trace_log=trace_log,
-            metrics_registry=metrics_registry,
+            metrics_registry=metrics_registry, quality=quality,
         )
         self.metrics_registry = self.router.metrics_registry
         self.max_request_rows = max_request_rows

@@ -31,6 +31,7 @@ from collections import OrderedDict
 
 from repro.core.tablegan import TableGAN
 from repro.obs import metrics as obs_metrics
+from repro.serve.quality import STATUS_CODES, QualityMonitor
 from repro.serve.registry import ModelRegistry
 from repro.serve.server.batcher import CoalescingBatcher
 from repro.serve.server.metrics import LatencyHistogram
@@ -55,10 +56,10 @@ class ModelEntry:
     """
 
     __slots__ = ("ref", "service", "batcher", "latency", "est_bytes",
-                 "loaded_at", "ref_json", "columns_json")
+                 "loaded_at", "ref_json", "columns_json", "quality")
 
     def __init__(self, ref: str, service,
-                 batcher: CoalescingBatcher, est_bytes: int):
+                 batcher: CoalescingBatcher, est_bytes: int, quality=None):
         self.ref = ref
         self.service = service
         self.batcher = batcher
@@ -68,6 +69,7 @@ class ModelEntry:
         self.ref_json = json.dumps(ref)
         self.columns_json = json.dumps(list(service.schema.names),
                                        separators=(",", ":"))
+        self.quality = quality
 
     @property
     def health(self) -> str:
@@ -101,6 +103,8 @@ class ModelEntry:
         worker_info = getattr(self.service, "worker_info", None)
         if worker_info is not None:
             data["workers"] = worker_info()
+        if self.quality is not None:
+            data["quality"] = self.quality.summary()
         return data
 
     def close(self) -> None:
@@ -172,6 +176,14 @@ class ModelRouter:
         exposition: router counters, pool/queue-depth gauges (refreshed
         by a collector at scrape time, never on the request path), and
         every batcher's series.  Defaults to the process-wide registry.
+    quality:
+        ``True`` (default) attaches a
+        :class:`~repro.serve.quality.QualityMonitor` to every loaded
+        model: decoded blocks are sketched on the decode path, drift is
+        scored against the manifest's frozen reference stats, and
+        per-(model, column) drift gauges publish at exposition time.
+        ``False`` disables the tap entirely (responses are byte-identical
+        either way — the tap is observe-only).
     """
 
     def __init__(self, registry, *, pool_size: int = 0, batch_rows: int = 2048,
@@ -181,7 +193,7 @@ class ModelRouter:
                  worker_weights: dict | None = None,
                  worker_start_method: str | None = None,
                  client_quota: int | None = None, trace_log=None,
-                 metrics_registry=None):
+                 metrics_registry=None, quality: bool = True):
         if max_models < 1:
             raise ValueError(f"max_models must be >= 1, got {max_models}")
         if server_workers < 0:
@@ -199,6 +211,7 @@ class ModelRouter:
         self.worker_start_method = worker_start_method
         self.client_quota = client_quota
         self.trace_log = trace_log
+        self.quality = quality
         self.max_models = max_models
         self.memory_budget_bytes = memory_budget_bytes
         self.resolve_ttl_s = resolve_ttl_s
@@ -230,6 +243,20 @@ class ModelRouter:
         )
         self._g_pooled_rows = reg.gauge(
             "service_pooled_rows", "Pre-generated rows waiting in the pool",
+        )
+        self._g_quality_stat = reg.gauge(
+            "quality_drift_statistic",
+            "Per-column drift statistic vs the registered reference "
+            "(binned KS for numeric columns, total variation for "
+            "categorical)",
+        )
+        self._g_quality_status = reg.gauge(
+            "quality_status",
+            "Per-model drift rollup (0=ok, 1=warn, 2=drift)",
+        )
+        self._g_quality_rows = reg.gauge(
+            "quality_rows_sketched",
+            "Decoded rows folded into the model's live quality sketch",
         )
         reg.add_collector(self._refresh_gauges)
 
@@ -307,7 +334,18 @@ class ModelRouter:
             weight = self.worker_weights.get(canonical.partition("@")[0])
         return self.server_workers if weight is None else int(weight)
 
-    def _build_service(self, canonical: str):
+    def _quality_monitor(self, canonical: str):
+        """Build this model's quality monitor (never blocks a load)."""
+        if not self.quality:
+            return None
+        try:
+            return QualityMonitor.from_manifest(
+                canonical, self.registry.manifest(canonical), seed=self.seed)
+        except Exception:
+            # A malformed manifest costs the quality signal, not serving.
+            return None
+
+    def _build_service(self, canonical: str, monitor=None):
         workers = self._workers_for(canonical)
         if workers > 0:
             # Multi-process pool: the parent reads only the manifest
@@ -324,7 +362,7 @@ class ModelRouter:
                 pool_size=self.pool_size, batch_rows=self.batch_rows,
                 seed=self.seed, start_method=self.worker_start_method,
                 trace_log=self.trace_log, name=canonical,
-                metrics_registry=self.metrics_registry,
+                metrics_registry=self.metrics_registry, quality=monitor,
             )
         model = self.registry.load(canonical)
         if not isinstance(model, TableGAN):
@@ -337,12 +375,13 @@ class ModelRouter:
             )
         return SynthesisService(
             model, pool_size=self.pool_size, batch_rows=self.batch_rows,
-            seed=self.seed,
+            seed=self.seed, quality=monitor,
         )
 
     def _load_entry(self, canonical: str) -> ModelEntry:
         """Load + wire one model (no router lock held during the load)."""
-        service = self._build_service(canonical)
+        monitor = self._quality_monitor(canonical)
+        service = self._build_service(canonical, monitor)
         batcher = CoalescingBatcher(
             service, max_queue_depth=self.max_queue_depth,
             coalesce=self.coalesce, name=canonical,
@@ -350,7 +389,8 @@ class ModelRouter:
             registry=self.metrics_registry,
         )
         entry = ModelEntry(canonical, service, batcher,
-                           _estimate_bytes(service, self.pool_size))
+                           _estimate_bytes(service, self.pool_size),
+                           quality=monitor)
         self._m_loads.inc()
         with self._lock:
             if self._closed:
@@ -403,7 +443,9 @@ class ModelRouter:
             entries = list(self._entries.items())
         self._g_resident.set(len(entries))
         live = {ref for ref, _ in entries}
-        for family in (self._g_queue_depth, self._g_pooled_rows):
+        for family in (self._g_queue_depth, self._g_pooled_rows,
+                       self._g_quality_stat, self._g_quality_status,
+                       self._g_quality_rows):
             for key, _series in family.series():
                 labels = dict(key)
                 if labels.get("model") not in live:
@@ -413,6 +455,14 @@ class ModelRouter:
                 entry.batcher.queue_depth)
             self._g_pooled_rows.labels(model=ref).set(
                 entry.service.pooled_rows)
+            if entry.quality is not None:
+                status, per_column, rows = entry.quality.gauge_scores()
+                self._g_quality_status.labels(model=ref).set(
+                    STATUS_CODES[status])
+                self._g_quality_rows.labels(model=ref).set(rows)
+                for column, stat in per_column.items():
+                    self._g_quality_stat.labels(
+                        model=ref, column=column).set(stat)
 
     def resident(self) -> list[str]:
         """Currently loaded references, least recently used first."""
@@ -424,6 +474,18 @@ class ModelRouter:
         with self._lock:
             entries = list(self._entries.items())
         return {ref: entry.health for ref, entry in entries}
+
+    def quality_status(self) -> dict:
+        """Per-resident-model drift rollup (``ok``/``warn``/``drift``).
+
+        Surfaced in ``/healthz`` alongside — not merged into — worker
+        health: a drifting model still serves, it just should not be
+        trusted silently.
+        """
+        with self._lock:
+            entries = list(self._entries.items())
+        return {ref: entry.quality.status for ref, entry in entries
+                if entry.quality is not None}
 
     def metrics(self) -> dict:
         """Per-model serving metrics for every resident model."""

@@ -134,10 +134,17 @@ class SynthesisService:
         per-replenishment latency and buffer memory moderate.
     seed:
         Seed of the service's record stream.
+    quality:
+        Optional :class:`~repro.serve.quality.QualityMonitor`.  Every
+        decoded block is tapped into its streaming sketch right after the
+        decode — each generated row is seen exactly once, off the
+        per-request path.  The tap is observe-only (it never touches the
+        service RNG or the pooled buffers) and swallows its own failures,
+        so responses are bit-identical with the tap armed or absent.
     """
 
     def __init__(self, model, pool_size: int = 0, batch_rows: int = 2048,
-                 seed=None):
+                 seed=None, quality=None):
         if isinstance(model, TableGAN):
             sampler = model.record_sampler()
         elif isinstance(model, RecordSampler):
@@ -153,6 +160,7 @@ class SynthesisService:
         self.sampler = sampler
         self.pool_size = pool_size
         self.batch_rows = batch_rows
+        self.quality = quality
         self._rng = ensure_rng(seed)
         self._pool = _Pool()
         self.stats = ServiceStats()
@@ -219,6 +227,10 @@ class SynthesisService:
         t2 = time.perf_counter()
         self.profile.add("generate", t1 - t0)
         self.profile.add("decode", t2 - t1)
+        if self.quality is not None:
+            # Quality tap: every generated row passes here exactly once.
+            # The monitor isolates its own failures, so this cannot raise.
+            self.quality.tap(decoded)
         with self._lock:
             self._pool.push(encoded, decoded)
             self.stats.rows_generated += rows

@@ -20,6 +20,9 @@ Injection points in the stack (one name per seam)::
     pool.block          a serving worker process starting one pool-block
                         generation (the seam chaos tests kill workers at;
                         armed plans propagate into forked workers)
+    quality.tap         one quality-sketch update on the decode path (the
+                        seam chaos tests crash to prove a broken sketch
+                        never blocks or corrupts the sample stream)
 
 Production call sites use two entry points:
 
@@ -62,6 +65,7 @@ POINTS = frozenset({
     "socket.send",
     "parallel.reduce",
     "pool.block",
+    "quality.tap",
 })
 
 ACTIONS = frozenset({"raise", "delay", "truncate", "corrupt"})

@@ -7,6 +7,7 @@ from hypothesis import strategies as st
 
 from repro.evaluation.statistical import (
     compare_all_sensitive,
+    compare_binned,
     compare_cdf,
     empirical_cdf,
     mean_area_distance,
@@ -66,6 +67,96 @@ class TestCompareCdf:
     def test_rejects_tiny_grid(self, adult_bundle):
         with pytest.raises(ValueError):
             compare_cdf(adult_bundle.train, adult_bundle.test, "age", n_points=1)
+
+
+class TestEdgeCases:
+    """Degenerate inputs must yield finite scores — never NaN, never raise."""
+
+    def test_empty_values_cdf_is_zero(self):
+        cdf = empirical_cdf(np.array([]), np.linspace(0, 1, 10))
+        assert cdf.shape == (10,)
+        assert (cdf == 0.0).all()
+
+    def test_single_row_tables(self, adult_bundle):
+        t = adult_bundle.train
+        one = t.with_values(t.values[:1])
+        c = compare_cdf(one, one, "age")
+        assert c.ks_statistic == 0.0
+        assert np.isfinite(c.area_distance)
+
+    def test_two_constant_columns_different_values(self, adult_bundle):
+        """Two constant tables with disjoint values: max discrepancy, finite."""
+        t = adult_bundle.train
+        a_values, b_values = t.values.copy(), t.values.copy()
+        j = t.schema.index("age")
+        a_values[:, j] = 1.0
+        b_values[:, j] = 2.0
+        c = compare_cdf(t.with_values(a_values), t.with_values(b_values), "age")
+        assert c.ks_statistic == 1.0
+        assert np.isfinite(c.area_distance)
+
+    def test_empty_tables_both_sides(self, adult_bundle):
+        t = adult_bundle.train
+        empty = t.with_values(t.values[:0])
+        c = compare_cdf(empty, empty, "age")
+        assert c.ks_statistic == 0.0
+        assert c.area_distance == 0.0
+
+    def test_empty_against_populated(self, adult_bundle):
+        """Empty-vs-populated (no value intersection) saturates, finite."""
+        t = adult_bundle.train
+        empty = t.with_values(t.values[:0])
+        c = compare_cdf(t, empty, "age")
+        assert np.isfinite(c.ks_statistic)
+        assert np.isfinite(c.area_distance)
+        assert c.ks_statistic == 1.0
+
+    def test_identical_synthetic_every_attribute(self, adult_bundle):
+        """All-identical released vs real: exactly zero on every attribute."""
+        out = compare_all_sensitive(adult_bundle.train, adult_bundle.train)
+        for c in out.values():
+            assert c.ks_statistic == 0.0
+            assert c.area_distance == 0.0
+
+    def test_mean_area_empty_tables_is_finite(self, adult_bundle):
+        t = adult_bundle.train
+        empty = t.with_values(t.values[:0])
+        value = mean_area_distance(empty, empty)
+        assert np.isfinite(value)
+
+
+class TestCompareBinned:
+    def test_identical_counts_zero(self):
+        c = compare_binned("x", [5, 3, 2], [10, 6, 4])
+        assert c.ks_statistic == pytest.approx(0.0)
+        assert c.area_distance == pytest.approx(0.0)
+
+    def test_disjoint_mass_saturates(self):
+        c = compare_binned("x", [10, 0, 0], [0, 0, 10])
+        assert c.ks_statistic == pytest.approx(1.0)
+
+    def test_zero_total_side_is_finite(self):
+        c = compare_binned("x", [0, 0, 0], [1, 2, 3])
+        assert np.isfinite(c.ks_statistic)
+        assert np.isfinite(c.area_distance)
+        both = compare_binned("x", [0, 0], [0, 0])
+        assert both.ks_statistic == 0.0
+
+    def test_single_bin(self):
+        c = compare_binned("x", [7], [3])
+        assert c.ks_statistic == pytest.approx(0.0)
+        assert np.isfinite(c.area_distance)
+
+    def test_matches_compare_cdf_shape(self):
+        c = compare_binned("x", [1, 2, 3, 4], [4, 3, 2, 1])
+        assert c.grid[0] == 0.0 and c.grid[-1] == 1.0
+        assert len(c.series()) == 4
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            compare_binned("x", [1, 2], [1, 2, 3])
+        with pytest.raises(ValueError):
+            compare_binned("x", [], [])
 
 
 class TestAggregates:

@@ -1,0 +1,237 @@
+"""Streaming quality sketches and drift scoring (serving-agnostic core)."""
+
+import numpy as np
+import pytest
+
+from repro.data.schema import ColumnKind, ColumnRole, ColumnSpec, TableSchema
+from repro.data.table import Table
+from repro.obs.quality import (
+    ReservoirSample,
+    TableSketch,
+    reference_stats,
+    score_drift,
+)
+
+
+def _schema():
+    return TableSchema([
+        ColumnSpec("x", ColumnKind.CONTINUOUS, ColumnRole.SENSITIVE),
+        ColumnSpec("y", ColumnKind.DISCRETE, ColumnRole.SENSITIVE),
+        ColumnSpec("cat", ColumnKind.CATEGORICAL, ColumnRole.SENSITIVE,
+                   categories=("a", "b", "c")),
+    ])
+
+
+def _rows(rng, n):
+    return np.column_stack([
+        rng.uniform(0.0, 10.0, n),
+        rng.integers(0, 5, n).astype(np.float64),
+        rng.integers(0, 3, n).astype(np.float64),
+    ])
+
+
+class TestReservoir:
+    def test_fills_then_bounds(self, rng):
+        res = ReservoirSample(16, 3, seed=1)
+        res.update(_rows(rng, 10))
+        assert res.filled == 10 and res.seen == 10
+        res.update(_rows(rng, 100))
+        assert res.filled == 16 and res.seen == 110
+        assert res.sample().shape == (16, 3)
+
+    def test_deterministic_given_seed(self, rng):
+        blocks = [_rows(rng, 40) for _ in range(5)]
+        a = ReservoirSample(8, 3, seed=7)
+        b = ReservoirSample(8, 3, seed=7)
+        for block in blocks:
+            a.update(block)
+            b.update(block)
+        assert np.array_equal(a.sample(), b.sample())
+
+    def test_zero_capacity_counts_only(self, rng):
+        res = ReservoirSample(0, 3, seed=0)
+        res.update(_rows(rng, 25))
+        assert res.seen == 25 and res.filled == 0
+        assert res.sample().shape == (0, 3)
+
+    def test_uniformity_over_stream(self):
+        """Every stream row must be equally likely to survive (algorithm R)."""
+        hits = np.zeros(200)
+        for seed in range(300):
+            res = ReservoirSample(10, 1, seed=seed)
+            res.update(np.arange(200, dtype=np.float64).reshape(-1, 1))
+            hits[res.sample()[:, 0].astype(int)] += 1
+        # 10/200 inclusion probability * 300 runs = 15 expected hits/row;
+        # a biased reservoir (e.g. never replacing the head) is far outside.
+        assert hits.min() > 2 and hits.max() < 45
+
+
+class TestTableSketch:
+    def test_moments_match_numpy(self, rng):
+        values = _rows(rng, 500)
+        sketch = TableSketch(_schema(), values.min(0), values.max(0))
+        for start in range(0, 500, 130):  # uneven blocks
+            sketch.update(values[start:start + 130])
+        assert sketch.count == 500
+        assert np.allclose(sketch.mean, values.mean(axis=0))
+        assert np.allclose(np.sqrt(sketch.m2 / sketch.count),
+                           values.std(axis=0))
+        assert np.allclose(sketch.minv, values.min(axis=0))
+        assert np.allclose(sketch.maxv, values.max(axis=0))
+
+    def test_histogram_counts_rows(self, rng):
+        values = _rows(rng, 300)
+        sketch = TableSketch(_schema(), values.min(0), values.max(0), bins=8)
+        sketch.update(values)
+        assert sketch.hist.shape == (3, 8)
+        assert (sketch.hist.sum(axis=1) == 300).all()
+
+    def test_out_of_range_values_clip_to_edge_bins(self):
+        schema = _schema()
+        sketch = TableSketch(schema, [0.0, 0.0, 0.0], [1.0, 4.0, 2.0], bins=4)
+        sketch.update(np.array([[-5.0, 99.0, 0.0], [99.0, -5.0, 1.0]]))
+        assert sketch.hist[0, 0] == 1 and sketch.hist[0, -1] == 1
+        assert sketch.hist[1, -1] == 1 and sketch.hist[1, 0] == 1
+
+    def test_constant_column_single_bin(self):
+        schema = _schema()
+        sketch = TableSketch(schema, [2.0, 0.0, 0.0], [2.0, 4.0, 2.0], bins=8)
+        sketch.update(np.array([[2.0, 1.0, 0.0]] * 50))
+        assert sketch.hist[0, 0] == 50
+        assert sketch.hist[0, 1:].sum() == 0
+
+    def test_categorical_counts_exact(self, rng):
+        values = _rows(rng, 400)
+        sketch = TableSketch(_schema(), values.min(0), values.max(0))
+        sketch.update(values)
+        counts = sketch.cat_counts[2]
+        expected = np.bincount(values[:, 2].astype(int), minlength=3)
+        assert np.array_equal(counts, expected)
+
+    def test_merge_equals_single_update(self, rng):
+        values = _rows(rng, 600)
+        lo, hi = values.min(0), values.max(0)
+        whole = TableSketch(_schema(), lo, hi, reservoir_rows=0)
+        whole.update(values)
+        left = TableSketch(_schema(), lo, hi, reservoir_rows=0)
+        right = TableSketch(_schema(), lo, hi, reservoir_rows=0)
+        left.update(values[:250])
+        right.update(values[250:])
+        left.merge(right)
+        assert left.count == whole.count
+        assert np.allclose(left.mean, whole.mean)
+        assert np.allclose(left.m2, whole.m2)
+        assert np.array_equal(left.hist, whole.hist)
+        assert np.array_equal(left.cat_counts[2], whole.cat_counts[2])
+
+    def test_payload_roundtrip_json_and_arrays(self, rng):
+        import json
+
+        values = _rows(rng, 120)
+        lo, hi = values.min(0), values.max(0)
+        src = TableSketch(_schema(), lo, hi, reservoir_rows=0)
+        src.update(values)
+        for arrays in (False, True):
+            payload = src.to_payload(arrays=arrays)
+            if not arrays:
+                payload = json.loads(json.dumps(payload))  # wire-safe
+            dst = TableSketch(_schema(), lo, hi, reservoir_rows=0)
+            dst.merge_payload(payload)
+            assert dst.count == src.count
+            assert np.allclose(dst.mean, src.mean)
+            assert np.array_equal(dst.hist, src.hist)
+
+    def test_empty_and_single_row_updates(self):
+        sketch = TableSketch(_schema(), [0.0] * 3, [1.0] * 3)
+        sketch.update(np.empty((0, 3)))
+        assert sketch.count == 0
+        sketch.update(np.array([0.5, 1.0, 2.0]))  # 1-D single row
+        assert sketch.count == 1
+        snap = sketch.snapshot()
+        assert snap["rows"] == 1
+        assert all(np.isfinite(col["std"]) for col in snap["columns"].values())
+
+    def test_snapshot_top_k_uses_category_names(self, rng):
+        values = _rows(rng, 200)
+        sketch = TableSketch(_schema(), values.min(0), values.max(0))
+        sketch.update(values)
+        top = sketch.snapshot()["columns"]["cat"]["categories"]["top_k"]
+        assert top and all(name in ("a", "b", "c") for name, _count in top)
+        counts = [count for _name, count in top]
+        assert counts == sorted(counts, reverse=True)
+
+
+class TestReferenceStats:
+    def test_matches_table_and_is_json(self, rng):
+        import json
+
+        values = _rows(rng, 250)
+        table = Table(values, _schema())
+        ref = reference_stats(table, bins=16)
+        assert ref["rows"] == 250 and ref["bins"] == 16
+        assert np.isclose(ref["columns"]["x"]["mean"], values[:, 0].mean())
+        json.dumps(ref)  # manifest-embeddable
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(ValueError):
+            reference_stats(Table(np.empty((0, 3)), _schema()))
+
+
+class TestScoreDrift:
+    def _sketch_snapshot(self, rng, n, shift=0.0):
+        values = _rows(rng, n)
+        values[:, 0] += shift
+        base = _rows(np.random.default_rng(0), 400)
+        lo, hi = base.min(0), base.max(0)
+        sketch = TableSketch(_schema(), lo, hi, reservoir_rows=0)
+        sketch.update(values)
+        return sketch.snapshot()
+
+    def test_identical_distribution_ok(self):
+        ref = reference_stats(
+            Table(_rows(np.random.default_rng(3), 500), _schema()))
+        live = self._sketch_snapshot(np.random.default_rng(3), 500)
+        # Same generator, same seed: the binned CDFs are near-identical.
+        scores = score_drift(ref, live)
+        assert scores["scored"] is True
+        assert scores["columns"]["x"]["statistic"] < 0.15
+
+    def test_shifted_distribution_drifts(self):
+        ref = reference_stats(
+            Table(_rows(np.random.default_rng(3), 500), _schema()))
+        live = self._sketch_snapshot(np.random.default_rng(4), 500, shift=8.0)
+        scores = score_drift(ref, live)
+        assert scores["columns"]["x"]["status"] == "drift"
+        assert scores["status"] == "drift"
+
+    def test_min_rows_gates_everything_ok(self):
+        ref = reference_stats(
+            Table(_rows(np.random.default_rng(3), 500), _schema()))
+        live = self._sketch_snapshot(np.random.default_rng(4), 50, shift=8.0)
+        scores = score_drift(ref, live, min_rows=100)
+        assert scores["scored"] is False
+        assert scores["status"] == "ok"
+        assert all(c["status"] == "ok" for c in scores["columns"].values())
+
+    def test_categorical_tv_distance(self):
+        ref = reference_stats(
+            Table(np.array([[0.0, 0.0, 0.0]] * 50 + [[0.0, 0.0, 1.0]] * 50),
+                  _schema()))
+        live_values = np.array([[0.0, 0.0, 2.0]] * 200)
+        sketch = TableSketch(_schema(), [0.0] * 3, [1.0, 1.0, 2.0],
+                             reservoir_rows=0)
+        sketch.update(live_values)
+        scores = score_drift(ref, sketch.snapshot())
+        # Disjoint supports: total variation saturates at 1.
+        assert scores["columns"]["cat"]["statistic"] == pytest.approx(1.0)
+        assert scores["columns"]["cat"]["status"] == "drift"
+
+    def test_all_scores_finite(self):
+        """Zero-count live sketches and constant columns stay finite."""
+        ref = reference_stats(Table(np.zeros((120, 3)), _schema()))
+        empty = TableSketch(_schema(), [0.0] * 3, [0.0] * 3,
+                            reservoir_rows=0).snapshot()
+        scores = score_drift(ref, empty)
+        for col in scores["columns"].values():
+            assert np.isfinite(col["statistic"])
+            assert np.isfinite(col["area"])

@@ -1,0 +1,289 @@
+"""Serving-tier quality monitoring: tap, drift endpoint, gauges, chaos.
+
+The contract under test: the quality tap is *observe-only* (responses are
+byte-identical with the tap on, off, or crashing), bounded-memory, and the
+drift scorer flags a model whose live output no longer matches the
+reference statistics frozen into its manifest.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs.quality import reference_stats
+from repro.serve import ModelRegistry, SynthesisClient, SynthesisServer
+from repro.serve.quality import MAX_TAP_ERRORS, QualityMonitor
+from repro.utils.faults import FaultPlan, inject
+
+SEED = 11
+
+
+@pytest.fixture(scope="module")
+def quality_registry(tmp_path_factory, trained_gan, adult_bundle):
+    """Three registrations of one trained GAN, differing only in reference:
+
+    * ``plain`` — no reference stats (pre-quality manifests keep working);
+    * ``calibrated`` — reference frozen from the model's *own* output
+      distribution, so live serving should score ``ok``;
+    * ``shifted`` — reference frozen from a shifted copy of the training
+      table: the live output cannot match it, so the scorer must flag it.
+    """
+    registry = ModelRegistry(tmp_path_factory.mktemp("quality-registry"))
+    registry.register("plain", trained_gan)
+
+    own_output = trained_gan.sample(2048, rng=np.random.default_rng(5))
+    registry.register("calibrated", trained_gan,
+                      reference_stats=reference_stats(own_output))
+
+    train = adult_bundle.train
+    shifted_values = train.values.copy()
+    for i, spec in enumerate(train.schema.columns):
+        if spec.kind.value != "categorical":
+            shifted_values[:, i] = shifted_values[:, i] + 1000.0
+    registry.register("shifted", trained_gan,
+                      reference_stats=reference_stats(
+                          train.with_values(shifted_values)))
+    return registry
+
+
+def _serve(registry, **kwargs):
+    kwargs.setdefault("port", 0)
+    kwargs.setdefault("seed", SEED)
+    kwargs.setdefault("pool_size", 0)
+    return SynthesisServer(registry, **kwargs)
+
+
+class TestQualityEndpoint:
+    def test_calibrated_model_scores_ok(self, quality_registry):
+        with _serve(quality_registry) as server, \
+                SynthesisClient(port=server.port) as client:
+            client.sample("calibrated", 1024)
+            _, raw = client._request("GET", "/models/calibrated/quality")
+            report = json.loads(raw)
+        assert report["reference"] is True
+        assert report["rows_sketched"] >= 1024
+        assert report["status"] == "ok"
+        assert report["drift"]["scored"] is True
+
+    def test_shifted_reference_reports_drift(self, quality_registry):
+        """The ISSUE 10 acceptance test: a model registered against a
+        shifted reference distribution must read warn/drift once enough
+        rows have streamed through the tap."""
+        with _serve(quality_registry) as server, \
+                SynthesisClient(port=server.port) as client:
+            client.sample("shifted", 1024)
+            _, raw = client._request("GET", "/models/shifted/quality")
+            report = json.loads(raw)
+            health = client.health()
+        assert report["status"] in ("warn", "drift")
+        numeric = {name: col
+                   for name, col in report["drift"]["columns"].items()
+                   if report["sketch"]["columns"][name]["kind"]
+                   != "categorical"}
+        assert all(col["status"] == "drift" for col in numeric.values())
+        # Drift is surfaced in /healthz alongside — never merged into —
+        # worker health: a drifting model still serves.
+        assert health["quality"]["shifted"] in ("warn", "drift")
+        assert health["status"] == "ok"
+
+    def test_no_reference_serves_and_reports_unscored(self, quality_registry):
+        with _serve(quality_registry) as server, \
+                SynthesisClient(port=server.port) as client:
+            client.sample("plain", 128)
+            _, raw = client._request("GET", "/models/plain/quality")
+            report = json.loads(raw)
+        assert report["reference"] is False
+        assert report["status"] == "ok"
+        assert report["drift"] is None
+        assert report["rows_sketched"] >= 128
+
+    def test_quality_disabled_server_reports_off(self, quality_registry):
+        with _serve(quality_registry, quality=False) as server, \
+                SynthesisClient(port=server.port) as client:
+            client.sample("calibrated", 16)
+            _, raw = client._request("GET", "/models/calibrated/quality")
+            report = json.loads(raw)
+            health = client.health()
+        assert report == {"model": "calibrated", "status": "off",
+                          "reference": False}
+        assert health["quality"] == {}
+
+    def test_wrong_method_is_405(self, quality_registry):
+        with _serve(quality_registry) as server, \
+                SynthesisClient(port=server.port) as client:
+            from repro.serve import ServerError
+            with pytest.raises(ServerError) as excinfo:
+                client._request("POST", "/models/calibrated/quality",
+                                payload={})
+            assert excinfo.value.status == 405
+
+
+class TestDeterminism:
+    def test_responses_byte_identical_with_tap_on_off(self, quality_registry):
+        """The tap is observe-only: the sample stream must not change by
+        one byte whether quality is armed, disarmed, or crashing."""
+        bodies = {}
+        plan = FaultPlan()
+        plan.arm("quality.tap", times=None)
+        for key, kwargs, fault in (
+            ("on", {}, None),
+            ("off", {"quality": False}, None),
+            ("crashing", {}, plan),
+        ):
+            with _serve(quality_registry, **kwargs) as server, \
+                    SynthesisClient(port=server.port) as client:
+                chunks = []
+                ctx = inject(fault) if fault is not None else None
+                if ctx is not None:
+                    ctx.__enter__()
+                try:
+                    for n in (13, 200, 64):
+                        _, raw = client._request(
+                            "POST", "/models/calibrated/sample",
+                            payload={"n": n})
+                        chunks.append(raw)
+                finally:
+                    if ctx is not None:
+                        ctx.__exit__(None, None, None)
+                bodies[key] = b"".join(chunks)
+        assert bodies["on"] == bodies["off"] == bodies["crashing"]
+
+    def test_procpool_responses_match_threaded(self, quality_registry):
+        bodies = {}
+        for workers in (0, 1):
+            with _serve(quality_registry, server_workers=workers,
+                        pool_size=256) as server, \
+                    SynthesisClient(port=server.port) as client:
+                _, raw = client._request("POST", "/models/calibrated/sample",
+                                         payload={"n": 100})
+                bodies[workers] = raw
+        assert bodies[0] == bodies[1]
+
+
+class TestProcpoolFold:
+    def test_worker_sketches_fold_into_parent(self, quality_registry):
+        with _serve(quality_registry, server_workers=1,
+                    pool_size=256) as server, \
+                SynthesisClient(port=server.port) as client:
+            client.sample("calibrated", 300)
+            _, raw = client._request("GET", "/models/calibrated/quality")
+            report = json.loads(raw)
+        assert report["rows_sketched"] >= 300
+        assert report["tap_errors"] == 0
+        # The parent reservoir-samples decoded rows from the shared ring.
+        assert report["sketch"]["reservoir"]["rows"] > 0
+        assert report["status"] == "ok"
+
+
+class TestChaos:
+    def test_tap_fault_never_blocks_sampling(self, quality_registry):
+        plan = FaultPlan()
+        plan.arm("quality.tap", times=None)
+        with _serve(quality_registry) as server, \
+                SynthesisClient(port=server.port) as client:
+            with inject(plan):
+                result = client.sample("calibrated", 64)
+                _, raw = client._request("GET", "/models/calibrated/quality")
+                report = json.loads(raw)
+        assert len(result["rows"]) == 64
+        assert report["tap_errors"] >= 1
+        assert report["rows_sketched"] == 0
+
+    def test_tap_disables_itself_after_repeated_failures(self):
+        monitor = QualityMonitor(
+            "m", _tiny_schema(), [0.0], [1.0], reservoir_rows=0)
+        plan = FaultPlan()
+        plan.arm("quality.tap", times=None)
+        with inject(plan):
+            for _ in range(MAX_TAP_ERRORS + 3):
+                monitor.tap(np.zeros((4, 1)))
+        assert monitor.disabled is True
+        assert monitor.tap_errors == MAX_TAP_ERRORS
+        # Disabled taps are free and safe even once the fault clears.
+        monitor.tap(np.zeros((4, 1)))
+        assert monitor.sketch.count == 0
+
+    def test_worker_side_crash_ships_none_payload(self):
+        monitor = QualityMonitor(
+            "m", _tiny_schema(), [0.0], [1.0], reservoir_rows=0)
+        monitor.fold(None)
+        assert monitor.tap_errors == 1
+        assert monitor.sketch.count == 0
+
+
+def _tiny_schema():
+    from repro.data.schema import ColumnKind, ColumnRole, ColumnSpec, TableSchema
+    return TableSchema([
+        ColumnSpec("x", ColumnKind.CONTINUOUS, ColumnRole.SENSITIVE),
+    ])
+
+
+class TestMetricsSurface:
+    def test_quality_gauges_published(self, quality_registry):
+        with _serve(quality_registry) as server, \
+                SynthesisClient(port=server.port) as client:
+            client.sample("shifted", 512)
+            text = client.metrics_text()
+        lines = text.splitlines()
+        assert any(line.startswith('quality_status{model="shifted"}')
+                   for line in lines)
+        status = [line for line in lines
+                  if line.startswith('quality_status{model="shifted"}')]
+        assert float(status[0].split()[-1]) >= 1.0  # warn=1 / drift=2
+        assert any(line.startswith("quality_drift_statistic{")
+                   for line in lines)
+        assert any(line.startswith('quality_rows_sketched{model="shifted"}')
+                   for line in lines)
+
+    def test_metrics_json_carries_quality_summary(self, quality_registry):
+        with _serve(quality_registry) as server, \
+                SynthesisClient(port=server.port) as client:
+            client.sample("shifted", 512)
+            metrics = client.metrics()
+        quality = metrics["models"]["shifted"]["quality"]
+        assert quality["reference"] is True
+        assert quality["status"] in ("warn", "drift")
+        assert quality["rows_sketched"] >= 512
+
+    def test_model_filter_restricts_text_exposition(self, quality_registry):
+        with _serve(quality_registry) as server, \
+                SynthesisClient(port=server.port) as client:
+            client.sample("calibrated", 32)
+            client.sample("plain", 32)
+            _, raw = client._request("GET", "/metrics?model=calibrated",
+                                     accept="text/plain")
+            filtered = raw.decode()
+            _, raw_all = client._request("GET", "/metrics",
+                                         accept="text/plain")
+            unfiltered = raw_all.decode()
+        assert 'model="calibrated"' in filtered
+        assert 'model="plain"' not in filtered
+        # Series without a model label (server-wide gauges) are omitted
+        # when filtering, present otherwise.
+        assert "server_uptime_seconds" in unfiltered
+        assert "server_uptime_seconds" not in filtered
+
+    def test_model_filter_restricts_json_document(self, quality_registry):
+        with _serve(quality_registry) as server, \
+                SynthesisClient(port=server.port) as client:
+            client.sample("calibrated", 32)
+            client.sample("plain", 32)
+            _, raw = client._request("GET", "/metrics?model=plain",
+                                     accept="application/json")
+            metrics = json.loads(raw)
+        assert list(metrics["models"]) == ["plain"]
+        assert metrics["resident_models"] == ["plain"]
+        # Top-level server fields keep their shape under the filter.
+        assert "uptime_s" in metrics
+
+    def test_model_filter_matches_versioned_refs(self, quality_registry):
+        with _serve(quality_registry) as server, \
+                SynthesisClient(port=server.port) as client:
+            client.sample("calibrated", 16)
+            _, raw = client._request("GET", "/metrics?model=calib",
+                                     accept="text/plain")
+            prefix_only = raw.decode()
+        # "calib" is a prefix but not the name and not NAME@version —
+        # the filter must not treat it as a match.
+        assert 'model="calibrated"' not in prefix_only

@@ -338,3 +338,29 @@ class TestCliWiring:
             ["train", "--register", "adult@v2"]
         )
         assert args.register == "adult@v2"
+
+    def test_serve_quality_and_trace_rotation_flags(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args([
+            "serve", "--port", "0", "--no-quality",
+            "--trace-log", "/tmp/spans.jsonl",
+            "--trace-log-max-mb", "8", "--trace-log-keep", "5",
+        ])
+        assert args.no_quality is True
+        assert args.trace_log_max_mb == 8
+        assert args.trace_log_keep == 5
+        defaults = build_parser().parse_args(["serve", "--port", "0"])
+        assert defaults.no_quality is False
+        assert defaults.trace_log_max_mb is None
+        assert defaults.trace_log_keep == 3
+
+    def test_quality_parser(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["quality", "tiny@v1", "--url", "http://127.0.0.1:8000"]
+        )
+        assert args.ref == "tiny@v1"
+        assert args.url == "http://127.0.0.1:8000"
+        assert args.func.__name__ == "cmd_quality"

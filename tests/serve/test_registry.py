@@ -26,6 +26,26 @@ class TestRegistration:
         assert len(manifest["schema"]["columns"]) == manifest["n_features"]
         assert manifest["config"]["base_channels"] == trained_gan.config.base_channels
 
+    def test_reference_stats_round_trip(self, tmp_path, trained_gan,
+                                        adult_bundle):
+        from repro.obs.quality import reference_stats
+
+        registry = ModelRegistry(tmp_path / "reg")
+        stats = reference_stats(adult_bundle.train)
+        registry.register("with-ref", trained_gan, reference_stats=stats)
+        manifest = registry.manifest("with-ref")
+        # The manifest is JSON on disk: the frozen stats survive exactly.
+        assert manifest["reference_stats"] == json.loads(json.dumps(stats))
+        assert manifest["reference_stats"]["rows"] == adult_bundle.train.n_rows
+        # Registrations without stats simply omit the key.
+        registry.register("without-ref", trained_gan)
+        assert "reference_stats" not in registry.manifest("without-ref")
+
+    def test_reference_stats_must_be_a_dict(self, tmp_path, trained_gan):
+        registry = ModelRegistry(tmp_path / "reg")
+        with pytest.raises(RegistryError):
+            registry.register("bad", trained_gan, reference_stats=[1, 2])
+
     def test_refuses_duplicate_without_overwrite(self, populated_registry,
                                                  trained_gan):
         with pytest.raises(RegistryError, match="already registered"):
